@@ -1,0 +1,77 @@
+// Ablation: NeuroSketch vs the classical grid-histogram synopsis across
+// data dimensionality (the pre-ML related-work family [14]). Histograms
+// are excellent in low dimensions but their cell count — and therefore
+// storage — grows as bins^d, while NeuroSketch's size is bound by its
+// architecture.
+//
+// Expected shape: at d=2 the histogram matches or beats NeuroSketch; by
+// d >= 5 the histogram needs orders of magnitude more space for the same
+// accuracy (or becomes infeasible), while the sketch's size stays flat.
+#include "baselines/histogram.h"
+#include "bench_common.h"
+
+using namespace neurosketch;
+using namespace neurosketch::bench;
+
+int main() {
+  PrintHeader("Ablation: grid-histogram synopsis vs NeuroSketch by dim");
+  std::printf("%-6s %-22s %12s %14s %12s\n", "dim", "method", "norm_MAE",
+              "query_time_us", "size_MB");
+  for (size_t dim : {2u, 3u, 5u, 8u}) {
+    Dataset ds = MakeGmmDataset(20000, dim, 20, 1800 + dim);
+    Normalizer norm = Normalizer::Fit(ds.table);
+    PreparedDataset data;
+    data.name = ds.name;
+    data.measure_col = ds.measure_col;
+    data.normalized = norm.Transform(ds.table);
+    WorkloadConfig wc;
+    wc.num_active = 1;
+    wc.range_frac_lo = 0.05;
+    wc.range_frac_hi = 0.5;
+    wc.min_matches = 5;
+    wc.seed = 1900 + dim;
+    Workbench wb =
+        MakeWorkbench(std::move(data), Aggregate::kAvg, wc, 1200, 200);
+
+    // NeuroSketch.
+    auto sketch =
+        NeuroSketch::Train(wb.train_q, wb.train_a, DefaultSketchConfig());
+    if (sketch.ok()) {
+      auto row = Measure(
+          "NeuroSketch", wb,
+          [&](const QueryInstance& q) { return sketch.value().Answer(q); },
+          static_cast<double>(sketch.value().SizeBytes()));
+      std::printf("%-6zu %-22s %12.4f %14.2f %12.4f\n", dim,
+                  row.method.c_str(), row.norm_mae, row.query_us,
+                  row.size_mb);
+    }
+    // Histogram at two resolutions.
+    for (size_t bins : {8u, 16u}) {
+      GridHistogramConfig hc;
+      hc.bins_per_dim = bins;
+      auto hist =
+          GridHistogram::Build(wb.data.normalized, wb.spec.measure_col, hc);
+      char label[32];
+      std::snprintf(label, sizeof(label), "Histogram(%zu bins)", bins);
+      if (!hist.ok()) {
+        std::printf("%-6zu %-22s %12s %14s %12s  (%s)\n", dim, label, "N/A",
+                    "N/A", "N/A", hist.status().ToString().c_str());
+        continue;
+      }
+      auto row = Measure(
+          label, wb,
+          [&](const QueryInstance& q) {
+            auto r = hist.value().Answer(wb.spec, q);
+            return r.ok() ? r.value() : std::nan("");
+          },
+          static_cast<double>(hist.value().SizeBytes()));
+      std::printf("%-6zu %-22s %12.4f %14.2f %12.4f\n", dim,
+                  row.method.c_str(), row.norm_mae, row.query_us,
+                  row.size_mb);
+    }
+  }
+  std::printf(
+      "\nShape checks: histogram size grows ~bins^(d-1) and becomes\n"
+      "infeasible at high d, while NeuroSketch's size stays ~flat.\n");
+  return 0;
+}

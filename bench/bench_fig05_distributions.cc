@@ -1,0 +1,61 @@
+// Fig. 5: distribution of the measure column for PM, TPC, VS and a GMM.
+// Prints text histograms whose shapes should match the paper: PM has a
+// heavy right tail, TPC net_profit is roughly symmetric around 0, VS visit
+// duration is bimodal-ish in (0, 20]h, GMM is multi-modal.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using neurosketch::Dataset;
+
+void PrintHistogram(const std::string& name, const std::vector<double>& v,
+                    size_t bins = 24) {
+  const double lo = neurosketch::stats::Min(v);
+  const double hi = neurosketch::stats::Max(v);
+  std::vector<size_t> counts(bins, 0);
+  for (double x : v) {
+    size_t b = static_cast<size_t>((x - lo) / (hi - lo) * bins);
+    if (b >= bins) b = bins - 1;
+    ++counts[b];
+  }
+  const size_t peak = *std::max_element(counts.begin(), counts.end());
+  std::printf("\n-- %s (min=%.2f max=%.2f mean=%.2f median=%.2f) --\n",
+              name.c_str(), lo, hi, neurosketch::stats::Mean(v),
+              neurosketch::stats::Median(const_cast<std::vector<double>&>(v)));
+  for (size_t b = 0; b < bins; ++b) {
+    const double x = lo + (hi - lo) * (b + 0.5) / bins;
+    const int width =
+        static_cast<int>(50.0 * counts[b] / static_cast<double>(peak));
+    std::printf("%10.2f | %6.3f %s\n", x,
+                static_cast<double>(counts[b]) / static_cast<double>(v.size()),
+                std::string(width, '#').c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  neurosketch::bench::PrintHeader(
+      "Figure 5: measure column distributions (PM, TPC, VS, GMM)");
+  {
+    Dataset d = neurosketch::MakePmLike(20000, 1);
+    PrintHistogram("PM: PM2.5 (ug/m3)", d.table.column(d.measure_col));
+  }
+  {
+    Dataset d = neurosketch::MakeTpcLike(20000, 2);
+    PrintHistogram("TPC: net profit ($)", d.table.column(d.measure_col));
+  }
+  {
+    Dataset d = neurosketch::MakeVerasetLike(20000, 3);
+    PrintHistogram("VS: visit duration (h)", d.table.column(d.measure_col));
+  }
+  {
+    Dataset d = neurosketch::MakeGmmDataset(20000, 2, 4, 4);
+    PrintHistogram("GMM: measure column", d.table.column(d.measure_col));
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Fig. 10: time/space/accuracy trade-offs on VS for different NeuroSketch
+// hyper-parameters (kd-tree height h, width w, depth d), compared with
+// TREE-AGG / VerdictDB at different sampling rates and DeepDB at different
+// RDC thresholds.
+//
+// Expected shape (paper): NeuroSketch dominates in the fast/low-space
+// regime; TREE-AGG wins when near-exact answers are required; the kd-tree
+// height improves accuracy at almost no time cost.
+#include "bench_common.h"
+
+using namespace neurosketch;
+using namespace neurosketch::bench;
+
+namespace {
+
+MethodRow RunSketch(const Workbench& wb, size_t h, size_t w, size_t d,
+                    const std::string& label) {
+  NeuroSketchConfig cfg = DefaultSketchConfig();
+  cfg.tree_height = h;
+  cfg.target_partitions = static_cast<size_t>(1) << h;  // no merging
+  cfg.l_first = w;
+  cfg.l_rest = w;
+  cfg.n_layers = d;
+  auto sketch = NeuroSketch::Train(wb.train_q, wb.train_a, cfg);
+  if (!sketch.ok()) return Unsupported(label);
+  return Measure(
+      label, wb,
+      [&](const QueryInstance& q) { return sketch.value().Answer(q); },
+      static_cast<double>(sketch.value().SizeBytes()));
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 10: time/space/accuracy trade-offs (VS, AVG)");
+  PreparedDataset data = Prepare("VS");
+  const size_t data_bytes = data.normalized.SizeBytes();
+  Workbench wb = MakeWorkbench(std::move(data), Aggregate::kAvg,
+                               DefaultWorkload("VS", 600), 2000, 200);
+
+  std::vector<MethodRow> rows;
+  // Line (h, 48, 5): vary kd-tree height at fixed architecture.
+  for (size_t h : {0u, 1u, 2u, 3u, 4u}) {
+    rows.push_back(RunSketch(wb, h, 48, 5, "NS(h=" + std::to_string(h) +
+                                               ",w=48,d=5)"));
+  }
+  // Line (0, w, 5): vary width, single partition.
+  for (size_t w : {15u, 30u, 60u, 120u}) {
+    rows.push_back(RunSketch(wb, 0, w, 5, "NS(h=0,w=" + std::to_string(w) +
+                                              ",d=5)"));
+  }
+  // Line (0, 30, d): vary depth.
+  for (size_t d : {2u, 5u, 10u}) {
+    rows.push_back(RunSketch(wb, 0, 30, d, "NS(h=0,w=30,d=" +
+                                               std::to_string(d) + ")"));
+  }
+  // Baselines at different sampling rates.
+  const size_t n = wb.data.normalized.num_rows();
+  for (double pct : {1.0, 0.5, 0.2, 0.1}) {
+    TreeAggConfig tc;
+    tc.sample_size = static_cast<size_t>(pct * n);
+    TreeAgg agg = TreeAgg::Build(wb.data.normalized, tc);
+    char label[48];
+    std::snprintf(label, sizeof(label), "TREE-AGG(%.0f%%)", pct * 100);
+    rows.push_back(Measure(
+        label, wb,
+        [&](const QueryInstance& q) { return agg.Answer(wb.spec, q); },
+        static_cast<double>(agg.SizeBytes())));
+    VerdictConfig vc;
+    vc.sample_size = static_cast<size_t>(pct * n);
+    Verdict v = Verdict::Build(wb.data.normalized, vc);
+    std::snprintf(label, sizeof(label), "VerdictDB(%.0f%%)", pct * 100);
+    rows.push_back(Measure(
+        label, wb,
+        [&](const QueryInstance& q) {
+          auto r = v.Answer(wb.spec, q);
+          return r.ok() ? r.value() : std::nan("");
+        },
+        static_cast<double>(v.SizeBytes())));
+  }
+  // DeepDB at different RDC thresholds.
+  for (double rdc : {0.1, 0.3, 1.0}) {
+    SpnConfig sc;
+    sc.rdc_threshold = rdc;
+    Spn spn = Spn::Build(wb.data.normalized, sc);
+    char label[48];
+    std::snprintf(label, sizeof(label), "DeepDB(rdc=%.1f)", rdc);
+    rows.push_back(Measure(
+        label, wb,
+        [&](const QueryInstance& q) {
+          auto r = spn.Answer(wb.spec, q);
+          return r.ok() ? r.value() : std::nan("");
+        },
+        static_cast<double>(spn.SizeBytes())));
+  }
+  PrintRows("VS sweep", rows);
+  std::printf("\n(raw data size: %.2f MB)\n",
+              static_cast<double>(data_bytes) / (1024.0 * 1024.0));
+  std::printf(
+      "Shape checks vs paper: accuracy improves with width/depth then\n"
+      "plateaus; kd-tree height improves accuracy at ~no time cost;\n"
+      "TREE-AGG(100%%) is near-exact but orders of magnitude slower.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Fig. 11: visualization of the learned query function for the running
+// example (VS, avg visit duration with a fixed 2-D range), for two model
+// depths. Prints a coarse character raster of ground truth vs learned
+// functions and dumps full grids to CSV for plotting.
+//
+// Expected shape (paper): the learned surface follows the ground-truth
+// pattern with sharp drops smoothed out; the deeper model is closer.
+#include "bench_common.h"
+#include "util/csv.h"
+
+using namespace neurosketch;
+using namespace neurosketch::bench;
+
+namespace {
+
+constexpr size_t kGrid = 14;
+constexpr double kRange = 0.15;  // fixed (r1, r2), like the 50m x 50m query
+
+char Shade(double v, double lo, double hi) {
+  static const char* ramp = " .:-=+*#%@";
+  if (hi <= lo) return ' ';
+  int idx = static_cast<int>((v - lo) / (hi - lo) * 9.0);
+  idx = std::max(0, std::min(9, idx));
+  return ramp[idx];
+}
+
+void PrintRaster(const std::string& title,
+                 const std::vector<std::vector<double>>& grid) {
+  double lo = 1e300, hi = -1e300;
+  for (const auto& row : grid) {
+    for (double v : row) {
+      if (!std::isnan(v)) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+  }
+  std::printf("\n%s  (lo=%.3f hi=%.3f)\n", title.c_str(), lo, hi);
+  for (const auto& row : grid) {
+    std::printf("  ");
+    for (double v : row) std::printf("%c", std::isnan(v) ? '?' : Shade(v, lo, hi));
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 11: learned query function visualization (VS)");
+  PreparedDataset data = Prepare("VS");
+  ExactEngine engine(&data.normalized);
+  QueryFunctionSpec spec = AxisSpec(Aggregate::kAvg, data.measure_col);
+
+  // Training set: 2-D queries with fixed range over lat/lon.
+  WorkloadConfig wc;
+  wc.num_active = 2;
+  wc.fixed_attrs = {0, 1};
+  wc.range_frac_lo = wc.range_frac_hi = kRange;
+  wc.min_matches = 1;
+  wc.seed = 700;
+  WorkloadGenerator gen(3, wc);
+  auto train_q = gen.GenerateMany(2500, &engine, &spec);
+  auto train_a = engine.AnswerBatch(spec, train_q, 8);
+
+  auto make_grid = [&](auto&& fn) {
+    std::vector<std::vector<double>> grid(kGrid, std::vector<double>(kGrid));
+    for (size_t i = 0; i < kGrid; ++i) {
+      for (size_t j = 0; j < kGrid; ++j) {
+        const double c0 = (1.0 - kRange) * i / (kGrid - 1);
+        const double c1 = (1.0 - kRange) * j / (kGrid - 1);
+        QueryInstance q = QueryInstance::AxisRange({c0, c1, 0.0},
+                                                   {kRange, kRange, 1.0});
+        grid[i][j] = fn(q);
+      }
+    }
+    return grid;
+  };
+
+  auto truth = make_grid(
+      [&](const QueryInstance& q) { return engine.Answer(spec, q); });
+  PrintRaster("Ground truth f_D (avg visit duration)", truth);
+
+  std::vector<std::vector<double>> csv_rows;
+  for (size_t depth : {5u, 10u}) {
+    NeuroSketchConfig cfg = DefaultSketchConfig();
+    cfg.tree_height = 0;
+    cfg.target_partitions = 1;
+    cfg.n_layers = depth;
+    cfg.l_first = 48;
+    cfg.l_rest = 24;
+    auto sketch = NeuroSketch::Train(train_q, train_a, cfg);
+    if (!sketch.ok()) continue;
+    auto learned = make_grid(
+        [&](const QueryInstance& q) { return sketch.value().Answer(q); });
+    PrintRaster("NeuroSketch depth=" + std::to_string(depth), learned);
+    for (size_t i = 0; i < kGrid; ++i) {
+      for (size_t j = 0; j < kGrid; ++j) {
+        csv_rows.push_back({static_cast<double>(depth),
+                            static_cast<double>(i), static_cast<double>(j),
+                            truth[i][j], learned[i][j]});
+      }
+    }
+    std::printf("  model size: %.1f%% of data size\n",
+                100.0 * static_cast<double>(sketch.value().SizeBytes()) /
+                    static_cast<double>(data.normalized.SizeBytes()));
+  }
+  Status st = csv::WriteNumeric("fig11_grids.csv",
+                                {"depth", "i", "j", "truth", "learned"},
+                                csv_rows);
+  if (st.ok()) std::printf("\nfull grids written to fig11_grids.csv\n");
+  return 0;
+}

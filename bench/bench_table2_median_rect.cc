@@ -1,0 +1,60 @@
+// Table 2: median visit duration for general (rotated) rectangles on VS.
+// The predicate takes two opposite corners plus an angle (Sec. 5.2.2).
+//
+// Expected shape (paper): NeuroSketch ~accuracy of TREE-AGG at a fraction
+// of the query time; DeepDB and VerdictDB cannot answer this query (N/A).
+#include "bench_common.h"
+
+using namespace neurosketch;
+using namespace neurosketch::bench;
+
+int main() {
+  PrintHeader("Table 2: MEDIAN visit duration, rotated rectangles (VS)");
+  Workbench wb;
+  wb.data = Prepare("VS");
+  const Table& table = wb.data.normalized;
+
+  QueryFunctionSpec spec;
+  spec.predicate = RotatedRectPredicate::Make();
+  spec.agg = Aggregate::kMedian;
+  spec.measure_col = wb.data.measure_col;
+
+  ExactEngine engine(&table);
+  WorkloadConfig wc;
+  wc.range_frac_lo = 0.1;
+  wc.range_frac_hi = 0.4;
+  wc.min_matches = 5;
+  wc.seed = 500;
+  WorkloadGenerator gen(table.num_columns(), wc);
+  wb.spec = spec;
+  wb.train_q = gen.GenerateRotatedRects(3000, &engine, &spec);
+  wb.train_a = engine.AnswerBatch(spec, wb.train_q, 8);
+  wc.seed = 501;
+  WorkloadGenerator test_gen(table.num_columns(), wc);
+  wb.test_q = test_gen.GenerateRotatedRects(200, &engine, &spec);
+  wb.test_a = engine.AnswerBatch(spec, wb.test_q, 8);
+
+  std::vector<MethodRow> rows;
+  auto sketch = NeuroSketch::Train(wb.train_q, wb.train_a,
+                                   DefaultSketchConfig());
+  if (sketch.ok()) {
+    rows.push_back(Measure(
+        "NeuroSketch", wb,
+        [&](const QueryInstance& q) { return sketch.value().Answer(q); },
+        static_cast<double>(sketch.value().SizeBytes())));
+  }
+  TreeAggConfig tc;
+  tc.sample_size = 4000;
+  TreeAgg agg = TreeAgg::Build(table, tc);
+  rows.push_back(Measure(
+      "TREE-AGG", wb,
+      [&](const QueryInstance& q) { return agg.Answer(wb.spec, q); },
+      static_cast<double>(agg.SizeBytes())));
+  rows.push_back(Unsupported("DeepDB"));    // predicate not supported
+  rows.push_back(Unsupported("VerdictDB"));  // aggregation not supported
+  PrintRows("median/rotated-rect", rows);
+  std::printf(
+      "\nShape check vs paper (Table 2): NeuroSketch error is comparable\n"
+      "to TREE-AGG with >=10x lower query time; DeepDB/VerdictDB are N/A.\n");
+  return 0;
+}

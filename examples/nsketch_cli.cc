@@ -1,0 +1,256 @@
+// nsketch_cli — train, query and evaluate NeuroSketches from the command
+// line, using CSV data and the parametric-SQL front end (Sec. 4.3).
+//
+//   nsketch_cli train <data.csv> "<sql template>" <out.sketch> [n_train]
+//       Trains a sketch for the query function denoted by the template
+//       (e.g. "SELECT AVG(duration) FROM t WHERE latitude BETWEEN ?a AND
+//       ?b AND longitude BETWEEN ?c AND ?d"). Writes <out.sketch> plus a
+//       <out.sketch>.norm sidecar holding the column normalization so
+//       query-time parameters can be given in original units.
+//
+//   nsketch_cli query <out.sketch> "<sql template>" <data.csv> <p1> <p2> ...
+//       Binds the parameters (original units) and answers from the sketch
+//       alone; the CSV is read only for its schema header.
+//
+//   nsketch_cli eval <data.csv> "<sql template>" <out.sketch> [n_test]
+//       Compares the sketch against the exact engine on a random workload
+//       of the template's parameters.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/neurosketch.h"
+#include "data/normalizer.h"
+#include "data/table.h"
+#include "query/parametric.h"
+#include "util/csv.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+using namespace neurosketch;
+
+namespace {
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+Status SaveNormalizer(const Normalizer& norm, const Schema& schema,
+                      const std::string& path) {
+  std::vector<std::vector<double>> rows;
+  for (size_t c = 0; c < norm.num_columns(); ++c) {
+    rows.push_back({static_cast<double>(c), norm.lo(c), norm.hi(c)});
+  }
+  (void)schema;
+  return csv::WriteNumeric(path, {"col", "lo", "hi"}, rows);
+}
+
+Result<std::vector<std::pair<double, double>>> LoadNormalizer(
+    const std::string& path) {
+  NS_ASSIGN_OR_RETURN(csv::NumericCsv parsed, csv::ReadNumeric(path));
+  std::vector<std::pair<double, double>> out;
+  for (const auto& row : parsed.rows) {
+    if (row.size() != 3) return Status::InvalidArgument("bad norm sidecar");
+    out.emplace_back(row[1], row[2]);
+  }
+  return out;
+}
+
+/// Predicate columns are queried in normalized coordinates, but the
+/// measure column keeps original units (so answers read naturally) unless
+/// the template also constrains it.
+Table PrepareQueryTable(const Table& raw, const Normalizer& norm,
+                        const ParametricQuery& pq) {
+  Table table = norm.Transform(raw);
+  const size_t measure = pq.spec().measure_col;
+  for (size_t col : pq.parameter_columns()) {
+    if (col == measure) return table;  // measure constrained: stay normalized
+  }
+  table.column(measure) = raw.column(measure);
+  return table;
+}
+
+/// Random parameter draws for a template: each attribute's (lo, hi) pair
+/// is drawn as a sub-interval of [0,1]; one-sided parameters uniform.
+std::vector<QueryInstance> RandomWorkload(const ParametricQuery& pq,
+                                          size_t n, Rng* rng) {
+  std::vector<QueryInstance> out;
+  const size_t num_params = pq.parameter_names().size();
+  size_t guard = 0;
+  while (out.size() < n && guard++ < n * 50) {
+    std::vector<double> params(num_params);
+    for (auto& p : params) p = rng->Uniform();
+    auto q = pq.Bind(params);
+    if (q.ok()) out.push_back(std::move(q).value());
+  }
+  return out;
+}
+
+int CmdTrain(int argc, char** argv) {
+  if (argc < 5) return Fail(Status::InvalidArgument("train needs 3+ args"));
+  const std::string csv_path = argv[2], sql = argv[3], out_path = argv[4];
+  const size_t n_train = argc > 5 ? std::strtoul(argv[5], nullptr, 10) : 4000;
+
+  auto table_r = Table::FromCsvFile(csv_path);
+  if (!table_r.ok()) return Fail(table_r.status());
+  const Table& raw = table_r.value();
+  Normalizer norm = Normalizer::Fit(raw);
+
+  auto pq = ParametricQuery::Parse(sql, raw.schema());
+  if (!pq.ok()) return Fail(pq.status());
+  Table table = PrepareQueryTable(raw, norm, pq.value());
+
+  ExactEngine engine(&table);
+  Rng rng(4242);
+  Timer gen_timer;
+  auto queries = RandomWorkload(pq.value(), n_train, &rng);
+  auto answers = engine.AnswerBatch(pq.value().spec(), queries, 8);
+  std::printf("generated %zu training answers in %.1fs\n", queries.size(),
+              gen_timer.ElapsedSeconds());
+
+  NeuroSketchConfig config;
+  config.train.epochs = 150;
+  Timer train_timer;
+  auto sketch = NeuroSketch::Train(queries, answers, config);
+  if (!sketch.ok()) return Fail(sketch.status());
+  std::printf("trained %zu partitions in %.1fs (%.1f KB)\n",
+              sketch.value().num_partitions(), train_timer.ElapsedSeconds(),
+              sketch.value().SizeBytes() / 1024.0);
+  Status st = sketch.value().Save(out_path);
+  if (!st.ok()) return Fail(st);
+  st = SaveNormalizer(norm, raw.schema(), out_path + ".norm");
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %s and %s.norm\n", out_path.c_str(), out_path.c_str());
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 5) return Fail(Status::InvalidArgument("query needs 3+ args"));
+  const std::string sketch_path = argv[2], sql = argv[3], csv_path = argv[4];
+
+  auto table_r = Table::FromCsvFile(csv_path);
+  if (!table_r.ok()) return Fail(table_r.status());
+  auto pq = ParametricQuery::Parse(sql, table_r.value().schema());
+  if (!pq.ok()) return Fail(pq.status());
+  auto ranges = LoadNormalizer(sketch_path + ".norm");
+  if (!ranges.ok()) return Fail(ranges.status());
+  auto sketch = NeuroSketch::Load(sketch_path);
+  if (!sketch.ok()) return Fail(sketch.status());
+
+  const size_t want = pq.value().parameter_names().size();
+  if (static_cast<size_t>(argc - 5) != want) {
+    return Fail(Status::InvalidArgument(
+        "template needs " + std::to_string(want) + " parameters"));
+  }
+  // Parameters arrive in original units; normalize each using the column
+  // it constrains (exposed by the parser).
+  std::vector<double> normed(want);
+  for (size_t i = 0; i < want; ++i) {
+    const double raw = std::strtod(argv[5 + i], nullptr);
+    const size_t col = pq.value().parameter_columns()[i];
+    if (col >= ranges.value().size()) {
+      return Fail(Status::OutOfRange("norm sidecar missing column"));
+    }
+    const auto [lo, hi] = ranges.value()[col];
+    normed[i] = (raw - lo) / (hi - lo);
+  }
+  auto q = pq.value().Bind(normed);
+  if (!q.ok()) return Fail(q.status());
+  const double answer = sketch.value().Answer(q.value());
+  std::printf("%s = %.6f\n", pq.value().aggregate_name().c_str(), answer);
+  return 0;
+}
+
+int CmdEval(int argc, char** argv) {
+  if (argc < 5) return Fail(Status::InvalidArgument("eval needs 3+ args"));
+  const std::string csv_path = argv[2], sql = argv[3], sketch_path = argv[4];
+  const size_t n_test = argc > 5 ? std::strtoul(argv[5], nullptr, 10) : 300;
+
+  auto table_r = Table::FromCsvFile(csv_path);
+  if (!table_r.ok()) return Fail(table_r.status());
+  Normalizer norm = Normalizer::Fit(table_r.value());
+  auto pq = ParametricQuery::Parse(sql, table_r.value().schema());
+  if (!pq.ok()) return Fail(pq.status());
+  Table table = PrepareQueryTable(table_r.value(), norm, pq.value());
+  auto sketch = NeuroSketch::Load(sketch_path);
+  if (!sketch.ok()) return Fail(sketch.status());
+
+  ExactEngine engine(&table);
+  Rng rng(777);
+  auto queries = RandomWorkload(pq.value(), n_test, &rng);
+  Timer exact_t;
+  auto truth = engine.AnswerBatch(pq.value().spec(), queries, 8);
+  const double exact_us = exact_t.ElapsedMicros() / queries.size();
+  Timer sk_t;
+  auto pred = sketch.value().AnswerBatch(queries);
+  const double sketch_us = sk_t.ElapsedMicros() / queries.size();
+  std::vector<double> t2, p2;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (std::isnan(truth[i]) || std::isnan(pred[i])) continue;
+    t2.push_back(truth[i]);
+    p2.push_back(pred[i]);
+  }
+  std::printf("queries: %zu | norm MAE: %.4f | sketch %.2f us/q | exact "
+              "%.2f us/q\n",
+              t2.size(), stats::NormalizedMae(t2, p2), sketch_us, exact_us);
+  return 0;
+}
+
+void SelfDemo() {
+  // With no arguments, run a self-contained demo: synthesize a CSV,
+  // train, query, eval, clean up.
+  std::printf("no arguments: running self-demo\n");
+  Rng rng(1);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 8000; ++i) {
+    const double x = rng.Uniform(0.0, 100.0);
+    const double y = rng.Uniform(0.0, 50.0);
+    const double m = 10.0 + 0.5 * x - 0.2 * y + rng.Normal(0, 2.0);
+    rows.push_back({x, y, m});
+  }
+  const std::string csv_path = "nsketch_demo.csv";
+  Status st = csv::WriteNumeric(csv_path, {"x", "y", "m"}, rows);
+  if (!st.ok()) return;
+  const char* sql = "SELECT AVG(m) FROM t WHERE x BETWEEN ?a AND ?b";
+  {
+    const char* argv_train[] = {"nsketch_cli", "train", csv_path.c_str(), sql,
+                                "demo.sketch", "2000"};
+    CmdTrain(6, const_cast<char**>(argv_train));
+  }
+  {
+    const char* argv_query[] = {"nsketch_cli", "query",     "demo.sketch",
+                                sql,           csv_path.c_str(), "20",
+                                "80"};
+    CmdQuery(7, const_cast<char**>(argv_query));
+  }
+  {
+    const char* argv_eval[] = {"nsketch_cli", "eval", csv_path.c_str(), sql,
+                               "demo.sketch"};
+    CmdEval(5, const_cast<char**>(argv_eval));
+  }
+  std::remove(csv_path.c_str());
+  std::remove("demo.sketch");
+  std::remove("demo.sketch.norm");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    SelfDemo();
+    return 0;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "train") return CmdTrain(argc, argv);
+  if (cmd == "query") return CmdQuery(argc, argv);
+  if (cmd == "eval") return CmdEval(argc, argv);
+  std::fprintf(stderr,
+               "usage: %s train|query|eval ... (run with no args for a "
+               "demo)\n",
+               argv[0]);
+  return 1;
+}

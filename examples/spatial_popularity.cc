@@ -1,0 +1,88 @@
+// Spatial analytics scenario (the paper's running example + Table 2):
+// a location-data aggregator wants to publish POI popularity statistics
+// (median visit duration for arbitrary, possibly rotated, rectangles)
+// WITHOUT shipping the raw location data. It trains a NeuroSketch on the
+// median-visit-duration query function, saves it to disk, and a consumer
+// loads the file and answers queries with no access to the data.
+//
+// Build & run:  ./build/examples/spatial_popularity
+#include <cmath>
+#include <cstdio>
+
+#include "core/neurosketch.h"
+#include "data/datasets.h"
+#include "data/normalizer.h"
+#include "query/predicate.h"
+#include "util/stats.h"
+
+using namespace neurosketch;
+
+int main() {
+  // --- Data-owner side -----------------------------------------------
+  Dataset dataset = MakeVerasetLike(20000, 11);
+  Normalizer norm = Normalizer::Fit(dataset.table);
+  Table table = norm.Transform(dataset.table);
+  ExactEngine engine(&table);
+
+  // Query function: MEDIAN(duration) over rotated rectangles
+  // q = (corner p, opposite corner p', angle phi).
+  QueryFunctionSpec spec;
+  spec.predicate = RotatedRectPredicate::Make();
+  spec.agg = Aggregate::kMedian;
+  spec.measure_col = dataset.measure_col;
+
+  WorkloadConfig wc;
+  wc.range_frac_lo = 0.1;
+  wc.range_frac_hi = 0.4;
+  wc.min_matches = 5;
+  wc.seed = 12;
+  WorkloadGenerator gen(table.num_columns(), wc);
+  auto train_q = gen.GenerateRotatedRects(2000, &engine, &spec);
+  auto train_a = engine.AnswerBatch(spec, train_q, 4);
+
+  NeuroSketchConfig config;
+  config.train.epochs = 150;
+  auto sketch = NeuroSketch::Train(train_q, train_a, config);
+  if (!sketch.ok()) {
+    std::fprintf(stderr, "%s\n", sketch.status().ToString().c_str());
+    return 1;
+  }
+  const std::string artifact = "popularity_sketch.bin";
+  if (!sketch.value().Save(artifact).ok()) return 1;
+  std::printf("data owner: published %s (%.1f KB; raw data is %.1f MB)\n",
+              artifact.c_str(), sketch.value().SizeBytes() / 1024.0,
+              table.SizeBytes() / (1024.0 * 1024.0));
+
+  // --- Consumer side ---------------------------------------------------
+  auto consumer = NeuroSketch::Load(artifact);
+  if (!consumer.ok()) return 1;
+
+  // The consumer asks for median visit duration of a rotated rectangle
+  // around a downtown block (normalized coordinates).
+  const double phi = 0.35;
+  const double px = 0.42, py = 0.31, w = 0.2, h = 0.12;
+  QueryInstance block(std::vector<double>{
+      px, py, px + std::cos(phi) * w - std::sin(phi) * h,
+      py + std::sin(phi) * w + std::cos(phi) * h, phi});
+  const double approx = consumer.value().Answer(block);
+  const double exact = engine.Answer(spec, block);  // owner-side check
+  std::printf("consumer: median visit duration = %.3f h (exact %.3f h)\n",
+              approx, exact);
+
+  // Batch evaluation on held-out rectangles.
+  wc.seed = 13;
+  WorkloadGenerator tg(table.num_columns(), wc);
+  auto test_q = tg.GenerateRotatedRects(200, &engine, &spec);
+  auto truth = engine.AnswerBatch(spec, test_q, 4);
+  auto pred = consumer.value().AnswerBatch(test_q);
+  std::vector<double> t2, p2;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (std::isnan(truth[i])) continue;
+    t2.push_back(truth[i]);
+    p2.push_back(pred[i]);
+  }
+  std::printf("consumer: normalized MAE over 200 rectangles = %.4f\n",
+              stats::NormalizedMae(t2, p2));
+  std::remove(artifact.c_str());
+  return 0;
+}

@@ -1,0 +1,210 @@
+#include "baselines/dbest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/trainer.h"
+#include "query/predicate.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace neurosketch {
+
+namespace {
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+constexpr double kMinSigma = 1e-4;
+
+double NormalPdf(double x, double mu, double sigma) {
+  const double z = (x - mu) / sigma;
+  return kInvSqrt2Pi / sigma * std::exp(-0.5 * z * z);
+}
+
+double NormalCdf(double x, double mu, double sigma) {
+  return 0.5 * std::erfc(-(x - mu) / (sigma * std::sqrt(2.0)));
+}
+}  // namespace
+
+GaussianMixture1D GaussianMixture1D::Fit(const std::vector<double>& samples,
+                                         size_t k, size_t iterations,
+                                         uint64_t seed) {
+  GaussianMixture1D gmm;
+  const size_t n = samples.size();
+  if (n == 0 || k == 0) return gmm;
+  k = std::min(k, n);
+  Rng rng(seed);
+
+  // Init: means at random samples, uniform weights, global stddev.
+  const double global_sd = std::max(stats::Stddev(samples), kMinSigma);
+  gmm.weights_.assign(k, 1.0 / static_cast<double>(k));
+  gmm.means_.resize(k);
+  gmm.stddevs_.assign(k, global_sd);
+  for (size_t j = 0; j < k; ++j) gmm.means_[j] = samples[rng.Index(n)];
+
+  std::vector<double> resp(n * k);
+  for (size_t it = 0; it < iterations; ++it) {
+    // E-step.
+    for (size_t i = 0; i < n; ++i) {
+      double total = 0.0;
+      for (size_t j = 0; j < k; ++j) {
+        const double p = gmm.weights_[j] *
+                         NormalPdf(samples[i], gmm.means_[j], gmm.stddevs_[j]);
+        resp[i * k + j] = p;
+        total += p;
+      }
+      if (total <= 0.0) {
+        for (size_t j = 0; j < k; ++j) resp[i * k + j] = 1.0 / k;
+      } else {
+        for (size_t j = 0; j < k; ++j) resp[i * k + j] /= total;
+      }
+    }
+    // M-step.
+    for (size_t j = 0; j < k; ++j) {
+      double nj = 0.0, mu = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        nj += resp[i * k + j];
+        mu += resp[i * k + j] * samples[i];
+      }
+      if (nj <= 1e-12) {
+        // Dead component: re-seed at a random sample.
+        gmm.means_[j] = samples[rng.Index(n)];
+        gmm.stddevs_[j] = global_sd;
+        gmm.weights_[j] = 1e-6;
+        continue;
+      }
+      mu /= nj;
+      double var = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        var += resp[i * k + j] * (samples[i] - mu) * (samples[i] - mu);
+      }
+      var /= nj;
+      gmm.means_[j] = mu;
+      gmm.stddevs_[j] = std::max(std::sqrt(var), kMinSigma);
+      gmm.weights_[j] = nj / static_cast<double>(n);
+    }
+    // Renormalize weights (dead-component epsilon may skew them).
+    double wsum = 0.0;
+    for (double w : gmm.weights_) wsum += w;
+    for (double& w : gmm.weights_) w /= wsum;
+  }
+  return gmm;
+}
+
+double GaussianMixture1D::Pdf(double x) const {
+  double p = 0.0;
+  for (size_t j = 0; j < weights_.size(); ++j) {
+    p += weights_[j] * NormalPdf(x, means_[j], stddevs_[j]);
+  }
+  return p;
+}
+
+double GaussianMixture1D::Cdf(double x) const {
+  double p = 0.0;
+  for (size_t j = 0; j < weights_.size(); ++j) {
+    p += weights_[j] * NormalCdf(x, means_[j], stddevs_[j]);
+  }
+  return p;
+}
+
+Result<Dbest> Dbest::Build(const Table& table, size_t predicate_col,
+                           size_t measure_col, const DbestConfig& config) {
+  if (predicate_col >= table.num_columns() ||
+      measure_col >= table.num_columns()) {
+    return Status::OutOfRange("column id out of range");
+  }
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("empty table");
+  }
+  Dbest model;
+  model.predicate_col_ = predicate_col;
+  model.measure_col_ = measure_col;
+  model.data_rows_ = table.num_rows();
+  model.dim_ = table.num_columns();
+  model.integration_points_ = config.integration_points;
+
+  Rng rng(config.seed);
+  const size_t k = std::min(config.train_sample, table.num_rows());
+  std::vector<size_t> sample =
+      rng.SampleWithoutReplacement(table.num_rows(), k);
+  std::vector<double> xs;
+  xs.reserve(k);
+  Matrix inputs(k, 1), targets(k, 1);
+  for (size_t i = 0; i < k; ++i) {
+    const double x = table.column(predicate_col)[sample[i]];
+    xs.push_back(x);
+    inputs(i, 0) = x;
+    targets(i, 0) = table.column(measure_col)[sample[i]];
+  }
+
+  model.density_ = GaussianMixture1D::Fit(
+      xs, config.mixture_components, config.em_iterations, config.seed + 1);
+
+  nn::MlpConfig reg_cfg;
+  reg_cfg.in_dim = 1;
+  reg_cfg.out_dim = 1;
+  for (size_t l = 0; l < config.regressor_layers; ++l) {
+    reg_cfg.hidden.push_back(config.regressor_width);
+  }
+  model.regressor_ = nn::Mlp(reg_cfg, config.seed + 2);
+  nn::TrainConfig tc;
+  tc.epochs = config.regressor_epochs;
+  tc.seed = config.seed + 3;
+  nn::TrainRegressor(&model.regressor_, inputs, targets, tc);
+  return model;
+}
+
+Result<double> Dbest::AnswerRange(Aggregate agg, double c, double r) const {
+  if (!Supports(agg)) {
+    return Status::NotImplemented("dbest baseline does not support " +
+                                  AggregateName(agg));
+  }
+  const double lo = c, hi = c + r;
+  const double n = static_cast<double>(data_rows_);
+  const double mass = density_.MassIn(lo, hi);
+  if (agg == Aggregate::kCount) return n * mass;
+
+  // Simpson integration of p(x)·m̂(x) over [lo, hi].
+  const size_t steps = integration_points_ | 1;  // odd point count
+  const double h = (hi - lo) / static_cast<double>(steps - 1);
+  double acc = 0.0;
+  for (size_t i = 0; i < steps; ++i) {
+    const double x = lo + static_cast<double>(i) * h;
+    const double fx = density_.Pdf(x) * regressor_.PredictOne({x});
+    const double w = (i == 0 || i == steps - 1) ? 1.0 : (i % 2 == 1 ? 4.0 : 2.0);
+    acc += w * fx;
+  }
+  const double integral = acc * h / 3.0;
+  if (agg == Aggregate::kSum) return n * integral;
+  // AVG
+  if (mass <= 1e-12) return Status::OutOfRange("empty range under density");
+  return integral / mass;
+}
+
+Result<double> Dbest::Answer(const QueryFunctionSpec& spec,
+                             const QueryInstance& q) const {
+  if (spec.predicate->name() != "axis_range") {
+    return Status::NotImplemented(
+        "dbest baseline supports only axis-range predicates");
+  }
+  // Identify the single active attribute.
+  int active = -1;
+  for (size_t i = 0; i < dim_; ++i) {
+    const double c = q[i], r = q[dim_ + i];
+    if (c == 0.0 && r >= 1.0) continue;
+    if (active >= 0) {
+      return Status::NotImplemented(
+          "dbest does not support multiple active attributes");
+    }
+    active = static_cast<int>(i);
+  }
+  if (active < 0) {
+    // No restriction: the full-domain query.
+    return AnswerRange(spec.agg, 0.0, 1.0);
+  }
+  if (static_cast<size_t>(active) != predicate_col_) {
+    return Status::FailedPrecondition(
+        "query's active attribute differs from the model's predicate column");
+  }
+  return AnswerRange(spec.agg, q[active], q[dim_ + active]);
+}
+
+}  // namespace neurosketch

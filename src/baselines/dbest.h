@@ -1,0 +1,96 @@
+// DBEst-like model-based AQP baseline (paper baseline [24]). DBEst builds,
+// per (predicate column, measure column) pair, a mixture density network
+// for the predicate column and a regression model E[M | x]; range
+// aggregates are answered by numerical integration:
+//   COUNT(c, r) ≈ n ∫_c^{c+r} p(x) dx
+//   SUM(c, r)   ≈ n ∫_c^{c+r} p(x) m̂(x) dx
+//   AVG         = SUM / COUNT.
+// This implementation fits a 1-D Gaussian mixture by EM (the density) and
+// a small MLP (the regressor). Only a single active attribute is
+// supported — faithfully reproducing the paper's note that "DBEst does not
+// support multiple active attributes".
+#ifndef NEUROSKETCH_BASELINES_DBEST_H_
+#define NEUROSKETCH_BASELINES_DBEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+#include "nn/mlp.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace neurosketch {
+
+struct DbestConfig {
+  size_t mixture_components = 6;
+  size_t em_iterations = 40;
+  /// Rows sampled for model fitting (DBEst also trains on a sample).
+  size_t train_sample = 20000;
+  size_t regressor_epochs = 60;
+  size_t regressor_width = 32;
+  size_t regressor_layers = 2;
+  size_t integration_points = 256;
+  uint64_t seed = 11;
+};
+
+/// \brief 1-D Gaussian mixture fitted by EM; the "MDN" density half.
+class GaussianMixture1D {
+ public:
+  /// \brief Fit `k` components to the samples; degenerate inputs collapse
+  /// to fewer effective components.
+  static GaussianMixture1D Fit(const std::vector<double>& samples, size_t k,
+                               size_t iterations, uint64_t seed);
+
+  double Pdf(double x) const;
+  /// \brief CDF via the Gaussian error function.
+  double Cdf(double x) const;
+  double MassIn(double lo, double hi) const { return Cdf(hi) - Cdf(lo); }
+
+  size_t num_components() const { return weights_.size(); }
+  size_t SizeBytes() const { return 3 * weights_.size() * sizeof(double); }
+
+ private:
+  std::vector<double> weights_, means_, stddevs_;
+};
+
+/// \brief Per-query-function DBEst model.
+class Dbest {
+ public:
+  /// \brief Train on a normalized table for the given predicate column and
+  /// measure column.
+  static Result<Dbest> Build(const Table& table, size_t predicate_col,
+                             size_t measure_col, const DbestConfig& config);
+
+  static bool Supports(Aggregate agg) {
+    return agg == Aggregate::kCount || agg == Aggregate::kSum ||
+           agg == Aggregate::kAvg;
+  }
+
+  /// \brief Answer an axis-range query instance q = (c..., r...). The
+  /// query must have exactly one active attribute and it must equal the
+  /// model's predicate column.
+  Result<double> Answer(const QueryFunctionSpec& spec,
+                        const QueryInstance& q) const;
+
+  /// \brief Direct range API in the predicate column's normalized units.
+  Result<double> AnswerRange(Aggregate agg, double c, double r) const;
+
+  size_t predicate_col() const { return predicate_col_; }
+  size_t SizeBytes() const {
+    return density_.SizeBytes() + regressor_.SizeBytes();
+  }
+
+ private:
+  size_t predicate_col_ = 0;
+  size_t measure_col_ = 0;
+  size_t data_rows_ = 0;
+  size_t dim_ = 0;
+  size_t integration_points_ = 256;
+  GaussianMixture1D density_;
+  nn::Mlp regressor_;  // m̂(x): predicate value -> expected measure
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_BASELINES_DBEST_H_

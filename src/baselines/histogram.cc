@@ -1,0 +1,158 @@
+#include "baselines/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "query/predicate.h"
+
+namespace neurosketch {
+
+Result<GridHistogram> GridHistogram::Build(const Table& table,
+                                           size_t measure_col,
+                                           const GridHistogramConfig& config) {
+  if (measure_col >= table.num_columns()) {
+    return Status::OutOfRange("measure column out of range");
+  }
+  GridHistogram h;
+  h.measure_col_ = measure_col;
+  h.bins_ = std::max<size_t>(1, config.bins_per_dim);
+  h.data_dim_ = table.num_columns();
+  h.dims_ = config.dims;
+  if (h.dims_.empty()) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c != measure_col) h.dims_.push_back(c);
+    }
+  }
+  double cells = 1.0;
+  for (size_t i = 0; i < h.dims_.size(); ++i) {
+    cells *= static_cast<double>(h.bins_);
+    if (cells > 16e6) {
+      return Status::OutOfRange("histogram would exceed 16M cells");
+    }
+  }
+  const size_t total = static_cast<size_t>(cells);
+  h.counts_.assign(total, 0.0);
+  h.sums_.assign(total, 0.0);
+
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    size_t idx = 0;
+    for (size_t d : h.dims_) {
+      const double v = table.at(row, d);
+      size_t b = static_cast<size_t>(v * static_cast<double>(h.bins_));
+      if (b >= h.bins_) b = h.bins_ - 1;
+      idx = idx * h.bins_ + b;
+    }
+    h.counts_[idx] += 1.0;
+    h.sums_[idx] += table.at(row, measure_col);
+  }
+  return h;
+}
+
+double GridHistogram::CellOverlap(const std::vector<size_t>& cell_coord,
+                                  const std::vector<double>& lo,
+                                  const std::vector<double>& hi) const {
+  double frac = 1.0;
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    const double blo =
+        static_cast<double>(cell_coord[i]) / static_cast<double>(bins_);
+    const double bhi =
+        static_cast<double>(cell_coord[i] + 1) / static_cast<double>(bins_);
+    const double overlap =
+        std::max(0.0, std::min(bhi, hi[i]) - std::max(blo, lo[i]));
+    if (overlap <= 0.0) return 0.0;
+    frac *= overlap / (bhi - blo);
+  }
+  return frac;
+}
+
+Result<double> GridHistogram::Answer(const QueryFunctionSpec& spec,
+                                     const QueryInstance& q) const {
+  if (!Supports(spec.agg)) {
+    return Status::NotImplemented("histogram does not support " +
+                                  AggregateName(spec.agg));
+  }
+  if (spec.predicate == nullptr || spec.predicate->name() != "axis_range") {
+    return Status::NotImplemented(
+        "histogram supports only axis-range predicates");
+  }
+  if (spec.measure_col != measure_col_) {
+    return Status::FailedPrecondition("histogram built for another measure");
+  }
+  // Per-histogrammed-dimension bounds; reject constraints on attributes
+  // outside the grid.
+  std::vector<double> lo(dims_.size()), hi(dims_.size());
+  for (size_t i = 0; i < data_dim_; ++i) {
+    const double c = q[i], r = q[data_dim_ + i];
+    const bool active = !(c == 0.0 && r >= 1.0);
+    auto it = std::find(dims_.begin(), dims_.end(), i);
+    if (it == dims_.end()) {
+      if (active) {
+        return Status::NotImplemented(
+            "query constrains a non-histogrammed attribute");
+      }
+      continue;
+    }
+    const size_t pos = static_cast<size_t>(it - dims_.begin());
+    lo[pos] = c;
+    hi[pos] = std::min(c + r, 1.0 + 1e-12);
+  }
+
+  // Walk all cells intersecting the box (iterate bin ranges per dim).
+  std::vector<size_t> b_lo(dims_.size()), b_hi(dims_.size());
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    b_lo[i] = std::min<size_t>(
+        bins_ - 1, static_cast<size_t>(lo[i] * static_cast<double>(bins_)));
+    const double hval = hi[i] * static_cast<double>(bins_);
+    b_hi[i] = std::min<size_t>(bins_ - 1, static_cast<size_t>(
+                                              std::ceil(hval)) == 0
+                                              ? 0
+                                              : static_cast<size_t>(
+                                                    std::ceil(hval)) -
+                                                    1);
+    if (b_hi[i] < b_lo[i]) return spec.agg == Aggregate::kAvg
+                                      ? Result<double>(Status::OutOfRange(
+                                            "empty range"))
+                                      : Result<double>(0.0);
+  }
+
+  double count = 0.0, sum = 0.0;
+  std::vector<size_t> coord = b_lo;
+  bool done = dims_.empty();
+  while (!done) {
+    size_t idx = 0;
+    for (size_t i = 0; i < dims_.size(); ++i) idx = idx * bins_ + coord[i];
+    const double frac = CellOverlap(coord, lo, hi);
+    if (frac > 0.0) {
+      count += counts_[idx] * frac;
+      sum += sums_[idx] * frac;
+    }
+    // Advance the mixed-radix counter within [b_lo, b_hi].
+    size_t i = dims_.size();
+    for (;;) {
+      if (i == 0) {
+        done = true;
+        break;
+      }
+      --i;
+      if (coord[i] < b_hi[i]) {
+        ++coord[i];
+        break;
+      }
+      coord[i] = b_lo[i];
+    }
+  }
+
+  switch (spec.agg) {
+    case Aggregate::kCount:
+      return count;
+    case Aggregate::kSum:
+      return sum;
+    case Aggregate::kAvg:
+      if (count <= 0.0) return Status::OutOfRange("empty range");
+      return sum / count;
+    default:
+      return Status::NotImplemented("unreachable");
+  }
+}
+
+}  // namespace neurosketch

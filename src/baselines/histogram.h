@@ -1,0 +1,72 @@
+// Classical synopsis baseline: a multi-dimensional equi-width grid
+// histogram (the non-learned "model of the data" family the paper's
+// related work surveys [14]). Each cell stores a row count and the sum of
+// the measure column; COUNT/SUM/AVG are answered by accumulating cells
+// with partial-overlap interpolation (uniform-within-cell assumption).
+//
+// Included to situate NeuroSketch against the pre-ML state of the art:
+// histograms are fast but their size explodes with dimensionality, while
+// NeuroSketch's size is architecture-bound.
+#ifndef NEUROSKETCH_BASELINES_HISTOGRAM_H_
+#define NEUROSKETCH_BASELINES_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace neurosketch {
+
+struct GridHistogramConfig {
+  /// Bins per dimension over the histogrammed attributes. Total cells are
+  /// bins^|dims|, so keep |dims| small (<= 4 recommended).
+  size_t bins_per_dim = 16;
+  /// Attributes to histogram (the predicate columns); empty = all columns
+  /// except the measure.
+  std::vector<size_t> dims;
+};
+
+/// \brief Equi-width grid histogram over a normalized table.
+class GridHistogram {
+ public:
+  /// \brief Build for a measure column. Fails when the cell count would
+  /// exceed ~16M.
+  static Result<GridHistogram> Build(const Table& table, size_t measure_col,
+                                     const GridHistogramConfig& config);
+
+  static bool Supports(Aggregate agg) {
+    return agg == Aggregate::kCount || agg == Aggregate::kSum ||
+           agg == Aggregate::kAvg;
+  }
+
+  /// \brief Answer an axis-range query q = (c..., r...) over the full
+  /// attribute set; constraints on non-histogrammed attributes make the
+  /// query unanswerable (NotImplemented).
+  Result<double> Answer(const QueryFunctionSpec& spec,
+                        const QueryInstance& q) const;
+
+  size_t num_cells() const { return counts_.size(); }
+  size_t SizeBytes() const {
+    return counts_.size() * sizeof(double) * 2;
+  }
+
+ private:
+  /// Fractional overlap of cell index `cell` with [lo, hi) per dimension,
+  /// multiplied across dimensions.
+  double CellOverlap(const std::vector<size_t>& cell_coord,
+                     const std::vector<double>& lo,
+                     const std::vector<double>& hi) const;
+
+  std::vector<size_t> dims_;      // histogrammed attribute ids
+  size_t measure_col_ = 0;
+  size_t bins_ = 16;
+  size_t data_dim_ = 0;
+  std::vector<double> counts_;    // per-cell row count
+  std::vector<double> sums_;      // per-cell measure sum
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_BASELINES_HISTOGRAM_H_

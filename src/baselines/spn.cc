@@ -1,0 +1,339 @@
+#include "baselines/spn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "query/predicate.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace neurosketch {
+
+namespace {
+
+/// Connected components of the "correlated" graph over `cols`: an edge
+/// joins columns whose |Pearson correlation| on the given rows exceeds the
+/// threshold.
+std::vector<std::vector<size_t>> CorrelationComponents(
+    const Table& table, const std::vector<size_t>& rows,
+    const std::vector<size_t>& cols, double threshold) {
+  const size_t m = cols.size();
+  // Materialize column samples once.
+  std::vector<std::vector<double>> samples(m);
+  for (size_t i = 0; i < m; ++i) {
+    samples[i].reserve(rows.size());
+    for (size_t r : rows) samples[i].push_back(table.column(cols[i])[r]);
+  }
+  // Union-find over column indices.
+  std::vector<size_t> parent(m);
+  for (size_t i = 0; i < m; ++i) parent[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      const double corr =
+          std::fabs(stats::PearsonCorrelation(samples[i], samples[j]));
+      if (corr >= threshold) {
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+  std::vector<std::vector<size_t>> components;
+  std::vector<int> comp_of(m, -1);
+  for (size_t i = 0; i < m; ++i) {
+    const size_t root = find(i);
+    if (comp_of[root] < 0) {
+      comp_of[root] = static_cast<int>(components.size());
+      components.emplace_back();
+    }
+    components[comp_of[root]].push_back(cols[i]);
+  }
+  return components;
+}
+
+/// 2-means over the given rows restricted to `cols`. Returns cluster
+/// assignment; clusters may be empty on degenerate data.
+std::vector<int> TwoMeans(const Table& table, const std::vector<size_t>& rows,
+                          const std::vector<size_t>& cols, size_t iters,
+                          Rng* rng) {
+  const size_t n = rows.size();
+  const size_t m = cols.size();
+  std::vector<int> assign(n, 0);
+  if (n < 2) return assign;
+  // Initialize centroids from two distinct random rows.
+  std::vector<double> c0(m), c1(m);
+  const size_t i0 = rng->Index(n);
+  size_t i1 = rng->Index(n);
+  if (i1 == i0) i1 = (i0 + 1) % n;
+  for (size_t j = 0; j < m; ++j) {
+    c0[j] = table.column(cols[j])[rows[i0]];
+    c1[j] = table.column(cols[j])[rows[i1]];
+  }
+  for (size_t it = 0; it < iters; ++it) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      double d0 = 0.0, d1 = 0.0;
+      for (size_t j = 0; j < m; ++j) {
+        const double v = table.column(cols[j])[rows[i]];
+        d0 += (v - c0[j]) * (v - c0[j]);
+        d1 += (v - c1[j]) * (v - c1[j]);
+      }
+      const int a = d1 < d0 ? 1 : 0;
+      if (a != assign[i]) {
+        assign[i] = a;
+        changed = true;
+      }
+    }
+    // Recompute centroids.
+    std::vector<double> s0(m, 0.0), s1(m, 0.0);
+    size_t n0 = 0, n1 = 0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < m; ++j) {
+        const double v = table.column(cols[j])[rows[i]];
+        if (assign[i] == 0) {
+          s0[j] += v;
+        } else {
+          s1[j] += v;
+        }
+      }
+      (assign[i] == 0 ? n0 : n1)++;
+    }
+    if (n0 == 0 || n1 == 0) break;
+    for (size_t j = 0; j < m; ++j) {
+      c0[j] = s0[j] / static_cast<double>(n0);
+      c1[j] = s1[j] / static_cast<double>(n1);
+    }
+    if (!changed) break;
+  }
+  return assign;
+}
+
+}  // namespace
+
+Spn Spn::Build(const Table& table, const SpnConfig& config) {
+  Spn spn;
+  spn.data_rows_ = table.num_rows();
+  spn.dim_ = table.num_columns();
+  Rng rng(config.seed);
+  std::vector<size_t> rows(table.num_rows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  std::vector<size_t> cols(table.num_columns());
+  for (size_t i = 0; i < cols.size(); ++i) cols[i] = i;
+  spn.root_ =
+      spn.BuildRecursive(table, std::move(rows), std::move(cols), 0, &rng,
+                         config);
+  return spn;
+}
+
+int Spn::MakeLeaf(const Table& table, const std::vector<size_t>& rows,
+                  size_t column, size_t bins) {
+  Node leaf;
+  leaf.type = NodeType::kLeaf;
+  leaf.column = column;
+  leaf.probs.assign(bins, 0.0);
+  leaf.centers.assign(bins, 0.0);
+  std::vector<size_t> counts(bins, 0);
+  for (size_t r : rows) {
+    const double v = table.column(column)[r];
+    size_t b = static_cast<size_t>(v * static_cast<double>(bins));
+    if (b >= bins) b = bins - 1;
+    leaf.probs[b] += 1.0;
+    leaf.centers[b] += v;
+    ++counts[b];
+  }
+  const double n = static_cast<double>(rows.size());
+  for (size_t b = 0; b < bins; ++b) {
+    if (counts[b] > 0) leaf.centers[b] /= static_cast<double>(counts[b]);
+    else leaf.centers[b] = (static_cast<double>(b) + 0.5) / static_cast<double>(bins);
+    leaf.probs[b] = n > 0.0 ? leaf.probs[b] / n : 0.0;
+  }
+  nodes_.push_back(std::move(leaf));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Spn::MakeFactorized(const Table& table, const std::vector<size_t>& rows,
+                        const std::vector<size_t>& cols, size_t bins) {
+  if (cols.size() == 1) return MakeLeaf(table, rows, cols[0], bins);
+  Node prod;
+  prod.type = NodeType::kProduct;
+  for (size_t c : cols) prod.children.push_back(MakeLeaf(table, rows, c, bins));
+  nodes_.push_back(std::move(prod));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Spn::BuildRecursive(const Table& table, std::vector<size_t> rows,
+                        std::vector<size_t> cols, size_t depth, Rng* rng,
+                        const SpnConfig& config) {
+  if (cols.size() == 1) {
+    return MakeLeaf(table, rows, cols[0], config.histogram_bins);
+  }
+  if (rows.size() < config.min_rows || depth >= config.max_depth) {
+    return MakeFactorized(table, rows, cols, config.histogram_bins);
+  }
+
+  // Column split: independent groups become a product node.
+  auto components =
+      CorrelationComponents(table, rows, cols, config.rdc_threshold);
+  if (components.size() > 1) {
+    Node prod;
+    prod.type = NodeType::kProduct;
+    std::vector<int> children;
+    children.reserve(components.size());
+    for (auto& comp : components) {
+      children.push_back(
+          BuildRecursive(table, rows, std::move(comp), depth + 1, rng, config));
+    }
+    prod.children = std::move(children);
+    nodes_.push_back(std::move(prod));
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  // Row split: 2-means clustering becomes a sum node.
+  std::vector<int> assign =
+      TwoMeans(table, rows, cols, config.kmeans_iters, rng);
+  std::vector<size_t> rows0, rows1;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    (assign[i] == 0 ? rows0 : rows1).push_back(rows[i]);
+  }
+  if (rows0.empty() || rows1.empty()) {
+    return MakeFactorized(table, rows, cols, config.histogram_bins);
+  }
+  const double w0 =
+      static_cast<double>(rows0.size()) / static_cast<double>(rows.size());
+  Node sum;
+  sum.type = NodeType::kSum;
+  sum.weights = {w0, 1.0 - w0};
+  std::vector<int> children;
+  children.push_back(
+      BuildRecursive(table, std::move(rows0), cols, depth + 1, rng, config));
+  children.push_back(
+      BuildRecursive(table, std::move(rows1), cols, depth + 1, rng, config));
+  sum.children = std::move(children);
+  nodes_.push_back(std::move(sum));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+Spn::EvalResult Spn::Evaluate(int node_id, const std::vector<double>& lo,
+                              const std::vector<double>& hi,
+                              size_t measure_col) const {
+  const Node& node = nodes_[node_id];
+  switch (node.type) {
+    case NodeType::kLeaf: {
+      EvalResult res;
+      const size_t bins = node.probs.size();
+      const double lo_c = lo[node.column], hi_c = hi[node.column];
+      double p = 0.0, e = 0.0;
+      for (size_t b = 0; b < bins; ++b) {
+        // Fraction of bin [b/bins, (b+1)/bins) inside [lo_c, hi_c).
+        const double blo = static_cast<double>(b) / static_cast<double>(bins);
+        const double bhi =
+            static_cast<double>(b + 1) / static_cast<double>(bins);
+        const double overlap =
+            std::max(0.0, std::min(bhi, hi_c) - std::max(blo, lo_c));
+        if (overlap <= 0.0) continue;
+        const double frac = overlap / (bhi - blo);
+        p += node.probs[b] * frac;
+        e += node.probs[b] * frac * node.centers[b];
+      }
+      res.p = p;
+      if (node.column == measure_col) {
+        res.e = e;
+        res.has_e = true;
+      }
+      return res;
+    }
+    case NodeType::kProduct: {
+      // e = E[M·1] of the measure-scoped child times P(range) of the rest.
+      EvalResult res;
+      res.p = 1.0;
+      double measure_e = 0.0, others_p = 1.0;
+      for (int child : node.children) {
+        EvalResult cr = Evaluate(child, lo, hi, measure_col);
+        res.p *= cr.p;
+        if (cr.has_e) {
+          measure_e = cr.e;
+          res.has_e = true;
+        } else {
+          others_p *= cr.p;
+        }
+      }
+      if (res.has_e) res.e = measure_e * others_p;
+      return res;
+    }
+    case NodeType::kSum: {
+      EvalResult res;
+      res.p = 0.0;
+      res.e = 0.0;
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        EvalResult cr = Evaluate(node.children[i], lo, hi, measure_col);
+        res.p += node.weights[i] * cr.p;
+        if (cr.has_e) {
+          res.e += node.weights[i] * cr.e;
+          res.has_e = true;
+        }
+      }
+      return res;
+    }
+  }
+  return {};
+}
+
+double Spn::RangeProbability(const std::vector<double>& lo,
+                             const std::vector<double>& hi) const {
+  if (root_ < 0) return 0.0;
+  // Use a sentinel measure column outside the scope so only p is computed.
+  return Evaluate(root_, lo, hi, dim_).p;
+}
+
+Result<double> Spn::Answer(const QueryFunctionSpec& spec,
+                           const QueryInstance& q) const {
+  if (!Supports(spec.agg)) {
+    return Status::NotImplemented("spn baseline does not support " +
+                                  AggregateName(spec.agg));
+  }
+  if (spec.predicate->name() != "axis_range") {
+    return Status::NotImplemented(
+        "spn baseline supports only axis-range predicates");
+  }
+  if (root_ < 0) return Status::FailedPrecondition("empty SPN");
+  std::vector<double> lo(dim_), hi(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    lo[i] = q[i];
+    hi[i] = q[i] + q[dim_ + i];
+    // Full-range attributes include the closed upper boundary.
+    if (lo[i] == 0.0 && hi[i] >= 1.0) hi[i] = 1.0 + 1e-12;
+  }
+  EvalResult res = Evaluate(root_, lo, hi, spec.measure_col);
+  const double n = static_cast<double>(data_rows_);
+  switch (spec.agg) {
+    case Aggregate::kCount:
+      return n * res.p;
+    case Aggregate::kSum:
+      return n * res.e;
+    case Aggregate::kAvg:
+      if (res.p <= 0.0) return Status::OutOfRange("empty range under SPN");
+      return res.e / res.p;
+    default:
+      return Status::NotImplemented("unreachable");
+  }
+}
+
+size_t Spn::SizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& node : nodes_) {
+    bytes += sizeof(Node);
+    bytes += node.children.size() * sizeof(int);
+    bytes += (node.weights.size() + node.probs.size() + node.centers.size()) *
+             sizeof(double);
+  }
+  return bytes;
+}
+
+}  // namespace neurosketch

@@ -1,0 +1,96 @@
+// DeepDB-like sum-product network (SPN) learned from data (paper baseline
+// [16]). Structure learning mirrors DeepDB: rows are split by clustering
+// (sum nodes), columns are split into (approximately) independent groups
+// using a correlation threshold — the analogue of DeepDB's RDC threshold,
+// swept in Fig. 10 — and leaves are per-column histograms. Inference
+// answers COUNT/SUM/AVG over axis-aligned range predicates exactly under
+// the learned density.
+#ifndef NEUROSKETCH_BASELINES_SPN_H_
+#define NEUROSKETCH_BASELINES_SPN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/table.h"
+#include "query/query.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace neurosketch {
+
+struct SpnConfig {
+  /// Stop row-splitting below this many rows; node is fully factorized.
+  size_t min_rows = 256;
+  /// Columns with |corr| below this are treated as independent (the
+  /// DeepDB "RDC threshold" knob).
+  double rdc_threshold = 0.3;
+  size_t histogram_bins = 64;
+  size_t max_depth = 12;
+  size_t kmeans_iters = 12;
+  uint64_t seed = 5;
+};
+
+/// \brief Learned SPN over a normalized table.
+class Spn {
+ public:
+  static Spn Build(const Table& table, const SpnConfig& config);
+
+  static bool Supports(Aggregate agg) {
+    return agg == Aggregate::kCount || agg == Aggregate::kSum ||
+           agg == Aggregate::kAvg;
+  }
+
+  /// \brief Answer an axis-range RAQ. q = (c..., r...). NotImplemented for
+  /// non-axis predicates or unsupported aggregates (matching the paper's
+  /// Table 2 observation that DeepDB cannot run the rotated-rectangle
+  /// query).
+  Result<double> Answer(const QueryFunctionSpec& spec,
+                        const QueryInstance& q) const;
+
+  /// \brief Learned-density probability of the range.
+  double RangeProbability(const std::vector<double>& lo,
+                          const std::vector<double>& hi) const;
+
+  size_t SizeBytes() const;
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  enum class NodeType { kSum, kProduct, kLeaf };
+
+  struct Node {
+    NodeType type = NodeType::kLeaf;
+    // Sum: children + mixture weights. Product: children.
+    std::vector<int> children;
+    std::vector<double> weights;
+    // Leaf: a histogram over a single column.
+    size_t column = 0;
+    std::vector<double> probs;    // bin probabilities (sum to 1)
+    std::vector<double> centers;  // per-bin mean of the column values
+  };
+
+  struct EvalResult {
+    double p = 1.0;       // P(range)
+    double e = 0.0;       // E[measure * 1(range)]
+    bool has_e = false;   // whether the subtree scopes the measure column
+  };
+
+  int BuildRecursive(const Table& table, std::vector<size_t> rows,
+                     std::vector<size_t> cols, size_t depth, Rng* rng,
+                     const SpnConfig& config);
+  int MakeLeaf(const Table& table, const std::vector<size_t>& rows,
+               size_t column, size_t bins);
+  int MakeFactorized(const Table& table, const std::vector<size_t>& rows,
+                     const std::vector<size_t>& cols, size_t bins);
+  EvalResult Evaluate(int node_id, const std::vector<double>& lo,
+                      const std::vector<double>& hi, size_t measure_col) const;
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  size_t data_rows_ = 0;
+  size_t dim_ = 0;
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_BASELINES_SPN_H_

@@ -1,0 +1,41 @@
+#include "baselines/tree_agg.h"
+
+#include "query/aggregate.h"
+#include "util/random.h"
+
+namespace neurosketch {
+
+TreeAgg TreeAgg::Build(const Table& table, const TreeAggConfig& config) {
+  TreeAgg out;
+  out.data_rows_ = table.num_rows();
+  out.dim_ = table.num_columns();
+  Rng rng(config.seed);
+  const size_t k = std::min(config.sample_size, table.num_rows());
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(table.num_rows(), k);
+  std::vector<std::vector<double>> points;
+  points.reserve(k);
+  for (size_t id : sample) points.push_back(table.Row(id));
+  out.rtree_ = RTree::BulkLoad(std::move(points), config.leaf_capacity);
+  return out;
+}
+
+double TreeAgg::Answer(const QueryFunctionSpec& spec,
+                       const QueryInstance& q) const {
+  std::vector<double> lo, hi;
+  spec.predicate->QueryBox(q, dim_, &lo, &hi);
+  AggregateAccumulator acc(spec.agg);
+  rtree_.ForEachInBox(lo, hi, [&](size_t, const double* row) {
+    if (spec.predicate->Matches(q, row, dim_)) acc.Add(row[spec.measure_col]);
+  });
+  double answer = acc.Finalize();
+  // COUNT/SUM estimate the population total; scale by the inverse sampling
+  // fraction. AVG/STD/MEDIAN/MIN/MAX are scale-free.
+  if (spec.agg == Aggregate::kCount || spec.agg == Aggregate::kSum) {
+    const double frac = static_cast<double>(rtree_.num_points()) /
+                        static_cast<double>(data_rows_);
+    if (frac > 0.0) answer /= frac;
+  }
+  return answer;
+}
+
+}  // namespace neurosketch

@@ -1,0 +1,48 @@
+// TREE-AGG baseline (paper Sec. 5.1): uniform sample of k data points plus
+// an R-tree on the samples. At query time, candidates are pruned by the
+// predicate's bounding box and tested exactly; matched measure values feed
+// the aggregate. COUNT/SUM answers are scaled by n/k.
+#ifndef NEUROSKETCH_BASELINES_TREE_AGG_H_
+#define NEUROSKETCH_BASELINES_TREE_AGG_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+#include "index/rtree.h"
+#include "query/predicate.h"
+#include "query/query.h"
+
+namespace neurosketch {
+
+struct TreeAggConfig {
+  /// Number of sampled rows; values >= table rows mean "exact" (full data
+  /// indexed), the 100% setting of Fig. 10.
+  size_t sample_size = 10000;
+  size_t leaf_capacity = 32;
+  uint64_t seed = 99;
+};
+
+/// \brief Sampling + R-tree approximate query evaluator.
+class TreeAgg {
+ public:
+  /// \brief Build over a normalized table (all attributes in [0,1]).
+  static TreeAgg Build(const Table& table, const TreeAggConfig& config);
+
+  /// \brief Approximate answer; supports every aggregate and any predicate
+  /// exposing a bounding box. NaN when no sample matches an AVG-like
+  /// aggregate.
+  double Answer(const QueryFunctionSpec& spec, const QueryInstance& q) const;
+
+  size_t SizeBytes() const { return rtree_.SizeBytes(); }
+  size_t sample_size() const { return rtree_.num_points(); }
+
+ private:
+  RTree rtree_;
+  std::vector<double> measures_;  // aligned with rtree point ids: all columns
+  size_t data_rows_ = 0;
+  size_t dim_ = 0;
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_BASELINES_TREE_AGG_H_

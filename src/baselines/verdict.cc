@@ -1,0 +1,41 @@
+#include "baselines/verdict.h"
+
+#include "query/aggregate.h"
+#include "util/random.h"
+
+namespace neurosketch {
+
+Verdict Verdict::Build(const Table& table, const VerdictConfig& config) {
+  Verdict out;
+  out.data_rows_ = table.num_rows();
+  out.dim_ = table.num_columns();
+  Rng rng(config.seed);
+  const size_t k = std::min(config.sample_size, table.num_rows());
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(table.num_rows(), k);
+  out.scramble_.reserve(k);
+  for (size_t id : sample) out.scramble_.push_back(table.Row(id));
+  return out;
+}
+
+Result<double> Verdict::Answer(const QueryFunctionSpec& spec,
+                               const QueryInstance& q) const {
+  if (!Supports(spec.agg)) {
+    return Status::NotImplemented("verdict baseline does not support " +
+                                  AggregateName(spec.agg));
+  }
+  AggregateAccumulator acc(spec.agg);
+  for (const auto& row : scramble_) {
+    if (spec.predicate->Matches(q, row.data(), dim_)) {
+      acc.Add(row[spec.measure_col]);
+    }
+  }
+  double answer = acc.Finalize();
+  if (spec.agg == Aggregate::kCount || spec.agg == Aggregate::kSum) {
+    const double frac = static_cast<double>(scramble_.size()) /
+                        static_cast<double>(data_rows_);
+    if (frac > 0.0) answer /= frac;
+  }
+  return answer;
+}
+
+}  // namespace neurosketch

@@ -1,0 +1,63 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace neurosketch {
+
+double Advisor::EstimateNormalizedAqc(
+    const std::vector<QueryInstance>& queries,
+    const std::vector<double>& answers, const AqcOptions& options) {
+  // Scale answers to [0,1] (Table 4: "AQC of the functions after they are
+  // scaled to [0,1]").
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double a : answers) {
+    if (std::isnan(a)) continue;
+    lo = std::min(lo, a);
+    hi = std::max(hi, a);
+  }
+  if (!(hi > lo)) return 0.0;
+  std::vector<double> scaled(answers.size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    scaled[i] = std::isnan(answers[i])
+                    ? answers[i]
+                    : (answers[i] - lo) / (hi - lo);
+  }
+  return ComputeAqcAll(queries, scaled, options);
+}
+
+bool Advisor::ShouldUseSketch(const QueryInstance& q, size_t data_dim) const {
+  // Axis-range encoding: q = (c..., r...).
+  if (q.dim() != 2 * data_dim) return true;  // general predicate: no rule
+  for (size_t i = 0; i < data_dim; ++i) {
+    const double c = q[i], r = q[data_dim + i];
+    if (c == 0.0 && r >= 1.0) continue;  // inactive
+    if (r < config_.min_range_frac) return false;
+  }
+  return true;
+}
+
+HybridExecutor::HybridExecutor(const NeuroSketch* sketch,
+                               const ExactEngine* engine,
+                               QueryFunctionSpec spec, Advisor advisor)
+    : sketch_(sketch),
+      engine_(engine),
+      spec_(std::move(spec)),
+      advisor_(advisor),
+      data_dim_(engine->table().num_columns()) {}
+
+HybridExecutor::Answer HybridExecutor::Execute(const QueryInstance& q) const {
+  Answer out;
+  if (sketch_ != nullptr && advisor_.ShouldUseSketch(q, data_dim_)) {
+    out.value = sketch_->Answer(q);
+    out.used_sketch = true;
+    if (!std::isnan(out.value)) return out;
+  }
+  out.value = engine_->Answer(spec_, q);
+  out.used_sketch = false;
+  return out;
+}
+
+}  // namespace neurosketch

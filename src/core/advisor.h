@@ -1,0 +1,81 @@
+// DQD advisor (paper Sec. 4.3, "NeuroSketch and DQD in Practice"): the
+// query-optimizer hook that decides (a) during maintenance, whether a
+// query function is easy enough (small AQC) to build a NeuroSketch for,
+// and (b) on the fly, whether a specific query instance should go to the
+// sketch (large ranges) or fall back to the exact engine (small ranges,
+// where sampling error dominates — Lemma 3.6).
+#ifndef NEUROSKETCH_CORE_ADVISOR_H_
+#define NEUROSKETCH_CORE_ADVISOR_H_
+
+#include <vector>
+
+#include "core/aqc.h"
+#include "core/neurosketch.h"
+#include "query/engine.h"
+#include "query/query.h"
+
+namespace neurosketch {
+
+struct AdvisorConfig {
+  /// Build a sketch only when the (normalized) AQC of the query function
+  /// is below this; larger AQC means the function is too hard to
+  /// approximate (Sec. 5.5: "the query optimizer may build NeuroSketches
+  /// for query functions with smaller AQC").
+  double max_buildable_aqc = 5.0;
+  /// Route a query to the sketch only when every active range width is at
+  /// least this fraction of the domain (Fig. 7: error grows for ranges
+  /// below ~3%).
+  double min_range_frac = 0.03;
+};
+
+/// \brief Decision helper for integrating NeuroSketch into a query engine.
+class Advisor {
+ public:
+  explicit Advisor(AdvisorConfig config = {}) : config_(config) {}
+
+  /// \brief Normalized AQC of a query function from a sampled training
+  /// set: AQC of answers scaled to [0,1] so the threshold is comparable
+  /// across functions (Table 4's "Norm. AQC").
+  static double EstimateNormalizedAqc(const std::vector<QueryInstance>& queries,
+                                      const std::vector<double>& answers,
+                                      const AqcOptions& options = {});
+
+  /// \brief Maintenance-time decision.
+  bool ShouldBuild(double normalized_aqc) const {
+    return normalized_aqc <= config_.max_buildable_aqc;
+  }
+
+  /// \brief Query-time decision for axis-range queries: true when all
+  /// active ranges are wide enough for the sketch's error regime.
+  bool ShouldUseSketch(const QueryInstance& q, size_t data_dim) const;
+
+  const AdvisorConfig& config() const { return config_; }
+
+ private:
+  AdvisorConfig config_;
+};
+
+/// \brief Hybrid executor: a NeuroSketch with an exact-engine fallback,
+/// dispatched per query by the advisor.
+class HybridExecutor {
+ public:
+  HybridExecutor(const NeuroSketch* sketch, const ExactEngine* engine,
+                 QueryFunctionSpec spec, Advisor advisor);
+
+  struct Answer {
+    double value = 0.0;
+    bool used_sketch = false;
+  };
+  Answer Execute(const QueryInstance& q) const;
+
+ private:
+  const NeuroSketch* sketch_;
+  const ExactEngine* engine_;
+  QueryFunctionSpec spec_;
+  Advisor advisor_;
+  size_t data_dim_;
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_CORE_ADVISOR_H_

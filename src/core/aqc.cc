@@ -1,0 +1,60 @@
+#include "core/aqc.h"
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace neurosketch {
+
+namespace {
+double L1Distance(const QueryInstance& a, const QueryInstance& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.q.size(); ++i) acc += std::fabs(a.q[i] - b.q[i]);
+  return acc;
+}
+}  // namespace
+
+double ComputeAqc(const std::vector<QueryInstance>& queries,
+                  const std::vector<double>& answers,
+                  const std::vector<size_t>& ids, const AqcOptions& options) {
+  const size_t m = ids.size();
+  if (m < 2) return 0.0;
+  double acc = 0.0;
+  size_t used = 0;
+
+  auto add_pair = [&](size_t i, size_t j) {
+    const double fi = answers[ids[i]];
+    const double fj = answers[ids[j]];
+    if (std::isnan(fi) || std::isnan(fj)) return;
+    const double dist = L1Distance(queries[ids[i]], queries[ids[j]]);
+    if (dist <= 0.0) return;
+    acc += std::fabs(fi - fj) / dist;
+    ++used;
+  };
+
+  const size_t all_pairs = m * (m - 1) / 2;
+  if (all_pairs <= options.max_pairs) {
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i + 1; j < m; ++j) add_pair(i, j);
+    }
+  } else {
+    Rng rng(options.seed);
+    for (size_t s = 0; s < options.max_pairs; ++s) {
+      const size_t i = rng.Index(m);
+      size_t j = rng.Index(m);
+      if (j == i) j = (j + 1) % m;
+      add_pair(i, j);
+    }
+  }
+  return used > 0 ? acc / static_cast<double>(used) : 0.0;
+}
+
+double ComputeAqcAll(const std::vector<QueryInstance>& queries,
+                     const std::vector<double>& answers,
+                     const AqcOptions& options) {
+  std::vector<size_t> ids(queries.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  return ComputeAqc(queries, answers, ids, options);
+}
+
+}  // namespace neurosketch

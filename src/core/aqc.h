@@ -1,0 +1,38 @@
+// Average Query function Change (AQC), the practical proxy for the LDQ
+// complexity measure (paper Sec. 3.1.4):
+//   AQC = (1 / C(|Q|,2)) Σ_{q,q'∈Q} |f(q) - f(q')| / ||q - q'||_1.
+// Used by the merge step (Alg. 3) and by the DQD advisor. The norm is the
+// 1-norm, matching the paper's Lipschitz definition. Pair enumeration is
+// capped by sampling for large query sets.
+#ifndef NEUROSKETCH_CORE_AQC_H_
+#define NEUROSKETCH_CORE_AQC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+
+namespace neurosketch {
+
+struct AqcOptions {
+  /// All pairs are used when C(|Q|,2) <= max_pairs; otherwise max_pairs
+  /// random pairs are sampled.
+  size_t max_pairs = 20000;
+  uint64_t seed = 3;
+};
+
+/// \brief AQC over the queries selected by `ids` (indices into `queries`
+/// and `answers`). Pairs with NaN answers or zero distance are skipped.
+/// Returns 0 when fewer than 2 usable queries exist.
+double ComputeAqc(const std::vector<QueryInstance>& queries,
+                  const std::vector<double>& answers,
+                  const std::vector<size_t>& ids, const AqcOptions& options);
+
+/// \brief AQC over the whole query set.
+double ComputeAqcAll(const std::vector<QueryInstance>& queries,
+                     const std::vector<double>& answers,
+                     const AqcOptions& options);
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_CORE_AQC_H_

@@ -1,0 +1,78 @@
+#include "core/catalog.h"
+
+#include <cmath>
+
+#include "query/predicate.h"
+
+namespace neurosketch {
+
+QueryFunctionKey QueryFunctionKey::From(const QueryFunctionSpec& spec) {
+  QueryFunctionKey key;
+  key.predicate_name = spec.predicate ? spec.predicate->name() : "";
+  key.agg = spec.agg;
+  key.measure_col = spec.measure_col;
+  return key;
+}
+
+Result<CatalogEntryInfo> SketchCatalog::Register(
+    const QueryFunctionSpec& spec, WorkloadGenerator* workload,
+    size_t num_train) {
+  if (spec.predicate == nullptr) {
+    return Status::InvalidArgument("spec has no predicate");
+  }
+  const QueryFunctionKey key = QueryFunctionKey::From(spec);
+  CatalogEntryInfo info;
+  info.key = key;
+
+  std::vector<QueryInstance> queries =
+      workload->GenerateMany(num_train, engine_, &spec);
+  std::vector<double> answers = engine_->AnswerBatch(spec, queries);
+  info.normalized_aqc = Advisor::EstimateNormalizedAqc(queries, answers);
+
+  if (!advisor_.ShouldBuild(info.normalized_aqc)) {
+    info.built = false;
+    info_[key] = info;
+    return info;
+  }
+  NS_ASSIGN_OR_RETURN(NeuroSketch sketch,
+                      NeuroSketch::Train(queries, answers, config_));
+  info.built = true;
+  info.size_bytes = sketch.SizeBytes();
+  sketches_.insert_or_assign(key, std::move(sketch));
+  info_[key] = info;
+  return info;
+}
+
+bool SketchCatalog::Has(const QueryFunctionSpec& spec) const {
+  return sketches_.count(QueryFunctionKey::From(spec)) > 0;
+}
+
+HybridExecutor::Answer SketchCatalog::Execute(const QueryFunctionSpec& spec,
+                                              const QueryInstance& q) const {
+  HybridExecutor::Answer out;
+  auto it = sketches_.find(QueryFunctionKey::From(spec));
+  const size_t data_dim = engine_->table().num_columns();
+  if (it != sketches_.end() && advisor_.ShouldUseSketch(q, data_dim)) {
+    out.value = it->second.Answer(q);
+    out.used_sketch = true;
+    if (!std::isnan(out.value)) return out;
+  }
+  out.value = engine_->Answer(spec, q);
+  out.used_sketch = false;
+  return out;
+}
+
+std::vector<CatalogEntryInfo> SketchCatalog::Entries() const {
+  std::vector<CatalogEntryInfo> out;
+  out.reserve(info_.size());
+  for (const auto& [key, info] : info_) out.push_back(info);
+  return out;
+}
+
+size_t SketchCatalog::TotalSizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, sketch] : sketches_) bytes += sketch.SizeBytes();
+  return bytes;
+}
+
+}  // namespace neurosketch

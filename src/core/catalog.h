@@ -1,0 +1,83 @@
+// SketchCatalog: the database-maintenance view of NeuroSketch (Sec. 4.3).
+// A query processing engine registers the query functions it sees, the
+// catalog decides which to build sketches for (AQC-gated, via Advisor),
+// trains and stores them keyed by query-function identity, and dispatches
+// incoming queries to a sketch or the exact engine.
+#ifndef NEUROSKETCH_CORE_CATALOG_H_
+#define NEUROSKETCH_CORE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/advisor.h"
+#include "core/neurosketch.h"
+#include "query/engine.h"
+#include "query/workload.h"
+
+namespace neurosketch {
+
+/// \brief Identity of a query function for catalog lookup: aggregation +
+/// measure column + predicate family name.
+struct QueryFunctionKey {
+  std::string predicate_name;
+  Aggregate agg;
+  size_t measure_col;
+
+  bool operator<(const QueryFunctionKey& other) const {
+    return std::tie(predicate_name, agg, measure_col) <
+           std::tie(other.predicate_name, other.agg, other.measure_col);
+  }
+  static QueryFunctionKey From(const QueryFunctionSpec& spec);
+};
+
+/// \brief Outcome of a maintenance pass for one query function.
+struct CatalogEntryInfo {
+  QueryFunctionKey key;
+  double normalized_aqc = 0.0;
+  bool built = false;
+  size_t size_bytes = 0;
+};
+
+/// \brief Manages per-query-function sketches over one table.
+class SketchCatalog {
+ public:
+  /// \brief The engine (and its table) must outlive the catalog.
+  SketchCatalog(const ExactEngine* engine, Advisor advisor,
+                NeuroSketchConfig config)
+      : engine_(engine), advisor_(advisor), config_(std::move(config)) {}
+
+  /// \brief Maintenance: estimate the query function's AQC from a sampled
+  /// workload; build and register a sketch when the advisor approves.
+  /// Returns what happened either way.
+  Result<CatalogEntryInfo> Register(const QueryFunctionSpec& spec,
+                                    WorkloadGenerator* workload,
+                                    size_t num_train);
+
+  /// \brief True when a sketch exists for this query function.
+  bool Has(const QueryFunctionSpec& spec) const;
+
+  /// \brief Query dispatch: the sketch when present AND the advisor's
+  /// per-instance rule passes; otherwise the exact engine.
+  HybridExecutor::Answer Execute(const QueryFunctionSpec& spec,
+                                 const QueryInstance& q) const;
+
+  /// \brief Registered entries (built or rejected), for inspection.
+  std::vector<CatalogEntryInfo> Entries() const;
+
+  size_t num_sketches() const { return sketches_.size(); }
+  size_t TotalSizeBytes() const;
+
+ private:
+  const ExactEngine* engine_;
+  Advisor advisor_;
+  NeuroSketchConfig config_;
+  std::map<QueryFunctionKey, NeuroSketch> sketches_;
+  std::map<QueryFunctionKey, CatalogEntryInfo> info_;
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_CORE_CATALOG_H_

@@ -1,0 +1,34 @@
+#include "core/drift.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace neurosketch {
+
+DriftMonitor::DriftMonitor(QueryFunctionSpec spec,
+                           std::vector<QueryInstance> probes,
+                           DriftPolicy policy)
+    : spec_(std::move(spec)), probes_(std::move(probes)), policy_(policy) {}
+
+DriftReport DriftMonitor::Check(const NeuroSketch& sketch,
+                                const ExactEngine& engine) const {
+  DriftReport report;
+  std::vector<double> truth, pred;
+  for (const auto& q : probes_) {
+    const double exact = engine.Answer(spec_, q);
+    if (std::isnan(exact)) continue;
+    const double approx = sketch.Answer(q);
+    if (std::isnan(approx)) continue;
+    truth.push_back(exact);
+    pred.push_back(approx);
+  }
+  report.probes_used = truth.size();
+  report.normalized_mae = stats::NormalizedMae(truth, pred);
+  report.retrain_recommended =
+      report.probes_used >= policy_.min_probes &&
+      report.normalized_mae > policy_.max_normalized_mae;
+  return report;
+}
+
+}  // namespace neurosketch

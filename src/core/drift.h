@@ -1,0 +1,52 @@
+// Dynamic-data support — the paper's Sec. 7 sketch: "frequently test
+// NeuroSketch, and re-train the neural networks whose accuracy fall below
+// a certain threshold." DriftMonitor holds a probe query set, periodically
+// re-answers it against the (possibly updated) database, and reports the
+// sketch's current normalized error; RetrainPolicy turns that into a
+// build/keep decision.
+#ifndef NEUROSKETCH_CORE_DRIFT_H_
+#define NEUROSKETCH_CORE_DRIFT_H_
+
+#include <vector>
+
+#include "core/neurosketch.h"
+#include "query/engine.h"
+#include "query/query.h"
+
+namespace neurosketch {
+
+struct DriftReport {
+  double normalized_mae = 0.0;
+  size_t probes_used = 0;
+  bool retrain_recommended = false;
+};
+
+struct DriftPolicy {
+  /// Recommend retraining when the probe error exceeds this.
+  double max_normalized_mae = 0.1;
+  /// Minimum probes with defined answers for a meaningful report.
+  size_t min_probes = 10;
+};
+
+/// \brief Accuracy watchdog for a deployed sketch.
+class DriftMonitor {
+ public:
+  DriftMonitor(QueryFunctionSpec spec, std::vector<QueryInstance> probes,
+               DriftPolicy policy = {});
+
+  /// \brief Re-answer the probes on `engine` (reflecting current data) and
+  /// compare with the sketch. The engine scan is the "frequent test" cost.
+  DriftReport Check(const NeuroSketch& sketch, const ExactEngine& engine) const;
+
+  const std::vector<QueryInstance>& probes() const { return probes_; }
+  const DriftPolicy& policy() const { return policy_; }
+
+ private:
+  QueryFunctionSpec spec_;
+  std::vector<QueryInstance> probes_;
+  DriftPolicy policy_;
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_CORE_DRIFT_H_

@@ -1,0 +1,223 @@
+#include "core/neurosketch.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "nn/serialize.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace neurosketch {
+
+Result<NeuroSketch> NeuroSketch::Train(
+    const std::vector<QueryInstance>& queries,
+    const std::vector<double>& answers, const NeuroSketchConfig& config) {
+  if (queries.size() != answers.size()) {
+    return Status::InvalidArgument("queries/answers size mismatch");
+  }
+  // Drop undefined answers (e.g. AVG over an empty range).
+  std::vector<QueryInstance> q_ok;
+  std::vector<double> a_ok;
+  q_ok.reserve(queries.size());
+  a_ok.reserve(answers.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (std::isnan(answers[i])) continue;
+    q_ok.push_back(queries[i]);
+    a_ok.push_back(answers[i]);
+  }
+  if (q_ok.size() < 2) {
+    return Status::InvalidArgument("need at least 2 defined training answers");
+  }
+  const size_t qdim = q_ok[0].dim();
+  for (const auto& q : q_ok) {
+    if (q.dim() != qdim) {
+      return Status::InvalidArgument("inconsistent query dimensionality");
+    }
+  }
+
+  NeuroSketch sketch;
+  sketch.stats_.training_queries = q_ok.size();
+
+  Timer part_timer;
+  PartitionConfig pc;
+  pc.tree_height = config.tree_height;
+  pc.target_leaves = config.target_partitions;
+  pc.aqc = config.aqc;
+  PartitionResult partition = PartitionQuerySpace(q_ok, a_ok, pc);
+  sketch.tree_ = std::move(partition.tree);
+  sketch.stats_.leaf_aqc = std::move(partition.leaf_aqc);
+  sketch.stats_.partition_seconds = part_timer.ElapsedSeconds();
+
+  Timer train_timer;
+  auto leaves = sketch.tree_.Leaves();
+  sketch.stats_.num_partitions = leaves.size();
+  sketch.models_.resize(leaves.size());
+  sketch.target_mean_.assign(leaves.size(), 0.0);
+  sketch.target_scale_.assign(leaves.size(), 1.0);
+
+  for (auto* leaf : leaves) {
+    const int id = leaf->leaf_id;
+    const auto& ids = leaf->query_ids;
+    if (ids.empty()) {
+      // No training data routed here; keep a fresh model predicting ~0.
+      sketch.models_[id] =
+          nn::Mlp(nn::MlpConfig::Paper(qdim, config.n_layers, config.l_first,
+                                       config.l_rest),
+                  config.seed + id);
+      continue;
+    }
+    // Per-leaf target standardization keeps the MSE well-scaled across
+    // query functions with very different answer magnitudes.
+    std::vector<double> targets;
+    targets.reserve(ids.size());
+    for (size_t i : ids) targets.push_back(a_ok[i]);
+    const double mean = stats::Mean(targets);
+    double scale = stats::Stddev(targets);
+    if (scale <= 1e-12) scale = 1.0;
+    sketch.target_mean_[id] = mean;
+    sketch.target_scale_[id] = scale;
+
+    Matrix inputs(ids.size(), qdim);
+    Matrix outputs(ids.size(), 1);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const auto& q = q_ok[ids[i]];
+      for (size_t jj = 0; jj < qdim; ++jj) inputs(i, jj) = q.q[jj];
+      outputs(i, 0) = (a_ok[ids[i]] - mean) / scale;
+    }
+
+    sketch.models_[id] =
+        nn::Mlp(nn::MlpConfig::Paper(qdim, config.n_layers, config.l_first,
+                                     config.l_rest),
+                config.seed + id);
+    nn::TrainConfig tc = config.train;
+    tc.seed = config.train.seed + static_cast<uint64_t>(id) * 1000003ULL;
+    nn::TrainRegressor(&sketch.models_[id], inputs, outputs, tc);
+  }
+  sketch.stats_.train_seconds = train_timer.ElapsedSeconds();
+  return sketch;
+}
+
+Result<NeuroSketch> NeuroSketch::TrainFromEngine(
+    const ExactEngine& engine, const QueryFunctionSpec& spec,
+    WorkloadGenerator* workload, size_t num_train,
+    const NeuroSketchConfig& config) {
+  std::vector<QueryInstance> queries =
+      workload->GenerateMany(num_train, &engine, &spec);
+  std::vector<double> answers = engine.AnswerBatch(spec, queries);
+  return Train(queries, answers, config);
+}
+
+double NeuroSketch::Answer(const QueryInstance& q) const {
+  const auto* leaf = tree_.Route(q);
+  if (leaf == nullptr || leaf->leaf_id < 0 ||
+      static_cast<size_t>(leaf->leaf_id) >= models_.size()) {
+    return std::nan("");
+  }
+  const int id = leaf->leaf_id;
+  const double raw = models_[id].PredictOne(q.q);
+  return raw * target_scale_[id] + target_mean_[id];
+}
+
+std::vector<double> NeuroSketch::AnswerBatch(
+    const std::vector<QueryInstance>& queries) const {
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) out.push_back(Answer(q));
+  return out;
+}
+
+std::vector<double> NeuroSketch::AnswerBatchVectorized(
+    const std::vector<QueryInstance>& queries) const {
+  std::vector<double> out(queries.size(), std::nan(""));
+  // Bucket query indices by leaf model.
+  std::vector<std::vector<size_t>> buckets(models_.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto* leaf = tree_.Route(queries[i]);
+    if (leaf == nullptr || leaf->leaf_id < 0 ||
+        static_cast<size_t>(leaf->leaf_id) >= models_.size()) {
+      continue;
+    }
+    buckets[leaf->leaf_id].push_back(i);
+  }
+  const size_t qdim = tree_.query_dim();
+  for (size_t m = 0; m < buckets.size(); ++m) {
+    const auto& ids = buckets[m];
+    if (ids.empty()) continue;
+    Matrix inputs(ids.size(), qdim);
+    for (size_t r = 0; r < ids.size(); ++r) {
+      const auto& q = queries[ids[r]].q;
+      std::copy(q.begin(), q.end(), inputs.row(r));
+    }
+    Matrix pred;
+    models_[m].Predict(inputs, &pred);
+    for (size_t r = 0; r < ids.size(); ++r) {
+      out[ids[r]] = pred(r, 0) * target_scale_[m] + target_mean_[m];
+    }
+  }
+  return out;
+}
+
+size_t NeuroSketch::SizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& m : models_) bytes += m.SizeBytes();
+  bytes += tree_.EncodeRouting().size() * sizeof(double);
+  bytes += 2 * models_.size() * sizeof(double);  // per-leaf scales
+  return bytes;
+}
+
+Status NeuroSketch::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path);
+  const uint64_t qdim = tree_.query_dim();
+  out.write(reinterpret_cast<const char*>(&qdim), sizeof(qdim));
+  const std::vector<double> routing = tree_.EncodeRouting();
+  const uint64_t rsize = routing.size();
+  out.write(reinterpret_cast<const char*>(&rsize), sizeof(rsize));
+  out.write(reinterpret_cast<const char*>(routing.data()),
+            static_cast<std::streamsize>(rsize * sizeof(double)));
+  const uint64_t nmodels = models_.size();
+  out.write(reinterpret_cast<const char*>(&nmodels), sizeof(nmodels));
+  out.write(reinterpret_cast<const char*>(target_mean_.data()),
+            static_cast<std::streamsize>(nmodels * sizeof(double)));
+  out.write(reinterpret_cast<const char*>(target_scale_.data()),
+            static_cast<std::streamsize>(nmodels * sizeof(double)));
+  for (const auto& m : models_) {
+    NS_RETURN_NOT_OK(nn::SaveMlp(m, &out));
+  }
+  if (!out.good()) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<NeuroSketch> NeuroSketch::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  uint64_t qdim = 0, rsize = 0, nmodels = 0;
+  in.read(reinterpret_cast<char*>(&qdim), sizeof(qdim));
+  in.read(reinterpret_cast<char*>(&rsize), sizeof(rsize));
+  if (!in.good()) return Status::IOError("truncated sketch header");
+  std::vector<double> routing(rsize);
+  in.read(reinterpret_cast<char*>(routing.data()),
+          static_cast<std::streamsize>(rsize * sizeof(double)));
+  in.read(reinterpret_cast<char*>(&nmodels), sizeof(nmodels));
+  if (!in.good()) return Status::IOError("truncated sketch routing");
+
+  NeuroSketch sketch;
+  NS_ASSIGN_OR_RETURN(sketch.tree_,
+                      QuerySpaceKdTree::DecodeRouting(routing, qdim));
+  sketch.target_mean_.resize(nmodels);
+  sketch.target_scale_.resize(nmodels);
+  in.read(reinterpret_cast<char*>(sketch.target_mean_.data()),
+          static_cast<std::streamsize>(nmodels * sizeof(double)));
+  in.read(reinterpret_cast<char*>(sketch.target_scale_.data()),
+          static_cast<std::streamsize>(nmodels * sizeof(double)));
+  if (!in.good()) return Status::IOError("truncated sketch scales");
+  sketch.models_.reserve(nmodels);
+  for (uint64_t i = 0; i < nmodels; ++i) {
+    NS_ASSIGN_OR_RETURN(nn::Mlp model, nn::LoadMlp(&in));
+    sketch.models_.push_back(std::move(model));
+  }
+  sketch.stats_.num_partitions = nmodels;
+  return sketch;
+}
+
+}  // namespace neurosketch

@@ -1,0 +1,103 @@
+// NeuroSketch (paper Sec. 4): the query-specialized neural framework.
+//
+// Preprocessing (Fig. 4): (1) partition & index the query space with a
+// kd-tree (Alg. 2); (2) merge easy leaves using the AQC complexity proxy
+// (Alg. 3); (3) train one MLP per remaining leaf on (query, answer) pairs
+// (Alg. 4). Query time (Alg. 5): route the query instance down the kd-tree
+// and run one forward pass.
+#ifndef NEUROSKETCH_CORE_NEUROSKETCH_H_
+#define NEUROSKETCH_CORE_NEUROSKETCH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/partitioner.h"
+#include "index/kdtree.h"
+#include "nn/mlp.h"
+#include "nn/trainer.h"
+#include "query/engine.h"
+#include "query/query.h"
+#include "query/workload.h"
+#include "util/status.h"
+
+namespace neurosketch {
+
+struct NeuroSketchConfig {
+  /// Partitioning (paper defaults: height 4, merge to s = 8 leaves).
+  size_t tree_height = 4;
+  size_t target_partitions = 8;
+  AqcOptions aqc;
+
+  /// Architecture (paper defaults: 5 layers, first 60 units, rest 30).
+  size_t n_layers = 5;
+  size_t l_first = 60;
+  size_t l_rest = 30;
+
+  nn::TrainConfig train;
+  uint64_t seed = 17;
+};
+
+/// \brief A trained NeuroSketch for one query function.
+class NeuroSketch {
+ public:
+  struct BuildStats {
+    double partition_seconds = 0.0;
+    double train_seconds = 0.0;
+    std::vector<double> leaf_aqc;  // per final leaf
+    size_t num_partitions = 0;
+    size_t training_queries = 0;
+  };
+
+  NeuroSketch() = default;
+
+  /// \brief Train from a precomputed training set. `answers[i]` must be
+  /// f_D(queries[i]); NaN answers are dropped. All queries must share the
+  /// same dimensionality.
+  static Result<NeuroSketch> Train(const std::vector<QueryInstance>& queries,
+                                   const std::vector<double>& answers,
+                                   const NeuroSketchConfig& config);
+
+  /// \brief Convenience: generate `num_train` queries from `workload`,
+  /// answer them exactly with `engine`, then train.
+  static Result<NeuroSketch> TrainFromEngine(const ExactEngine& engine,
+                                             const QueryFunctionSpec& spec,
+                                             WorkloadGenerator* workload,
+                                             size_t num_train,
+                                             const NeuroSketchConfig& config);
+
+  /// \brief Alg. 5: answer one query with a kd-tree route + forward pass.
+  double Answer(const QueryInstance& q) const;
+
+  std::vector<double> AnswerBatch(
+      const std::vector<QueryInstance>& queries) const;
+
+  /// \brief Batched variant: routes all queries first, then runs one
+  /// batched forward pass per partition model. Identical answers to
+  /// AnswerBatch, amortizing per-call overhead for analytics-style bursts.
+  std::vector<double> AnswerBatchVectorized(
+      const std::vector<QueryInstance>& queries) const;
+
+  /// \brief Total model size in bytes (all MLPs + routing structure), the
+  /// paper's storage metric.
+  size_t SizeBytes() const;
+
+  size_t num_partitions() const { return models_.size(); }
+  const BuildStats& stats() const { return stats_; }
+  size_t query_dim() const { return tree_.query_dim(); }
+
+  /// \brief Serialize / deserialize the full sketch (routing + scales +
+  /// model parameters). Round-trips bit-exactly.
+  Status Save(const std::string& path) const;
+  static Result<NeuroSketch> Load(const std::string& path);
+
+ private:
+  QuerySpaceKdTree tree_;
+  std::vector<nn::Mlp> models_;       // indexed by leaf_id
+  std::vector<double> target_mean_;   // per-leaf target standardization
+  std::vector<double> target_scale_;
+  BuildStats stats_;
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_CORE_NEUROSKETCH_H_

@@ -1,0 +1,70 @@
+#include "core/partitioner.h"
+
+#include <limits>
+
+namespace neurosketch {
+
+namespace {
+
+using Node = QuerySpaceKdTree::Node;
+
+/// Internal nodes whose two children are both leaves.
+void CollectMergeableParents(Node* node, std::vector<Node*>* out) {
+  if (node == nullptr || node->is_leaf()) return;
+  if (node->left->is_leaf() && node->right->is_leaf()) out->push_back(node);
+  CollectMergeableParents(node->left.get(), out);
+  CollectMergeableParents(node->right.get(), out);
+}
+
+}  // namespace
+
+PartitionResult PartitionQuerySpace(const std::vector<QueryInstance>& queries,
+                                    const std::vector<double>& answers,
+                                    const PartitionConfig& config) {
+  PartitionResult result;
+  result.tree = QuerySpaceKdTree::Build(queries, config.tree_height);
+
+  // Alg. 3 merge loop.
+  while (result.tree.NumLeaves() > config.target_leaves) {
+    std::vector<Node*> leaves = result.tree.Leaves();
+    // Line 3: AQC per leaf, over the queries routed to it.
+    for (Node* leaf : leaves) {
+      leaf->cached_aqc = ComputeAqc(queries, answers, leaf->query_ids,
+                                    config.aqc);
+    }
+    // Line 4-5: mark the unmarked leaf with the smallest AQC.
+    Node* best = nullptr;
+    for (Node* leaf : leaves) {
+      if (leaf->marked) continue;
+      if (best == nullptr || leaf->cached_aqc < best->cached_aqc) best = leaf;
+    }
+    if (best != nullptr) best->marked = true;
+
+    // Lines 6-8: merge sibling leaf pairs that are both marked.
+    std::vector<Node*> parents;
+    CollectMergeableParents(result.tree.root(), &parents);
+    bool merged_any = false;
+    for (Node* parent : parents) {
+      if (parent->left->marked && parent->right->marked) {
+        Status st = result.tree.MergeChildren(parent);
+        (void)st;  // Preconditions guaranteed by CollectMergeableParents.
+        merged_any = true;
+        if (result.tree.NumLeaves() <= config.target_leaves) break;
+      }
+    }
+    // Safety: if every leaf is marked and nothing merged, the tree cannot
+    // shrink further (single leaf); stop.
+    if (best == nullptr && !merged_any) break;
+  }
+
+  result.tree.AssignLeafIds();
+  std::vector<Node*> leaves = result.tree.Leaves();
+  result.leaf_aqc.assign(leaves.size(), 0.0);
+  for (Node* leaf : leaves) {
+    result.leaf_aqc[leaf->leaf_id] =
+        ComputeAqc(queries, answers, leaf->query_ids, config.aqc);
+  }
+  return result;
+}
+
+}  // namespace neurosketch

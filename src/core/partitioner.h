@@ -1,0 +1,42 @@
+// Query-space partitioning: Alg. 2 (kd-tree build) followed by Alg. 3
+// (AQC-guided merging down to s leaves). The merge loop repeatedly marks
+// the unmarked leaf with the smallest AQC and collapses sibling leaf pairs
+// that are both marked, so model capacity concentrates on the parts of the
+// query space estimated to be hardest.
+#ifndef NEUROSKETCH_CORE_PARTITIONER_H_
+#define NEUROSKETCH_CORE_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/aqc.h"
+#include "index/kdtree.h"
+#include "query/query.h"
+
+namespace neurosketch {
+
+struct PartitionConfig {
+  /// kd-tree height h (2^h initial partitions). Paper default: 4.
+  size_t tree_height = 4;
+  /// Desired leaf count s after merging. Paper default: 8. Values >= 2^h
+  /// disable merging.
+  size_t target_leaves = 8;
+  AqcOptions aqc;
+};
+
+struct PartitionResult {
+  QuerySpaceKdTree tree;
+  /// AQC of each final leaf, indexed by leaf_id.
+  std::vector<double> leaf_aqc;
+};
+
+/// \brief Build the kd-tree on the training queries and merge leaves until
+/// `target_leaves` remain (Alg. 2 + Alg. 3). `answers[i]` is f_D(queries[i])
+/// (NaN allowed; such queries are ignored by AQC).
+PartitionResult PartitionQuerySpace(const std::vector<QueryInstance>& queries,
+                                    const std::vector<double>& answers,
+                                    const PartitionConfig& config);
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_CORE_PARTITIONER_H_

@@ -1,0 +1,146 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/generators.h"
+#include "util/random.h"
+
+namespace neurosketch {
+
+Dataset MakePmLike(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Schema schema;
+  schema.columns = {"pm25", "temperature", "pressure", "dewpoint"};
+  Table t(schema);
+  for (size_t i = 0; i < n; ++i) {
+    // Seasonal phase drives both weather and pollution episodes.
+    const double season = rng.Uniform(0.0, 2.0 * M_PI);
+    const double temp = 12.0 + 14.0 * std::sin(season) + rng.Normal(0.0, 5.0);
+    const double pressure = 1016.0 - 0.6 * temp + rng.Normal(0.0, 4.0);
+    const double dew = temp - std::fabs(rng.Normal(6.0, 4.0));
+    // Pollution: log-normal base + winter-heating spikes -> heavy right
+    // tail like Fig. 5 (mass near 0-100, tail to ~900).
+    double pm = std::exp(rng.Normal(3.6, 0.8));
+    if (std::sin(season) < -0.3 && rng.Bernoulli(0.25)) {
+      pm += std::exp(rng.Normal(5.2, 0.5));  // episode spike
+    }
+    pm = std::clamp(pm, 0.0, 900.0);
+    Status st = t.AppendRow({pm, temp, pressure, dew});
+    (void)st;
+  }
+  return {"PM", std::move(t), 0};
+}
+
+Dataset MakeVerasetLike(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  // Downtown Houston bounding box (paper Sec. 5.1).
+  const double lat_lo = 29.74, lat_hi = 29.78;
+  const double lon_lo = -95.38, lon_hi = -95.34;
+
+  // POI hotspots: each has a location, spatial spread and a characteristic
+  // visit duration (e.g., offices ~8h, restaurants ~1h). Duration depends
+  // on the hotspot, so the avg-visit-duration query function has sharp
+  // spatial discontinuities (Fig. 1 / Fig. 16a).
+  struct Poi {
+    double lat, lon, spread, dur_mean, dur_sd;
+  };
+  const size_t num_pois = 24;
+  std::vector<Poi> pois;
+  pois.reserve(num_pois);
+  for (size_t i = 0; i < num_pois; ++i) {
+    Poi p;
+    p.lat = rng.Uniform(lat_lo, lat_hi);
+    p.lon = rng.Uniform(lon_lo, lon_hi);
+    p.spread = rng.Uniform(0.0006, 0.003);
+    // Bimodal durations: short-stay retail vs long-stay offices/homes.
+    p.dur_mean = rng.Bernoulli(0.4) ? rng.Uniform(6.0, 12.0)
+                                    : rng.Uniform(0.5, 3.0);
+    p.dur_sd = 0.25 * p.dur_mean;
+    pois.push_back(p);
+  }
+
+  Schema schema;
+  schema.columns = {"latitude", "longitude", "duration"};
+  Table t(schema);
+  for (size_t i = 0; i < n; ++i) {
+    const Poi& p = pois[rng.Index(num_pois)];
+    const double lat = std::clamp(rng.Normal(p.lat, p.spread), lat_lo, lat_hi);
+    const double lon = std::clamp(rng.Normal(p.lon, p.spread), lon_lo, lon_hi);
+    // Visits below 15 minutes were filtered by stay-point detection.
+    const double dur =
+        std::clamp(rng.Normal(p.dur_mean, p.dur_sd), 0.25, 20.0);
+    Status st = t.AppendRow({lat, lon, dur});
+    (void)st;
+  }
+  return {"VS", std::move(t), 2};
+}
+
+Dataset MakeTpcLike(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Schema schema;
+  schema.columns = {"quantity",       "wholesale_cost", "list_price",
+                    "sales_price",    "ext_discount",   "ext_sales_price",
+                    "ext_wholesale",  "ext_list_price", "ext_tax",
+                    "coupon_amt",     "net_paid",       "net_paid_tax",
+                    "net_profit"};
+  Table t(schema);
+  for (size_t i = 0; i < n; ++i) {
+    const double quantity = static_cast<double>(rng.Int(1, 100));
+    const double wholesale = rng.Uniform(1.0, 100.0);
+    const double markup = rng.Uniform(1.0, 2.0);
+    const double list_price = wholesale * markup;
+    const double discount_pct = rng.Bernoulli(0.3) ? rng.Uniform(0.0, 0.9) : 0.0;
+    const double sales_price = list_price * (1.0 - discount_pct);
+    const double ext_sales = sales_price * quantity;
+    const double ext_wholesale = wholesale * quantity;
+    const double ext_list = list_price * quantity;
+    const double ext_discount = (ext_list - ext_sales);
+    const double tax_rate = rng.Uniform(0.0, 0.09);
+    const double ext_tax = ext_sales * tax_rate;
+    const double coupon = rng.Bernoulli(0.1) ? rng.Uniform(0.0, 0.3) * ext_sales
+                                             : 0.0;
+    const double net_paid = ext_sales - coupon;
+    const double net_paid_tax = net_paid + ext_tax;
+    const double net_profit = net_paid - ext_wholesale;
+    Status st = t.AppendRow({quantity, wholesale, list_price, sales_price,
+                             ext_discount, ext_sales, ext_wholesale, ext_list,
+                             ext_tax, coupon, net_paid, net_paid_tax,
+                             net_profit});
+    (void)st;
+  }
+  return {"TPC", std::move(t), 12};
+}
+
+Dataset MakeGmmDataset(size_t n, size_t dim, size_t components,
+                       uint64_t seed) {
+  Rng comp_rng(seed);
+  GmmDistribution gmm = GmmDistribution::MakeRandom(dim, components, &comp_rng);
+  Table t = MakeGmmTable(gmm, n, seed + 1);
+  return {"G" + std::to_string(dim), std::move(t), dim - 1};
+}
+
+Result<Dataset> MakeDatasetByName(const std::string& name, double scale,
+                                  uint64_t seed) {
+  auto scaled = [scale](double paper_n) {
+    return static_cast<size_t>(std::max(100.0, paper_n * scale));
+  };
+  if (name == "PM") return MakePmLike(scaled(41700), seed);
+  if (name == "VS") return MakeVerasetLike(scaled(100000), seed);
+  if (name == "TPC1") {
+    Dataset d = MakeTpcLike(scaled(2650000), seed);
+    d.name = "TPC1";
+    return d;
+  }
+  if (name == "TPC10") {
+    Dataset d = MakeTpcLike(scaled(26500000), seed);
+    d.name = "TPC10";
+    return d;
+  }
+  if (name == "G5") return MakeGmmDataset(scaled(100000), 5, 100, seed);
+  if (name == "G10") return MakeGmmDataset(scaled(100000), 10, 100, seed);
+  if (name == "G20") return MakeGmmDataset(scaled(100000), 20, 100, seed);
+  return Status::InvalidArgument("unknown dataset: " + name);
+}
+
+}  // namespace neurosketch

@@ -1,0 +1,52 @@
+// Synthetic analogues of the paper's evaluation datasets (Table 1). Real
+// PM2.5, Veraset and TPC-DS data are not redistributable/offline, so each
+// generator reproduces the documented structure that drives the paper's
+// results (marginal shapes of Fig. 5, spatial discontinuities of Fig. 1,
+// column correlations of store_sales). See DESIGN.md "Substitutions".
+#ifndef NEUROSKETCH_DATA_DATASETS_H_
+#define NEUROSKETCH_DATA_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/table.h"
+
+namespace neurosketch {
+
+/// \brief Dataset bundle: raw table, measure column id, and a display name.
+struct Dataset {
+  std::string name;
+  Table table;
+  size_t measure_col = 0;
+};
+
+/// \brief PM-like (Beijing PM2.5 [22]): 4 attrs — pm25 (measure), temp,
+/// pressure, dewpoint. pm25 has the heavy right tail of Fig. 5 and is
+/// correlated with weather attributes.
+Dataset MakePmLike(size_t n, uint64_t seed);
+
+/// \brief Veraset-like location visits (running example / Fig. 1): 3 attrs
+/// — latitude, longitude, visit duration (measure). Points cluster around
+/// POI hotspots; duration depends sharply on the hotspot, producing the
+/// abrupt spatial changes of Fig. 16(a).
+Dataset MakeVerasetLike(size_t n, uint64_t seed);
+
+/// \brief TPC-DS-like store_sales: 13 numeric attrs ending in net_profit
+/// (measure). A pricing chain (quantity, wholesale_cost, list_price,
+/// sales_price, discount, tax, ...) yields correlated columns and a
+/// near-symmetric net_profit around 0 (Fig. 5).
+Dataset MakeTpcLike(size_t n, uint64_t seed);
+
+/// \brief GMM dataset G<dim> (Table 1): `dim`-dimensional mixture with
+/// `components` Gaussians; measure is the last column.
+Dataset MakeGmmDataset(size_t n, size_t dim, size_t components, uint64_t seed);
+
+/// \brief Dispatch by paper name: "PM", "VS", "TPC1", "TPC10", "G5",
+/// "G10", "G20". Row counts are scaled down from the paper by `scale`
+/// (1.0 = paper-documented sizes).
+Result<Dataset> MakeDatasetByName(const std::string& name, double scale,
+                                  uint64_t seed);
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_DATA_DATASETS_H_

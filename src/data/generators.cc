@@ -1,0 +1,97 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace neurosketch {
+
+namespace {
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+
+Schema MakeDimSchema(size_t dim) {
+  Schema s;
+  for (size_t i = 0; i < dim; ++i) s.columns.push_back("x" + std::to_string(i));
+  return s;
+}
+}  // namespace
+
+GmmDistribution GmmDistribution::MakeRandom(size_t dim, size_t k, Rng* rng,
+                                            double sigma_lo, double sigma_hi) {
+  std::vector<GaussianComponent> comps;
+  comps.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    GaussianComponent c;
+    c.mean.resize(dim);
+    c.stddev.resize(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      c.mean[d] = rng->Uniform(0.1, 0.9);
+      c.stddev[d] = rng->Uniform(sigma_lo, sigma_hi);
+    }
+    c.weight = rng->Uniform(0.5, 1.5);
+    comps.push_back(std::move(c));
+  }
+  return GmmDistribution(std::move(comps));
+}
+
+GmmDistribution::GmmDistribution(std::vector<GaussianComponent> components)
+    : components_(std::move(components)) {
+  for (const auto& c : components_) weights_.push_back(c.weight);
+}
+
+std::vector<double> GmmDistribution::Sample(Rng* rng) const {
+  const auto& c = components_[rng->Categorical(weights_)];
+  std::vector<double> x(c.mean.size());
+  for (size_t d = 0; d < x.size(); ++d) {
+    x[d] = std::clamp(rng->Normal(c.mean[d], c.stddev[d]), 0.0, 1.0);
+  }
+  return x;
+}
+
+double GmmDistribution::MarginalPdf(size_t dim, double x) const {
+  double total_w = 0.0, pdf = 0.0;
+  for (const auto& c : components_) {
+    total_w += c.weight;
+    const double z = (x - c.mean[dim]) / c.stddev[dim];
+    pdf += c.weight * kInvSqrt2Pi / c.stddev[dim] * std::exp(-0.5 * z * z);
+  }
+  return total_w > 0.0 ? pdf / total_w : 0.0;
+}
+
+Table MakeUniformTable(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  Table t(MakeDimSchema(dim));
+  std::vector<double> row(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim; ++d) row[d] = rng.Uniform();
+    Status st = t.AppendRow(row);
+    (void)st;
+  }
+  return t;
+}
+
+Table MakeGaussianTable(size_t n, size_t dim, double mean, double sigma,
+                        uint64_t seed) {
+  Rng rng(seed);
+  Table t(MakeDimSchema(dim));
+  std::vector<double> row(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim; ++d) {
+      row[d] = std::clamp(rng.Normal(mean, sigma), 0.0, 1.0);
+    }
+    Status st = t.AppendRow(row);
+    (void)st;
+  }
+  return t;
+}
+
+Table MakeGmmTable(const GmmDistribution& gmm, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Table t(MakeDimSchema(gmm.dim()));
+  for (size_t i = 0; i < n; ++i) {
+    Status st = t.AppendRow(gmm.Sample(&rng));
+    (void)st;
+  }
+  return t;
+}
+
+}  // namespace neurosketch

@@ -1,0 +1,66 @@
+// Synthetic distribution generators: uniform, Gaussian and Gaussian mixture
+// models. These back the G5/G10/G20 datasets (Table 1) and the DQD
+// experiments on synthetic data (Sec. 5.7 / Fig. 14), where LDQ has closed
+// form for each family (Examples 3.2 and 3.3).
+#ifndef NEUROSKETCH_DATA_GENERATORS_H_
+#define NEUROSKETCH_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+#include "util/random.h"
+
+namespace neurosketch {
+
+/// \brief A single multivariate Gaussian with diagonal covariance.
+struct GaussianComponent {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+  double weight = 1.0;
+};
+
+/// \brief Gaussian mixture model over [0,1]^d (samples are clipped).
+class GmmDistribution {
+ public:
+  /// \brief Random GMM: `k` components, means uniform in [0.1, 0.9],
+  /// stddevs uniform in [sigma_lo, sigma_hi]. Mirrors the paper's "100
+  /// components, random mean and co-variance".
+  static GmmDistribution MakeRandom(size_t dim, size_t k, Rng* rng,
+                                    double sigma_lo = 0.02,
+                                    double sigma_hi = 0.15);
+
+  /// \brief Explicit components (weights need not be normalized).
+  explicit GmmDistribution(std::vector<GaussianComponent> components);
+
+  std::vector<double> Sample(Rng* rng) const;
+
+  /// \brief Marginal pdf of dimension `dim` at x (weights normalized).
+  double MarginalPdf(size_t dim, double x) const;
+
+  const std::vector<GaussianComponent>& components() const {
+    return components_;
+  }
+  size_t dim() const {
+    return components_.empty() ? 0 : components_[0].mean.size();
+  }
+
+ private:
+  std::vector<GaussianComponent> components_;
+  std::vector<double> weights_;
+};
+
+/// \brief n i.i.d. rows uniform in [0,1]^dim. Column names x0..x{dim-1}.
+Table MakeUniformTable(size_t n, size_t dim, uint64_t seed);
+
+/// \brief n i.i.d. rows from N(mean, sigma²) per dimension, clipped to
+/// [0,1].
+Table MakeGaussianTable(size_t n, size_t dim, double mean, double sigma,
+                        uint64_t seed);
+
+/// \brief n i.i.d. rows from the GMM, clipped to [0,1].
+Table MakeGmmTable(const GmmDistribution& gmm, size_t n, uint64_t seed);
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_DATA_GENERATORS_H_

@@ -1,0 +1,47 @@
+#include "data/normalizer.h"
+
+#include <algorithm>
+
+namespace neurosketch {
+
+Normalizer Normalizer::Fit(const Table& table) {
+  Normalizer out;
+  const size_t ncols = table.num_columns();
+  out.lo_.resize(ncols);
+  out.hi_.resize(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    const auto& col = table.column(c);
+    if (col.empty()) {
+      out.lo_[c] = 0.0;
+      out.hi_[c] = 1.0;
+      continue;
+    }
+    auto [mn, mx] = std::minmax_element(col.begin(), col.end());
+    out.lo_[c] = *mn;
+    out.hi_[c] = (*mx > *mn) ? *mx : *mn + 1.0;
+  }
+  return out;
+}
+
+Table Normalizer::Transform(const Table& table) const {
+  Table out(table.schema());
+  std::vector<std::vector<double>> cols(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    cols[c].reserve(table.num_rows());
+    const double lo = lo_[c], width = hi_[c] - lo_[c];
+    for (double v : table.column(c)) cols[c].push_back((v - lo) / width);
+  }
+  Status st = out.SetColumns(std::move(cols));
+  (void)st;  // Shapes are derived from `table`, cannot mismatch.
+  return out;
+}
+
+double Normalizer::Normalize(size_t col, double v) const {
+  return (v - lo_[col]) / (hi_[col] - lo_[col]);
+}
+
+double Normalizer::Denormalize(size_t col, double v) const {
+  return lo_[col] + v * (hi_[col] - lo_[col]);
+}
+
+}  // namespace neurosketch

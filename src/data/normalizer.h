@@ -1,0 +1,43 @@
+// Min-max normalization of table attributes into [0,1] (paper Sec. 2:
+// "A_i ∈ [0,1] ... otherwise the attributes can be normalized"). The
+// normalizer remembers per-column ranges so query predicates and answers
+// can be mapped between original and normalized coordinates.
+#ifndef NEUROSKETCH_DATA_NORMALIZER_H_
+#define NEUROSKETCH_DATA_NORMALIZER_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace neurosketch {
+
+/// \brief Per-column affine map x -> (x - lo) / (hi - lo).
+class Normalizer {
+ public:
+  /// \brief Learn column ranges from a table. Constant columns get the
+  /// degenerate range [lo, lo+1] so normalization stays well-defined.
+  static Normalizer Fit(const Table& table);
+
+  /// \brief New table with every column mapped into [0,1].
+  Table Transform(const Table& table) const;
+
+  /// \brief Map a single value of column `col` into [0,1].
+  double Normalize(size_t col, double v) const;
+
+  /// \brief Inverse map back to original units.
+  double Denormalize(size_t col, double v) const;
+
+  /// \brief Width (hi - lo) of column `col` in original units.
+  double Width(size_t col) const { return hi_[col] - lo_[col]; }
+  double lo(size_t col) const { return lo_[col]; }
+  double hi(size_t col) const { return hi_[col]; }
+  size_t num_columns() const { return lo_.size(); }
+
+ private:
+  std::vector<double> lo_, hi_;
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_DATA_NORMALIZER_H_

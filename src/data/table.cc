@@ -1,0 +1,85 @@
+#include "data/table.h"
+
+#include "util/csv.h"
+
+namespace neurosketch {
+
+int Schema::Find(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_columns());
+}
+
+Result<Table> Table::FromCsvFile(const std::string& path) {
+  NS_ASSIGN_OR_RETURN(csv::NumericCsv parsed, csv::ReadNumeric(path));
+  Schema schema;
+  schema.columns = parsed.header;
+  Table t(schema);
+  for (const auto& row : parsed.rows) {
+    NS_RETURN_NOT_OK(t.AppendRow(row));
+  }
+  return t;
+}
+
+Status Table::AppendRow(const std::vector<double>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row width " + std::to_string(row.size()) +
+                                   " != column count " +
+                                   std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) columns_[i].push_back(row[i]);
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status Table::SetColumns(std::vector<std::vector<double>> columns) {
+  if (columns.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("column count mismatch");
+  }
+  size_t n = columns.empty() ? 0 : columns[0].size();
+  for (const auto& c : columns) {
+    if (c.size() != n) return Status::InvalidArgument("ragged columns");
+  }
+  columns_ = std::move(columns);
+  num_rows_ = n;
+  return Status::OK();
+}
+
+std::vector<double> Table::Row(size_t row) const {
+  std::vector<double> out(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) out[c] = columns_[c][row];
+  return out;
+}
+
+Table Table::Select(const std::vector<size_t>& row_ids) const {
+  Table out(schema_);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out.columns_[c].reserve(row_ids.size());
+    for (size_t r : row_ids) out.columns_[c].push_back(columns_[c][r]);
+  }
+  out.num_rows_ = row_ids.size();
+  return out;
+}
+
+Result<Table> Table::Project(const std::vector<size_t>& col_ids) const {
+  Schema schema;
+  for (size_t c : col_ids) {
+    if (c >= columns_.size()) {
+      return Status::OutOfRange("column id " + std::to_string(c));
+    }
+    schema.columns.push_back(schema_.columns[c]);
+  }
+  Table out(schema);
+  std::vector<std::vector<double>> cols;
+  cols.reserve(col_ids.size());
+  for (size_t c : col_ids) cols.push_back(columns_[c]);
+  NS_RETURN_NOT_OK(out.SetColumns(std::move(cols)));
+  return out;
+}
+
+}  // namespace neurosketch

@@ -1,0 +1,67 @@
+// In-memory columnar table: the storage substrate queries run against.
+// Columns are dense double vectors; the library's problem setting (paper
+// Sec. 2) normalizes every attribute to [0,1], handled by Normalizer.
+#ifndef NEUROSKETCH_DATA_TABLE_H_
+#define NEUROSKETCH_DATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace neurosketch {
+
+/// \brief Column names; index in the vector is the column id.
+struct Schema {
+  std::vector<std::string> columns;
+
+  size_t num_columns() const { return columns.size(); }
+  /// \brief Column id by name, or -1 if absent.
+  int Find(const std::string& name) const;
+};
+
+/// \brief Columnar table of doubles.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  static Result<Table> FromCsvFile(const std::string& path);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const std::vector<double>& column(size_t i) const { return columns_[i]; }
+  std::vector<double>& column(size_t i) { return columns_[i]; }
+
+  double at(size_t row, size_t col) const { return columns_[col][row]; }
+
+  /// \brief Append one row (must match column count).
+  Status AppendRow(const std::vector<double>& row);
+
+  /// \brief Bulk-append a full column set (resets the table contents).
+  Status SetColumns(std::vector<std::vector<double>> columns);
+
+  /// \brief Copy of a row as a vector.
+  std::vector<double> Row(size_t row) const;
+
+  /// \brief New table containing the given subset of rows.
+  Table Select(const std::vector<size_t>& row_ids) const;
+
+  /// \brief New table with only the given columns.
+  Result<Table> Project(const std::vector<size_t>& col_ids) const;
+
+  /// \brief Approximate in-memory footprint in bytes (the paper's storage
+  /// metric for the raw data).
+  size_t SizeBytes() const { return num_rows_ * columns_.size() * sizeof(double); }
+
+ private:
+  Schema schema_;
+  size_t num_rows_ = 0;
+  std::vector<std::vector<double>> columns_;
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_DATA_TABLE_H_

@@ -1,0 +1,178 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace neurosketch {
+
+QuerySpaceKdTree QuerySpaceKdTree::Build(
+    const std::vector<QueryInstance>& queries, size_t height) {
+  QuerySpaceKdTree tree;
+  tree.query_dim_ = queries.empty() ? 0 : queries[0].dim();
+  tree.root_ = std::make_unique<Node>();
+  tree.root_->query_ids.resize(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) tree.root_->query_ids[i] = i;
+  BuildRecursive(tree.root_.get(), queries, height, 0, tree.query_dim_);
+  tree.AssignLeafIds();
+  return tree;
+}
+
+void QuerySpaceKdTree::BuildRecursive(Node* node,
+                                      const std::vector<QueryInstance>& queries,
+                                      size_t height, size_t depth, size_t dim) {
+  if (depth >= height || node->query_ids.size() < 2 || dim == 0) return;
+  const size_t split_dim = depth % dim;  // Alg. 2: cycle dimensions
+
+  // Median of the node's queries along split_dim (Alg. 2 line 3).
+  std::vector<double> vals;
+  vals.reserve(node->query_ids.size());
+  for (size_t id : node->query_ids) vals.push_back(queries[id].q[split_dim]);
+  const size_t mid = vals.size() / 2;
+  std::nth_element(vals.begin(), vals.begin() + mid, vals.end());
+  const double split_val = vals[mid];
+
+  std::vector<size_t> left_ids, right_ids;
+  for (size_t id : node->query_ids) {
+    if (queries[id].q[split_dim] <= split_val) {
+      left_ids.push_back(id);
+    } else {
+      right_ids.push_back(id);
+    }
+  }
+  // Degenerate split (many duplicate coordinates): keep the node a leaf.
+  if (left_ids.empty() || right_ids.empty()) return;
+
+  node->split_dim = static_cast<int>(split_dim);
+  node->split_val = split_val;
+  node->left = std::make_unique<Node>();
+  node->right = std::make_unique<Node>();
+  node->left->parent = node;
+  node->right->parent = node;
+  node->left->query_ids = std::move(left_ids);
+  node->right->query_ids = std::move(right_ids);
+  node->query_ids.clear();
+  node->query_ids.shrink_to_fit();
+  BuildRecursive(node->left.get(), queries, height, depth + 1, dim);
+  BuildRecursive(node->right.get(), queries, height, depth + 1, dim);
+}
+
+const QuerySpaceKdTree::Node* QuerySpaceKdTree::Route(
+    const QueryInstance& q) const {
+  const Node* node = root_.get();
+  while (node != nullptr && !node->is_leaf()) {
+    node = (q.q[node->split_dim] <= node->split_val) ? node->left.get()
+                                                     : node->right.get();
+  }
+  return node;
+}
+
+QuerySpaceKdTree::Node* QuerySpaceKdTree::RouteMutable(const QueryInstance& q) {
+  return const_cast<Node*>(
+      static_cast<const QuerySpaceKdTree*>(this)->Route(q));
+}
+
+namespace {
+template <typename NodeT>
+void CollectLeaves(NodeT* node, std::vector<NodeT*>* out) {
+  if (node == nullptr) return;
+  if (node->is_leaf()) {
+    out->push_back(node);
+    return;
+  }
+  CollectLeaves<NodeT>(node->left.get(), out);
+  CollectLeaves<NodeT>(node->right.get(), out);
+}
+}  // namespace
+
+std::vector<QuerySpaceKdTree::Node*> QuerySpaceKdTree::Leaves() {
+  std::vector<Node*> out;
+  CollectLeaves(root_.get(), &out);
+  return out;
+}
+
+std::vector<const QuerySpaceKdTree::Node*> QuerySpaceKdTree::Leaves() const {
+  std::vector<const Node*> out;
+  CollectLeaves<const Node>(root_.get(), &out);
+  return out;
+}
+
+size_t QuerySpaceKdTree::NumLeaves() const { return Leaves().size(); }
+
+Status QuerySpaceKdTree::MergeChildren(Node* parent) {
+  if (parent == nullptr || parent->is_leaf()) {
+    return Status::InvalidArgument("MergeChildren requires an internal node");
+  }
+  if (!parent->left->is_leaf() || !parent->right->is_leaf()) {
+    return Status::FailedPrecondition("children must both be leaves");
+  }
+  parent->query_ids = std::move(parent->left->query_ids);
+  parent->query_ids.insert(parent->query_ids.end(),
+                           parent->right->query_ids.begin(),
+                           parent->right->query_ids.end());
+  parent->left.reset();
+  parent->right.reset();
+  parent->split_dim = -1;
+  parent->marked = false;
+  return Status::OK();
+}
+
+void QuerySpaceKdTree::AssignLeafIds() {
+  int next = 0;
+  for (Node* leaf : Leaves()) leaf->leaf_id = next++;
+}
+
+std::vector<double> QuerySpaceKdTree::EncodeRouting() const {
+  std::vector<double> out;
+  // Pre-order encoding: internal -> (split_dim, split_val),
+  // leaf -> (-1, leaf_id).
+  std::function<void(const Node*)> visit = [&](const Node* node) {
+    if (node->is_leaf()) {
+      out.push_back(-1.0);
+      out.push_back(static_cast<double>(node->leaf_id));
+      return;
+    }
+    out.push_back(static_cast<double>(node->split_dim));
+    out.push_back(node->split_val);
+    visit(node->left.get());
+    visit(node->right.get());
+  };
+  if (root_) visit(root_.get());
+  return out;
+}
+
+Result<QuerySpaceKdTree> QuerySpaceKdTree::DecodeRouting(
+    const std::vector<double>& encoded, size_t query_dim) {
+  if (encoded.size() % 2 != 0 || encoded.empty()) {
+    return Status::InvalidArgument("bad routing encoding length");
+  }
+  size_t pos = 0;
+  std::function<std::unique_ptr<Node>()> parse =
+      [&]() -> std::unique_ptr<Node> {
+    if (pos + 1 >= encoded.size() + 1) return nullptr;
+    auto node = std::make_unique<Node>();
+    const double tag = encoded[pos];
+    const double val = encoded[pos + 1];
+    pos += 2;
+    if (tag < 0.0) {
+      node->leaf_id = static_cast<int>(val);
+      return node;
+    }
+    node->split_dim = static_cast<int>(tag);
+    node->split_val = val;
+    node->left = parse();
+    node->right = parse();
+    if (!node->left || !node->right) return nullptr;
+    node->left->parent = node.get();
+    node->right->parent = node.get();
+    return node;
+  };
+  QuerySpaceKdTree tree;
+  tree.query_dim_ = query_dim;
+  tree.root_ = parse();
+  if (tree.root_ == nullptr || pos != encoded.size()) {
+    return Status::InvalidArgument("malformed routing encoding");
+  }
+  return tree;
+}
+
+}  // namespace neurosketch

@@ -1,0 +1,153 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace neurosketch {
+
+BoundingBox BoundingBox::Empty(size_t dim) {
+  BoundingBox b;
+  b.lo.assign(dim, std::numeric_limits<double>::infinity());
+  b.hi.assign(dim, -std::numeric_limits<double>::infinity());
+  return b;
+}
+
+void BoundingBox::Expand(const double* point, size_t dim) {
+  for (size_t i = 0; i < dim; ++i) {
+    lo[i] = std::min(lo[i], point[i]);
+    hi[i] = std::max(hi[i], point[i]);
+  }
+}
+
+void BoundingBox::Merge(const BoundingBox& other) {
+  for (size_t i = 0; i < lo.size(); ++i) {
+    lo[i] = std::min(lo[i], other.lo[i]);
+    hi[i] = std::max(hi[i], other.hi[i]);
+  }
+}
+
+bool BoundingBox::Intersects(const std::vector<double>& qlo,
+                             const std::vector<double>& qhi) const {
+  for (size_t i = 0; i < lo.size(); ++i) {
+    if (hi[i] < qlo[i] || lo[i] > qhi[i]) return false;
+  }
+  return true;
+}
+
+bool BoundingBox::ContainedIn(const std::vector<double>& qlo,
+                              const std::vector<double>& qhi) const {
+  for (size_t i = 0; i < lo.size(); ++i) {
+    if (lo[i] < qlo[i] || hi[i] > qhi[i]) return false;
+  }
+  return true;
+}
+
+RTree RTree::BulkLoad(std::vector<std::vector<double>> points,
+                      size_t leaf_capacity, size_t fanout) {
+  RTree tree;
+  tree.points_ = std::move(points);
+  tree.dim_ = tree.points_.empty() ? 0 : tree.points_[0].size();
+  if (tree.points_.empty()) return tree;
+
+  std::vector<size_t> ids(tree.points_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  std::vector<int> level;
+  tree.BuildLeaves(&ids, 0, ids.size(), 0, leaf_capacity, &level);
+
+  // Assemble upward: pack `fanout` children per internal node until one
+  // root remains.
+  while (level.size() > 1) {
+    std::vector<int> next;
+    for (size_t off = 0; off < level.size(); off += fanout) {
+      Node parent;
+      parent.box = BoundingBox::Empty(tree.dim_);
+      const size_t end = std::min(off + fanout, level.size());
+      for (size_t i = off; i < end; ++i) {
+        parent.children.push_back(level[i]);
+        parent.box.Merge(tree.nodes_[level[i]].box);
+      }
+      tree.nodes_.push_back(std::move(parent));
+      next.push_back(static_cast<int>(tree.nodes_.size()) - 1);
+    }
+    level = std::move(next);
+  }
+  tree.root_ = level[0];
+  return tree;
+}
+
+int RTree::BuildLeaves(std::vector<size_t>* ids, size_t begin, size_t end,
+                       size_t depth, size_t leaf_capacity,
+                       std::vector<int>* out_leaf_ids) {
+  if (end - begin <= leaf_capacity) {
+    Node leaf;
+    leaf.box = BoundingBox::Empty(dim_);
+    for (size_t i = begin; i < end; ++i) {
+      leaf.row_ids.push_back((*ids)[i]);
+      leaf.box.Expand(points_[(*ids)[i]].data(), dim_);
+    }
+    nodes_.push_back(std::move(leaf));
+    out_leaf_ids->push_back(static_cast<int>(nodes_.size()) - 1);
+    return out_leaf_ids->back();
+  }
+  const size_t axis = depth % dim_;
+  const size_t mid = begin + (end - begin) / 2;
+  std::nth_element(ids->begin() + begin, ids->begin() + mid,
+                   ids->begin() + end, [&](size_t a, size_t b) {
+                     return points_[a][axis] < points_[b][axis];
+                   });
+  BuildLeaves(ids, begin, mid, depth + 1, leaf_capacity, out_leaf_ids);
+  BuildLeaves(ids, mid, end, depth + 1, leaf_capacity, out_leaf_ids);
+  return -1;
+}
+
+std::vector<size_t> RTree::RangeQuery(const std::vector<double>& lo,
+                                      const std::vector<double>& hi) const {
+  std::vector<size_t> out;
+  ForEachInBox(lo, hi, [&out](size_t id, const double*) { out.push_back(id); });
+  return out;
+}
+
+void RTree::ForEachInBox(
+    const std::vector<double>& lo, const std::vector<double>& hi,
+    const std::function<void(size_t, const double*)>& fn) const {
+  if (root_ >= 0) Visit(root_, lo, hi, fn);
+}
+
+void RTree::Visit(int node_id, const std::vector<double>& lo,
+                  const std::vector<double>& hi,
+                  const std::function<void(size_t, const double*)>& fn) const {
+  const Node& node = nodes_[node_id];
+  if (!node.box.Intersects(lo, hi)) return;
+  if (node.is_leaf()) {
+    const bool contained = node.box.ContainedIn(lo, hi);
+    for (size_t id : node.row_ids) {
+      const double* p = points_[id].data();
+      if (contained) {
+        fn(id, p);
+        continue;
+      }
+      bool inside = true;
+      for (size_t d = 0; d < dim_; ++d) {
+        if (p[d] < lo[d] || p[d] > hi[d]) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) fn(id, p);
+    }
+    return;
+  }
+  for (int child : node.children) Visit(child, lo, hi, fn);
+}
+
+size_t RTree::SizeBytes() const {
+  size_t bytes = points_.size() * dim_ * sizeof(double);
+  for (const auto& node : nodes_) {
+    bytes += 2 * dim_ * sizeof(double);
+    bytes += node.children.size() * sizeof(int);
+    bytes += node.row_ids.size() * sizeof(size_t);
+  }
+  return bytes;
+}
+
+}  // namespace neurosketch

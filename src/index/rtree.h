@@ -1,0 +1,80 @@
+// Bulk-loaded spatial index over data points, the substrate of the
+// TREE-AGG baseline (paper Sec. 5.1: "it builds an R-tree index on the
+// samples, which is well-suited for range predicates"). Built bottom-up
+// STR-style: points are recursively median-partitioned into leaf pages,
+// and bounding boxes are assembled upward with multi-way internal nodes.
+#ifndef NEUROSKETCH_INDEX_RTREE_H_
+#define NEUROSKETCH_INDEX_RTREE_H_
+
+#include <functional>
+#include <vector>
+
+namespace neurosketch {
+
+/// \brief Axis-aligned bounding box in d dimensions.
+struct BoundingBox {
+  std::vector<double> lo, hi;
+
+  static BoundingBox Empty(size_t dim);
+  void Expand(const double* point, size_t dim);
+  void Merge(const BoundingBox& other);
+  bool Intersects(const std::vector<double>& qlo,
+                  const std::vector<double>& qhi) const;
+  bool ContainedIn(const std::vector<double>& qlo,
+                   const std::vector<double>& qhi) const;
+};
+
+/// \brief Static R-tree over points; rebuild to update.
+class RTree {
+ public:
+  RTree() = default;
+
+  /// \brief Bulk load. `points` is row-major (n rows of `dim` values);
+  /// the tree stores row ids, not copies of coordinates beyond the build.
+  static RTree BulkLoad(std::vector<std::vector<double>> points,
+                        size_t leaf_capacity = 32, size_t fanout = 8);
+
+  /// \brief Row ids of all points inside the closed box [lo, hi].
+  std::vector<size_t> RangeQuery(const std::vector<double>& lo,
+                                 const std::vector<double>& hi) const;
+
+  /// \brief Visit each point in the box: fn(row_id, point values).
+  /// Subtrees fully contained in the box skip per-point tests.
+  void ForEachInBox(const std::vector<double>& lo,
+                    const std::vector<double>& hi,
+                    const std::function<void(size_t, const double*)>& fn) const;
+
+  size_t num_points() const { return points_.size(); }
+  size_t dim() const { return dim_; }
+  const std::vector<double>& point(size_t id) const { return points_[id]; }
+
+  /// \brief Approximate memory footprint in bytes (points + nodes).
+  size_t SizeBytes() const;
+
+ private:
+  struct BuildEntry {
+    size_t id;
+  };
+  struct Node {
+    BoundingBox box;
+    std::vector<int> children;   // internal: node ids
+    std::vector<size_t> row_ids;  // leaf: point ids
+    bool is_leaf() const { return children.empty(); }
+  };
+
+  int BuildLeaves(std::vector<size_t>* ids, size_t begin, size_t end,
+                  size_t depth, size_t leaf_capacity,
+                  std::vector<int>* out_leaf_ids);
+  void Visit(int node_id, const std::vector<double>& lo,
+             const std::vector<double>& hi,
+             const std::function<void(size_t, const double*)>& fn) const;
+
+  size_t dim_ = 0;
+  std::vector<std::vector<double>> points_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_INDEX_RTREE_H_

@@ -1,0 +1,69 @@
+#include "nn/activation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace neurosketch {
+namespace nn {
+
+void ApplyActivation(Activation act, const Matrix& in, Matrix* out) {
+  if (out != &in) *out = in;
+  switch (act) {
+    case Activation::kIdentity:
+      return;
+    case Activation::kRelu:
+      out->Apply([](double x) { return x > 0.0 ? x : 0.0; });
+      return;
+    case Activation::kTanh:
+      out->Apply([](double x) { return std::tanh(x); });
+      return;
+    case Activation::kSigmoid:
+      out->Apply([](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+      return;
+  }
+}
+
+void ActivationGrad(Activation act, const Matrix& z, Matrix* out) {
+  *out = z;
+  switch (act) {
+    case Activation::kIdentity:
+      out->Fill(1.0);
+      return;
+    case Activation::kRelu:
+      out->Apply([](double x) { return x > 0.0 ? 1.0 : 0.0; });
+      return;
+    case Activation::kTanh:
+      out->Apply([](double x) {
+        double t = std::tanh(x);
+        return 1.0 - t * t;
+      });
+      return;
+    case Activation::kSigmoid:
+      out->Apply([](double x) {
+        double s = 1.0 / (1.0 + std::exp(-x));
+        return s * (1.0 - s);
+      });
+      return;
+  }
+}
+
+std::string ActivationName(Activation act) {
+  switch (act) {
+    case Activation::kIdentity: return "identity";
+    case Activation::kRelu: return "relu";
+    case Activation::kTanh: return "tanh";
+    case Activation::kSigmoid: return "sigmoid";
+  }
+  return "identity";
+}
+
+Activation ActivationFromName(const std::string& name) {
+  if (name == "identity") return Activation::kIdentity;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  throw std::invalid_argument("unknown activation: " + name);
+}
+
+}  // namespace nn
+}  // namespace neurosketch

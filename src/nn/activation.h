@@ -1,0 +1,33 @@
+// Activation functions for the dense layers. The paper's networks use ReLU
+// on hidden layers and identity on the output layer (Sec. 4.2).
+#ifndef NEUROSKETCH_NN_ACTIVATION_H_
+#define NEUROSKETCH_NN_ACTIVATION_H_
+
+#include <string>
+
+#include "tensor/matrix.h"
+
+namespace neurosketch {
+namespace nn {
+
+enum class Activation {
+  kIdentity,
+  kRelu,
+  kTanh,
+  kSigmoid,
+};
+
+/// \brief Apply activation elementwise: out = act(in). in may alias out.
+void ApplyActivation(Activation act, const Matrix& in, Matrix* out);
+
+/// \brief Derivative given the *pre-activation* values z: out = act'(z).
+/// For ReLU the derivative at exactly 0 is taken as 0.
+void ActivationGrad(Activation act, const Matrix& z, Matrix* out);
+
+std::string ActivationName(Activation act);
+Activation ActivationFromName(const std::string& name);
+
+}  // namespace nn
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_NN_ACTIVATION_H_

@@ -1,0 +1,140 @@
+#include "nn/construction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace neurosketch {
+namespace nn {
+
+namespace {
+inline double Relu(double x) { return x > 0.0 ? x : 0.0; }
+}  // namespace
+
+std::vector<size_t> GUnitNetwork::VertexDigits(size_t index, size_t d,
+                                               size_t t) {
+  std::vector<size_t> digits(d, 0);
+  const size_t base = t + 1;
+  for (size_t r = d; r-- > 0;) {
+    digits[r] = index % base;
+    index /= base;
+  }
+  return digits;
+}
+
+Result<GUnitNetwork> GUnitNetwork::Construct(const TargetFn& f, size_t d,
+                                             size_t t, double big_m) {
+  if (d == 0) return Status::InvalidArgument("d must be >= 1");
+  if (t == 0) return Status::InvalidArgument("t must be >= 1");
+  if (big_m < 1.0) return Status::InvalidArgument("M must be >= 1");
+  // Guard against exponential blow-up: (t+1)^d units.
+  double units = std::pow(static_cast<double>(t + 1), static_cast<double>(d));
+  if (units > 2e6) {
+    return Status::OutOfRange("(t+1)^d too large: " + std::to_string(units));
+  }
+
+  GUnitNetwork net(d, t, big_m);
+  const size_t k = static_cast<size_t>(units);
+  net.a_.assign(k - 1, 0.0);
+  net.b_.assign((k - 1) * d, 0.0);
+
+  // Line 1 of Alg. 1: the output bias memorizes the origin vertex.
+  std::vector<double> x(d, 0.0);
+  net.bias_ = f(x);
+
+  // Lines 2-6: enumerate vertices in π ordering; each iteration fixes one
+  // g-unit so that π^i/t is memorized without disturbing earlier vertices.
+  for (size_t i = 1; i < k; ++i) {
+    const std::vector<size_t> digits = VertexDigits(i, d, t);
+    for (size_t r = 0; r < d; ++r) {
+      x[r] = static_cast<double>(digits[r]) / static_cast<double>(t);
+      net.b_[(i - 1) * d + r] = x[r];
+    }
+    // ŷ = b + Σ_{j<i} ĝ_j(π^i/t); units j >= i still have a_j = 0 so the
+    // full Evaluate gives the same value.
+    const double y_hat = net.Evaluate(x);
+    net.a_[i - 1] =
+        static_cast<double>(t) * (f(x) - y_hat);
+  }
+  return net;
+}
+
+double GUnitNetwork::EvalUnit(size_t i, const double* x) const {
+  const double* bi = &b_[i * d_];
+  double inner = 1.0 / static_cast<double>(t_);
+  for (size_t r = 0; r < d_; ++r) {
+    inner -= big_m_ * Relu(bi[r] - x[r]);
+  }
+  return a_[i] * Relu(inner);
+}
+
+double GUnitNetwork::Evaluate(const std::vector<double>& x) const {
+  double y = bias_;
+  for (size_t i = 0; i < a_.size(); ++i) y += EvalUnit(i, x.data());
+  return y;
+}
+
+double GUnitNetwork::TrainSgd(const Matrix& inputs, const Matrix& targets,
+                              size_t epochs, size_t batch_size, double lr,
+                              uint64_t seed) {
+  const size_t n = inputs.rows();
+  if (n == 0 || inputs.cols() != d_) return 0.0;
+  Rng rng(seed);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  batch_size = std::max<size_t>(1, std::min(batch_size, n));
+
+  std::vector<double> da(a_.size()), db(b_.size());
+  double epoch_loss = 0.0;
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    rng.Shuffle(&order);
+    epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t off = 0; off < n; off += batch_size) {
+      const size_t sz = std::min(batch_size, n - off);
+      std::fill(da.begin(), da.end(), 0.0);
+      std::fill(db.begin(), db.end(), 0.0);
+      double dbias = 0.0;
+      double loss = 0.0;
+      for (size_t s = 0; s < sz; ++s) {
+        const double* x = inputs.row(order[off + s]);
+        const double target = targets(order[off + s], 0);
+        // Forward with cached unit pre-activations.
+        double y = bias_;
+        std::vector<double> s_pre(a_.size());
+        for (size_t i = 0; i < a_.size(); ++i) {
+          const double* bi = &b_[i * d_];
+          double inner = 1.0 / static_cast<double>(t_);
+          for (size_t r = 0; r < d_; ++r) inner -= big_m_ * Relu(bi[r] - x[r]);
+          s_pre[i] = inner;
+          y += a_[i] * Relu(inner);
+        }
+        const double diff = y - target;
+        loss += diff * diff;
+        const double g = 2.0 * diff / static_cast<double>(sz);
+        dbias += g;
+        for (size_t i = 0; i < a_.size(); ++i) {
+          if (s_pre[i] <= 0.0) continue;
+          da[i] += g * s_pre[i];
+          const double* bi = &b_[i * d_];
+          for (size_t r = 0; r < d_; ++r) {
+            if (bi[r] - x[r] > 0.0) {
+              db[i * d_ + r] += g * a_[i] * (-big_m_);
+            }
+          }
+        }
+      }
+      bias_ -= lr * dbias;
+      for (size_t i = 0; i < a_.size(); ++i) a_[i] -= lr * da[i];
+      for (size_t i = 0; i < b_.size(); ++i) b_[i] -= lr * db[i];
+      epoch_loss += loss / static_cast<double>(sz);
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(batches);
+  }
+  return epoch_loss;
+}
+
+}  // namespace nn
+}  // namespace neurosketch

@@ -1,0 +1,78 @@
+// The explicit ReLU network construction of Theorem 3.4 / Algorithm 1.
+//
+// The network is f̂(x) = b + Σ_i ĝ_i(x) with g-units
+//   ĝ_i(x) = a_i · σ( 1/t − M Σ_r σ( b_{r,i} − x_r ) ),
+// where σ is ReLU, t is the grid resolution, and M ≥ 1 controls the width
+// of the transition band at cell boundaries. Algorithm 1 sets the biases to
+// grid-vertex coordinates (b_{r,i} = π^i_r / t) and solves the a_i so that
+// every grid vertex of [0,1]^d is memorized exactly (Lemma A.1).
+//
+// Two uses (Appendix A.5):
+//  - CS: the construction evaluated as-is;
+//  - CS+SGD: the construction as the initialization of SGD training, with
+//    a_i, b_{r,i} and b all trainable.
+#ifndef NEUROSKETCH_NN_CONSTRUCTION_H_
+#define NEUROSKETCH_NN_CONSTRUCTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/status.h"
+
+namespace neurosketch {
+namespace nn {
+
+/// \brief Target function for the construction: [0,1]^d -> R.
+using TargetFn = std::function<double(const std::vector<double>&)>;
+
+/// \brief Two-hidden-layer g-unit network (Fig. 2c of the paper).
+class GUnitNetwork {
+ public:
+  /// \brief Build via Algorithm 1 so that f̂ agrees with `f` on all
+  /// (t+1)^d grid vertices. Requires d >= 1, t >= 1, M >= 1.
+  static Result<GUnitNetwork> Construct(const TargetFn& f, size_t d, size_t t,
+                                        double big_m = 1.0);
+
+  /// \brief Forward pass.
+  double Evaluate(const std::vector<double>& x) const;
+
+  /// \brief Mini-batch SGD on MSE over (inputs, targets), training a_i,
+  /// b_{r,i} and the output bias (the CS+SGD variant). Returns final
+  /// epoch-average loss.
+  double TrainSgd(const Matrix& inputs, const Matrix& targets,
+                  size_t epochs, size_t batch_size, double lr, uint64_t seed);
+
+  size_t dim() const { return d_; }
+  size_t grid_t() const { return t_; }
+  size_t num_units() const { return a_.size(); }
+  /// \brief Tunable parameter count: k·(d+1) + 1 (a_i, b_{r,i}, b).
+  size_t num_params() const { return a_.size() * (d_ + 1) + 1; }
+  double big_m() const { return big_m_; }
+  double output_bias() const { return bias_; }
+  const std::vector<double>& unit_scales() const { return a_; }
+
+  /// \brief π^i as grid coordinates: the base-(t+1) digits of i, most
+  /// significant digit first (paper Sec. 3.2.2). Exposed for tests.
+  static std::vector<size_t> VertexDigits(size_t index, size_t d, size_t t);
+
+ private:
+  GUnitNetwork(size_t d, size_t t, double big_m)
+      : d_(d), t_(t), big_m_(big_m) {}
+
+  /// \brief Evaluate one g-unit; also reports the pre-activations used by
+  /// backprop when grads != nullptr.
+  double EvalUnit(size_t i, const double* x) const;
+
+  size_t d_, t_;
+  double big_m_;
+  double bias_ = 0.0;        // b, the third-layer bias
+  std::vector<double> a_;    // a_i, one per g-unit (size (t+1)^d - 1)
+  std::vector<double> b_;    // b_{r,i}, row-major (unit, dim)
+};
+
+}  // namespace nn
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_NN_CONSTRUCTION_H_

@@ -1,0 +1,77 @@
+#include "nn/layer.h"
+
+#include <cmath>
+
+namespace neurosketch {
+namespace nn {
+
+DenseLayer::DenseLayer(size_t in_dim, size_t out_dim, Activation act)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      act_(act),
+      weight_(in_dim, out_dim),
+      bias_(1, out_dim),
+      dweight_(in_dim, out_dim),
+      dbias_(1, out_dim) {}
+
+void DenseLayer::InitParams(Rng* rng) {
+  // He init for ReLU (gain sqrt(2)), Glorot otherwise.
+  double scale;
+  if (act_ == Activation::kRelu) {
+    scale = std::sqrt(2.0 / static_cast<double>(in_dim_));
+  } else {
+    scale = std::sqrt(2.0 / static_cast<double>(in_dim_ + out_dim_));
+  }
+  for (size_t i = 0; i < in_dim_; ++i) {
+    for (size_t j = 0; j < out_dim_; ++j) {
+      weight_(i, j) = rng->Normal(0.0, scale);
+    }
+  }
+  bias_.Zero();
+}
+
+void DenseLayer::Forward(const Matrix& x, Matrix* y) {
+  input_ = x;
+  Gemm(x, weight_, &preact_);
+  AddRowVector(&preact_, bias_);
+  ApplyActivation(act_, preact_, y);
+}
+
+void DenseLayer::ForwardInference(const Matrix& x, Matrix* y) const {
+  Matrix z;
+  Gemm(x, weight_, &z);
+  AddRowVector(&z, bias_);
+  ApplyActivation(act_, z, y);
+}
+
+void DenseLayer::Backward(const Matrix& dy, Matrix* dx) {
+  // dz = dy ⊙ act'(preact)
+  Matrix dz;
+  ActivationGrad(act_, preact_, &dz);
+  assert(dz.SameShape(dy));
+  for (size_t i = 0; i < dz.size(); ++i) dz.data()[i] *= dy.data()[i];
+
+  // dW += x^T dz ; db += colsum(dz) ; dx = dz W^T
+  Matrix dw;
+  GemmTransA(input_, dz, &dw);
+  dweight_.Axpy(1.0, dw);
+  Matrix db;
+  ColumnSums(dz, &db);
+  dbias_.Axpy(1.0, db);
+  GemmTransB(dz, weight_, dx);
+}
+
+void DenseLayer::ZeroGrad() {
+  dweight_.Zero();
+  dbias_.Zero();
+}
+
+std::vector<ParamView> DenseLayer::Params() {
+  return {
+      {weight_.data(), dweight_.data(), weight_.size()},
+      {bias_.data(), dbias_.data(), bias_.size()},
+  };
+}
+
+}  // namespace nn
+}  // namespace neurosketch

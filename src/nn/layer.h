@@ -1,0 +1,69 @@
+// Fully connected layer with cached forward state for backprop.
+#ifndef NEUROSKETCH_NN_LAYER_H_
+#define NEUROSKETCH_NN_LAYER_H_
+
+#include <vector>
+
+#include "nn/activation.h"
+#include "tensor/matrix.h"
+#include "util/random.h"
+
+namespace neurosketch {
+namespace nn {
+
+/// \brief View onto a parameter tensor and its gradient; consumed by
+/// optimizers so they stay agnostic of layer internals.
+struct ParamView {
+  double* value;
+  double* grad;
+  size_t size;
+};
+
+/// \brief y = act(x W + b), where x is (batch, in), W is (in, out),
+/// b is (1, out).
+class DenseLayer {
+ public:
+  DenseLayer(size_t in_dim, size_t out_dim, Activation act);
+
+  /// \brief He/Xavier-style initialization appropriate for the activation:
+  /// He for ReLU, Xavier(Glorot) otherwise. Biases start at zero.
+  void InitParams(Rng* rng);
+
+  /// \brief Forward pass; caches input and pre-activation for Backward.
+  void Forward(const Matrix& x, Matrix* y);
+
+  /// \brief Forward without caching (inference path).
+  void ForwardInference(const Matrix& x, Matrix* y) const;
+
+  /// \brief Given dL/dy, accumulate dW/db and return dL/dx.
+  /// Must be preceded by Forward on the same batch.
+  void Backward(const Matrix& dy, Matrix* dx);
+
+  void ZeroGrad();
+
+  std::vector<ParamView> Params();
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+  Activation activation() const { return act_; }
+  size_t num_params() const { return weight_.size() + bias_.size(); }
+
+  Matrix& weight() { return weight_; }
+  const Matrix& weight() const { return weight_; }
+  Matrix& bias() { return bias_; }
+  const Matrix& bias() const { return bias_; }
+
+ private:
+  size_t in_dim_, out_dim_;
+  Activation act_;
+  Matrix weight_;  // (in, out)
+  Matrix bias_;    // (1, out)
+  Matrix dweight_, dbias_;
+  // Cached forward state.
+  Matrix input_, preact_;
+};
+
+}  // namespace nn
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_NN_LAYER_H_

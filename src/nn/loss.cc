@@ -1,0 +1,37 @@
+#include "nn/loss.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace neurosketch {
+namespace nn {
+
+double MseLoss(const Matrix& pred, const Matrix& target, Matrix* grad) {
+  assert(pred.SameShape(target));
+  const size_t n = pred.size();
+  *grad = Matrix(pred.rows(), pred.cols());
+  double loss = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double diff = pred.data()[i] - target.data()[i];
+    loss += diff * diff;
+    grad->data()[i] = 2.0 * diff / static_cast<double>(n);
+  }
+  return loss / static_cast<double>(n);
+}
+
+double MaeLoss(const Matrix& pred, const Matrix& target, Matrix* grad) {
+  assert(pred.SameShape(target));
+  const size_t n = pred.size();
+  *grad = Matrix(pred.rows(), pred.cols());
+  double loss = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double diff = pred.data()[i] - target.data()[i];
+    loss += std::fabs(diff);
+    double g = diff > 0.0 ? 1.0 : (diff < 0.0 ? -1.0 : 0.0);
+    grad->data()[i] = g / static_cast<double>(n);
+  }
+  return loss / static_cast<double>(n);
+}
+
+}  // namespace nn
+}  // namespace neurosketch

@@ -1,0 +1,20 @@
+// Loss functions. Training uses MSE as in Alg. 4 of the paper.
+#ifndef NEUROSKETCH_NN_LOSS_H_
+#define NEUROSKETCH_NN_LOSS_H_
+
+#include "tensor/matrix.h"
+
+namespace neurosketch {
+namespace nn {
+
+/// \brief Mean squared error over all elements; also emits dL/dpred.
+/// L = (1/N) Σ (pred - target)^2, dL/dpred = (2/N)(pred - target).
+double MseLoss(const Matrix& pred, const Matrix& target, Matrix* grad);
+
+/// \brief Mean absolute error; subgradient 0 at exact ties.
+double MaeLoss(const Matrix& pred, const Matrix& target, Matrix* grad);
+
+}  // namespace nn
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_NN_LOSS_H_

@@ -1,0 +1,85 @@
+#include "nn/mlp.h"
+
+namespace neurosketch {
+namespace nn {
+
+MlpConfig MlpConfig::Paper(size_t in_dim, size_t n_layers, size_t l_first,
+                           size_t l_rest) {
+  MlpConfig cfg;
+  cfg.in_dim = in_dim;
+  cfg.out_dim = 1;
+  if (n_layers >= 2) {
+    cfg.hidden.push_back(l_first);
+    for (size_t i = 2; i + 1 <= n_layers - 1; ++i) cfg.hidden.push_back(l_rest);
+  }
+  return cfg;
+}
+
+Mlp::Mlp(const MlpConfig& config, uint64_t seed) : config_(config) {
+  Rng rng(seed);
+  size_t prev = config.in_dim;
+  for (size_t h : config.hidden) {
+    layers_.emplace_back(prev, h, config.hidden_act);
+    prev = h;
+  }
+  layers_.emplace_back(prev, config.out_dim, Activation::kIdentity);
+  for (auto& layer : layers_) layer.InitParams(&rng);
+}
+
+void Mlp::Forward(const Matrix& x, Matrix* y) {
+  Matrix cur = x;
+  Matrix next;
+  for (auto& layer : layers_) {
+    layer.Forward(cur, &next);
+    cur = next;
+  }
+  *y = cur;
+}
+
+void Mlp::Predict(const Matrix& x, Matrix* y) const {
+  Matrix cur = x;
+  Matrix next;
+  for (const auto& layer : layers_) {
+    layer.ForwardInference(cur, &next);
+    cur = next;
+  }
+  *y = cur;
+}
+
+double Mlp::PredictOne(const std::vector<double>& x) const {
+  Matrix in(1, x.size());
+  for (size_t i = 0; i < x.size(); ++i) in(0, i) = x[i];
+  Matrix out;
+  Predict(in, &out);
+  return out(0, 0);
+}
+
+void Mlp::Backward(const Matrix& dy) {
+  Matrix cur = dy;
+  Matrix prev;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    layers_[i].Backward(cur, &prev);
+    cur = prev;
+  }
+}
+
+void Mlp::ZeroGrad() {
+  for (auto& layer : layers_) layer.ZeroGrad();
+}
+
+std::vector<ParamView> Mlp::Params() {
+  std::vector<ParamView> out;
+  for (auto& layer : layers_) {
+    for (auto& p : layer.Params()) out.push_back(p);
+  }
+  return out;
+}
+
+size_t Mlp::num_params() const {
+  size_t n = 0;
+  for (const auto& layer : layers_) n += layer.num_params();
+  return n;
+}
+
+}  // namespace nn
+}  // namespace neurosketch

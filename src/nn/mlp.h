@@ -1,0 +1,69 @@
+// Multi-layer perceptron matching the paper's NeuroSketch architecture
+// (Sec. 4.2): input layer of dimensionality d, a first hidden layer of
+// l_first units, (n_l - 2) hidden layers of l_rest units, and a 1-unit
+// linear output layer; ReLU on all hidden layers.
+#ifndef NEUROSKETCH_NN_MLP_H_
+#define NEUROSKETCH_NN_MLP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layer.h"
+#include "util/random.h"
+
+namespace neurosketch {
+namespace nn {
+
+/// \brief Architecture description. `hidden` lists hidden-layer widths in
+/// order; output is always 1 linear unit unless `out_dim` says otherwise.
+struct MlpConfig {
+  size_t in_dim = 1;
+  std::vector<size_t> hidden;
+  size_t out_dim = 1;
+  Activation hidden_act = Activation::kRelu;
+
+  /// \brief Paper default: n_l layers total, first hidden = l_first,
+  /// rest = l_rest (Sec. 5.1 default: n_l=5, l_first=60, l_rest=30).
+  static MlpConfig Paper(size_t in_dim, size_t n_layers = 5,
+                         size_t l_first = 60, size_t l_rest = 30);
+};
+
+/// \brief Trainable feed-forward network.
+class Mlp {
+ public:
+  Mlp() = default;
+  explicit Mlp(const MlpConfig& config, uint64_t seed = 42);
+
+  /// \brief Training forward pass (caches activations for Backward).
+  void Forward(const Matrix& x, Matrix* y);
+
+  /// \brief Inference forward pass (no caching, const).
+  void Predict(const Matrix& x, Matrix* y) const;
+
+  /// \brief Single-input convenience inference (out_dim must be 1).
+  double PredictOne(const std::vector<double>& x) const;
+
+  /// \brief Backprop dL/dy through all layers, accumulating grads.
+  void Backward(const Matrix& dy);
+
+  void ZeroGrad();
+  std::vector<ParamView> Params();
+
+  size_t num_params() const;
+  /// \brief Serialized size in bytes (8 bytes per parameter), the paper's
+  /// space-complexity measure Σ(f̂).
+  size_t SizeBytes() const { return num_params() * sizeof(double); }
+
+  const MlpConfig& config() const { return config_; }
+  std::vector<DenseLayer>& layers() { return layers_; }
+  const std::vector<DenseLayer>& layers() const { return layers_; }
+
+ private:
+  MlpConfig config_;
+  std::vector<DenseLayer> layers_;
+};
+
+}  // namespace nn
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_NN_MLP_H_

@@ -1,0 +1,61 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace neurosketch {
+namespace nn {
+
+Sgd::Sgd(double lr, double momentum) : lr_(lr), momentum_(momentum) {}
+
+void Sgd::Attach(std::vector<ParamView> params) {
+  params_ = std::move(params);
+  velocity_.clear();
+  for (const auto& p : params_) velocity_.emplace_back(p.size, 0.0);
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    auto& vel = velocity_[i];
+    for (size_t j = 0; j < p.size; ++j) {
+      vel[j] = momentum_ * vel[j] - lr_ * p.grad[j];
+      p.value[j] += vel[j];
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void Adam::Attach(std::vector<ParamView> params) {
+  params_ = std::move(params);
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+  for (const auto& p : params_) {
+    m_.emplace_back(p.size, 0.0);
+    v_.emplace_back(p.size, 0.0);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (size_t j = 0; j < p.size; ++j) {
+      const double g = p.grad[j];
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g * g;
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      p.value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace neurosketch

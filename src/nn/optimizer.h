@@ -1,0 +1,61 @@
+// First-order optimizers. The paper trains with Adam [20]; plain SGD is
+// provided for the construction-initialization experiments (Appendix A.5).
+#ifndef NEUROSKETCH_NN_OPTIMIZER_H_
+#define NEUROSKETCH_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace neurosketch {
+namespace nn {
+
+/// \brief Interface: consume accumulated gradients and update parameters.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// \brief Register the parameter set once before the first Step.
+  virtual void Attach(std::vector<ParamView> params) = 0;
+  /// \brief Apply one update using the currently accumulated gradients.
+  virtual void Step() = 0;
+  virtual double learning_rate() const = 0;
+  virtual void set_learning_rate(double lr) = 0;
+};
+
+/// \brief Vanilla SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr = 1e-2, double momentum = 0.0);
+  void Attach(std::vector<ParamView> params) override;
+  void Step() override;
+  double learning_rate() const override { return lr_; }
+  void set_learning_rate(double lr) override { lr_ = lr; }
+
+ private:
+  double lr_, momentum_;
+  std::vector<ParamView> params_;
+  std::vector<std::vector<double>> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba 2014) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+  void Attach(std::vector<ParamView> params) override;
+  void Step() override;
+  double learning_rate() const override { return lr_; }
+  void set_learning_rate(double lr) override { lr_ = lr; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+  std::vector<ParamView> params_;
+  std::vector<std::vector<double>> m_, v_;
+};
+
+}  // namespace nn
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_NN_OPTIMIZER_H_

@@ -1,0 +1,86 @@
+#include "nn/pruning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "nn/trainer.h"
+
+namespace neurosketch {
+namespace nn {
+
+PruneReport PruneByMagnitude(Mlp* model, double sparsity) {
+  PruneReport report;
+  sparsity = std::clamp(sparsity, 0.0, 0.999);
+  // Collect all weight magnitudes (biases excluded).
+  std::vector<double> mags;
+  for (auto& layer : model->layers()) {
+    const Matrix& w = layer.weight();
+    for (size_t i = 0; i < w.size(); ++i) {
+      mags.push_back(std::fabs(w.data()[i]));
+    }
+  }
+  report.total_weights = mags.size();
+  if (mags.empty() || sparsity <= 0.0) return report;
+
+  const size_t k = static_cast<size_t>(sparsity * mags.size());
+  if (k == 0) return report;
+  std::nth_element(mags.begin(), mags.begin() + (k - 1), mags.end());
+  report.threshold = mags[k - 1];
+
+  for (auto& layer : model->layers()) {
+    Matrix& w = layer.weight();
+    for (size_t i = 0; i < w.size(); ++i) {
+      if (std::fabs(w.data()[i]) <= report.threshold && w.data()[i] != 0.0) {
+        w.data()[i] = 0.0;
+        ++report.pruned_weights;
+      }
+    }
+  }
+  return report;
+}
+
+size_t CountZeroWeights(const Mlp& model) {
+  size_t zeros = 0;
+  for (const auto& layer : model.layers()) {
+    const Matrix& w = layer.weight();
+    for (size_t i = 0; i < w.size(); ++i) {
+      if (w.data()[i] == 0.0) ++zeros;
+    }
+  }
+  return zeros;
+}
+
+double FineTunePruned(Mlp* model, const Matrix& inputs, const Matrix& targets,
+                      const TrainConfig& config, bool freeze_zeros) {
+  if (!freeze_zeros) {
+    return TrainRegressor(model, inputs, targets, config).final_loss;
+  }
+  // Record the pruned mask, train epoch-by-epoch, re-apply the mask.
+  std::vector<std::vector<bool>> masks;
+  for (auto& layer : model->layers()) {
+    const Matrix& w = layer.weight();
+    std::vector<bool> mask(w.size());
+    for (size_t i = 0; i < w.size(); ++i) mask[i] = (w.data()[i] == 0.0);
+    masks.push_back(std::move(mask));
+  }
+  TrainConfig step = config;
+  step.epochs = 1;
+  double final_loss = 0.0;
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    step.seed = config.seed + epoch;
+    final_loss = TrainRegressor(model, inputs, targets, step).final_loss;
+    size_t li = 0;
+    for (auto& layer : model->layers()) {
+      Matrix& w = layer.weight();
+      const auto& mask = masks[li++];
+      for (size_t i = 0; i < w.size(); ++i) {
+        if (mask[i]) w.data()[i] = 0.0;
+      }
+    }
+  }
+  return final_loss;
+}
+
+}  // namespace nn
+}  // namespace neurosketch

@@ -1,0 +1,45 @@
+// Magnitude pruning of trained MLPs — the paper's Sec. 7 future-work item
+// ("studying ... model pruning methods [11] to remove unimportant model
+// weights for faster evaluation time"). Weights below a magnitude
+// threshold are zeroed; the zero-skipping GEMM kernel then skips them on
+// the forward pass, and serialized models compress trivially.
+#ifndef NEUROSKETCH_NN_PRUNING_H_
+#define NEUROSKETCH_NN_PRUNING_H_
+
+#include <cstddef>
+
+#include "nn/mlp.h"
+#include "nn/trainer.h"
+
+namespace neurosketch {
+namespace nn {
+
+struct PruneReport {
+  size_t total_weights = 0;
+  size_t pruned_weights = 0;
+  double threshold = 0.0;
+  double sparsity() const {
+    return total_weights == 0
+               ? 0.0
+               : static_cast<double>(pruned_weights) /
+                     static_cast<double>(total_weights);
+  }
+};
+
+/// \brief Zero the fraction `sparsity` (in [0,1)) of smallest-magnitude
+/// weights across all layers (global magnitude pruning). Biases are kept.
+PruneReport PruneByMagnitude(Mlp* model, double sparsity);
+
+/// \brief Number of exactly-zero weights (excluding biases).
+size_t CountZeroWeights(const Mlp& model);
+
+/// \brief Optional fine-tuning pass after pruning ("prune then retrain"):
+/// re-runs the trainer; pruned weights may regrow unless `freeze_zeros`
+/// re-zeroes them after every epoch. Returns the final loss.
+double FineTunePruned(Mlp* model, const Matrix& inputs, const Matrix& targets,
+                      const TrainConfig& config, bool freeze_zeros = true);
+
+}  // namespace nn
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_NN_PRUNING_H_

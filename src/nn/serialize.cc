@@ -1,0 +1,101 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+namespace neurosketch {
+namespace nn {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4e534b31;  // "NSK1"
+constexpr uint32_t kVersion = 1;
+
+void WriteU32(std::ostream* out, uint32_t v) {
+  out->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteU64(std::ostream* out, uint64_t v) {
+  out->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+bool ReadU32(std::istream* in, uint32_t* v) {
+  in->read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in->good();
+}
+bool ReadU64(std::istream* in, uint64_t* v) {
+  in->read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in->good();
+}
+
+}  // namespace
+
+Status SaveMlp(const Mlp& model, std::ostream* out) {
+  WriteU32(out, kMagic);
+  WriteU32(out, kVersion);
+  const MlpConfig& cfg = model.config();
+  WriteU64(out, cfg.in_dim);
+  WriteU64(out, cfg.out_dim);
+  WriteU32(out, static_cast<uint32_t>(cfg.hidden_act));
+  WriteU64(out, cfg.hidden.size());
+  for (size_t h : cfg.hidden) WriteU64(out, h);
+  for (const auto& layer : model.layers()) {
+    out->write(reinterpret_cast<const char*>(layer.weight().data()),
+               static_cast<std::streamsize>(layer.weight().size() *
+                                            sizeof(double)));
+    out->write(reinterpret_cast<const char*>(layer.bias().data()),
+               static_cast<std::streamsize>(layer.bias().size() *
+                                            sizeof(double)));
+  }
+  if (!out->good()) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status SaveMlpFile(const Mlp& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path);
+  return SaveMlp(model, &out);
+}
+
+Result<Mlp> LoadMlp(std::istream* in) {
+  uint32_t magic = 0, version = 0, act = 0;
+  uint64_t in_dim = 0, out_dim = 0, n_hidden = 0;
+  if (!ReadU32(in, &magic) || magic != kMagic) {
+    return Status::InvalidArgument("bad magic in model stream");
+  }
+  if (!ReadU32(in, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported model version");
+  }
+  if (!ReadU64(in, &in_dim) || !ReadU64(in, &out_dim) || !ReadU32(in, &act) ||
+      !ReadU64(in, &n_hidden)) {
+    return Status::IOError("truncated model header");
+  }
+  MlpConfig cfg;
+  cfg.in_dim = in_dim;
+  cfg.out_dim = out_dim;
+  cfg.hidden_act = static_cast<Activation>(act);
+  for (uint64_t i = 0; i < n_hidden; ++i) {
+    uint64_t h = 0;
+    if (!ReadU64(in, &h)) return Status::IOError("truncated hidden widths");
+    cfg.hidden.push_back(h);
+  }
+  Mlp model(cfg);
+  for (auto& layer : model.layers()) {
+    in->read(reinterpret_cast<char*>(layer.weight().data()),
+             static_cast<std::streamsize>(layer.weight().size() *
+                                          sizeof(double)));
+    in->read(reinterpret_cast<char*>(layer.bias().data()),
+             static_cast<std::streamsize>(layer.bias().size() *
+                                          sizeof(double)));
+    if (!in->good()) return Status::IOError("truncated parameter block");
+  }
+  return model;
+}
+
+Result<Mlp> LoadMlpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  return LoadMlp(&in);
+}
+
+}  // namespace nn
+}  // namespace neurosketch

@@ -1,0 +1,29 @@
+// Binary serialization for trained models. A NeuroSketch is "released"
+// instead of the data (paper Sec. 7), so models must round-trip exactly.
+#ifndef NEUROSKETCH_NN_SERIALIZE_H_
+#define NEUROSKETCH_NN_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/mlp.h"
+#include "util/status.h"
+
+namespace neurosketch {
+namespace nn {
+
+/// \brief Write the architecture and all parameters to a stream.
+/// Format: magic, version, in/out dims, hidden widths, activation,
+/// raw little-endian doubles.
+Status SaveMlp(const Mlp& model, std::ostream* out);
+Status SaveMlpFile(const Mlp& model, const std::string& path);
+
+/// \brief Reconstruct a model saved with SaveMlp. Parameters round-trip
+/// bit-exactly.
+Result<Mlp> LoadMlp(std::istream* in);
+Result<Mlp> LoadMlpFile(const std::string& path);
+
+}  // namespace nn
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_NN_SERIALIZE_H_

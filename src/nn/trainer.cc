@@ -1,0 +1,79 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "nn/loss.h"
+
+namespace neurosketch {
+namespace nn {
+
+TrainReport TrainRegressor(Mlp* model, const Matrix& inputs,
+                           const Matrix& targets, const TrainConfig& config) {
+  TrainReport report;
+  const size_t n = inputs.rows();
+  if (n == 0) return report;
+
+  std::unique_ptr<Optimizer> opt;
+  if (config.use_adam) {
+    opt = std::make_unique<Adam>(config.learning_rate);
+  } else {
+    opt = std::make_unique<Sgd>(config.learning_rate);
+  }
+  opt->Attach(model->Params());
+
+  Rng rng(config.seed);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  const size_t batch = std::max<size_t>(1, std::min(config.batch_size, n));
+  double best = std::numeric_limits<double>::infinity();
+  size_t since_best = 0;
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    size_t num_batches = 0;
+    for (size_t off = 0; off < n; off += batch) {
+      const size_t sz = std::min(batch, n - off);
+      Matrix bx(sz, inputs.cols());
+      Matrix by(sz, targets.cols());
+      for (size_t i = 0; i < sz; ++i) {
+        const size_t src = order[off + i];
+        std::copy(inputs.row(src), inputs.row(src) + inputs.cols(), bx.row(i));
+        std::copy(targets.row(src), targets.row(src) + targets.cols(),
+                  by.row(i));
+      }
+      Matrix pred, grad;
+      model->Forward(bx, &pred);
+      epoch_loss += MseLoss(pred, by, &grad);
+      ++num_batches;
+      model->ZeroGrad();
+      model->Backward(grad);
+      opt->Step();
+    }
+    epoch_loss /= static_cast<double>(num_batches);
+    report.epoch_losses.push_back(epoch_loss);
+    report.epochs_run = epoch + 1;
+    report.final_loss = epoch_loss;
+
+    if (config.lr_decay != 1.0 && config.decay_every > 0 &&
+        (epoch + 1) % config.decay_every == 0) {
+      opt->set_learning_rate(opt->learning_rate() * config.lr_decay);
+    }
+
+    if (config.patience > 0) {
+      if (epoch_loss < best * (1.0 - config.min_delta)) {
+        best = epoch_loss;
+        since_best = 0;
+      } else if (++since_best >= config.patience) {
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace nn
+}  // namespace neurosketch

@@ -1,0 +1,48 @@
+// Mini-batch supervised training loop (paper Alg. 4): sample a batch from
+// the training query set, step the optimizer on the MSE gradient, repeat
+// until convergence (here: a fixed epoch budget plus an optional early-stop
+// patience on training loss).
+#ifndef NEUROSKETCH_NN_TRAINER_H_
+#define NEUROSKETCH_NN_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "util/random.h"
+
+namespace neurosketch {
+namespace nn {
+
+struct TrainConfig {
+  size_t batch_size = 64;
+  size_t epochs = 200;
+  double learning_rate = 1e-3;
+  /// Stop when the best epoch loss has not improved by `min_delta`
+  /// (relative) for `patience` epochs. 0 disables early stopping.
+  size_t patience = 0;
+  double min_delta = 1e-4;
+  /// Multiply the learning rate by this factor every `decay_every` epochs
+  /// (1.0 disables decay).
+  double lr_decay = 1.0;
+  size_t decay_every = 50;
+  uint64_t seed = 7;
+  bool use_adam = true;
+};
+
+struct TrainReport {
+  std::vector<double> epoch_losses;
+  double final_loss = 0.0;
+  size_t epochs_run = 0;
+};
+
+/// \brief Train `model` to regress targets(i) from inputs.row(i).
+/// inputs: (N, in_dim); targets: (N, out_dim).
+TrainReport TrainRegressor(Mlp* model, const Matrix& inputs,
+                           const Matrix& targets, const TrainConfig& config);
+
+}  // namespace nn
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_NN_TRAINER_H_

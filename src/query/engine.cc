@@ -1,0 +1,76 @@
+#include "query/engine.h"
+
+#include <atomic>
+#include <thread>
+
+#include "query/aggregate.h"
+
+namespace neurosketch {
+
+namespace {
+/// Gathers per-column base pointers once; the row-materialization loop is
+/// the hot path of training-set generation.
+std::vector<const double*> ColumnPointers(const Table& t) {
+  std::vector<const double*> cols(t.num_columns());
+  for (size_t c = 0; c < t.num_columns(); ++c) cols[c] = t.column(c).data();
+  return cols;
+}
+}  // namespace
+
+ExactEngine::ExactEngine(const Table* table) : table_(table) {}
+
+double ExactEngine::Answer(const QueryFunctionSpec& spec,
+                           const QueryInstance& q) const {
+  const size_t dim = table_->num_columns();
+  const size_t n = table_->num_rows();
+  const auto cols = ColumnPointers(*table_);
+  const double* measure = cols[spec.measure_col];
+  AggregateAccumulator acc(spec.agg);
+  std::vector<double> row(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < dim; ++c) row[c] = cols[c][i];
+    if (spec.predicate->Matches(q, row.data(), dim)) acc.Add(measure[i]);
+  }
+  return acc.Finalize();
+}
+
+size_t ExactEngine::CountMatches(const QueryFunctionSpec& spec,
+                                 const QueryInstance& q) const {
+  const size_t dim = table_->num_columns();
+  const size_t n = table_->num_rows();
+  const auto cols = ColumnPointers(*table_);
+  size_t matches = 0;
+  std::vector<double> row(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < dim; ++c) row[c] = cols[c][i];
+    if (spec.predicate->Matches(q, row.data(), dim)) ++matches;
+  }
+  return matches;
+}
+
+std::vector<double> ExactEngine::AnswerBatch(
+    const QueryFunctionSpec& spec, const std::vector<QueryInstance>& queries,
+    size_t num_threads) const {
+  std::vector<double> out(queries.size());
+  if (num_threads <= 1 || queries.size() < 2 * num_threads) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      out[i] = Answer(spec, queries[i]);
+    }
+    return out;
+  }
+  std::vector<std::thread> workers;
+  std::atomic<size_t> next{0};
+  for (size_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&]() {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= queries.size()) return;
+        out[i] = Answer(spec, queries[i]);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  return out;
+}
+
+}  // namespace neurosketch

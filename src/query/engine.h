@@ -1,0 +1,45 @@
+// Exact scan-based query engine. Provides ground truth f_D(q) for training
+// set generation (paper Sec. 4.2: "a typical algorithm iterates over the
+// points in the database ... checks whether it matches the RAQ predicate")
+// and for the evaluation harness. Supports an optional parallel batch path
+// mirroring the paper's "embarrassingly parallelizable across training
+// queries" note.
+#ifndef NEUROSKETCH_QUERY_ENGINE_H_
+#define NEUROSKETCH_QUERY_ENGINE_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "query/predicate.h"
+#include "query/query.h"
+
+namespace neurosketch {
+
+/// \brief Exact evaluator over a (normalized) table.
+class ExactEngine {
+ public:
+  /// \brief The engine keeps a pointer; `table` must outlive it.
+  explicit ExactEngine(const Table* table);
+
+  /// \brief Exact answer to one query. NaN for undefined answers
+  /// (AVG-like aggregate over an empty range).
+  double Answer(const QueryFunctionSpec& spec, const QueryInstance& q) const;
+
+  /// \brief Number of rows matching the predicate.
+  size_t CountMatches(const QueryFunctionSpec& spec,
+                      const QueryInstance& q) const;
+
+  /// \brief Exact answers for a batch; optionally multi-threaded.
+  std::vector<double> AnswerBatch(const QueryFunctionSpec& spec,
+                                  const std::vector<QueryInstance>& queries,
+                                  size_t num_threads = 1) const;
+
+  const Table& table() const { return *table_; }
+
+ private:
+  const Table* table_;
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_QUERY_ENGINE_H_

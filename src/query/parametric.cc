@@ -1,0 +1,208 @@
+#include "query/parametric.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "query/predicate.h"
+#include "util/string_util.h"
+
+namespace neurosketch {
+
+namespace {
+
+/// Simple whitespace/symbol tokenizer. Symbols: ( ) , * and the
+/// comparison operators; identifiers keep '?' prefixes.
+std::vector<std::string> Tokenize(const std::string& sql) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  auto flush = [&]() {
+    if (!cur.empty()) {
+      tokens.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (size_t i = 0; i < sql.size(); ++i) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+    } else if (c == '(' || c == ')' || c == ',' || c == '*') {
+      flush();
+      tokens.push_back(std::string(1, c));
+    } else if (c == '>' || c == '<') {
+      flush();
+      if (i + 1 < sql.size() && sql[i + 1] == '=') {
+        tokens.push_back(std::string(1, c) + "=");
+        ++i;
+      } else {
+        tokens.push_back(std::string(1, c));
+      }
+    } else if (c == '=') {
+      flush();
+      tokens.push_back("=");
+    } else {
+      cur.push_back(c);
+    }
+  }
+  flush();
+  return tokens;
+}
+
+std::string Upper(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return out;
+}
+
+Result<Aggregate> ParseAggregate(const std::string& name) {
+  const std::string u = Upper(name);
+  if (u == "COUNT") return Aggregate::kCount;
+  if (u == "SUM") return Aggregate::kSum;
+  if (u == "AVG") return Aggregate::kAvg;
+  if (u == "STD" || u == "STDDEV" || u == "STDEV") return Aggregate::kStd;
+  if (u == "MEDIAN") return Aggregate::kMedian;
+  if (u == "MIN") return Aggregate::kMin;
+  if (u == "MAX") return Aggregate::kMax;
+  return Status::InvalidArgument("unknown aggregate: " + name);
+}
+
+}  // namespace
+
+Result<ParametricQuery> ParametricQuery::Parse(const std::string& sql,
+                                               const Schema& schema) {
+  std::vector<std::string> tok = Tokenize(sql);
+  size_t pos = 0;
+  auto peek = [&]() -> std::string {
+    return pos < tok.size() ? tok[pos] : std::string();
+  };
+  auto next = [&]() -> std::string {
+    return pos < tok.size() ? tok[pos++] : std::string();
+  };
+  auto expect = [&](const std::string& want) -> Status {
+    const std::string got = next();
+    if (Upper(got) != Upper(want)) {
+      return Status::InvalidArgument("expected '" + want + "', got '" + got +
+                                     "'");
+    }
+    return Status::OK();
+  };
+
+  ParametricQuery out;
+  out.data_dim_ = schema.num_columns();
+  out.bounds_.resize(out.data_dim_);
+  out.spec_.predicate = AxisRangePredicate::Make();
+
+  NS_RETURN_NOT_OK(expect("SELECT"));
+  NS_ASSIGN_OR_RETURN(out.spec_.agg, ParseAggregate(next()));
+  NS_RETURN_NOT_OK(expect("("));
+  {
+    const std::string measure = next();
+    if (measure == "*") {
+      if (out.spec_.agg != Aggregate::kCount) {
+        return Status::InvalidArgument("only COUNT(*) may use '*'");
+      }
+      out.spec_.measure_col = 0;
+    } else {
+      const int col = schema.Find(measure);
+      if (col < 0) {
+        return Status::InvalidArgument("unknown measure column: " + measure);
+      }
+      out.spec_.measure_col = static_cast<size_t>(col);
+    }
+  }
+  NS_RETURN_NOT_OK(expect(")"));
+  NS_RETURN_NOT_OK(expect("FROM"));
+  if (next().empty()) return Status::InvalidArgument("missing table name");
+
+  auto param_index = [&](const std::string& token,
+                         size_t column) -> Result<size_t> {
+    if (token.size() < 2 || token[0] != '?') {
+      return Status::InvalidArgument("expected ?parameter, got '" + token +
+                                     "'");
+    }
+    const std::string name = token.substr(1);
+    for (size_t i = 0; i < out.params_.size(); ++i) {
+      if (out.params_[i] == name) {
+        return Status::InvalidArgument("parameter ?" + name + " reused");
+      }
+    }
+    out.params_.push_back(name);
+    out.param_cols_.push_back(column);
+    return out.params_.size() - 1;
+  };
+
+  if (!peek().empty()) {
+    NS_RETURN_NOT_OK(expect("WHERE"));
+    for (;;) {
+      const std::string col_name = next();
+      const int col = schema.Find(col_name);
+      if (col < 0) {
+        return Status::InvalidArgument("unknown column: " + col_name);
+      }
+      AttrBounds& b = out.bounds_[col];
+      const std::string op = Upper(next());
+      const size_t col_id = static_cast<size_t>(col);
+      if (op == "BETWEEN") {
+        NS_ASSIGN_OR_RETURN(size_t lo, param_index(next(), col_id));
+        NS_RETURN_NOT_OK(expect("AND"));
+        NS_ASSIGN_OR_RETURN(size_t hi, param_index(next(), col_id));
+        b.lower = {true, lo, 0.0, false};
+        b.upper = {true, hi, 1.0, false};
+        b.constrained = true;
+      } else if (op == ">" || op == ">=") {
+        NS_ASSIGN_OR_RETURN(size_t p, param_index(next(), col_id));
+        b.lower = {true, p, 0.0, op == ">"};
+        b.constrained = true;
+      } else if (op == "<" || op == "<=") {
+        NS_ASSIGN_OR_RETURN(size_t p, param_index(next(), col_id));
+        b.upper = {true, p, 1.0, op == "<"};
+        b.constrained = true;
+      } else {
+        return Status::InvalidArgument("unsupported operator: " + op);
+      }
+      if (peek().empty()) break;
+      NS_RETURN_NOT_OK(expect("AND"));
+    }
+  }
+  return out;
+}
+
+Result<QueryInstance> ParametricQuery::Bind(
+    const std::vector<double>& values) const {
+  if (values.size() != params_.size()) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(params_.size()) + " parameters, got " +
+        std::to_string(values.size()));
+  }
+  std::vector<double> c(data_dim_, 0.0), r(data_dim_, 1.0);
+  for (size_t i = 0; i < data_dim_; ++i) {
+    const AttrBounds& b = bounds_[i];
+    if (!b.constrained) continue;
+    const double lo =
+        b.lower.has_param ? values[b.lower.param_index] : b.lower.constant;
+    const double hi =
+        b.upper.has_param ? values[b.upper.param_index] : b.upper.constant;
+    if (hi < lo) {
+      return Status::InvalidArgument("upper bound below lower bound for col " +
+                                     std::to_string(i));
+    }
+    c[i] = lo;
+    r[i] = hi - lo;
+  }
+  return QueryInstance::AxisRange(c, r);
+}
+
+Result<QueryInstance> ParametricQuery::BindNamed(
+    const std::map<std::string, double>& values) const {
+  std::vector<double> ordered(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto it = values.find(params_[i]);
+    if (it == values.end()) {
+      return Status::InvalidArgument("missing parameter ?" + params_[i]);
+    }
+    ordered[i] = it->second;
+  }
+  return Bind(ordered);
+}
+
+}  // namespace neurosketch

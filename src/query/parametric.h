@@ -1,0 +1,83 @@
+// Parametric-query front end (paper Sec. 4.3: "For many applications,
+// WHERE clauses in SQL queries are written in a parametric form (e.g.,
+// WHERE X1 > ?param1 ...). Such queries can be represented as query
+// functions by setting q to be the parameters of the WHERE clause.")
+//
+// Parses a restricted SQL-like template into a QueryFunctionSpec plus a
+// binder that maps parameter values onto the canonical (c, r) query
+// encoding. Supported grammar (case-insensitive keywords):
+//
+//   SELECT <AGG>(<measure>) FROM <ident>
+//     [WHERE <cond> [AND <cond>]*]
+//   cond := <col> BETWEEN ?<p> AND ?<p>
+//         | <col> >= ?<p> | <col> > ?<p> | <col> < ?<p> | <col> <= ?<p>
+//
+// AGG in {COUNT, SUM, AVG, STD, MEDIAN, MIN, MAX}; COUNT(*) is allowed.
+#ifndef NEUROSKETCH_QUERY_PARAMETRIC_H_
+#define NEUROSKETCH_QUERY_PARAMETRIC_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace neurosketch {
+
+/// \brief A parsed parametric query template bound to a table schema.
+class ParametricQuery {
+ public:
+  /// \brief Parse `sql` against `schema`. Column names must exist; each
+  /// ?-parameter may be used once.
+  static Result<ParametricQuery> Parse(const std::string& sql,
+                                       const Schema& schema);
+
+  /// \brief Query function this template denotes (axis-range predicate).
+  const QueryFunctionSpec& spec() const { return spec_; }
+
+  /// \brief Parameter names in first-use order (without the '?').
+  const std::vector<std::string>& parameter_names() const { return params_; }
+
+  /// \brief Column id each parameter constrains (aligned with
+  /// parameter_names); used to normalize original-unit parameter values.
+  const std::vector<size_t>& parameter_columns() const { return param_cols_; }
+
+  /// \brief Bind parameter values (normalized units, same order as
+  /// parameter_names) into a canonical (c, r) query instance.
+  Result<QueryInstance> Bind(const std::vector<double>& values) const;
+
+  /// \brief Bind by name.
+  Result<QueryInstance> BindNamed(
+      const std::map<std::string, double>& values) const;
+
+  std::string aggregate_name() const { return AggregateName(spec_.agg); }
+
+ private:
+  // Per-attribute bound templates: each side is either a constant
+  // (0 for lower, 1 for upper) or a parameter index.
+  struct Bound {
+    bool has_param = false;
+    size_t param_index = 0;
+    double constant = 0.0;
+    /// Strictness is recorded for documentation; the canonical encoding
+    /// is the half-open interval [c, c + r) of Sec. 2.
+    bool strict = false;
+  };
+  struct AttrBounds {
+    Bound lower;                          // defaults to constant 0
+    Bound upper = {false, 0, 1.0, false};  // defaults to constant 1
+    bool constrained = false;
+  };
+
+  size_t data_dim_ = 0;
+  QueryFunctionSpec spec_;
+  std::vector<std::string> params_;
+  std::vector<size_t> param_cols_;
+  std::vector<AttrBounds> bounds_;
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_QUERY_PARAMETRIC_H_

@@ -1,0 +1,35 @@
+#include "query/query.h"
+
+#include "query/predicate.h"
+
+namespace neurosketch {
+
+std::string AggregateName(Aggregate agg) {
+  switch (agg) {
+    case Aggregate::kCount: return "COUNT";
+    case Aggregate::kSum: return "SUM";
+    case Aggregate::kAvg: return "AVG";
+    case Aggregate::kStd: return "STD";
+    case Aggregate::kMedian: return "MEDIAN";
+    case Aggregate::kMin: return "MIN";
+    case Aggregate::kMax: return "MAX";
+  }
+  return "?";
+}
+
+QueryInstance QueryInstance::AxisRange(const std::vector<double>& c,
+                                       const std::vector<double>& r) {
+  QueryInstance out;
+  out.q.reserve(c.size() + r.size());
+  out.q.insert(out.q.end(), c.begin(), c.end());
+  out.q.insert(out.q.end(), r.begin(), r.end());
+  return out;
+}
+
+std::string QueryFunctionSpec::ToString() const {
+  std::string pred = predicate ? predicate->name() : "<none>";
+  return AggregateName(agg) + "(col " + std::to_string(measure_col) +
+         ") WHERE " + pred;
+}
+
+}  // namespace neurosketch

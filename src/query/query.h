@@ -1,0 +1,63 @@
+// Query-function abstractions (paper Sec. 2 and 4.3).
+//
+// A range aggregate query (RAQ) is a pair (predicate function, aggregation
+// function) applied to a query instance q. For the canonical axis-aligned
+// predicate, q is the 2d̄-vector (c_1..c_d̄, r_1..r_d̄) of lower bounds and
+// range widths over normalized attributes; an inactive attribute encodes
+// (c, r) = (0, 1). General predicates interpret q as an arbitrary
+// parameter vector (e.g. rotated rectangle: two corners plus an angle).
+#ifndef NEUROSKETCH_QUERY_QUERY_H_
+#define NEUROSKETCH_QUERY_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace neurosketch {
+
+/// \brief Aggregation functions. The theory (Sec. 3) covers COUNT/SUM/AVG;
+/// NeuroSketch itself makes no assumption on AGG (Sec. 4.3) and the paper
+/// additionally evaluates STD and MEDIAN.
+enum class Aggregate {
+  kCount,
+  kSum,
+  kAvg,
+  kStd,
+  kMedian,
+  kMin,
+  kMax,
+};
+
+std::string AggregateName(Aggregate agg);
+
+/// \brief A query instance: the parameter vector q of a query function.
+struct QueryInstance {
+  std::vector<double> q;
+
+  QueryInstance() = default;
+  explicit QueryInstance(std::vector<double> values) : q(std::move(values)) {}
+
+  /// \brief Axis-range helper: build from bounds c and widths r.
+  static QueryInstance AxisRange(const std::vector<double>& c,
+                                 const std::vector<double>& r);
+
+  size_t dim() const { return q.size(); }
+  double operator[](size_t i) const { return q[i]; }
+};
+
+class PredicateFunction;  // forward decl (predicate.h)
+
+/// \brief A query function f_D: predicate family + aggregation + measure
+/// column. One NeuroSketch is trained per query function (query
+/// specialization, Sec. 4.3).
+struct QueryFunctionSpec {
+  std::shared_ptr<const PredicateFunction> predicate;
+  Aggregate agg = Aggregate::kAvg;
+  size_t measure_col = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_QUERY_QUERY_H_

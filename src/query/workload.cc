@@ -1,0 +1,89 @@
+#include "query/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace neurosketch {
+
+WorkloadGenerator::WorkloadGenerator(size_t data_dim, WorkloadConfig config)
+    : data_dim_(data_dim), config_(std::move(config)), rng_(config_.seed) {
+  if (config_.candidate_attrs.empty()) {
+    for (size_t i = 0; i < data_dim_; ++i) {
+      config_.candidate_attrs.push_back(i);
+    }
+  }
+}
+
+QueryInstance WorkloadGenerator::Generate() {
+  std::vector<double> c(data_dim_, 0.0), r(data_dim_, 1.0);
+  std::vector<size_t> active = config_.fixed_attrs;
+  // Draw the remaining active attributes from candidates not already fixed.
+  if (active.size() < config_.num_active) {
+    std::vector<size_t> pool;
+    for (size_t a : config_.candidate_attrs) {
+      if (std::find(active.begin(), active.end(), a) == active.end()) {
+        pool.push_back(a);
+      }
+    }
+    const size_t need = config_.num_active - active.size();
+    std::vector<size_t> picks =
+        rng_.SampleWithoutReplacement(pool.size(), std::min(need, pool.size()));
+    for (size_t p : picks) active.push_back(pool[p]);
+  }
+  for (size_t a : active) {
+    const double width =
+        rng_.Uniform(config_.range_frac_lo, config_.range_frac_hi);
+    c[a] = rng_.Uniform(0.0, std::max(0.0, 1.0 - width));
+    r[a] = width;
+  }
+  return QueryInstance::AxisRange(c, r);
+}
+
+std::vector<QueryInstance> WorkloadGenerator::GenerateMany(
+    size_t n, const ExactEngine* engine, const QueryFunctionSpec* spec) {
+  std::vector<QueryInstance> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    QueryInstance q = Generate();
+    if (engine != nullptr && spec != nullptr && config_.min_matches > 0) {
+      size_t attempts = 0;
+      while (engine->CountMatches(*spec, q) < config_.min_matches &&
+             attempts++ < config_.max_resample_attempts) {
+        q = Generate();
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<QueryInstance> WorkloadGenerator::GenerateRotatedRects(
+    size_t n, const ExactEngine* engine, const QueryFunctionSpec* spec) {
+  auto draw = [this]() {
+    const double w = rng_.Uniform(config_.range_frac_lo, config_.range_frac_hi);
+    const double h = rng_.Uniform(config_.range_frac_lo, config_.range_frac_hi);
+    const double phi = rng_.Uniform(0.0, M_PI / 2.0);
+    const double px = rng_.Uniform(0.0, 1.0 - w);
+    const double py = rng_.Uniform(0.0, 1.0 - h);
+    // Opposite corner in the rotated frame: p + R(phi) * (w, h).
+    const double qx = px + std::cos(phi) * w - std::sin(phi) * h;
+    const double qy = py + std::sin(phi) * w + std::cos(phi) * h;
+    return QueryInstance(std::vector<double>{px, py, qx, qy, phi});
+  };
+  std::vector<QueryInstance> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    QueryInstance q = draw();
+    if (engine != nullptr && spec != nullptr && config_.min_matches > 0) {
+      size_t attempts = 0;
+      while (engine->CountMatches(*spec, q) < config_.min_matches &&
+             attempts++ < config_.max_resample_attempts) {
+        q = draw();
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace neurosketch

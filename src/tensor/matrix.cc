@@ -1,0 +1,112 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+
+namespace neurosketch {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == m.cols_);
+    std::copy(rows[r].begin(), rows[r].end(), m.row(r));
+  }
+  return m;
+}
+
+void Matrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::Apply(const std::function<double(double)>& fn) {
+  for (double& x : data_) x = fn(x);
+}
+
+void Matrix::Axpy(double alpha, const Matrix& other) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::Scale(double alpha) {
+  for (double& x : data_) x *= alpha;
+}
+
+double Matrix::SquaredNorm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return acc;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.cols() == b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  *out = Matrix(m, n, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a.row(i);
+    double* orow = out->row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      const double* brow = b.row(p);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.rows() == b.rows());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  *out = Matrix(m, n, 0.0);
+  for (size_t p = 0; p < k; ++p) {
+    const double* arow = a.row(p);
+    const double* brow = b.row(p);
+    for (size_t i = 0; i < m; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* orow = out->row(i);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(a.cols() == b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  *out = Matrix(m, n, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a.row(i);
+    double* orow = out->row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const double* brow = b.row(j);
+      double acc = 0.0;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+}
+
+void AddRowVector(Matrix* m, const Matrix& rowvec) {
+  assert(rowvec.rows() == 1 && rowvec.cols() == m->cols());
+  for (size_t r = 0; r < m->rows(); ++r) {
+    double* mr = m->row(r);
+    const double* v = rowvec.row(0);
+    for (size_t c = 0; c < m->cols(); ++c) mr[c] += v[c];
+  }
+}
+
+void ColumnSums(const Matrix& m, Matrix* out) {
+  *out = Matrix(1, m.cols(), 0.0);
+  double* o = out->row(0);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* mr = m.row(r);
+    for (size_t c = 0; c < m.cols(); ++c) o[c] += mr[c];
+  }
+}
+
+}  // namespace neurosketch

@@ -1,0 +1,87 @@
+#include "theory/dqd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace neurosketch {
+namespace theory {
+
+size_t RequiredGridResolution(double rho, size_t d, double eps1) {
+  if (eps1 <= 0.0) return std::numeric_limits<size_t>::max();
+  const double t = 3.0 * rho * static_cast<double>(d) / eps1;
+  return static_cast<size_t>(std::max(1.0, std::ceil(t)));
+}
+
+size_t ConstructionUnits(double rho, size_t d, double eps1) {
+  const size_t t = RequiredGridResolution(rho, d, eps1);
+  if (t == std::numeric_limits<size_t>::max()) return t;
+  const double k = std::pow(static_cast<double>(t + 1),
+                            static_cast<double>(d));
+  if (k >= static_cast<double>(std::numeric_limits<size_t>::max())) {
+    return std::numeric_limits<size_t>::max();
+  }
+  return static_cast<size_t>(k);
+}
+
+double ApproximationErrorBound(double rho, size_t d, size_t t) {
+  return 3.0 * rho * static_cast<double>(d) / static_cast<double>(t);
+}
+
+double ApproximationErrorBoundInf(double rho, size_t d, size_t t) {
+  return 37.0 * rho * static_cast<double>(d) / static_cast<double>(t);
+}
+
+double VcDeviationProbability(double eps, size_t n, size_t vc_dim) {
+  if (eps <= 0.0) return 1.0;
+  const double vc = static_cast<double>(vc_dim);
+  const double nn = static_cast<double>(n);
+  // Work in log space: log(8) + vc + vc*log(32e/eps) - eps^2 n / 32.
+  const double log_p = std::log(8.0) + vc +
+                       vc * std::log(32.0 * M_E / eps) -
+                       eps * eps * nn / 32.0;
+  if (log_p >= 0.0) return 1.0;
+  return std::exp(log_p);
+}
+
+double SamplingErrorProbability(double eps2, size_t n, size_t d) {
+  return VcDeviationProbability(eps2, n, 2 * d);
+}
+
+double DqdFailureProbability(double eps2, size_t n, size_t d) {
+  return SamplingErrorProbability(eps2, n, d);
+}
+
+double SamplingErrorForConfidence(double delta, size_t n, size_t d) {
+  if (delta >= 1.0) return 0.0;
+  double lo = 1e-9, hi = 1.0;
+  // The tail is monotone decreasing in eps; expand hi until it is below
+  // delta (the bound is vacuous above 1 only for tiny n).
+  while (SamplingErrorProbability(hi, n, d) > delta && hi < 1e6) hi *= 2.0;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (SamplingErrorProbability(mid, n, d) > delta) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+double AvgErrorProbability(double eps, double xi, size_t n, size_t d) {
+  if (eps <= 0.0 || xi <= 0.0) return 1.0;
+  // Lemma 3.6: 16 e^d (32e(1+ε)/(ξε))^d exp(−(ξε)²n / ((1+ε)²·32)).
+  const double dd = static_cast<double>(d);
+  const double nn = static_cast<double>(n);
+  const double ratio = xi * eps / (1.0 + eps);
+  const double log_p = std::log(16.0) + dd +
+                       dd * std::log(32.0 * M_E / ratio) -
+                       ratio * ratio * nn / 32.0;
+  if (log_p >= 0.0) return 1.0;
+  return std::exp(log_p);
+}
+
+}  // namespace theory
+}  // namespace neurosketch

@@ -1,0 +1,54 @@
+// DQD-bound calculators (paper Sec. 3): evaluate the approximation-error
+// side (Theorem 3.4), the sampling-error side (Theorem 3.5 via the VC
+// bound of Theorem A.11), their combination (Theorem 3.1), and the AVG
+// variant (Lemma 3.6). These are the quantities a query optimizer would
+// consult to decide when a neural network is worth building.
+#ifndef NEUROSKETCH_THEORY_DQD_H_
+#define NEUROSKETCH_THEORY_DQD_H_
+
+#include <cstddef>
+
+namespace neurosketch {
+namespace theory {
+
+/// \brief Theorem 3.4 with κ = 3 (1-norm case): grid resolution t needed
+/// for approximation error ε₁ on a ρ-Lipschitz function in d dimensions,
+/// t = ceil(3ρd / ε₁).
+size_t RequiredGridResolution(double rho, size_t d, double eps1);
+
+/// \brief Number of g-units k = (t+1)^d for that resolution; the network's
+/// time/space complexity is Θ(kd). Saturates at SIZE_MAX on overflow.
+size_t ConstructionUnits(double rho, size_t d, double eps1);
+
+/// \brief 1-norm approximation error bound of the construction at grid
+/// resolution t: ||f − f̂||₁ ≤ 3ρd / t (Eq. 7).
+double ApproximationErrorBound(double rho, size_t d, size_t t);
+
+/// \brief ∞-norm bound for d ≤ 3: 37ρd / t (Lemma A.3 b).
+double ApproximationErrorBoundInf(double rho, size_t d, size_t t);
+
+/// \brief Theorem A.11 (VC bound): probability that the empirical mean of
+/// any h in a class of pseudo-dimension `vc_dim` deviates from its
+/// expectation by more than ε on n samples:
+///   8 e^{vc} (32e/ε)^{vc} exp(−ε²n/32), clamped to [0, 1].
+double VcDeviationProbability(double eps, size_t n, size_t vc_dim);
+
+/// \brief Theorem 3.5: sampling-error tail for COUNT/SUM query functions
+/// in d dimensions (axis ranges have pseudo-dimension 2d, Lemma A.12).
+double SamplingErrorProbability(double eps2, size_t n, size_t d);
+
+/// \brief Theorem 3.1 total-failure probability for error ε₁ + ε₂: equals
+/// the sampling tail (the approximation part is deterministic).
+double DqdFailureProbability(double eps2, size_t n, size_t d);
+
+/// \brief Smallest ε₂ with SamplingErrorProbability <= delta (bisection).
+double SamplingErrorForConfidence(double delta, size_t n, size_t d);
+
+/// \brief Lemma 3.6: tail bound for the normalized AVG error at level ε
+/// over queries with f^C_χ(q) >= ξ·n.
+double AvgErrorProbability(double eps, double xi, size_t n, size_t d);
+
+}  // namespace theory
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_THEORY_DQD_H_

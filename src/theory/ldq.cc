@@ -1,0 +1,58 @@
+#include "theory/ldq.h"
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace neurosketch {
+namespace theory {
+
+double LdqUniformCount() { return 1.0; }
+
+double LdqGaussianCount(double sigma) {
+  return 3.0 / (sigma * std::sqrt(2.0 * M_PI));
+}
+
+double LdqGmmCountBound(const std::vector<double>& weights,
+                        const std::vector<double>& sigmas) {
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size() && i < sigmas.size(); ++i) {
+    acc += weights[i] * LdqGaussianCount(sigmas[i]);
+  }
+  return acc;
+}
+
+double EstimateLdq(const std::vector<QueryInstance>& queries,
+                   const std::vector<double>& answers, size_t max_pairs,
+                   uint64_t seed) {
+  const size_t m = queries.size();
+  if (m < 2) return 0.0;
+  Rng rng(seed);
+  double best = 0.0;
+  auto consider = [&](size_t i, size_t j) {
+    if (std::isnan(answers[i]) || std::isnan(answers[j])) return;
+    double dist = 0.0;
+    for (size_t k = 0; k < queries[i].q.size(); ++k) {
+      dist += std::fabs(queries[i].q[k] - queries[j].q[k]);
+    }
+    if (dist <= 0.0) return;
+    best = std::max(best, std::fabs(answers[i] - answers[j]) / dist);
+  };
+  const size_t all_pairs = m * (m - 1) / 2;
+  if (all_pairs <= max_pairs) {
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i + 1; j < m; ++j) consider(i, j);
+    }
+  } else {
+    for (size_t s = 0; s < max_pairs; ++s) {
+      const size_t i = rng.Index(m);
+      size_t j = rng.Index(m);
+      if (j == i) j = (j + 1) % m;
+      consider(i, j);
+    }
+  }
+  return best;
+}
+
+}  // namespace theory
+}  // namespace neurosketch

@@ -1,0 +1,39 @@
+// LDQ: the Lipschitz constant of the normalized Distribution Query
+// function (paper Sec. 3.1.1), the DQD complexity measure. Closed forms
+// for the distributions of Examples 3.2 / 3.3 plus an empirical estimator
+// over sampled query pairs.
+#ifndef NEUROSKETCH_THEORY_LDQ_H_
+#define NEUROSKETCH_THEORY_LDQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+
+namespace neurosketch {
+namespace theory {
+
+/// \brief Example 3.2: LDQ of a 1-D COUNT query function over uniform
+/// data is 1.
+double LdqUniformCount();
+
+/// \brief Example 3.3: LDQ of a 1-D COUNT query function over Gaussian
+/// data with standard deviation sigma is 3 / (sigma * sqrt(2*pi)).
+double LdqGaussianCount(double sigma);
+
+/// \brief Upper bound on LDQ for a 1-D GMM: the weighted combination of
+/// per-component Gaussian bounds (weights must sum to 1).
+double LdqGmmCountBound(const std::vector<double>& weights,
+                        const std::vector<double>& sigmas);
+
+/// \brief Empirical LDQ estimate: the maximum of |f(q)-f(q')| / ||q-q'||_1
+/// over sampled pairs (a lower bound on the true Lipschitz constant; the
+/// AQC of Sec. 3.1.4 is its average-version proxy).
+double EstimateLdq(const std::vector<QueryInstance>& queries,
+                   const std::vector<double>& answers, size_t max_pairs,
+                   uint64_t seed);
+
+}  // namespace theory
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_THEORY_LDQ_H_

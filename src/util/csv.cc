@@ -1,0 +1,70 @@
+#include "util/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace neurosketch {
+namespace csv {
+
+Result<NumericCsv> ReadNumeric(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  NumericCsv out;
+  std::string line;
+  size_t line_no = 0;
+  size_t expected_fields = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = str::Trim(line);
+    if (line.empty()) continue;
+    std::vector<std::string> fields = str::Split(line, ',');
+    if (line_no == 1 && has_header) {
+      for (auto& f : fields) out.header.push_back(str::Trim(f));
+      expected_fields = fields.size();
+      continue;
+    }
+    if (expected_fields == 0) expected_fields = fields.size();
+    if (fields.size() != expected_fields) {
+      return Status::InvalidArgument("row " + std::to_string(line_no) +
+                                     " has wrong field count in " + path);
+    }
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const auto& f : fields) {
+      const std::string t = str::Trim(f);
+      char* end = nullptr;
+      double v = std::strtod(t.c_str(), &end);
+      if (end == t.c_str() || *end != '\0') {
+        return Status::InvalidArgument("non-numeric field '" + t + "' at row " +
+                                       std::to_string(line_no) + " in " + path);
+      }
+      row.push_back(v);
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Status WriteNumeric(const std::string& path,
+                    const std::vector<std::string>& header,
+                    const std::vector<std::vector<double>>& rows) {
+  std::ofstream outf(path);
+  if (!outf) return Status::IOError("cannot open " + path + " for writing");
+  outf << str::Join(header, ",") << "\n";
+  outf.precision(12);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) outf << ',';
+      outf << row[i];
+    }
+    outf << "\n";
+  }
+  if (!outf) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace csv
+}  // namespace neurosketch

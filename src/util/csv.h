@@ -1,0 +1,33 @@
+// Minimal CSV reader/writer for numeric tables. Used to import real
+// datasets when available and to dump benchmark series for plotting.
+#ifndef NEUROSKETCH_UTIL_CSV_H_
+#define NEUROSKETCH_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace neurosketch {
+namespace csv {
+
+/// \brief Parsed numeric CSV: header names plus row-major values.
+struct NumericCsv {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+};
+
+/// \brief Read a CSV file whose body is entirely numeric. The first line is
+/// treated as a header when `has_header` is true. Rows with a wrong field
+/// count or non-numeric fields produce an InvalidArgument status.
+Result<NumericCsv> ReadNumeric(const std::string& path, bool has_header = true);
+
+/// \brief Write header + rows to `path`, 12 significant digits.
+Status WriteNumeric(const std::string& path,
+                    const std::vector<std::string>& header,
+                    const std::vector<std::vector<double>>& rows);
+
+}  // namespace csv
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_UTIL_CSV_H_

@@ -1,0 +1,31 @@
+#include "util/random.h"
+
+#include <numeric>
+
+namespace neurosketch {
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  double u = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  // Partial Fisher-Yates: O(n) memory, O(k) swaps.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  if (k > n) k = n;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + Index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace neurosketch

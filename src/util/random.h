@@ -1,0 +1,71 @@
+// Deterministic random-number facility. Every stochastic component in the
+// library takes an explicit Rng (or seed) so that tests and benchmark runs
+// are reproducible bit-for-bit across invocations.
+#ifndef NEUROSKETCH_UTIL_RANDOM_H_
+#define NEUROSKETCH_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace neurosketch {
+
+/// \brief Seedable RNG wrapper over std::mt19937_64 with the distribution
+/// helpers used across the library.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  /// \brief Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  /// \brief Gaussian with the given mean and standard deviation.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+
+  /// \brief Uniform integer in [lo, hi] (inclusive).
+  int64_t Int(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+  }
+
+  /// \brief Uniform index in [0, n).
+  size_t Index(size_t n) {
+    return static_cast<size_t>(Int(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// \brief Bernoulli draw with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(gen_);
+  }
+
+  /// \brief Exponential with rate lambda.
+  double Exponential(double lambda) {
+    return std::exponential_distribution<double>(lambda)(gen_);
+  }
+
+  /// \brief Sample an index according to (unnormalized) weights.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// \brief k distinct indices drawn uniformly from [0, n). k must be <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// \brief Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Index(i)]);
+    }
+  }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_UTIL_RANDOM_H_

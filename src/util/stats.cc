@@ -1,0 +1,106 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace neurosketch {
+namespace stats {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size());
+}
+
+double Stddev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  std::nth_element(v.begin(), v.begin() + mid - 1, v.begin() + mid);
+  return 0.5 * (hi + v[mid - 1]);
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(v.begin(), v.end());
+  double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double Min(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::min_element(v.begin(), v.end());
+}
+
+double Max(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+}
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  double mx = Mean(x), my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double MeanAbsoluteError(const std::vector<double>& truth,
+                         const std::vector<double>& pred) {
+  if (truth.empty() || truth.size() != pred.size()) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) acc += std::fabs(truth[i] - pred[i]);
+  return acc / static_cast<double>(truth.size());
+}
+
+double NormalizedMae(const std::vector<double>& truth,
+                     const std::vector<double>& pred) {
+  if (truth.empty() || truth.size() != pred.size()) return 0.0;
+  double mae = MeanAbsoluteError(truth, pred);
+  double scale = 0.0;
+  for (double t : truth) scale += std::fabs(t);
+  scale /= static_cast<double>(truth.size());
+  if (scale == 0.0) return mae;
+  return mae / scale;
+}
+
+void Welford::Add(double x) {
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Welford::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double Welford::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace stats
+}  // namespace neurosketch

@@ -1,0 +1,64 @@
+// Scalar statistics helpers shared by aggregates, generators and the
+// evaluation harness.
+#ifndef NEUROSKETCH_UTIL_STATS_H_
+#define NEUROSKETCH_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace neurosketch {
+namespace stats {
+
+/// \brief Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& v);
+
+/// \brief Population variance (divides by N); 0 for fewer than 1 element.
+double Variance(const std::vector<double>& v);
+
+/// \brief Population standard deviation.
+double Stddev(const std::vector<double>& v);
+
+/// \brief Median via nth_element (input copied). 0 for empty input.
+double Median(std::vector<double> v);
+
+/// \brief p-th percentile in [0, 100], linear interpolation between ranks.
+double Percentile(std::vector<double> v, double p);
+
+double Min(const std::vector<double>& v);
+double Max(const std::vector<double>& v);
+double Sum(const std::vector<double>& v);
+
+/// \brief Pearson correlation coefficient; 0 if either side is constant.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// \brief Mean absolute error between two equally sized series.
+double MeanAbsoluteError(const std::vector<double>& truth,
+                         const std::vector<double>& pred);
+
+/// \brief Paper's error metric (Sec. 5.1): mean |truth - pred| normalized by
+/// the mean |truth| over the test set.
+double NormalizedMae(const std::vector<double>& truth,
+                     const std::vector<double>& pred);
+
+/// \brief Streaming mean/variance accumulator (Welford). Numerically stable
+/// single pass; used by the STD aggregate and evaluation loops.
+class Welford {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// \brief Population variance; 0 when fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace stats
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_UTIL_STATS_H_

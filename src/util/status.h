@@ -1,0 +1,114 @@
+// Status and Result<T>: lightweight error-propagation primitives in the
+// style of Apache Arrow / RocksDB. Public library entry points that can
+// fail return Status (or Result<T>); internal hot paths use plain values.
+#ifndef NEUROSKETCH_UTIL_STATUS_H_
+#define NEUROSKETCH_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace neurosketch {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kIOError = 3,
+  kNotImplemented = 4,
+  kFailedPrecondition = 5,
+  kUnknown = 6,
+};
+
+/// \brief Outcome of a fallible operation: a code plus a human-readable
+/// message. Copyable, cheap when OK (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// \brief Render as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Value-or-Status. Mirrors arrow::Result: either holds a T or a
+/// non-OK Status explaining why the value is absent.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design,
+  // mirrors arrow::Result ergonomics (`return value;`).
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// \brief Access the value. Undefined behaviour if !ok(); callers must
+  /// check ok() (or use ValueOr) first.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+#define NS_RETURN_NOT_OK(expr)                \
+  do {                                        \
+    ::neurosketch::Status _st = (expr);       \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+#define NS_CONCAT_INNER(a, b) a##b
+#define NS_CONCAT(a, b) NS_CONCAT_INNER(a, b)
+
+#define NS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+#define NS_ASSIGN_OR_RETURN(lhs, expr) \
+  NS_ASSIGN_OR_RETURN_IMPL(NS_CONCAT(_ns_res_, __LINE__), lhs, expr)
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_UTIL_STATUS_H_

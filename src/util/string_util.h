@@ -1,0 +1,26 @@
+// Small string helpers used by CSV parsing and report formatting.
+#ifndef NEUROSKETCH_UTIL_STRING_UTIL_H_
+#define NEUROSKETCH_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace neurosketch {
+namespace str {
+
+/// \brief Split on a delimiter; empty fields are preserved.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// \brief Strip leading/trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// \brief Join with a separator.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// \brief printf-style double formatting with the given precision.
+std::string FormatDouble(double v, int precision = 6);
+
+}  // namespace str
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_UTIL_STRING_UTIL_H_

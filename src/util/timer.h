@@ -1,0 +1,30 @@
+// Wall-clock timer used by the evaluation harness.
+#ifndef NEUROSKETCH_UTIL_TIMER_H_
+#define NEUROSKETCH_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace neurosketch {
+
+/// \brief Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_UTIL_TIMER_H_

@@ -1,0 +1,337 @@
+// Tests for the four baselines: TREE-AGG, Verdict (sampling), SPN
+// (DeepDB-like) and DBEst-like.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/dbest.h"
+#include "baselines/spn.h"
+#include "baselines/tree_agg.h"
+#include "baselines/verdict.h"
+#include "data/generators.h"
+#include "query/engine.h"
+#include "query/predicate.h"
+#include "query/workload.h"
+#include "util/stats.h"
+
+namespace neurosketch {
+namespace {
+
+QueryFunctionSpec AxisSpec(Aggregate agg, size_t measure) {
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = agg;
+  spec.measure_col = measure;
+  return spec;
+}
+
+TEST(TreeAggTest, FullSampleIsExact) {
+  Table t = MakeUniformTable(2000, 3, 10);
+  ExactEngine engine(&t);
+  TreeAggConfig cfg;
+  cfg.sample_size = 2000;  // 100%
+  TreeAgg agg = TreeAgg::Build(t, cfg);
+  EXPECT_EQ(agg.sample_size(), 2000u);
+  WorkloadConfig wc;
+  wc.num_active = 2;
+  wc.seed = 11;
+  WorkloadGenerator gen(3, wc);
+  for (Aggregate a : {Aggregate::kCount, Aggregate::kSum, Aggregate::kAvg,
+                      Aggregate::kStd, Aggregate::kMedian}) {
+    QueryFunctionSpec spec = AxisSpec(a, 2);
+    for (const auto& q : gen.GenerateMany(20, &engine, &spec)) {
+      EXPECT_NEAR(agg.Answer(spec, q), engine.Answer(spec, q), 1e-9)
+          << AggregateName(a);
+    }
+  }
+}
+
+TEST(TreeAggTest, SamplingErrorShrinksWithSampleSize) {
+  Table t = MakeUniformTable(20000, 2, 12);
+  ExactEngine engine(&t);
+  QueryFunctionSpec spec = AxisSpec(Aggregate::kCount, 1);
+  WorkloadConfig wc;
+  wc.num_active = 1;
+  wc.range_frac_lo = wc.range_frac_hi = 0.3;
+  wc.seed = 13;
+  WorkloadGenerator gen(2, wc);
+  auto queries = gen.GenerateMany(40, &engine, &spec);
+  auto truth = engine.AnswerBatch(spec, queries);
+
+  double errs[2];
+  size_t sizes[2] = {200, 8000};
+  for (int s = 0; s < 2; ++s) {
+    TreeAggConfig cfg;
+    cfg.sample_size = sizes[s];
+    TreeAgg agg = TreeAgg::Build(t, cfg);
+    std::vector<double> pred;
+    for (const auto& q : queries) pred.push_back(agg.Answer(spec, q));
+    errs[s] = stats::NormalizedMae(truth, pred);
+  }
+  EXPECT_LT(errs[1], errs[0]);
+}
+
+TEST(TreeAggTest, RotatedRectSupported) {
+  Table t = MakeUniformTable(5000, 2, 14);
+  ExactEngine engine(&t);
+  QueryFunctionSpec spec;
+  spec.predicate = RotatedRectPredicate::Make();
+  spec.agg = Aggregate::kMedian;
+  spec.measure_col = 1;
+  TreeAggConfig cfg;
+  cfg.sample_size = 5000;
+  TreeAgg agg = TreeAgg::Build(t, cfg);
+  WorkloadConfig wc;
+  wc.range_frac_lo = 0.2;
+  wc.range_frac_hi = 0.4;
+  wc.seed = 15;
+  WorkloadGenerator gen(2, wc);
+  for (const auto& q : gen.GenerateRotatedRects(10, &engine, &spec)) {
+    EXPECT_NEAR(agg.Answer(spec, q), engine.Answer(spec, q), 1e-9);
+  }
+}
+
+TEST(VerdictTest, SupportsOnlyBasicAggregates) {
+  EXPECT_TRUE(Verdict::Supports(Aggregate::kCount));
+  EXPECT_TRUE(Verdict::Supports(Aggregate::kSum));
+  EXPECT_TRUE(Verdict::Supports(Aggregate::kAvg));
+  EXPECT_FALSE(Verdict::Supports(Aggregate::kStd));
+  EXPECT_FALSE(Verdict::Supports(Aggregate::kMedian));
+}
+
+TEST(VerdictTest, UnsupportedAggregateReturnsStatus) {
+  Table t = MakeUniformTable(100, 2, 16);
+  Verdict v = Verdict::Build(t, {});
+  auto r = v.Answer(AxisSpec(Aggregate::kStd, 1),
+                    QueryInstance::AxisRange({0, 0}, {1, 1}));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST(VerdictTest, FullSampleCountExact) {
+  Table t = MakeUniformTable(3000, 2, 17);
+  ExactEngine engine(&t);
+  VerdictConfig cfg;
+  cfg.sample_size = 3000;
+  Verdict v = Verdict::Build(t, cfg);
+  QueryFunctionSpec spec = AxisSpec(Aggregate::kCount, 1);
+  QueryInstance q = QueryInstance::AxisRange({0.1, 0.2}, {0.5, 0.6});
+  auto r = v.Answer(spec, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), engine.Answer(spec, q), 1e-9);
+}
+
+TEST(VerdictTest, SampledEstimatesReasonable) {
+  Table t = MakeUniformTable(20000, 2, 18);
+  ExactEngine engine(&t);
+  VerdictConfig cfg;
+  cfg.sample_size = 4000;
+  Verdict v = Verdict::Build(t, cfg);
+  QueryFunctionSpec spec = AxisSpec(Aggregate::kAvg, 1);
+  WorkloadConfig wc;
+  wc.num_active = 1;
+  wc.range_frac_lo = wc.range_frac_hi = 0.3;
+  wc.seed = 19;
+  WorkloadGenerator gen(2, wc);
+  auto queries = gen.GenerateMany(30, &engine, &spec);
+  auto truth = engine.AnswerBatch(spec, queries);
+  std::vector<double> pred;
+  for (const auto& q : queries) pred.push_back(v.Answer(spec, q).ValueOr(0));
+  EXPECT_LT(stats::NormalizedMae(truth, pred), 0.05);
+}
+
+TEST(SpnTest, CountAccurateOnIndependentUniform) {
+  Table t = MakeUniformTable(20000, 3, 20);
+  ExactEngine engine(&t);
+  SpnConfig cfg;
+  Spn spn = Spn::Build(t, cfg);
+  EXPECT_GT(spn.num_nodes(), 0u);
+  QueryFunctionSpec spec = AxisSpec(Aggregate::kCount, 2);
+  WorkloadConfig wc;
+  wc.num_active = 2;
+  wc.range_frac_lo = 0.2;
+  wc.range_frac_hi = 0.5;
+  wc.seed = 21;
+  WorkloadGenerator gen(3, wc);
+  auto queries = gen.GenerateMany(30, &engine, &spec);
+  auto truth = engine.AnswerBatch(spec, queries);
+  std::vector<double> pred;
+  for (const auto& q : queries) {
+    auto r = spn.Answer(spec, q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    pred.push_back(r.value());
+  }
+  EXPECT_LT(stats::NormalizedMae(truth, pred), 0.05);
+}
+
+TEST(SpnTest, SumAndAvgOnCorrelatedData) {
+  // y strongly depends on x; sum nodes must capture the joint structure.
+  Schema s;
+  s.columns = {"x", "y"};
+  Table t(s);
+  Rng rng(22);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.Uniform();
+    const double y =
+        std::clamp(x * 0.8 + rng.Normal(0, 0.03), 0.0, 1.0);
+    ASSERT_TRUE(t.AppendRow({x, y}).ok());
+  }
+  ExactEngine engine(&t);
+  SpnConfig cfg;
+  cfg.rdc_threshold = 0.3;
+  Spn spn = Spn::Build(t, cfg);
+  QueryFunctionSpec spec = AxisSpec(Aggregate::kAvg, 1);
+  // AVG(y) over x in [0.6, 0.9) should be near 0.8 * 0.75 = 0.6.
+  QueryInstance q = QueryInstance::AxisRange({0.6, 0.0}, {0.3, 1.0});
+  auto r = spn.Answer(spec, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), engine.Answer(spec, q), 0.05);
+
+  QueryFunctionSpec sum_spec = AxisSpec(Aggregate::kSum, 1);
+  auto rs = spn.Answer(sum_spec, q);
+  ASSERT_TRUE(rs.ok());
+  const double truth = engine.Answer(sum_spec, q);
+  EXPECT_NEAR(rs.value() / truth, 1.0, 0.12);
+}
+
+TEST(SpnTest, RangeProbabilityFullDomainIsOne) {
+  Table t = MakeUniformTable(5000, 2, 23);
+  Spn spn = Spn::Build(t, {});
+  EXPECT_NEAR(spn.RangeProbability({0, 0}, {1.0 + 1e-12, 1.0 + 1e-12}), 1.0,
+              1e-6);
+  EXPECT_NEAR(spn.RangeProbability({0, 0}, {0, 0}), 0.0, 1e-9);
+}
+
+TEST(SpnTest, RejectsUnsupported) {
+  Table t = MakeUniformTable(500, 2, 24);
+  Spn spn = Spn::Build(t, {});
+  QueryFunctionSpec med = AxisSpec(Aggregate::kMedian, 1);
+  EXPECT_FALSE(spn.Answer(med, QueryInstance::AxisRange({0, 0}, {1, 1})).ok());
+  QueryFunctionSpec rot;
+  rot.predicate = RotatedRectPredicate::Make();
+  rot.agg = Aggregate::kCount;
+  rot.measure_col = 1;
+  EXPECT_FALSE(
+      spn.Answer(rot, QueryInstance(std::vector<double>{0, 0, 1, 1, 0})).ok());
+}
+
+TEST(SpnTest, RdcThresholdChangesStructure) {
+  Schema s;
+  s.columns = {"x", "y"};
+  Table t(s);
+  Rng rng(25);
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.Uniform();
+    ASSERT_TRUE(
+        t.AppendRow({x, std::clamp(x + rng.Normal(0, 0.05), 0.0, 1.0)}).ok());
+  }
+  SpnConfig strict;  // low threshold: correlation detected, deeper structure
+  strict.rdc_threshold = 0.1;
+  SpnConfig loose;  // threshold 1.0: nothing is "correlated", factorizes
+  loose.rdc_threshold = 1.01;
+  Spn a = Spn::Build(t, strict);
+  Spn b = Spn::Build(t, loose);
+  EXPECT_GT(a.num_nodes(), b.num_nodes());
+}
+
+TEST(SpnTest, SizeBytesPositive) {
+  Table t = MakeUniformTable(1000, 2, 26);
+  Spn spn = Spn::Build(t, {});
+  EXPECT_GT(spn.SizeBytes(), 0u);
+}
+
+TEST(GaussianMixtureTest, FitsBimodalData) {
+  Rng rng(27);
+  std::vector<double> samples;
+  for (int i = 0; i < 4000; ++i) {
+    samples.push_back(rng.Bernoulli(0.5) ? rng.Normal(0.25, 0.05)
+                                         : rng.Normal(0.75, 0.05));
+  }
+  auto gmm = GaussianMixture1D::Fit(samples, 2, 60, 28);
+  // Mass on each side of 0.5 should be ~0.5.
+  EXPECT_NEAR(gmm.Cdf(0.5), 0.5, 0.05);
+  EXPECT_GT(gmm.Pdf(0.25), gmm.Pdf(0.5));
+  EXPECT_GT(gmm.Pdf(0.75), gmm.Pdf(0.5));
+  EXPECT_NEAR(gmm.MassIn(-1.0, 2.0), 1.0, 1e-6);
+}
+
+TEST(GaussianMixtureTest, EmptyInputSafe) {
+  auto gmm = GaussianMixture1D::Fit({}, 3, 10, 29);
+  EXPECT_EQ(gmm.num_components(), 0u);
+  EXPECT_DOUBLE_EQ(gmm.Pdf(0.5), 0.0);
+}
+
+TEST(DbestTest, CountSumAvgOnSmoothData) {
+  // x ~ clipped Gaussian; measure = smooth function of x plus noise.
+  Schema s;
+  s.columns = {"x", "m"};
+  Table t(s);
+  Rng rng(30);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = std::clamp(rng.Normal(0.5, 0.15), 0.0, 1.0);
+    const double m = std::clamp(0.3 + 0.4 * x + rng.Normal(0, 0.02), 0.0, 1.0);
+    ASSERT_TRUE(t.AppendRow({x, m}).ok());
+  }
+  ExactEngine engine(&t);
+  DbestConfig cfg;
+  auto model = Dbest::Build(t, /*predicate_col=*/0, /*measure_col=*/1, cfg);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  QueryInstance q = QueryInstance::AxisRange({0.3, 0.0}, {0.4, 1.0});
+  for (Aggregate a : {Aggregate::kCount, Aggregate::kSum, Aggregate::kAvg}) {
+    QueryFunctionSpec spec = AxisSpec(a, 1);
+    auto r = model.value().Answer(spec, q);
+    ASSERT_TRUE(r.ok()) << AggregateName(a);
+    const double truth = engine.Answer(spec, q);
+    EXPECT_NEAR(r.value() / truth, 1.0, 0.1) << AggregateName(a);
+  }
+}
+
+TEST(DbestTest, RejectsMultipleActiveAttributes) {
+  Table t = MakeUniformTable(1000, 3, 31);
+  DbestConfig cfg;
+  cfg.train_sample = 500;
+  cfg.regressor_epochs = 5;
+  auto model = Dbest::Build(t, 0, 2, cfg);
+  ASSERT_TRUE(model.ok());
+  // Two active attributes.
+  QueryInstance q = QueryInstance::AxisRange({0.1, 0.1, 0.0}, {0.5, 0.5, 1.0});
+  auto r = model.value().Answer(AxisSpec(Aggregate::kAvg, 2), q);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST(DbestTest, RejectsWrongPredicateColumn) {
+  Table t = MakeUniformTable(1000, 3, 32);
+  DbestConfig cfg;
+  cfg.train_sample = 500;
+  cfg.regressor_epochs = 5;
+  auto model = Dbest::Build(t, 0, 2, cfg);
+  ASSERT_TRUE(model.ok());
+  // Active attribute is column 1, model was built for column 0.
+  QueryInstance q = QueryInstance::AxisRange({0.0, 0.2, 0.0}, {1.0, 0.5, 1.0});
+  EXPECT_FALSE(model.value().Answer(AxisSpec(Aggregate::kAvg, 2), q).ok());
+}
+
+TEST(DbestTest, RejectsUnsupportedAggAndBadColumns) {
+  Table t = MakeUniformTable(100, 2, 33);
+  EXPECT_FALSE(Dbest::Build(t, 5, 1, {}).ok());
+  DbestConfig cfg;
+  cfg.train_sample = 100;
+  cfg.regressor_epochs = 2;
+  auto model = Dbest::Build(t, 0, 1, cfg);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model.value().AnswerRange(Aggregate::kMedian, 0.1, 0.5).ok());
+}
+
+TEST(DbestTest, SizeSmallerThanData) {
+  Table t = MakeUniformTable(20000, 2, 34);
+  DbestConfig cfg;
+  cfg.regressor_epochs = 2;
+  auto model = Dbest::Build(t, 0, 1, cfg);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model.value().SizeBytes(), t.SizeBytes());
+}
+
+}  // namespace
+}  // namespace neurosketch

@@ -1,0 +1,354 @@
+// Tests for the core NeuroSketch framework: AQC, partitioning & merging,
+// training, answering, serialization, and the DQD advisor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/advisor.h"
+#include "core/aqc.h"
+#include "core/neurosketch.h"
+#include "core/partitioner.h"
+#include "data/generators.h"
+#include "query/predicate.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace neurosketch {
+namespace {
+
+std::vector<QueryInstance> GridQueries1D(size_t n) {
+  std::vector<QueryInstance> out;
+  for (size_t i = 0; i < n; ++i) {
+    const double c = static_cast<double>(i) / static_cast<double>(n);
+    out.push_back(QueryInstance(std::vector<double>{c}));
+  }
+  return out;
+}
+
+TEST(AqcTest, ConstantFunctionIsZero) {
+  auto queries = GridQueries1D(50);
+  std::vector<double> answers(50, 3.0);
+  EXPECT_DOUBLE_EQ(ComputeAqcAll(queries, answers, {}), 0.0);
+}
+
+TEST(AqcTest, LinearFunctionEqualsSlope) {
+  auto queries = GridQueries1D(50);
+  std::vector<double> answers;
+  for (const auto& q : queries) answers.push_back(4.0 * q[0]);
+  // For 1-D linear f, |Δf| / |Δq| = slope for every pair.
+  EXPECT_NEAR(ComputeAqcAll(queries, answers, {}), 4.0, 1e-9);
+}
+
+TEST(AqcTest, SteeperFunctionHasLargerAqc) {
+  auto queries = GridQueries1D(60);
+  std::vector<double> smooth, sharp;
+  for (const auto& q : queries) {
+    smooth.push_back(std::sin(2.0 * q[0]));
+    sharp.push_back(std::sin(20.0 * q[0]));
+  }
+  EXPECT_GT(ComputeAqcAll(queries, sharp, {}),
+            ComputeAqcAll(queries, smooth, {}));
+}
+
+TEST(AqcTest, NanAnswersSkipped) {
+  auto queries = GridQueries1D(10);
+  std::vector<double> answers(10, 1.0);
+  answers[3] = std::nan("");
+  EXPECT_DOUBLE_EQ(ComputeAqcAll(queries, answers, {}), 0.0);
+}
+
+TEST(AqcTest, FewerThanTwoQueriesIsZero) {
+  std::vector<QueryInstance> one = {QueryInstance(std::vector<double>{0.5})};
+  std::vector<double> a = {1.0};
+  EXPECT_DOUBLE_EQ(ComputeAqcAll(one, a, {}), 0.0);
+}
+
+TEST(AqcTest, SampledApproximatesExact) {
+  Rng rng(40);
+  std::vector<QueryInstance> queries;
+  std::vector<double> answers;
+  for (int i = 0; i < 300; ++i) {
+    const double c = rng.Uniform();
+    queries.push_back(QueryInstance(std::vector<double>{c}));
+    answers.push_back(std::sin(5.0 * c));
+  }
+  AqcOptions exact_opts;
+  exact_opts.max_pairs = 1000000;  // all pairs
+  AqcOptions sampled_opts;
+  sampled_opts.max_pairs = 5000;
+  const double exact = ComputeAqc(queries, answers,
+                                  [&] {
+                                    std::vector<size_t> ids(queries.size());
+                                    for (size_t i = 0; i < ids.size(); ++i)
+                                      ids[i] = i;
+                                    return ids;
+                                  }(),
+                                  exact_opts);
+  const double sampled = ComputeAqcAll(queries, answers, sampled_opts);
+  EXPECT_NEAR(sampled / exact, 1.0, 0.25);
+}
+
+TEST(PartitionerTest, MergesToTargetLeafCount) {
+  Rng rng(41);
+  std::vector<QueryInstance> queries;
+  std::vector<double> answers;
+  for (int i = 0; i < 400; ++i) {
+    const double c = rng.Uniform(), r = rng.Uniform(0.0, 0.5);
+    queries.push_back(QueryInstance(std::vector<double>{c, r}));
+    answers.push_back(c + r);
+  }
+  PartitionConfig cfg;
+  cfg.tree_height = 4;  // 16 leaves
+  cfg.target_leaves = 8;
+  PartitionResult res = PartitionQuerySpace(queries, answers, cfg);
+  EXPECT_EQ(res.tree.NumLeaves(), 8u);
+  EXPECT_EQ(res.leaf_aqc.size(), 8u);
+}
+
+TEST(PartitionerTest, NoMergeWhenTargetEqualsLeaves) {
+  auto queries = GridQueries1D(128);
+  std::vector<double> answers(128, 0.0);
+  for (size_t i = 0; i < 128; ++i) answers[i] = std::sin(3.0 * queries[i][0]);
+  PartitionConfig cfg;
+  cfg.tree_height = 3;
+  cfg.target_leaves = 8;
+  PartitionResult res = PartitionQuerySpace(queries, answers, cfg);
+  EXPECT_EQ(res.tree.NumLeaves(), 8u);
+}
+
+TEST(PartitionerTest, MergePrefersLowAqcRegions) {
+  // Left half of query space: constant answers (AQC 0). Right half: steep.
+  // After merging 4 -> 3 leaves, the two left leaves should have merged.
+  std::vector<QueryInstance> queries;
+  std::vector<double> answers;
+  Rng rng(42);
+  for (int i = 0; i < 800; ++i) {
+    const double c = rng.Uniform();
+    queries.push_back(QueryInstance(std::vector<double>{c}));
+    answers.push_back(c < 0.5 ? 1.0 : std::sin(40.0 * c));
+  }
+  PartitionConfig cfg;
+  cfg.tree_height = 2;  // 4 leaves
+  cfg.target_leaves = 3;
+  PartitionResult res = PartitionQuerySpace(queries, answers, cfg);
+  ASSERT_EQ(res.tree.NumLeaves(), 3u);
+  // The merged (largest) leaf should live on the constant side: route a
+  // left-side query and check its leaf has ~half of all queries.
+  const auto* leaf = res.tree.Route(QueryInstance(std::vector<double>{0.2}));
+  EXPECT_GT(leaf->query_ids.size(), 300u);
+}
+
+TEST(PartitionerTest, SingleLeafStopsGracefully) {
+  auto queries = GridQueries1D(32);
+  std::vector<double> answers(32, 1.0);
+  PartitionConfig cfg;
+  cfg.tree_height = 2;
+  cfg.target_leaves = 1;
+  PartitionResult res = PartitionQuerySpace(queries, answers, cfg);
+  EXPECT_EQ(res.tree.NumLeaves(), 1u);
+}
+
+NeuroSketchConfig FastConfig() {
+  NeuroSketchConfig cfg;
+  cfg.tree_height = 2;
+  cfg.target_partitions = 2;
+  cfg.n_layers = 4;
+  cfg.l_first = 24;
+  cfg.l_rest = 16;
+  cfg.train.epochs = 120;
+  cfg.train.learning_rate = 2e-3;
+  return cfg;
+}
+
+TEST(NeuroSketchTest, LearnsSmoothQueryFunction) {
+  // f(c, r) = expected count of uniform data in [c, c+r) = n*r estimated
+  // via real data: a smooth, easy query function.
+  Table t = MakeUniformTable(10000, 1, 43);
+  ExactEngine engine(&t);
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = Aggregate::kCount;
+  spec.measure_col = 0;
+  WorkloadConfig wc;
+  wc.num_active = 1;
+  wc.range_frac_lo = 0.1;
+  wc.range_frac_hi = 0.5;
+  wc.seed = 44;
+  WorkloadGenerator gen(1, wc);
+  auto queries = gen.GenerateMany(1200, &engine, &spec);
+  auto answers = engine.AnswerBatch(spec, queries);
+
+  auto sketch = NeuroSketch::Train(queries, answers, FastConfig());
+  ASSERT_TRUE(sketch.ok()) << sketch.status().ToString();
+
+  // Evaluate on held-out queries.
+  WorkloadConfig wc2 = wc;
+  wc2.seed = 45;
+  WorkloadGenerator gen2(1, wc2);
+  auto test_q = gen2.GenerateMany(200, &engine, &spec);
+  auto truth = engine.AnswerBatch(spec, test_q);
+  auto pred = sketch.value().AnswerBatch(test_q);
+  EXPECT_LT(stats::NormalizedMae(truth, pred), 0.05);
+}
+
+TEST(NeuroSketchTest, TrainFromEngineConvenience) {
+  Table t = MakeUniformTable(5000, 2, 46);
+  ExactEngine engine(&t);
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = Aggregate::kAvg;
+  spec.measure_col = 1;
+  WorkloadConfig wc;
+  wc.num_active = 1;
+  wc.seed = 47;
+  WorkloadGenerator gen(2, wc);
+  auto sketch =
+      NeuroSketch::TrainFromEngine(engine, spec, &gen, 600, FastConfig());
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_EQ(sketch.value().query_dim(), 4u);
+  EXPECT_GT(sketch.value().stats().train_seconds, 0.0);
+  EXPECT_EQ(sketch.value().stats().num_partitions, 2u);
+}
+
+TEST(NeuroSketchTest, RejectsBadInput) {
+  std::vector<QueryInstance> queries = {
+      QueryInstance(std::vector<double>{0.5})};
+  std::vector<double> answers = {1.0, 2.0};
+  EXPECT_FALSE(NeuroSketch::Train(queries, answers, FastConfig()).ok());
+  // All-NaN answers.
+  std::vector<QueryInstance> q2 = {QueryInstance(std::vector<double>{0.1}),
+                                   QueryInstance(std::vector<double>{0.9})};
+  std::vector<double> nan2 = {std::nan(""), std::nan("")};
+  EXPECT_FALSE(NeuroSketch::Train(q2, nan2, FastConfig()).ok());
+  // Inconsistent dimensionality.
+  std::vector<QueryInstance> q3 = {QueryInstance(std::vector<double>{0.1}),
+                                   QueryInstance(std::vector<double>{0.2, 0.3})};
+  std::vector<double> a3 = {1.0, 2.0};
+  EXPECT_FALSE(NeuroSketch::Train(q3, a3, FastConfig()).ok());
+}
+
+TEST(NeuroSketchTest, NanAnswersDroppedNotFatal) {
+  Rng rng(48);
+  std::vector<QueryInstance> queries;
+  std::vector<double> answers;
+  for (int i = 0; i < 300; ++i) {
+    const double c = rng.Uniform();
+    queries.push_back(QueryInstance(std::vector<double>{c}));
+    answers.push_back(i % 10 == 0 ? std::nan("") : 2.0 * c);
+  }
+  auto sketch = NeuroSketch::Train(queries, answers, FastConfig());
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_EQ(sketch.value().stats().training_queries, 270u);
+}
+
+TEST(NeuroSketchTest, SizeBytesSmallAndPositive) {
+  Rng rng(49);
+  std::vector<QueryInstance> queries;
+  std::vector<double> answers;
+  for (int i = 0; i < 400; ++i) {
+    const double c = rng.Uniform();
+    queries.push_back(QueryInstance(std::vector<double>{c}));
+    answers.push_back(c);
+  }
+  auto sketch = NeuroSketch::Train(queries, answers, FastConfig());
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_GT(sketch.value().SizeBytes(), 0u);
+  EXPECT_LT(sketch.value().SizeBytes(), 1u << 20);  // well under 1 MB
+}
+
+TEST(NeuroSketchTest, SaveLoadRoundTripAnswersExactly) {
+  Rng rng(50);
+  std::vector<QueryInstance> queries;
+  std::vector<double> answers;
+  for (int i = 0; i < 500; ++i) {
+    const double c = rng.Uniform(), r = rng.Uniform(0, 0.5);
+    queries.push_back(QueryInstance(std::vector<double>{c, r}));
+    answers.push_back(std::sin(3 * c) + r);
+  }
+  auto sketch = NeuroSketch::Train(queries, answers, FastConfig());
+  ASSERT_TRUE(sketch.ok());
+  const std::string path = testing::TempDir() + "/ns_sketch.bin";
+  ASSERT_TRUE(sketch.value().Save(path).ok());
+  auto loaded = NeuroSketch::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (int i = 0; i < 50; ++i) {
+    QueryInstance q(std::vector<double>{rng.Uniform(), rng.Uniform(0, 0.5)});
+    EXPECT_DOUBLE_EQ(sketch.value().Answer(q), loaded.value().Answer(q));
+  }
+  EXPECT_EQ(sketch.value().num_partitions(), loaded.value().num_partitions());
+  std::remove(path.c_str());
+}
+
+TEST(NeuroSketchTest, LoadMissingFileFails) {
+  EXPECT_FALSE(NeuroSketch::Load("/nonexistent/sketch.bin").ok());
+}
+
+TEST(AdvisorTest, NormalizedAqcScalesAnswers) {
+  auto queries = GridQueries1D(100);
+  std::vector<double> small, large;
+  for (const auto& q : queries) {
+    small.push_back(q[0]);          // range 1
+    large.push_back(1000.0 * q[0]);  // range 1000
+  }
+  // After normalization both should have identical AQC.
+  const double a = Advisor::EstimateNormalizedAqc(queries, small);
+  const double b = Advisor::EstimateNormalizedAqc(queries, large);
+  EXPECT_NEAR(a, b, 1e-9);
+}
+
+TEST(AdvisorTest, BuildDecisionThreshold) {
+  AdvisorConfig cfg;
+  cfg.max_buildable_aqc = 2.0;
+  Advisor advisor(cfg);
+  EXPECT_TRUE(advisor.ShouldBuild(1.5));
+  EXPECT_FALSE(advisor.ShouldBuild(2.5));
+}
+
+TEST(AdvisorTest, SmallRangesGoToEngine) {
+  AdvisorConfig cfg;
+  cfg.min_range_frac = 0.05;
+  Advisor advisor(cfg);
+  // Active range of width 0.01 < 0.05: engine.
+  QueryInstance small = QueryInstance::AxisRange({0.5, 0.0}, {0.01, 1.0});
+  EXPECT_FALSE(advisor.ShouldUseSketch(small, 2));
+  QueryInstance wide = QueryInstance::AxisRange({0.5, 0.0}, {0.2, 1.0});
+  EXPECT_TRUE(advisor.ShouldUseSketch(wide, 2));
+  // Inactive attributes don't trigger the rule.
+  QueryInstance none = QueryInstance::AxisRange({0.0, 0.0}, {1.0, 1.0});
+  EXPECT_TRUE(advisor.ShouldUseSketch(none, 2));
+}
+
+TEST(AdvisorTest, HybridExecutorDispatches) {
+  Table t = MakeUniformTable(5000, 1, 51);
+  ExactEngine engine(&t);
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = Aggregate::kCount;
+  spec.measure_col = 0;
+  WorkloadConfig wc;
+  wc.num_active = 1;
+  wc.range_frac_lo = 0.1;
+  wc.range_frac_hi = 0.5;
+  wc.seed = 52;
+  WorkloadGenerator gen(1, wc);
+  auto sketch =
+      NeuroSketch::TrainFromEngine(engine, spec, &gen, 500, FastConfig());
+  ASSERT_TRUE(sketch.ok());
+
+  AdvisorConfig acfg;
+  acfg.min_range_frac = 0.05;
+  HybridExecutor hybrid(&sketch.value(), &engine, spec, Advisor(acfg));
+
+  // Wide range: sketch used.
+  auto wide = hybrid.Execute(QueryInstance::AxisRange({0.2}, {0.4}));
+  EXPECT_TRUE(wide.used_sketch);
+  // Tiny range: exact engine used, answer is exact.
+  QueryInstance tiny = QueryInstance::AxisRange({0.2}, {0.01});
+  auto narrow = hybrid.Execute(tiny);
+  EXPECT_FALSE(narrow.used_sketch);
+  EXPECT_DOUBLE_EQ(narrow.value, engine.Answer(spec, tiny));
+}
+
+}  // namespace
+}  // namespace neurosketch

@@ -1,0 +1,273 @@
+// Tests for the data substrate: table, normalizer, generators, datasets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "data/datasets.h"
+#include "data/generators.h"
+#include "data/normalizer.h"
+#include "data/table.h"
+#include "util/csv.h"
+#include "util/stats.h"
+
+namespace neurosketch {
+namespace {
+
+Schema TwoColSchema() {
+  Schema s;
+  s.columns = {"a", "b"};
+  return s;
+}
+
+TEST(SchemaTest, FindByName) {
+  Schema s = TwoColSchema();
+  EXPECT_EQ(s.Find("a"), 0);
+  EXPECT_EQ(s.Find("b"), 1);
+  EXPECT_EQ(s.Find("zzz"), -1);
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({1.0, 2.0}).ok());
+  ASSERT_TRUE(t.AppendRow({3.0, 4.0}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 3.0);
+  EXPECT_EQ(t.Row(0), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(TableTest, AppendWrongWidthRejected) {
+  Table t(TwoColSchema());
+  EXPECT_FALSE(t.AppendRow({1.0}).ok());
+  EXPECT_FALSE(t.AppendRow({1.0, 2.0, 3.0}).ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, SetColumnsAndRaggedRejected) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.SetColumns({{1, 2, 3}, {4, 5, 6}}).ok());
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_FALSE(t.SetColumns({{1}, {2, 3}}).ok());
+  EXPECT_FALSE(t.SetColumns({{1}}).ok());
+}
+
+TEST(TableTest, Select) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.SetColumns({{1, 2, 3}, {4, 5, 6}}).ok());
+  Table sel = t.Select({2, 0});
+  EXPECT_EQ(sel.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(sel.at(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(sel.at(1, 0), 1.0);
+}
+
+TEST(TableTest, Project) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.SetColumns({{1, 2}, {3, 4}}).ok());
+  auto proj = t.Project({1});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj.value().num_columns(), 1u);
+  EXPECT_EQ(proj.value().schema().columns[0], "b");
+  EXPECT_FALSE(t.Project({5}).ok());
+}
+
+TEST(TableTest, SizeBytes) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.SetColumns({{1, 2, 3}, {4, 5, 6}}).ok());
+  EXPECT_EQ(t.SizeBytes(), 3u * 2 * sizeof(double));
+}
+
+TEST(TableTest, FromCsvFile) {
+  const std::string path = testing::TempDir() + "/ns_table.csv";
+  ASSERT_TRUE(csv::WriteNumeric(path, {"x", "y"}, {{1, 2}, {3, 4}}).ok());
+  auto t = Table::FromCsvFile(path);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t.value().num_rows(), 2u);
+  EXPECT_EQ(t.value().schema().Find("y"), 1);
+  std::remove(path.c_str());
+}
+
+TEST(NormalizerTest, MapsIntoUnitInterval) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.SetColumns({{-10, 0, 10}, {100, 200, 300}}).ok());
+  Normalizer norm = Normalizer::Fit(t);
+  Table nt = norm.Transform(t);
+  for (size_t c = 0; c < 2; ++c) {
+    for (double v : nt.column(c)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(nt.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(nt.at(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(nt.at(1, 1), 0.5);
+}
+
+TEST(NormalizerTest, RoundTripDenormalize) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.SetColumns({{-5, 15}, {2, 8}}).ok());
+  Normalizer norm = Normalizer::Fit(t);
+  for (double v : {-5.0, 0.0, 7.5, 15.0}) {
+    EXPECT_NEAR(norm.Denormalize(0, norm.Normalize(0, v)), v, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(norm.Width(0), 20.0);
+}
+
+TEST(NormalizerTest, ConstantColumnStaysDefined) {
+  Table t(TwoColSchema());
+  ASSERT_TRUE(t.SetColumns({{3, 3, 3}, {1, 2, 3}}).ok());
+  Normalizer norm = Normalizer::Fit(t);
+  Table nt = norm.Transform(t);
+  for (double v : nt.column(0)) {
+    EXPECT_FALSE(std::isnan(v));
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(GeneratorTest, UniformMoments) {
+  Table t = MakeUniformTable(20000, 2, 101);
+  EXPECT_EQ(t.num_rows(), 20000u);
+  EXPECT_NEAR(stats::Mean(t.column(0)), 0.5, 0.02);
+  EXPECT_NEAR(stats::Variance(t.column(1)), 1.0 / 12.0, 0.005);
+}
+
+TEST(GeneratorTest, GaussianMomentsAndClipping) {
+  Table t = MakeGaussianTable(20000, 1, 0.5, 0.1, 102);
+  EXPECT_NEAR(stats::Mean(t.column(0)), 0.5, 0.01);
+  EXPECT_NEAR(stats::Stddev(t.column(0)), 0.1, 0.01);
+  for (double v : t.column(0)) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(GeneratorTest, GmmSamplesWithinDomain) {
+  Rng rng(103);
+  GmmDistribution gmm = GmmDistribution::MakeRandom(3, 5, &rng);
+  EXPECT_EQ(gmm.dim(), 3u);
+  EXPECT_EQ(gmm.components().size(), 5u);
+  Table t = MakeGmmTable(gmm, 5000, 104);
+  for (size_t c = 0; c < 3; ++c) {
+    for (double v : t.column(c)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(GeneratorTest, GmmMarginalPdfIntegratesToOne) {
+  Rng rng(105);
+  GmmDistribution gmm = GmmDistribution::MakeRandom(2, 4, &rng, 0.05, 0.1);
+  // Trapezoid over a wide interval (most mass is inside [0,1] by
+  // construction of the random means/sigmas).
+  double acc = 0.0;
+  const int steps = 4000;
+  for (int i = 0; i <= steps; ++i) {
+    const double x = -1.0 + 3.0 * i / steps;
+    const double w = (i == 0 || i == steps) ? 0.5 : 1.0;
+    acc += w * gmm.MarginalPdf(0, x) * (3.0 / steps);
+  }
+  EXPECT_NEAR(acc, 1.0, 1e-3);
+}
+
+TEST(GeneratorTest, TwoComponentGmmIsBimodal) {
+  GaussianComponent a, b;
+  a.mean = {0.25};
+  a.stddev = {0.05};
+  a.weight = 1.0;
+  b.mean = {0.75};
+  b.stddev = {0.05};
+  b.weight = 1.0;
+  GmmDistribution gmm({a, b});
+  EXPECT_GT(gmm.MarginalPdf(0, 0.25), gmm.MarginalPdf(0, 0.5));
+  EXPECT_GT(gmm.MarginalPdf(0, 0.75), gmm.MarginalPdf(0, 0.5));
+}
+
+TEST(DatasetTest, PmLikeShapeAndTail) {
+  Dataset d = MakePmLike(20000, 106);
+  EXPECT_EQ(d.name, "PM");
+  EXPECT_EQ(d.table.num_columns(), 4u);
+  EXPECT_EQ(d.measure_col, 0u);
+  const auto& pm = d.table.column(0);
+  // Heavy right tail (Fig. 5): mean well above median.
+  EXPECT_GT(stats::Mean(pm), stats::Median(pm));
+  EXPECT_LE(stats::Max(pm), 900.0);
+  EXPECT_GE(stats::Min(pm), 0.0);
+}
+
+TEST(DatasetTest, VerasetLikeBoundsAndDurations) {
+  Dataset d = MakeVerasetLike(20000, 107);
+  EXPECT_EQ(d.table.num_columns(), 3u);
+  EXPECT_EQ(d.measure_col, 2u);
+  for (double lat : d.table.column(0)) {
+    EXPECT_GE(lat, 29.74);
+    EXPECT_LE(lat, 29.78);
+  }
+  for (double dur : d.table.column(2)) {
+    EXPECT_GE(dur, 0.25);  // stay-point filter: >= 15 minutes
+    EXPECT_LE(dur, 20.0);
+  }
+}
+
+TEST(DatasetTest, TpcLikePricingChainConsistent) {
+  Dataset d = MakeTpcLike(5000, 108);
+  EXPECT_EQ(d.table.num_columns(), 13u);
+  EXPECT_EQ(d.measure_col, 12u);
+  const auto& t = d.table;
+  const int qty = t.schema().Find("quantity");
+  const int ext_sales = t.schema().Find("ext_sales_price");
+  const int ext_wholesale = t.schema().Find("ext_wholesale");
+  const int coupon = t.schema().Find("coupon_amt");
+  const int profit = t.schema().Find("net_profit");
+  ASSERT_GE(qty, 0);
+  for (size_t i = 0; i < 200; ++i) {
+    // net_profit = ext_sales - coupon - ext_wholesale.
+    EXPECT_NEAR(t.at(i, profit),
+                t.at(i, ext_sales) - t.at(i, coupon) - t.at(i, ext_wholesale),
+                1e-9);
+  }
+  // Fig. 5: net_profit spans negative and positive values.
+  EXPECT_LT(stats::Min(t.column(profit)), 0.0);
+  EXPECT_GT(stats::Max(t.column(profit)), 0.0);
+}
+
+TEST(DatasetTest, GmmDatasetDimensions) {
+  Dataset d = MakeGmmDataset(1000, 5, 10, 109);
+  EXPECT_EQ(d.name, "G5");
+  EXPECT_EQ(d.table.num_columns(), 5u);
+  EXPECT_EQ(d.measure_col, 4u);
+}
+
+TEST(DatasetTest, ByNameDispatch) {
+  for (const char* name : {"PM", "VS", "TPC1", "G5", "G10", "G20"}) {
+    auto d = MakeDatasetByName(name, /*scale=*/0.01, 110);
+    ASSERT_TRUE(d.ok()) << name;
+    EXPECT_GT(d.value().table.num_rows(), 0u);
+  }
+  EXPECT_FALSE(MakeDatasetByName("NOPE", 1.0, 0).ok());
+}
+
+TEST(DatasetTest, ScaleControlsRows) {
+  auto small = MakeDatasetByName("VS", 0.01, 111);
+  auto large = MakeDatasetByName("VS", 0.02, 111);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_EQ(small.value().table.num_rows() * 2,
+            large.value().table.num_rows());
+}
+
+TEST(DatasetTest, DeterministicBySeed) {
+  Dataset a = MakeVerasetLike(100, 42), b = MakeVerasetLike(100, 42);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.table.at(i, 2), b.table.at(i, 2));
+  }
+  Dataset c = MakeVerasetLike(100, 43);
+  bool any_diff = false;
+  for (size_t i = 0; i < 100 && !any_diff; ++i) {
+    any_diff = a.table.at(i, 2) != c.table.at(i, 2);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace neurosketch

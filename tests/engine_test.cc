@@ -1,0 +1,152 @@
+// Tests for the exact scan engine (ground truth provider).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "query/engine.h"
+#include "query/predicate.h"
+#include "query/workload.h"
+#include "util/stats.h"
+
+namespace neurosketch {
+namespace {
+
+Table SmallTable() {
+  Schema s;
+  s.columns = {"x", "y", "m"};
+  Table t(s);
+  // x, y in [0,1]; m is the measure.
+  EXPECT_TRUE(t.AppendRow({0.1, 0.1, 10}).ok());
+  EXPECT_TRUE(t.AppendRow({0.2, 0.8, 20}).ok());
+  EXPECT_TRUE(t.AppendRow({0.5, 0.5, 30}).ok());
+  EXPECT_TRUE(t.AppendRow({0.9, 0.2, 40}).ok());
+  EXPECT_TRUE(t.AppendRow({0.95, 0.95, 50}).ok());
+  return t;
+}
+
+QueryFunctionSpec AxisSpec(Aggregate agg, size_t measure) {
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = agg;
+  spec.measure_col = measure;
+  return spec;
+}
+
+TEST(EngineTest, CountOnKnownTable) {
+  Table t = SmallTable();
+  ExactEngine engine(&t);
+  // x in [0, 0.6); y and the measure column unconstrained.
+  QueryInstance q =
+      QueryInstance::AxisRange({0.0, 0.0, 0.0}, {0.6, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(engine.Answer(AxisSpec(Aggregate::kCount, 2), q), 3.0);
+  EXPECT_EQ(engine.CountMatches(AxisSpec(Aggregate::kCount, 2), q), 3u);
+}
+
+TEST(EngineTest, SumAvgOnKnownTable) {
+  Table t = SmallTable();
+  ExactEngine engine(&t);
+  QueryInstance q =
+      QueryInstance::AxisRange({0.0, 0.0, 0.0}, {0.6, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(engine.Answer(AxisSpec(Aggregate::kSum, 2), q), 60.0);
+  EXPECT_DOUBLE_EQ(engine.Answer(AxisSpec(Aggregate::kAvg, 2), q), 20.0);
+}
+
+TEST(EngineTest, MedianStdMinMax) {
+  Table t = SmallTable();
+  ExactEngine engine(&t);
+  QueryInstance all =
+      QueryInstance::AxisRange({0.0, 0.0, 0.0}, {1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(engine.Answer(AxisSpec(Aggregate::kMedian, 2), all), 30.0);
+  EXPECT_DOUBLE_EQ(engine.Answer(AxisSpec(Aggregate::kMin, 2), all), 10.0);
+  EXPECT_DOUBLE_EQ(engine.Answer(AxisSpec(Aggregate::kMax, 2), all), 50.0);
+  EXPECT_NEAR(engine.Answer(AxisSpec(Aggregate::kStd, 2), all),
+              stats::Stddev({10, 20, 30, 40, 50}), 1e-9);
+}
+
+TEST(EngineTest, EmptyRangeSemantics) {
+  Table t = SmallTable();
+  ExactEngine engine(&t);
+  QueryInstance q =
+      QueryInstance::AxisRange({0.3, 0.3, 0.0}, {0.05, 0.05, 1.0});
+  EXPECT_DOUBLE_EQ(engine.Answer(AxisSpec(Aggregate::kCount, 2), q), 0.0);
+  EXPECT_DOUBLE_EQ(engine.Answer(AxisSpec(Aggregate::kSum, 2), q), 0.0);
+  EXPECT_TRUE(std::isnan(engine.Answer(AxisSpec(Aggregate::kAvg, 2), q)));
+}
+
+TEST(EngineTest, MeasureCanBeActiveAttribute) {
+  // Query restricting the measure column itself.
+  Table t = MakeUniformTable(5000, 2, 60);
+  ExactEngine engine(&t);
+  QueryInstance q = QueryInstance::AxisRange({0.0, 0.25}, {1.0, 0.5});
+  const double avg = engine.Answer(AxisSpec(Aggregate::kAvg, 1), q);
+  EXPECT_NEAR(avg, 0.5, 0.02);  // mean of U(0.25, 0.75)
+  const double count = engine.Answer(AxisSpec(Aggregate::kCount, 1), q);
+  EXPECT_NEAR(count / 5000.0, 0.5, 0.03);
+}
+
+TEST(EngineTest, BatchMatchesSingle) {
+  Table t = MakeUniformTable(2000, 3, 61);
+  ExactEngine engine(&t);
+  QueryFunctionSpec spec = AxisSpec(Aggregate::kAvg, 2);
+  WorkloadConfig cfg;
+  cfg.num_active = 2;
+  cfg.seed = 62;
+  WorkloadGenerator gen(3, cfg);
+  auto queries = gen.GenerateMany(50);
+  auto batch = engine.AnswerBatch(spec, queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const double single = engine.Answer(spec, queries[i]);
+    if (std::isnan(single)) {
+      EXPECT_TRUE(std::isnan(batch[i]));
+    } else {
+      EXPECT_DOUBLE_EQ(batch[i], single);
+    }
+  }
+}
+
+TEST(EngineTest, ParallelBatchMatchesSerial) {
+  Table t = MakeUniformTable(3000, 3, 63);
+  ExactEngine engine(&t);
+  QueryFunctionSpec spec = AxisSpec(Aggregate::kSum, 1);
+  WorkloadConfig cfg;
+  cfg.seed = 64;
+  WorkloadGenerator gen(3, cfg);
+  auto queries = gen.GenerateMany(64);
+  auto serial = engine.AnswerBatch(spec, queries, 1);
+  auto parallel = engine.AnswerBatch(spec, queries, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i], parallel[i]);
+  }
+}
+
+TEST(EngineTest, UniformCountMatchesExpectation) {
+  // On uniform data, COUNT(c, r) ~ n * prod(r) (Sec. 3.3.3's g-hat model).
+  Table t = MakeUniformTable(50000, 2, 65);
+  ExactEngine engine(&t);
+  QueryInstance q = QueryInstance::AxisRange({0.2, 0.3}, {0.4, 0.5});
+  const double count = engine.Answer(AxisSpec(Aggregate::kCount, 0), q);
+  EXPECT_NEAR(count / 50000.0, 0.4 * 0.5, 0.01);
+}
+
+TEST(EngineTest, RotatedRectPredicateWorks) {
+  Table t = MakeUniformTable(20000, 2, 66);
+  ExactEngine engine(&t);
+  QueryFunctionSpec spec;
+  spec.predicate = RotatedRectPredicate::Make();
+  spec.agg = Aggregate::kCount;
+  spec.measure_col = 0;
+  // Area w*h = 0.3*0.2 = 0.06 regardless of rotation (fully inside).
+  const double phi = M_PI / 6;
+  const double px = 0.4, py = 0.3, w = 0.3, h = 0.2;
+  const double qx = px + std::cos(phi) * w - std::sin(phi) * h;
+  const double qy = py + std::sin(phi) * w + std::cos(phi) * h;
+  QueryInstance q(std::vector<double>{px, py, qx, qy, phi});
+  const double count = engine.Answer(spec, q);
+  EXPECT_NEAR(count / 20000.0, 0.06, 0.01);
+}
+
+}  // namespace
+}  // namespace neurosketch

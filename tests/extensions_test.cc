@@ -1,0 +1,268 @@
+// Tests for the Sec. 7 extension features: magnitude pruning, the drift
+// monitor / retraining policy, and the sketch catalog.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/catalog.h"
+#include "core/drift.h"
+#include "core/neurosketch.h"
+#include "data/generators.h"
+#include "nn/pruning.h"
+#include "nn/trainer.h"
+#include "query/predicate.h"
+#include "util/stats.h"
+
+namespace neurosketch {
+namespace {
+
+TEST(PruningTest, SparsityTargetHit) {
+  nn::Mlp model(nn::MlpConfig::Paper(4, 5, 32, 16), 1);
+  const size_t weights = [&] {
+    size_t n = 0;
+    for (const auto& l : model.layers()) n += l.weight().size();
+    return n;
+  }();
+  auto report = nn::PruneByMagnitude(&model, 0.5);
+  EXPECT_EQ(report.total_weights, weights);
+  EXPECT_NEAR(report.sparsity(), 0.5, 0.02);
+  EXPECT_GE(nn::CountZeroWeights(model), report.pruned_weights);
+}
+
+TEST(PruningTest, ZeroSparsityIsNoOp) {
+  nn::Mlp model(nn::MlpConfig::Paper(2, 3, 8, 8), 2);
+  auto report = nn::PruneByMagnitude(&model, 0.0);
+  EXPECT_EQ(report.pruned_weights, 0u);
+  EXPECT_EQ(nn::CountZeroWeights(model), 0u);  // random init has no zeros
+}
+
+TEST(PruningTest, PrunesSmallestWeightsFirst) {
+  nn::Mlp model(nn::MlpConfig::Paper(2, 3, 8, 8), 3);
+  // After pruning 30%, every surviving weight must exceed the threshold.
+  auto report = nn::PruneByMagnitude(&model, 0.3);
+  for (const auto& layer : model.layers()) {
+    const Matrix& w = layer.weight();
+    for (size_t i = 0; i < w.size(); ++i) {
+      if (w.data()[i] != 0.0) {
+        EXPECT_GE(std::fabs(w.data()[i]), report.threshold);
+      }
+    }
+  }
+}
+
+TEST(PruningTest, ModeratePruningPreservesAccuracy) {
+  // Train on a simple function; prune 30%; fine-tune; error should stay
+  // in the same ballpark as unpruned.
+  Rng rng(4);
+  const size_t n = 512;
+  Matrix x(n, 2), y(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Uniform();
+    x(i, 1) = rng.Uniform();
+    y(i, 0) = std::sin(3.0 * x(i, 0)) + 0.5 * x(i, 1);
+  }
+  nn::Mlp model(nn::MlpConfig::Paper(2, 4, 24, 24), 5);
+  nn::TrainConfig tc;
+  tc.epochs = 150;
+  const double base_loss = nn::TrainRegressor(&model, x, y, tc).final_loss;
+
+  nn::PruneByMagnitude(&model, 0.3);
+  nn::TrainConfig ft;
+  ft.epochs = 40;
+  ft.learning_rate = 5e-4;
+  const double tuned_loss = nn::FineTunePruned(&model, x, y, ft);
+  EXPECT_LT(tuned_loss, base_loss * 10.0 + 1e-3);
+  // Mask held: zeros stayed zero through fine-tuning.
+  EXPECT_GT(nn::CountZeroWeights(model),
+            model.num_params() / 5);
+}
+
+TEST(PruningTest, FineTuneWithoutFreezeRegrowsWeights) {
+  Rng rng(6);
+  Matrix x(128, 1), y(128, 1);
+  for (size_t i = 0; i < 128; ++i) {
+    x(i, 0) = rng.Uniform();
+    y(i, 0) = x(i, 0);
+  }
+  nn::Mlp model(nn::MlpConfig::Paper(1, 3, 16, 16), 7);
+  nn::TrainConfig tc;
+  tc.epochs = 30;
+  nn::TrainRegressor(&model, x, y, tc);
+  nn::PruneByMagnitude(&model, 0.5);
+  const size_t zeros_before = nn::CountZeroWeights(model);
+  nn::FineTunePruned(&model, x, y, tc, /*freeze_zeros=*/false);
+  EXPECT_LT(nn::CountZeroWeights(model), zeros_before);
+}
+
+// --- Drift monitoring -----------------------------------------------
+
+struct DriftFixture {
+  Table table;
+  QueryFunctionSpec spec;
+  NeuroSketch sketch;
+  std::vector<QueryInstance> probes;
+
+  static DriftFixture Make() {
+    DriftFixture f;
+    f.table = MakeGaussianTable(15000, 1, 0.5, 0.15, 10);
+    f.spec.predicate = AxisRangePredicate::Make();
+    f.spec.agg = Aggregate::kCount;
+    f.spec.measure_col = 0;
+    ExactEngine engine(&f.table);
+    WorkloadConfig wc;
+    wc.num_active = 1;
+    wc.range_frac_lo = 0.2;
+    wc.range_frac_hi = 0.6;
+    wc.min_matches = 0;
+    wc.seed = 11;
+    WorkloadGenerator gen(1, wc);
+    auto train_q = gen.GenerateMany(1200);
+    auto train_a = engine.AnswerBatch(f.spec, train_q);
+    NeuroSketchConfig cfg;
+    cfg.tree_height = 1;
+    cfg.target_partitions = 2;
+    cfg.n_layers = 4;
+    cfg.l_first = 32;
+    cfg.l_rest = 16;
+    cfg.train.epochs = 200;
+    auto sketch = NeuroSketch::Train(train_q, train_a, cfg);
+    EXPECT_TRUE(sketch.ok());
+    f.sketch = std::move(sketch).value();
+    wc.seed = 12;
+    WorkloadGenerator pg(1, wc);
+    f.probes = pg.GenerateMany(80);
+    return f;
+  }
+};
+
+TEST(DriftTest, FreshSketchPassesCheck) {
+  DriftFixture f = DriftFixture::Make();
+  ExactEngine engine(&f.table);
+  DriftPolicy policy;
+  policy.max_normalized_mae = 0.1;
+  DriftMonitor monitor(f.spec, f.probes, policy);
+  DriftReport report = monitor.Check(f.sketch, engine);
+  EXPECT_GE(report.probes_used, policy.min_probes);
+  EXPECT_LT(report.normalized_mae, 0.1);
+  EXPECT_FALSE(report.retrain_recommended);
+}
+
+TEST(DriftTest, DistributionShiftTriggersRetrain) {
+  DriftFixture f = DriftFixture::Make();
+  // The data drifts: distribution moves from N(0.5) to N(0.2).
+  Table drifted = MakeGaussianTable(15000, 1, 0.2, 0.1, 13);
+  ExactEngine engine(&drifted);
+  DriftMonitor monitor(f.spec, f.probes, {});
+  DriftReport report = monitor.Check(f.sketch, engine);
+  EXPECT_TRUE(report.retrain_recommended);
+  EXPECT_GT(report.normalized_mae, 0.1);
+}
+
+TEST(DriftTest, TooFewProbesNeverRecommends) {
+  DriftFixture f = DriftFixture::Make();
+  Table drifted = MakeGaussianTable(5000, 1, 0.1, 0.05, 14);
+  ExactEngine engine(&drifted);
+  DriftPolicy policy;
+  policy.min_probes = 1000;  // more than available
+  DriftMonitor monitor(f.spec, f.probes, policy);
+  EXPECT_FALSE(monitor.Check(f.sketch, engine).retrain_recommended);
+}
+
+// --- Sketch catalog ---------------------------------------------------
+
+TEST(CatalogTest, KeyOrderingAndIdentity) {
+  QueryFunctionSpec a;
+  a.predicate = AxisRangePredicate::Make();
+  a.agg = Aggregate::kAvg;
+  a.measure_col = 1;
+  QueryFunctionSpec b = a;
+  b.agg = Aggregate::kSum;
+  auto ka = QueryFunctionKey::From(a), kb = QueryFunctionKey::From(b);
+  EXPECT_TRUE(ka < kb || kb < ka);
+  EXPECT_FALSE(ka < ka);
+}
+
+TEST(CatalogTest, RegisterBuildsAndDispatches) {
+  Table table = MakeUniformTable(10000, 2, 15);
+  ExactEngine engine(&table);
+  AdvisorConfig acfg;
+  acfg.max_buildable_aqc = 100.0;  // accept everything
+  acfg.min_range_frac = 0.02;
+  NeuroSketchConfig cfg;
+  cfg.tree_height = 1;
+  cfg.target_partitions = 2;
+  cfg.n_layers = 4;
+  cfg.l_first = 24;
+  cfg.l_rest = 16;
+  cfg.train.epochs = 100;
+  SketchCatalog catalog(&engine, Advisor(acfg), cfg);
+
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = Aggregate::kAvg;
+  spec.measure_col = 1;
+  WorkloadConfig wc;
+  wc.num_active = 1;
+  wc.candidate_attrs = {0};
+  wc.range_frac_lo = 0.1;
+  wc.range_frac_hi = 0.5;
+  wc.min_matches = 3;
+  wc.seed = 16;
+  WorkloadGenerator gen(2, wc);
+  auto info = catalog.Register(spec, &gen, 700);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(info.value().built);
+  EXPECT_TRUE(catalog.Has(spec));
+  EXPECT_EQ(catalog.num_sketches(), 1u);
+  EXPECT_GT(catalog.TotalSizeBytes(), 0u);
+
+  // Wide query: sketch; narrow: engine.
+  auto wide = catalog.Execute(
+      spec, QueryInstance::AxisRange({0.2, 0.0}, {0.4, 1.0}));
+  EXPECT_TRUE(wide.used_sketch);
+  auto narrow = catalog.Execute(
+      spec, QueryInstance::AxisRange({0.2, 0.0}, {0.005, 1.0}));
+  EXPECT_FALSE(narrow.used_sketch);
+  // Unregistered spec: always engine.
+  QueryFunctionSpec other = spec;
+  other.agg = Aggregate::kSum;
+  auto miss = catalog.Execute(
+      other, QueryInstance::AxisRange({0.2, 0.0}, {0.4, 1.0}));
+  EXPECT_FALSE(miss.used_sketch);
+}
+
+TEST(CatalogTest, AdvisorRejectsHardFunctions) {
+  Table table = MakeUniformTable(5000, 2, 17);
+  ExactEngine engine(&table);
+  AdvisorConfig acfg;
+  acfg.max_buildable_aqc = 1e-9;  // reject everything
+  SketchCatalog catalog(&engine, Advisor(acfg), {});
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = Aggregate::kAvg;
+  spec.measure_col = 1;
+  WorkloadConfig wc;
+  wc.num_active = 1;
+  wc.seed = 18;
+  WorkloadGenerator gen(2, wc);
+  auto info = catalog.Register(spec, &gen, 300);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info.value().built);
+  EXPECT_FALSE(catalog.Has(spec));
+  ASSERT_EQ(catalog.Entries().size(), 1u);
+  EXPECT_FALSE(catalog.Entries()[0].built);
+}
+
+TEST(CatalogTest, RejectsSpecWithoutPredicate) {
+  Table table = MakeUniformTable(100, 2, 19);
+  ExactEngine engine(&table);
+  SketchCatalog catalog(&engine, Advisor(), {});
+  QueryFunctionSpec spec;  // no predicate
+  WorkloadConfig wc;
+  wc.seed = 20;
+  WorkloadGenerator gen(2, wc);
+  EXPECT_FALSE(catalog.Register(spec, &gen, 10).ok());
+}
+
+}  // namespace
+}  // namespace neurosketch

@@ -1,0 +1,156 @@
+// Tests for the grid-histogram synopsis baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/histogram.h"
+#include "data/generators.h"
+#include "query/engine.h"
+#include "query/predicate.h"
+#include "query/workload.h"
+#include "util/stats.h"
+
+namespace neurosketch {
+namespace {
+
+QueryFunctionSpec AxisSpec(Aggregate agg, size_t measure) {
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = agg;
+  spec.measure_col = measure;
+  return spec;
+}
+
+TEST(GridHistogramTest, BuildValidation) {
+  Table t = MakeUniformTable(100, 3, 1);
+  EXPECT_FALSE(GridHistogram::Build(t, 9, {}).ok());  // bad measure col
+  GridHistogramConfig big;
+  big.bins_per_dim = 4096;  // 4096^2 = 16.7M cells > limit
+  EXPECT_FALSE(GridHistogram::Build(t, 2, big).ok());
+}
+
+TEST(GridHistogramTest, CellCountAndSize) {
+  Table t = MakeUniformTable(1000, 3, 2);
+  GridHistogramConfig cfg;
+  cfg.bins_per_dim = 8;
+  auto h = GridHistogram::Build(t, 2, cfg);  // dims = {0, 1}
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().num_cells(), 64u);
+  EXPECT_EQ(h.value().SizeBytes(), 64u * 16);
+}
+
+TEST(GridHistogramTest, ExactOnBinAlignedRanges) {
+  // Ranges aligned to bin boundaries incur no interpolation error.
+  Table t = MakeUniformTable(20000, 2, 3);
+  ExactEngine engine(&t);
+  GridHistogramConfig cfg;
+  cfg.bins_per_dim = 8;
+  cfg.dims = {0};
+  auto h = GridHistogram::Build(t, 1, cfg);
+  ASSERT_TRUE(h.ok());
+  QueryFunctionSpec spec = AxisSpec(Aggregate::kCount, 1);
+  // [0.25, 0.75) aligns with 8-bin boundaries.
+  QueryInstance q = QueryInstance::AxisRange({0.25, 0.0}, {0.5, 1.0});
+  auto r = h.value().Answer(spec, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), engine.Answer(spec, q), 1.0);
+}
+
+TEST(GridHistogramTest, InterpolatedRangesApproximate) {
+  Table t = MakeUniformTable(20000, 2, 4);
+  ExactEngine engine(&t);
+  GridHistogramConfig cfg;
+  cfg.bins_per_dim = 32;
+  auto h = GridHistogram::Build(t, 1, cfg);  // dims = {0}
+  ASSERT_TRUE(h.ok());
+  WorkloadConfig wc;
+  wc.num_active = 1;
+  wc.candidate_attrs = {0};
+  wc.range_frac_lo = 0.1;
+  wc.range_frac_hi = 0.5;
+  wc.seed = 5;
+  WorkloadGenerator gen(2, wc);
+  for (Aggregate agg : {Aggregate::kCount, Aggregate::kSum, Aggregate::kAvg}) {
+    QueryFunctionSpec spec = AxisSpec(agg, 1);
+    auto queries = gen.GenerateMany(30, &engine, &spec);
+    std::vector<double> truth, pred;
+    for (const auto& q : queries) {
+      auto r = h.value().Answer(spec, q);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      truth.push_back(engine.Answer(spec, q));
+      pred.push_back(r.value());
+    }
+    EXPECT_LT(stats::NormalizedMae(truth, pred), 0.05) << AggregateName(agg);
+  }
+}
+
+TEST(GridHistogramTest, MultiDimQueries) {
+  Table t = MakeUniformTable(40000, 3, 6);
+  ExactEngine engine(&t);
+  GridHistogramConfig cfg;
+  cfg.bins_per_dim = 16;
+  auto h = GridHistogram::Build(t, 2, cfg);  // dims = {0, 1}
+  ASSERT_TRUE(h.ok());
+  QueryFunctionSpec spec = AxisSpec(Aggregate::kCount, 2);
+  QueryInstance q =
+      QueryInstance::AxisRange({0.2, 0.3, 0.0}, {0.4, 0.5, 1.0});
+  auto r = h.value().Answer(spec, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value() / engine.Answer(spec, q), 1.0, 0.05);
+}
+
+TEST(GridHistogramTest, RejectsConstraintOnMeasure) {
+  Table t = MakeUniformTable(1000, 2, 7);
+  auto h = GridHistogram::Build(t, 1, {});  // dims = {0}
+  ASSERT_TRUE(h.ok());
+  // Constraining the measure column (not histogrammed) is unanswerable.
+  QueryInstance q = QueryInstance::AxisRange({0.0, 0.2}, {1.0, 0.3});
+  auto r = h.value().Answer(AxisSpec(Aggregate::kCount, 1), q);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST(GridHistogramTest, RejectsUnsupported) {
+  Table t = MakeUniformTable(1000, 2, 8);
+  auto h = GridHistogram::Build(t, 1, {});
+  ASSERT_TRUE(h.ok());
+  QueryInstance q = QueryInstance::AxisRange({0.1, 0.0}, {0.5, 1.0});
+  EXPECT_FALSE(h.value().Answer(AxisSpec(Aggregate::kMedian, 1), q).ok());
+  QueryFunctionSpec rot;
+  rot.predicate = RotatedRectPredicate::Make();
+  rot.agg = Aggregate::kCount;
+  rot.measure_col = 1;
+  EXPECT_FALSE(
+      h.value()
+          .Answer(rot, QueryInstance(std::vector<double>{0, 0, 1, 1, 0}))
+          .ok());
+}
+
+TEST(GridHistogramTest, EmptyRangeSemantics) {
+  Table t = MakeGaussianTable(5000, 2, 0.5, 0.05, 9);
+  auto h = GridHistogram::Build(t, 1, {});
+  ASSERT_TRUE(h.ok());
+  // Far corner with no data: COUNT 0, AVG undefined.
+  QueryInstance q = QueryInstance::AxisRange({0.95, 0.0}, {0.04, 1.0});
+  auto rc = h.value().Answer(AxisSpec(Aggregate::kCount, 1), q);
+  ASSERT_TRUE(rc.ok());
+  EXPECT_NEAR(rc.value(), 0.0, 1.0);
+  auto ra = h.value().Answer(AxisSpec(Aggregate::kAvg, 1), q);
+  EXPECT_FALSE(ra.ok());
+}
+
+TEST(GridHistogramTest, FullDomainMatchesTotals) {
+  Table t = MakeUniformTable(12345, 2, 10);
+  auto h = GridHistogram::Build(t, 1, {});
+  ASSERT_TRUE(h.ok());
+  QueryInstance all = QueryInstance::AxisRange({0.0, 0.0}, {1.0, 1.0});
+  auto r = h.value().Answer(AxisSpec(Aggregate::kCount, 1), all);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 12345.0, 1e-6);
+  auto rs = h.value().Answer(AxisSpec(Aggregate::kSum, 1), all);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_NEAR(rs.value(), stats::Sum(t.column(1)), 1e-6);
+}
+
+}  // namespace
+}  // namespace neurosketch

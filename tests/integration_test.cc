@@ -1,0 +1,233 @@
+// End-to-end integration tests: dataset -> normalize -> workload ->
+// ground truth -> NeuroSketch -> accuracy, across datasets, aggregates and
+// the DQD data-size prediction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/tree_agg.h"
+#include "core/neurosketch.h"
+#include "data/datasets.h"
+#include "data/generators.h"
+#include "data/normalizer.h"
+#include "query/predicate.h"
+#include "util/stats.h"
+
+namespace neurosketch {
+namespace {
+
+struct Pipeline {
+  Table normalized;
+  QueryFunctionSpec spec;
+};
+
+Pipeline MakePipeline(Dataset dataset, Aggregate agg) {
+  Pipeline p;
+  Normalizer norm = Normalizer::Fit(dataset.table);
+  p.normalized = norm.Transform(dataset.table);
+  p.spec.predicate = AxisRangePredicate::Make();
+  p.spec.agg = agg;
+  p.spec.measure_col = dataset.measure_col;
+  return p;
+}
+
+NeuroSketchConfig FastConfig() {
+  NeuroSketchConfig cfg;
+  cfg.tree_height = 2;
+  cfg.target_partitions = 2;
+  cfg.n_layers = 4;
+  cfg.l_first = 32;
+  cfg.l_rest = 16;
+  cfg.train.epochs = 100;
+  cfg.train.learning_rate = 2e-3;
+  return cfg;
+}
+
+double EvaluateSketch(const Pipeline& p, const WorkloadConfig& base_wc,
+                      size_t n_train, size_t n_test) {
+  ExactEngine engine(&p.normalized);
+  WorkloadConfig wc = base_wc;
+  WorkloadGenerator train_gen(p.normalized.num_columns(), wc);
+  auto sketch = NeuroSketch::TrainFromEngine(engine, p.spec, &train_gen,
+                                             n_train, FastConfig());
+  EXPECT_TRUE(sketch.ok()) << sketch.status().ToString();
+  if (!sketch.ok()) return 1e9;
+  wc.seed = base_wc.seed + 999;
+  WorkloadGenerator test_gen(p.normalized.num_columns(), wc);
+  auto test_q = test_gen.GenerateMany(n_test, &engine, &p.spec);
+  auto truth = engine.AnswerBatch(p.spec, test_q);
+  auto pred = sketch.value().AnswerBatch(test_q);
+  // Ignore NaN ground truth (shouldn't occur with min_matches).
+  std::vector<double> t2, p2;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (std::isnan(truth[i])) continue;
+    t2.push_back(truth[i]);
+    p2.push_back(pred[i]);
+  }
+  return stats::NormalizedMae(t2, p2);
+}
+
+// End-to-end accuracy on each dataset family (reduced scale), AVG with one
+// active attribute (VS: lat/lon active), mirroring Fig. 6 conditions.
+class DatasetPipelineTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetPipelineTest, SketchErrorIsSmall) {
+  const std::string name = GetParam();
+  auto ds = MakeDatasetByName(name, /*scale=*/0.05, 80);
+  ASSERT_TRUE(ds.ok());
+  Pipeline p = MakePipeline(std::move(ds).value(), Aggregate::kAvg);
+  WorkloadConfig wc;
+  wc.range_frac_lo = 0.2;
+  wc.range_frac_hi = 0.6;
+  wc.min_matches = 5;
+  wc.seed = 81;
+  if (name == "VS") {
+    wc.num_active = 2;
+    wc.fixed_attrs = {0, 1};
+  } else {
+    wc.num_active = 1;
+  }
+  const double err = EvaluateSketch(p, wc, /*n_train=*/900, /*n_test=*/150);
+  // Generous threshold: these are minutes-scale configs, not paper-scale.
+  EXPECT_LT(err, 0.25) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, DatasetPipelineTest,
+                         testing::Values("PM", "VS", "TPC1", "G5"));
+
+// NeuroSketch supports every aggregation function, including MEDIAN and
+// STD which the learned baselines cannot answer (Sec. 4.3 / Fig. 9).
+class AggregateSupportTest : public testing::TestWithParam<Aggregate> {};
+
+TEST_P(AggregateSupportTest, SketchAnswersAggregate) {
+  Dataset ds = MakeVerasetLike(4000, 82);
+  Pipeline p = MakePipeline(std::move(ds), GetParam());
+  WorkloadConfig wc;
+  wc.num_active = 2;
+  wc.fixed_attrs = {0, 1};
+  wc.range_frac_lo = 0.25;
+  wc.range_frac_hi = 0.6;
+  wc.min_matches = 5;
+  wc.seed = 83;
+  const double err = EvaluateSketch(p, wc, 700, 100);
+  EXPECT_LT(err, 0.5) << AggregateName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Aggregates, AggregateSupportTest,
+    testing::Values(Aggregate::kCount, Aggregate::kSum, Aggregate::kAvg,
+                    Aggregate::kStd, Aggregate::kMedian),
+    [](const testing::TestParamInfo<Aggregate>& info) {
+      return AggregateName(info.param);
+    });
+
+// DQD bound sanity (Sec. 5.7 / Fig. 14): with a fixed architecture, error
+// decreases as the data size grows.
+TEST(DqdIntegrationTest, ErrorDecreasesWithDataSize) {
+  double errs[2];
+  const size_t sizes[2] = {300, 30000};
+  for (int i = 0; i < 2; ++i) {
+    Table t = MakeGaussianTable(sizes[i], 1, 0.5, 0.15, 84);
+    Pipeline p;
+    p.normalized = t;  // already in [0,1]
+    p.spec.predicate = AxisRangePredicate::Make();
+    p.spec.agg = Aggregate::kCount;
+    p.spec.measure_col = 0;
+    WorkloadConfig wc;
+    wc.num_active = 1;
+    wc.range_frac_lo = 0.1;
+    wc.range_frac_hi = 0.5;
+    wc.min_matches = 1;
+    wc.seed = 85;
+    errs[i] = EvaluateSketch(p, wc, 900, 150);
+  }
+  EXPECT_LT(errs[1], errs[0]);
+}
+
+// Query specialization (Table 3): partitioning should not hurt, and for a
+// function with sharply heterogeneous complexity it should help.
+TEST(PartitioningIntegrationTest, PartitioningHelpsHeterogeneousFunction) {
+  // Build a 1-D dataset whose AVG query function is flat on the left and
+  // oscillatory on the right.
+  Schema s;
+  s.columns = {"x", "m"};
+  Table t(s);
+  Rng rng(86);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.Uniform();
+    const double m =
+        x < 0.5 ? 0.5 : 0.5 + 0.45 * std::sin(40.0 * x);
+    ASSERT_TRUE(t.AppendRow({x, std::clamp(m + rng.Normal(0, 0.01), 0.0, 1.0)})
+                    .ok());
+  }
+  ExactEngine engine(&t);
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = Aggregate::kAvg;
+  spec.measure_col = 1;
+  WorkloadConfig wc;
+  wc.num_active = 1;
+  wc.candidate_attrs = {0};
+  wc.range_frac_lo = 0.05;
+  wc.range_frac_hi = 0.2;
+  wc.min_matches = 5;
+  wc.seed = 87;
+  WorkloadGenerator gen(2, wc);
+  auto queries = gen.GenerateMany(1500, &engine, &spec);
+  auto answers = engine.AnswerBatch(spec, queries);
+
+  auto eval = [&](size_t height, size_t partitions) {
+    NeuroSketchConfig cfg = FastConfig();
+    cfg.tree_height = height;
+    cfg.target_partitions = partitions;
+    auto sketch = NeuroSketch::Train(queries, answers, cfg);
+    EXPECT_TRUE(sketch.ok());
+    WorkloadConfig twc = wc;
+    twc.seed = 88;
+    WorkloadGenerator tg(2, twc);
+    auto tq = tg.GenerateMany(200, &engine, &spec);
+    auto truth = engine.AnswerBatch(spec, tq);
+    auto pred = sketch.value().AnswerBatch(tq);
+    return stats::NormalizedMae(truth, pred);
+  };
+  const double no_partition = eval(0, 1);
+  const double with_partition = eval(3, 4);
+  EXPECT_LT(with_partition, no_partition * 1.2);  // at minimum: no big harm
+}
+
+// The released artifact workflow of Sec. 7: train, save, ship the sketch,
+// answer without the data.
+TEST(ReleaseWorkflowTest, SavedSketchAnswersWithoutData) {
+  Dataset ds = MakeVerasetLike(5000, 89);
+  Pipeline p = MakePipeline(std::move(ds), Aggregate::kAvg);
+  ExactEngine engine(&p.normalized);
+  WorkloadConfig wc;
+  wc.num_active = 2;
+  wc.fixed_attrs = {0, 1};
+  wc.range_frac_lo = 0.3;
+  wc.range_frac_hi = 0.6;
+  wc.min_matches = 5;
+  wc.seed = 90;
+  WorkloadGenerator gen(3, wc);
+  auto sketch =
+      NeuroSketch::TrainFromEngine(engine, p.spec, &gen, 600, FastConfig());
+  ASSERT_TRUE(sketch.ok());
+  const std::string path = testing::TempDir() + "/ns_release.bin";
+  ASSERT_TRUE(sketch.value().Save(path).ok());
+
+  // Consumer side: only the file exists.
+  auto consumer = NeuroSketch::Load(path);
+  ASSERT_TRUE(consumer.ok());
+  wc.seed = 91;
+  WorkloadGenerator tg(3, wc);
+  auto tq = tg.GenerateMany(100, &engine, &p.spec);
+  auto truth = engine.AnswerBatch(p.spec, tq);
+  auto pred = consumer.value().AnswerBatch(tq);
+  EXPECT_LT(stats::NormalizedMae(truth, pred), 0.3);
+  // The sketch is much smaller than the data (Fig. 6c).
+  EXPECT_LT(consumer.value().SizeBytes(), p.normalized.SizeBytes());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace neurosketch

@@ -1,0 +1,183 @@
+// Unit and property tests for the dense matrix kernels.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/matrix.h"
+#include "util/random.h"
+
+namespace neurosketch {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m(r, c) = rng->Uniform(-2, 2);
+  }
+  return m;
+}
+
+/// Reference triple-loop product.
+Matrix NaiveGemm(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+void ExpectMatrixNear(const Matrix& a, const Matrix& b, double tol = 1e-12) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_NEAR(a(r, c), b(r, c), tol) << "at (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(MatrixTest, ConstructAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -7.0);
+}
+
+TEST(MatrixTest, EmptyMatrix) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, FillAndZero) {
+  Matrix m(2, 2, 3.0);
+  m.Zero();
+  EXPECT_DOUBLE_EQ(m.SquaredNorm(), 0.0);
+  m.Fill(2.0);
+  EXPECT_DOUBLE_EQ(m.SquaredNorm(), 16.0);
+}
+
+TEST(MatrixTest, Apply) {
+  Matrix m(1, 3);
+  m(0, 0) = -1;
+  m(0, 1) = 0;
+  m(0, 2) = 2;
+  m.Apply([](double x) { return x * x; });
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 2), 4.0);
+}
+
+TEST(MatrixTest, AxpyAndScale) {
+  Matrix a(1, 2, 1.0), b(1, 2, 2.0);
+  a.Axpy(3.0, b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 7.0);
+  a.Scale(0.5);
+  EXPECT_DOUBLE_EQ(a(0, 1), 3.5);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, GemmSmallKnown) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix out;
+  Gemm(a, b, &out);
+  EXPECT_DOUBLE_EQ(out(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(out(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(out(1, 1), 50.0);
+}
+
+TEST(MatrixTest, AddRowVector) {
+  Matrix m(2, 3, 1.0);
+  Matrix row(1, 3);
+  row(0, 0) = 1;
+  row(0, 1) = 2;
+  row(0, 2) = 3;
+  AddRowVector(&m, row);
+  EXPECT_DOUBLE_EQ(m(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 4.0);
+}
+
+TEST(MatrixTest, ColumnSums) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  Matrix sums;
+  ColumnSums(m, &sums);
+  EXPECT_EQ(sums.rows(), 1u);
+  EXPECT_DOUBLE_EQ(sums(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(sums(0, 1), 12.0);
+}
+
+// Property sweep: the optimized kernels agree with the naive reference
+// across shapes, including skinny and degenerate cases.
+class GemmShapeTest
+    : public testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(GemmShapeTest, GemmMatchesNaive) {
+  auto [m, k, n] = GetParam();
+  Rng rng(m * 100 + k * 10 + n);
+  Matrix a = RandomMatrix(m, k, &rng);
+  Matrix b = RandomMatrix(k, n, &rng);
+  Matrix out;
+  Gemm(a, b, &out);
+  ExpectMatrixNear(out, NaiveGemm(a, b));
+}
+
+TEST_P(GemmShapeTest, GemmTransAMatchesExplicitTranspose) {
+  auto [m, k, n] = GetParam();
+  Rng rng(m + k + n);
+  Matrix a = RandomMatrix(k, m, &rng);  // a^T is (m, k)
+  Matrix b = RandomMatrix(k, n, &rng);
+  Matrix out;
+  GemmTransA(a, b, &out);
+  ExpectMatrixNear(out, NaiveGemm(a.Transposed(), b));
+}
+
+TEST_P(GemmShapeTest, GemmTransBMatchesExplicitTranspose) {
+  auto [m, k, n] = GetParam();
+  Rng rng(m * 7 + k * 3 + n);
+  Matrix a = RandomMatrix(m, k, &rng);
+  Matrix b = RandomMatrix(n, k, &rng);  // b^T is (k, n)
+  Matrix out;
+  GemmTransB(a, b, &out);
+  ExpectMatrixNear(out, NaiveGemm(a, b.Transposed()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 5, 1),
+                    std::make_tuple(5, 1, 5), std::make_tuple(3, 4, 5),
+                    std::make_tuple(8, 8, 8), std::make_tuple(2, 16, 3),
+                    std::make_tuple(16, 2, 16), std::make_tuple(7, 13, 11)));
+
+TEST(MatrixTest, GemmWithZeroEntriesSkipsCorrectly) {
+  // The ikj kernel skips zero multipliers; verify it is still exact.
+  Matrix a = Matrix::FromRows({{0, 1}, {2, 0}});
+  Matrix b = Matrix::FromRows({{3, 0}, {0, 4}});
+  Matrix out;
+  Gemm(a, b, &out);
+  ExpectMatrixNear(out, NaiveGemm(a, b));
+}
+
+}  // namespace
+}  // namespace neurosketch

@@ -1,0 +1,144 @@
+// Tests for the parametric-query front end (Sec. 4.3 parametric WHERE
+// clauses -> query functions).
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "query/engine.h"
+#include "query/parametric.h"
+#include "query/predicate.h"
+
+namespace neurosketch {
+namespace {
+
+Schema ThreeCols() {
+  Schema s;
+  s.columns = {"price", "quantity", "profit"};
+  return s;
+}
+
+TEST(ParametricTest, ParsesBetween) {
+  auto pq = ParametricQuery::Parse(
+      "SELECT AVG(profit) FROM sales WHERE price BETWEEN ?lo AND ?hi",
+      ThreeCols());
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  EXPECT_EQ(pq.value().spec().agg, Aggregate::kAvg);
+  EXPECT_EQ(pq.value().spec().measure_col, 2u);
+  EXPECT_EQ(pq.value().parameter_names(),
+            (std::vector<std::string>{"lo", "hi"}));
+  auto q = pq.value().Bind({0.2, 0.6});
+  ASSERT_TRUE(q.ok());
+  // (c, r) encoding: price in [0.2, 0.6), others unconstrained.
+  EXPECT_DOUBLE_EQ(q.value()[0], 0.2);
+  EXPECT_DOUBLE_EQ(q.value()[3 + 0], 0.4);
+  EXPECT_DOUBLE_EQ(q.value()[1], 0.0);
+  EXPECT_DOUBLE_EQ(q.value()[3 + 1], 1.0);
+}
+
+TEST(ParametricTest, ParsesOneSidedBounds) {
+  auto pq = ParametricQuery::Parse(
+      "SELECT SUM(profit) FROM t WHERE quantity >= ?q AND price < ?p",
+      ThreeCols());
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  auto q = pq.value().Bind({0.3, 0.8});
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q.value()[1], 0.3);            // quantity lower
+  EXPECT_DOUBLE_EQ(q.value()[3 + 1], 0.7);        // up to 1.0
+  EXPECT_DOUBLE_EQ(q.value()[0], 0.0);            // price lower default
+  EXPECT_DOUBLE_EQ(q.value()[3 + 0], 0.8);        // price upper bound
+}
+
+TEST(ParametricTest, CountStar) {
+  auto pq = ParametricQuery::Parse(
+      "SELECT COUNT(*) FROM t WHERE price > ?x", ThreeCols());
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  EXPECT_EQ(pq.value().spec().agg, Aggregate::kCount);
+  auto bad = ParametricQuery::Parse("SELECT AVG(*) FROM t", ThreeCols());
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(ParametricTest, NoWhereClauseMeansFullDomain) {
+  auto pq = ParametricQuery::Parse("SELECT MEDIAN(profit) FROM t",
+                                   ThreeCols());
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  EXPECT_TRUE(pq.value().parameter_names().empty());
+  auto q = pq.value().Bind({});
+  ASSERT_TRUE(q.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(q.value()[i], 0.0);
+    EXPECT_DOUBLE_EQ(q.value()[3 + i], 1.0);
+  }
+}
+
+TEST(ParametricTest, CaseInsensitiveKeywords) {
+  auto pq = ParametricQuery::Parse(
+      "select avg(profit) from t where price between ?a and ?b",
+      ThreeCols());
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  EXPECT_EQ(pq.value().aggregate_name(), "AVG");
+}
+
+TEST(ParametricTest, StddevAliases) {
+  for (const char* agg : {"STD", "STDDEV", "STDEV"}) {
+    auto pq = ParametricQuery::Parse(
+        std::string("SELECT ") + agg + "(profit) FROM t", ThreeCols());
+    ASSERT_TRUE(pq.ok()) << agg;
+    EXPECT_EQ(pq.value().spec().agg, Aggregate::kStd);
+  }
+}
+
+TEST(ParametricTest, RejectsBadInput) {
+  Schema s = ThreeCols();
+  EXPECT_FALSE(ParametricQuery::Parse("", s).ok());
+  EXPECT_FALSE(ParametricQuery::Parse("SELECT FOO(profit) FROM t", s).ok());
+  EXPECT_FALSE(
+      ParametricQuery::Parse("SELECT AVG(nope) FROM t", s).ok());
+  EXPECT_FALSE(ParametricQuery::Parse(
+                   "SELECT AVG(profit) FROM t WHERE nope > ?x", s)
+                   .ok());
+  EXPECT_FALSE(ParametricQuery::Parse(
+                   "SELECT AVG(profit) FROM t WHERE price = ?x", s)
+                   .ok());
+  // Reused parameter.
+  EXPECT_FALSE(ParametricQuery::Parse(
+                   "SELECT AVG(profit) FROM t WHERE price > ?x AND "
+                   "quantity > ?x",
+                   s)
+                   .ok());
+}
+
+TEST(ParametricTest, BindValidation) {
+  auto pq = ParametricQuery::Parse(
+      "SELECT AVG(profit) FROM t WHERE price BETWEEN ?lo AND ?hi",
+      ThreeCols());
+  ASSERT_TRUE(pq.ok());
+  EXPECT_FALSE(pq.value().Bind({0.5}).ok());          // wrong count
+  EXPECT_FALSE(pq.value().Bind({0.8, 0.2}).ok());     // hi < lo
+  auto named = pq.value().BindNamed({{"lo", 0.1}, {"hi", 0.9}});
+  ASSERT_TRUE(named.ok());
+  EXPECT_DOUBLE_EQ(named.value()[0], 0.1);
+  EXPECT_FALSE(pq.value().BindNamed({{"lo", 0.1}}).ok());  // missing hi
+}
+
+TEST(ParametricTest, EndToEndAgainstEngine) {
+  // Bind a parsed template and answer it exactly; must match a manually
+  // constructed query instance.
+  Table t = MakeUniformTable(5000, 3, 99);
+  Schema s = ThreeCols();
+  Table named(s);
+  ASSERT_TRUE(named.SetColumns({t.column(0), t.column(1), t.column(2)}).ok());
+  ExactEngine engine(&named);
+  auto pq = ParametricQuery::Parse(
+      "SELECT AVG(profit) FROM t WHERE price BETWEEN ?lo AND ?hi "
+      "AND quantity >= ?q",
+      s);
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  auto q = pq.value().Bind({0.2, 0.7, 0.4});
+  ASSERT_TRUE(q.ok());
+  QueryInstance manual =
+      QueryInstance::AxisRange({0.2, 0.4, 0.0}, {0.5, 0.6, 1.0});
+  EXPECT_DOUBLE_EQ(engine.Answer(pq.value().spec(), q.value()),
+                   engine.Answer(pq.value().spec(), manual));
+}
+
+}  // namespace
+}  // namespace neurosketch

@@ -1,0 +1,270 @@
+// Cross-module property sweeps (TEST_P): invariants that must hold over
+// wide parameter ranges rather than single hand-picked cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "baselines/spn.h"
+#include "baselines/tree_agg.h"
+#include "core/neurosketch.h"
+#include "data/datasets.h"
+#include "data/generators.h"
+#include "index/kdtree.h"
+#include "query/engine.h"
+#include "query/predicate.h"
+#include "query/workload.h"
+#include "util/stats.h"
+
+namespace neurosketch {
+namespace {
+
+QueryFunctionSpec AxisSpec(Aggregate agg, size_t measure) {
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = agg;
+  spec.measure_col = measure;
+  return spec;
+}
+
+// ---------------------------------------------------------------------
+// SPN COUNT must approximate the exact engine across dimensionalities and
+// RDC thresholds on independent data (where the product decomposition is
+// exact up to histogram resolution).
+class SpnCountSweep
+    : public testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(SpnCountSweep, CountNearExactOnUniform) {
+  auto [dim, rdc] = GetParam();
+  Table t = MakeUniformTable(15000, dim, 2000 + dim);
+  ExactEngine engine(&t);
+  SpnConfig cfg;
+  cfg.rdc_threshold = rdc;
+  Spn spn = Spn::Build(t, cfg);
+  QueryFunctionSpec spec = AxisSpec(Aggregate::kCount, dim - 1);
+  WorkloadConfig wc;
+  wc.num_active = std::min<size_t>(2, dim);
+  wc.range_frac_lo = 0.2;
+  wc.range_frac_hi = 0.6;
+  wc.seed = 2100 + dim;
+  WorkloadGenerator gen(dim, wc);
+  auto queries = gen.GenerateMany(25, &engine, &spec);
+  std::vector<double> truth, pred;
+  for (const auto& q : queries) {
+    auto r = spn.Answer(spec, q);
+    ASSERT_TRUE(r.ok());
+    truth.push_back(engine.Answer(spec, q));
+    pred.push_back(r.value());
+  }
+  EXPECT_LT(stats::NormalizedMae(truth, pred), 0.06)
+      << "dim=" << dim << " rdc=" << rdc;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpnCountSweep,
+    testing::Combine(testing::Values<size_t>(2, 3, 5),
+                     testing::Values(0.1, 0.3, 1.01)));
+
+// ---------------------------------------------------------------------
+// TREE-AGG with a 100% sample must equal the exact engine for every
+// aggregate and for each predicate family with a bounding box.
+class TreeAggExactSweep : public testing::TestWithParam<Aggregate> {};
+
+TEST_P(TreeAggExactSweep, FullSampleEqualsEngine) {
+  const Aggregate agg = GetParam();
+  Table t = MakeGmmDataset(3000, 3, 5, 2200).table;
+  ExactEngine engine(&t);
+  TreeAggConfig cfg;
+  cfg.sample_size = t.num_rows();
+  TreeAgg ta = TreeAgg::Build(t, cfg);
+  QueryFunctionSpec spec = AxisSpec(agg, 2);
+  WorkloadConfig wc;
+  wc.num_active = 2;
+  wc.range_frac_lo = 0.2;
+  wc.range_frac_hi = 0.6;
+  wc.min_matches = 1;
+  wc.seed = 2300 + static_cast<uint64_t>(agg);
+  WorkloadGenerator gen(3, wc);
+  for (const auto& q : gen.GenerateMany(15, &engine, &spec)) {
+    EXPECT_NEAR(ta.Answer(spec, q), engine.Answer(spec, q), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAggregates, TreeAggExactSweep,
+    testing::Values(Aggregate::kCount, Aggregate::kSum, Aggregate::kAvg,
+                    Aggregate::kStd, Aggregate::kMedian, Aggregate::kMin,
+                    Aggregate::kMax),
+    [](const testing::TestParamInfo<Aggregate>& info) {
+      return AggregateName(info.param);
+    });
+
+// ---------------------------------------------------------------------
+// kd-tree invariants over heights and query dimensionalities: leaf count,
+// routing consistency, partition completeness.
+class KdTreeSweep
+    : public testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(KdTreeSweep, StructuralInvariants) {
+  auto [height, dim] = GetParam();
+  Rng rng(2400 + height * 10 + dim);
+  std::vector<QueryInstance> queries;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<double> v(dim);
+    for (auto& x : v) x = rng.Uniform();
+    queries.emplace_back(std::move(v));
+  }
+  auto tree = QuerySpaceKdTree::Build(queries, height);
+  EXPECT_EQ(tree.NumLeaves(), static_cast<size_t>(1) << height);
+  size_t total = 0;
+  for (auto* leaf : tree.Leaves()) {
+    total += leaf->query_ids.size();
+    for (size_t id : leaf->query_ids) {
+      EXPECT_EQ(tree.Route(queries[id]), leaf);
+    }
+  }
+  EXPECT_EQ(total, queries.size());
+  // Round-trip through the routing encoding.
+  auto decoded = QuerySpaceKdTree::DecodeRouting(tree.EncodeRouting(), dim);
+  ASSERT_TRUE(decoded.ok());
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> v(dim);
+    for (auto& x : v) x = rng.Uniform();
+    QueryInstance q(v);
+    EXPECT_EQ(tree.Route(q)->leaf_id, decoded.value().Route(q)->leaf_id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdTreeSweep,
+    testing::Combine(testing::Values<size_t>(1, 2, 3, 4, 5),
+                     testing::Values<size_t>(1, 2, 4, 6)));
+
+// ---------------------------------------------------------------------
+// Workload generator: for every (num_active, range) combination, the
+// generated instance has exactly num_active active attributes, each with
+// the requested width, and the (c, r) encoding stays in the simplex.
+class WorkloadSweep
+    : public testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(WorkloadSweep, EncodingInvariants) {
+  auto [active, frac] = GetParam();
+  const size_t dim = 5;
+  WorkloadConfig wc;
+  wc.num_active = active;
+  wc.range_frac_lo = wc.range_frac_hi = frac;
+  wc.seed = 2500 + active;
+  WorkloadGenerator gen(dim, wc);
+  for (int i = 0; i < 60; ++i) {
+    QueryInstance q = gen.Generate();
+    ASSERT_EQ(q.dim(), 2 * dim);
+    size_t found = 0;
+    for (size_t a = 0; a < dim; ++a) {
+      const double c = q[a], r = q[dim + a];
+      EXPECT_GE(c, 0.0);
+      EXPECT_LE(c + r, 1.0 + 1e-12);
+      if (!(c == 0.0 && r >= 1.0)) {
+        EXPECT_NEAR(r, frac, 1e-12);
+        ++found;
+      }
+    }
+    EXPECT_EQ(found, active);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WorkloadSweep,
+    testing::Combine(testing::Values<size_t>(1, 2, 3, 5),
+                     testing::Values(0.01, 0.1, 0.4)));
+
+// ---------------------------------------------------------------------
+// Vectorized batch answering must agree exactly with the scalar path.
+class VectorizedBatchSweep : public testing::TestWithParam<size_t> {};
+
+TEST_P(VectorizedBatchSweep, MatchesScalarPath) {
+  const size_t partitions = GetParam();
+  Rng rng(2600 + partitions);
+  std::vector<QueryInstance> train_q;
+  std::vector<double> train_a;
+  for (int i = 0; i < 600; ++i) {
+    const double c = rng.Uniform(), r = rng.Uniform(0.0, 0.5);
+    train_q.push_back(QueryInstance(std::vector<double>{c, r}));
+    train_a.push_back(std::sin(4.0 * c) + r);
+  }
+  NeuroSketchConfig cfg;
+  cfg.tree_height = partitions > 1 ? 3 : 0;
+  cfg.target_partitions = partitions;
+  cfg.n_layers = 3;
+  cfg.l_first = 16;
+  cfg.l_rest = 16;
+  cfg.train.epochs = 30;
+  auto sketch = NeuroSketch::Train(train_q, train_a, cfg);
+  ASSERT_TRUE(sketch.ok());
+  std::vector<QueryInstance> probes;
+  for (int i = 0; i < 150; ++i) {
+    probes.push_back(QueryInstance(
+        std::vector<double>{rng.Uniform(), rng.Uniform(0.0, 0.5)}));
+  }
+  auto scalar = sketch.value().AnswerBatch(probes);
+  auto vectorized = sketch.value().AnswerBatchVectorized(probes);
+  ASSERT_EQ(scalar.size(), vectorized.size());
+  for (size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scalar[i], vectorized[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, VectorizedBatchSweep,
+                         testing::Values<size_t>(1, 2, 4, 8));
+
+// ---------------------------------------------------------------------
+// Aggregate monotonicity: enlarging an axis range can only grow COUNT and
+// keep MIN non-increasing / MAX non-decreasing.
+TEST(RangeMonotonicityTest, CountGrowsWithRange) {
+  Table t = MakeGmmDataset(8000, 2, 6, 2700).table;
+  ExactEngine engine(&t);
+  QueryFunctionSpec count = AxisSpec(Aggregate::kCount, 1);
+  QueryFunctionSpec mins = AxisSpec(Aggregate::kMin, 1);
+  QueryFunctionSpec maxs = AxisSpec(Aggregate::kMax, 1);
+  Rng rng(2701);
+  for (int trial = 0; trial < 25; ++trial) {
+    const double c = rng.Uniform(0.0, 0.5);
+    const double r1 = rng.Uniform(0.05, 0.2);
+    const double r2 = r1 + rng.Uniform(0.05, 0.3);
+    QueryInstance small = QueryInstance::AxisRange({c, 0.0}, {r1, 1.0});
+    QueryInstance large = QueryInstance::AxisRange({c, 0.0}, {r2, 1.0});
+    EXPECT_LE(engine.Answer(count, small), engine.Answer(count, large));
+    const double min_s = engine.Answer(mins, small);
+    const double min_l = engine.Answer(mins, large);
+    if (!std::isnan(min_s) && !std::isnan(min_l)) {
+      EXPECT_GE(min_s, min_l);
+    }
+    const double max_s = engine.Answer(maxs, small);
+    const double max_l = engine.Answer(maxs, large);
+    if (!std::isnan(max_s) && !std::isnan(max_l)) {
+      EXPECT_LE(max_s, max_l);
+    }
+  }
+}
+
+// COUNT of a range equals the sum of COUNTs of a partition of that range.
+TEST(RangeAdditivityTest, CountIsAdditiveOverSplits) {
+  Table t = MakeUniformTable(10000, 2, 2800);
+  ExactEngine engine(&t);
+  QueryFunctionSpec spec = AxisSpec(Aggregate::kCount, 1);
+  Rng rng(2801);
+  for (int trial = 0; trial < 25; ++trial) {
+    const double c = rng.Uniform(0.0, 0.4);
+    const double r = rng.Uniform(0.1, 0.5);
+    const double mid = rng.Uniform(0.1, 0.9) * r;
+    QueryInstance whole = QueryInstance::AxisRange({c, 0.0}, {r, 1.0});
+    QueryInstance left = QueryInstance::AxisRange({c, 0.0}, {mid, 1.0});
+    QueryInstance right =
+        QueryInstance::AxisRange({c + mid, 0.0}, {r - mid, 1.0});
+    EXPECT_DOUBLE_EQ(
+        engine.Answer(spec, whole),
+        engine.Answer(spec, left) + engine.Answer(spec, right));
+  }
+}
+
+}  // namespace
+}  // namespace neurosketch

@@ -1,0 +1,320 @@
+// Tests for the query model: predicates, aggregates, workload generation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "query/aggregate.h"
+#include "query/engine.h"
+#include "query/predicate.h"
+#include "query/query.h"
+#include "query/workload.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace neurosketch {
+namespace {
+
+TEST(QueryInstanceTest, AxisRangeLayout) {
+  QueryInstance q = QueryInstance::AxisRange({0.1, 0.2}, {0.3, 0.4});
+  ASSERT_EQ(q.dim(), 4u);
+  EXPECT_DOUBLE_EQ(q[0], 0.1);
+  EXPECT_DOUBLE_EQ(q[3], 0.4);
+}
+
+TEST(QueryTest, AggregateNames) {
+  EXPECT_EQ(AggregateName(Aggregate::kCount), "COUNT");
+  EXPECT_EQ(AggregateName(Aggregate::kMedian), "MEDIAN");
+}
+
+TEST(QueryTest, SpecToString) {
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = Aggregate::kAvg;
+  spec.measure_col = 2;
+  EXPECT_NE(spec.ToString().find("AVG"), std::string::npos);
+  EXPECT_NE(spec.ToString().find("axis_range"), std::string::npos);
+}
+
+TEST(AxisRangeTest, BasicMatching) {
+  AxisRangePredicate pred;
+  QueryInstance q = QueryInstance::AxisRange({0.2, 0.0}, {0.3, 1.0});
+  double in_row[2] = {0.3, 0.9};
+  double below[2] = {0.1, 0.5};
+  double at_upper[2] = {0.5, 0.5};  // c + r boundary is exclusive
+  double at_lower[2] = {0.2, 0.5};  // c boundary is inclusive
+  EXPECT_TRUE(pred.Matches(q, in_row, 2));
+  EXPECT_FALSE(pred.Matches(q, below, 2));
+  EXPECT_FALSE(pred.Matches(q, at_upper, 2));
+  EXPECT_TRUE(pred.Matches(q, at_lower, 2));
+}
+
+TEST(AxisRangeTest, InactiveAttributeUnconstrained) {
+  AxisRangePredicate pred;
+  QueryInstance q = QueryInstance::AxisRange({0.0, 0.4}, {1.0, 0.2});
+  // Attribute 0 is inactive (0, 1): a value of exactly 1.0 must match.
+  double row[2] = {1.0, 0.5};
+  EXPECT_TRUE(pred.Matches(q, row, 2));
+}
+
+TEST(AxisRangeTest, QueryDimAndBox) {
+  AxisRangePredicate pred;
+  EXPECT_EQ(pred.QueryDim(3), 6u);
+  QueryInstance q = QueryInstance::AxisRange({0.1, 0.2}, {0.3, 0.4});
+  std::vector<double> lo, hi;
+  pred.QueryBox(q, 2, &lo, &hi);
+  EXPECT_DOUBLE_EQ(lo[0], 0.1);
+  EXPECT_DOUBLE_EQ(hi[0], 0.4);
+  EXPECT_DOUBLE_EQ(hi[1], 0.6);
+}
+
+TEST(RotatedRectTest, ZeroAngleMatchesAxisRect) {
+  RotatedRectPredicate rot;
+  // p = (0.2, 0.3), p' = (0.6, 0.5), phi = 0.
+  QueryInstance q(std::vector<double>{0.2, 0.3, 0.6, 0.5, 0.0});
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    double row[2] = {rng.Uniform(), rng.Uniform()};
+    const bool in_axis = row[0] >= 0.2 && row[0] <= 0.6 && row[1] >= 0.3 &&
+                         row[1] <= 0.5;
+    EXPECT_EQ(rot.Matches(q, row, 2), in_axis)
+        << row[0] << "," << row[1];
+  }
+}
+
+TEST(RotatedRectTest, RotatedContainsCenterExcludesAxisCorner) {
+  RotatedRectPredicate rot;
+  // A thin rectangle rotated 45 degrees around p.
+  const double phi = M_PI / 4.0;
+  const double w = 0.4, h = 0.1;
+  const double px = 0.3, py = 0.3;
+  const double qx = px + std::cos(phi) * w - std::sin(phi) * h;
+  const double qy = py + std::sin(phi) * w + std::cos(phi) * h;
+  QueryInstance q(std::vector<double>{px, py, qx, qy, phi});
+  // Midpoint of the diagonal is always inside.
+  double center[2] = {(px + qx) / 2, (py + qy) / 2};
+  EXPECT_TRUE(rot.Matches(q, center, 2));
+  // The axis-aligned corner (qx, py) lies outside the rotated rectangle.
+  double corner[2] = {qx, py};
+  EXPECT_FALSE(rot.Matches(q, corner, 2));
+}
+
+TEST(RotatedRectTest, BoundingBoxCoversMatches) {
+  RotatedRectPredicate rot;
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double phi = rng.Uniform(0, M_PI / 2);
+    const double px = rng.Uniform(0.1, 0.5), py = rng.Uniform(0.1, 0.5);
+    const double w = rng.Uniform(0.05, 0.3), h = rng.Uniform(0.05, 0.3);
+    const double qx = px + std::cos(phi) * w - std::sin(phi) * h;
+    const double qy = py + std::sin(phi) * w + std::cos(phi) * h;
+    QueryInstance q(std::vector<double>{px, py, qx, qy, phi});
+    std::vector<double> lo, hi;
+    rot.QueryBox(q, 2, &lo, &hi);
+    for (int i = 0; i < 100; ++i) {
+      double row[2] = {rng.Uniform(), rng.Uniform()};
+      if (rot.Matches(q, row, 2)) {
+        EXPECT_GE(row[0], lo[0] - 1e-9);
+        EXPECT_LE(row[0], hi[0] + 1e-9);
+        EXPECT_GE(row[1], lo[1] - 1e-9);
+        EXPECT_LE(row[1], hi[1] + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(HalfSpaceTest, AboveLine) {
+  HalfSpacePredicate pred;
+  // x[1] > 2 x[0] + 0.1
+  QueryInstance q(std::vector<double>{2.0, 0.1});
+  double above[2] = {0.1, 0.5};
+  double below[2] = {0.3, 0.5};
+  EXPECT_TRUE(pred.Matches(q, above, 2));
+  EXPECT_FALSE(pred.Matches(q, below, 2));
+  EXPECT_EQ(pred.QueryDim(7), 2u);
+}
+
+TEST(CircularTest, InsideOutsideAndBox) {
+  CircularPredicate pred(2);
+  QueryInstance q(std::vector<double>{0.5, 0.5, 0.2});
+  double inside[2] = {0.6, 0.6};
+  double outside[2] = {0.8, 0.8};
+  double boundary[2] = {0.7, 0.5};
+  EXPECT_TRUE(pred.Matches(q, inside, 2));
+  EXPECT_FALSE(pred.Matches(q, outside, 2));
+  EXPECT_TRUE(pred.Matches(q, boundary, 2));  // closed ball
+  std::vector<double> lo, hi;
+  pred.QueryBox(q, 2, &lo, &hi);
+  EXPECT_DOUBLE_EQ(lo[0], 0.3);
+  EXPECT_DOUBLE_EQ(hi[1], 0.7);
+}
+
+// Aggregate accumulators must match the reference implementations in
+// util/stats over random inputs.
+class AggregateTest : public testing::TestWithParam<Aggregate> {};
+
+TEST_P(AggregateTest, MatchesReference) {
+  const Aggregate agg = GetParam();
+  Rng rng(static_cast<uint64_t>(agg) + 1);
+  std::vector<double> values;
+  AggregateAccumulator acc(agg);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Uniform(-10, 10);
+    values.push_back(v);
+    acc.Add(v);
+  }
+  double expected = 0.0;
+  switch (agg) {
+    case Aggregate::kCount: expected = 500.0; break;
+    case Aggregate::kSum: expected = stats::Sum(values); break;
+    case Aggregate::kAvg: expected = stats::Mean(values); break;
+    case Aggregate::kStd: expected = stats::Stddev(values); break;
+    case Aggregate::kMedian: expected = stats::Median(values); break;
+    case Aggregate::kMin: expected = stats::Min(values); break;
+    case Aggregate::kMax: expected = stats::Max(values); break;
+  }
+  EXPECT_NEAR(acc.Finalize(), expected, 1e-9) << AggregateName(agg);
+  EXPECT_EQ(acc.count(), 500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAggregates, AggregateTest,
+    testing::Values(Aggregate::kCount, Aggregate::kSum, Aggregate::kAvg,
+                    Aggregate::kStd, Aggregate::kMedian, Aggregate::kMin,
+                    Aggregate::kMax),
+    [](const testing::TestParamInfo<Aggregate>& info) {
+      return AggregateName(info.param);
+    });
+
+TEST(AggregateTest, EmptySemantics) {
+  EXPECT_DOUBLE_EQ(AggregateAccumulator::Evaluate(Aggregate::kCount, {}), 0.0);
+  EXPECT_DOUBLE_EQ(AggregateAccumulator::Evaluate(Aggregate::kSum, {}), 0.0);
+  EXPECT_TRUE(
+      std::isnan(AggregateAccumulator::Evaluate(Aggregate::kAvg, {})));
+  EXPECT_TRUE(
+      std::isnan(AggregateAccumulator::Evaluate(Aggregate::kMedian, {})));
+  EXPECT_TRUE(std::isnan(AggregateAccumulator::Evaluate(Aggregate::kMin, {})));
+}
+
+TEST(WorkloadTest, ActiveAttributeCount) {
+  WorkloadConfig cfg;
+  cfg.num_active = 2;
+  cfg.seed = 5;
+  WorkloadGenerator gen(5, cfg);
+  for (int i = 0; i < 100; ++i) {
+    QueryInstance q = gen.Generate();
+    ASSERT_EQ(q.dim(), 10u);
+    size_t active = 0;
+    for (size_t a = 0; a < 5; ++a) {
+      if (!(q[a] == 0.0 && q[5 + a] >= 1.0)) ++active;
+    }
+    EXPECT_EQ(active, 2u);
+  }
+}
+
+TEST(WorkloadTest, RangesStayInDomain) {
+  WorkloadConfig cfg;
+  cfg.num_active = 3;
+  cfg.range_frac_lo = 0.01;
+  cfg.range_frac_hi = 0.9;
+  cfg.seed = 6;
+  WorkloadGenerator gen(4, cfg);
+  for (int i = 0; i < 200; ++i) {
+    QueryInstance q = gen.Generate();
+    for (size_t a = 0; a < 4; ++a) {
+      EXPECT_GE(q[a], 0.0);
+      EXPECT_LE(q[a] + q[4 + a], 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(WorkloadTest, FixedAttrsAlwaysActive) {
+  WorkloadConfig cfg;
+  cfg.num_active = 2;
+  cfg.fixed_attrs = {0, 1};
+  cfg.seed = 7;
+  WorkloadGenerator gen(3, cfg);
+  for (int i = 0; i < 50; ++i) {
+    QueryInstance q = gen.Generate();
+    EXPECT_LT(q[3 + 0], 1.0);  // attr 0 has a real range
+    EXPECT_LT(q[3 + 1], 1.0);
+    EXPECT_DOUBLE_EQ(q[2], 0.0);  // attr 2 inactive
+    EXPECT_DOUBLE_EQ(q[3 + 2], 1.0);
+  }
+}
+
+TEST(WorkloadTest, FixedRangeFraction) {
+  WorkloadConfig cfg;
+  cfg.num_active = 1;
+  cfg.range_frac_lo = cfg.range_frac_hi = 0.05;
+  cfg.seed = 8;
+  WorkloadGenerator gen(2, cfg);
+  for (int i = 0; i < 50; ++i) {
+    QueryInstance q = gen.Generate();
+    for (size_t a = 0; a < 2; ++a) {
+      if (q[2 + a] < 1.0) EXPECT_NEAR(q[2 + a], 0.05, 1e-12);
+    }
+  }
+}
+
+TEST(WorkloadTest, CandidateAttrsRestrictChoice) {
+  WorkloadConfig cfg;
+  cfg.num_active = 1;
+  cfg.candidate_attrs = {2};
+  cfg.seed = 9;
+  WorkloadGenerator gen(4, cfg);
+  for (int i = 0; i < 50; ++i) {
+    QueryInstance q = gen.Generate();
+    for (size_t a = 0; a < 4; ++a) {
+      const bool active = !(q[a] == 0.0 && q[4 + a] >= 1.0);
+      EXPECT_EQ(active, a == 2);
+    }
+  }
+}
+
+TEST(WorkloadTest, MinMatchesResamples) {
+  // A tiny table with all data in a corner: unconstrained generation would
+  // often produce empty queries; with min_matches the answers are defined.
+  Table t = MakeGaussianTable(200, 2, 0.1, 0.02, 10);
+  ExactEngine engine(&t);
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = Aggregate::kAvg;
+  spec.measure_col = 1;
+  WorkloadConfig cfg;
+  cfg.num_active = 1;
+  cfg.range_frac_lo = cfg.range_frac_hi = 0.1;
+  cfg.min_matches = 3;
+  cfg.seed = 11;
+  WorkloadGenerator gen(2, cfg);
+  auto queries = gen.GenerateMany(30, &engine, &spec);
+  for (const auto& q : queries) {
+    EXPECT_GE(engine.CountMatches(spec, q), 3u);
+  }
+}
+
+TEST(WorkloadTest, RotatedRectGeneration) {
+  WorkloadConfig cfg;
+  cfg.range_frac_lo = 0.1;
+  cfg.range_frac_hi = 0.3;
+  cfg.seed = 12;
+  WorkloadGenerator gen(2, cfg);
+  auto rects = gen.GenerateRotatedRects(40);
+  for (const auto& q : rects) {
+    ASSERT_EQ(q.dim(), 5u);
+    EXPECT_GE(q[4], 0.0);
+    EXPECT_LT(q[4], M_PI / 2);
+  }
+}
+
+TEST(WorkloadTest, DeterministicBySeed) {
+  WorkloadConfig cfg;
+  cfg.seed = 13;
+  WorkloadGenerator a(3, cfg), b(3, cfg);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.Generate().q, b.Generate().q);
+  }
+}
+
+}  // namespace
+}  // namespace neurosketch

@@ -1,0 +1,174 @@
+// Tests for the theory toolkit: LDQ closed forms and the DQD-bound
+// calculators (monotonicity and consistency properties).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "query/engine.h"
+#include "query/predicate.h"
+#include "query/workload.h"
+#include "theory/dqd.h"
+#include "theory/ldq.h"
+#include "util/random.h"
+
+namespace neurosketch {
+namespace theory {
+namespace {
+
+TEST(LdqTest, UniformIsOne) { EXPECT_DOUBLE_EQ(LdqUniformCount(), 1.0); }
+
+TEST(LdqTest, GaussianClosedForm) {
+  // Example 3.3: rho = 3 / (sigma sqrt(2 pi)).
+  EXPECT_NEAR(LdqGaussianCount(1.0), 3.0 / std::sqrt(2.0 * M_PI), 1e-12);
+  // Smaller sigma -> harder function.
+  EXPECT_GT(LdqGaussianCount(0.1), LdqGaussianCount(0.5));
+}
+
+TEST(LdqTest, GmmBoundIsWeightedCombination) {
+  const double b =
+      LdqGmmCountBound({0.5, 0.5}, {0.1, 0.2});
+  EXPECT_NEAR(b, 0.5 * LdqGaussianCount(0.1) + 0.5 * LdqGaussianCount(0.2),
+              1e-12);
+  // A GMM with small sigmas is harder than a single wide Gaussian.
+  EXPECT_GT(LdqGmmCountBound({0.5, 0.5}, {0.05, 0.05}),
+            LdqGaussianCount(0.5));
+}
+
+TEST(LdqTest, EstimateOrdersDistributionsCorrectly) {
+  // Empirical LDQ of the normalized COUNT query function should rank
+  // uniform < Gaussian(0.1), matching the closed forms.
+  const size_t n = 20000;
+  Table uni = MakeUniformTable(n, 1, 70);
+  Table gauss = MakeGaussianTable(n, 1, 0.5, 0.1, 71);
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = Aggregate::kCount;
+  spec.measure_col = 0;
+  WorkloadConfig wc;
+  wc.num_active = 1;
+  wc.range_frac_lo = 0.05;
+  wc.range_frac_hi = 0.5;
+  wc.seed = 72;
+
+  auto estimate = [&](const Table& t) {
+    ExactEngine engine(&t);
+    WorkloadGenerator gen(1, wc);
+    auto queries = gen.GenerateMany(400);
+    auto answers = engine.AnswerBatch(spec, queries);
+    for (auto& a : answers) a /= static_cast<double>(n);  // normalize by n
+    return EstimateLdq(queries, answers, 20000, 73);
+  };
+  EXPECT_LT(estimate(uni), estimate(gauss));
+}
+
+TEST(LdqTest, EstimateDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(EstimateLdq({}, {}, 100, 1), 0.0);
+  std::vector<QueryInstance> one = {QueryInstance(std::vector<double>{0.5})};
+  EXPECT_DOUBLE_EQ(EstimateLdq(one, {1.0}, 100, 1), 0.0);
+}
+
+TEST(DqdTest, GridResolutionClosedForm) {
+  // t = ceil(3 rho d / eps1).
+  EXPECT_EQ(RequiredGridResolution(1.0, 2, 0.5), 12u);
+  EXPECT_EQ(RequiredGridResolution(1.0, 1, 3.0), 1u);
+  // Harder functions need finer grids.
+  EXPECT_GT(RequiredGridResolution(10.0, 2, 0.5),
+            RequiredGridResolution(1.0, 2, 0.5));
+}
+
+TEST(DqdTest, ConstructionUnitsGrowAsErrorShrinks) {
+  const size_t loose = ConstructionUnits(1.0, 2, 0.5);
+  const size_t tight = ConstructionUnits(1.0, 2, 0.05);
+  EXPECT_GT(tight, loose);
+  // k = (t+1)^d exactly.
+  EXPECT_EQ(loose, (RequiredGridResolution(1.0, 2, 0.5) + 1) *
+                       (RequiredGridResolution(1.0, 2, 0.5) + 1));
+}
+
+TEST(DqdTest, ApproximationBoundsScale) {
+  EXPECT_DOUBLE_EQ(ApproximationErrorBound(2.0, 3, 10), 3.0 * 2.0 * 3 / 10.0);
+  EXPECT_DOUBLE_EQ(ApproximationErrorBoundInf(1.0, 2, 10),
+                   37.0 * 2.0 / 10.0);
+  // Doubling the grid halves the bound.
+  EXPECT_NEAR(ApproximationErrorBound(1.0, 2, 20),
+              ApproximationErrorBound(1.0, 2, 10) / 2.0, 1e-12);
+}
+
+TEST(DqdTest, VcProbabilityMonotoneInN) {
+  // Theorem 3.5 / "Faster on Larger Databases": for fixed eps, the failure
+  // probability decreases with data size.
+  double prev = 1.1;
+  for (size_t n : {1000u, 10000u, 100000u, 1000000u}) {
+    const double p = SamplingErrorProbability(0.05, n, 2);
+    EXPECT_LE(p, prev);
+    prev = p;
+  }
+  EXPECT_LT(prev, 1e-6);
+}
+
+TEST(DqdTest, VcProbabilityMonotoneInEps) {
+  const size_t n = 100000;
+  EXPECT_GE(SamplingErrorProbability(0.01, n, 2),
+            SamplingErrorProbability(0.05, n, 2));
+  EXPECT_GE(SamplingErrorProbability(0.05, n, 2),
+            SamplingErrorProbability(0.2, n, 2));
+}
+
+TEST(DqdTest, VcProbabilityClampedToOne) {
+  EXPECT_DOUBLE_EQ(SamplingErrorProbability(0.001, 10, 5), 1.0);
+  EXPECT_DOUBLE_EQ(VcDeviationProbability(0.0, 100, 2), 1.0);
+}
+
+TEST(DqdTest, HigherDimensionIsHarder) {
+  const size_t n = 1000000;
+  EXPECT_LT(SamplingErrorProbability(0.05, n, 1),
+            SamplingErrorProbability(0.05, n, 10));
+}
+
+TEST(DqdTest, ConfidenceInversionConsistent) {
+  // eps found by bisection must achieve the requested confidence, and a
+  // slightly smaller eps must not.
+  const size_t n = 500000, d = 2;
+  const double delta = 1e-3;
+  const double eps = SamplingErrorForConfidence(delta, n, d);
+  EXPECT_LE(SamplingErrorProbability(eps, n, d), delta * 1.001);
+  EXPECT_GT(SamplingErrorProbability(eps * 0.9, n, d), delta);
+}
+
+TEST(DqdTest, ConfidenceErrorShrinksWithN) {
+  // The headline DQD implication: for fixed confidence, bigger data means
+  // smaller achievable error.
+  const double e1 = SamplingErrorForConfidence(1e-3, 100000, 2);
+  const double e2 = SamplingErrorForConfidence(1e-3, 10000000, 2);
+  EXPECT_LT(e2, e1);
+}
+
+TEST(DqdTest, AvgBoundMonotoneInXi) {
+  // Lemma 3.6 / "More Accurate on Larger Ranges": larger xi (bigger
+  // ranges) lowers the failure probability. The bound only becomes
+  // non-vacuous at large n for small xi, so test there.
+  const size_t n = 50000000, d = 2;
+  EXPECT_GT(AvgErrorProbability(0.1, 0.01, n, d),
+            AvgErrorProbability(0.1, 0.2, n, d));
+  EXPECT_LT(AvgErrorProbability(0.1, 0.2, n, d), 1e-6);
+}
+
+TEST(DqdTest, AvgBoundMonotoneInN) {
+  EXPECT_GE(AvgErrorProbability(0.1, 0.1, 10000, 2),
+            AvgErrorProbability(0.1, 0.1, 1000000, 2));
+}
+
+TEST(DqdTest, AvgBoundDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(AvgErrorProbability(0.0, 0.5, 1000, 2), 1.0);
+  EXPECT_DOUBLE_EQ(AvgErrorProbability(0.1, 0.0, 1000, 2), 1.0);
+}
+
+TEST(DqdTest, DqdFailureEqualsSamplingTail) {
+  EXPECT_DOUBLE_EQ(DqdFailureProbability(0.05, 100000, 3),
+                   SamplingErrorProbability(0.05, 100000, 3));
+}
+
+}  // namespace
+}  // namespace theory
+}  // namespace neurosketch

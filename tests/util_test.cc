@@ -1,0 +1,270 @@
+// Unit tests for util: Status/Result, Rng, stats, CSV, strings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "util/csv.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace neurosketch {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status st = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad thing");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_NE(Status::OutOfRange("x").ToString().find("OutOfRange"),
+            std::string::npos);
+  EXPECT_NE(Status::IOError("x").ToString().find("IOError"),
+            std::string::npos);
+  EXPECT_NE(Status::NotImplemented("x").ToString().find("NotImplemented"),
+            std::string::npos);
+  EXPECT_NE(
+      Status::FailedPrecondition("x").ToString().find("FailedPrecondition"),
+      std::string::npos);
+  EXPECT_NE(Status::Unknown("x").ToString().find("Unknown"),
+            std::string::npos);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.ValueOr(-1), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::IOError("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  NS_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  Result<int> bad = Quarter(6);  // 6/2 = 3, odd
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, IntInclusive) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values hit
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(3);
+  stats::Welford w;
+  for (int i = 0; i < 50000; ++i) w.Add(rng.Normal(1.0, 2.0));
+  EXPECT_NEAR(w.mean(), 1.0, 0.05);
+  EXPECT_NEAR(w.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(4);
+  auto s = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (size_t v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementClampsK) {
+  Rng rng(5);
+  auto s = rng.SampleWithoutReplacement(5, 50);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(6);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  size_t counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / 20000.0, 0.75, 0.02);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(7);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(StatsTest, MeanAndVariance) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(stats::Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(stats::Variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(stats::Stddev(v), std::sqrt(1.25));
+}
+
+TEST(StatsTest, EmptyInputs) {
+  std::vector<double> v;
+  EXPECT_DOUBLE_EQ(stats::Mean(v), 0.0);
+  EXPECT_DOUBLE_EQ(stats::Median(v), 0.0);
+  EXPECT_DOUBLE_EQ(stats::Sum(v), 0.0);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(stats::Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(stats::Median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(stats::Median({5}), 5.0);
+}
+
+TEST(StatsTest, Percentile) {
+  std::vector<double> v = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(stats::Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(stats::Percentile(v, 100), 50.0);
+  EXPECT_DOUBLE_EQ(stats::Percentile(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(stats::Percentile(v, 25), 20.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4}, y = {2, 4, 6, 8};
+  EXPECT_NEAR(stats::PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> neg = {8, 6, 4, 2};
+  EXPECT_NEAR(stats::PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantSeriesIsZero) {
+  std::vector<double> x = {1, 2, 3}, c = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(stats::PearsonCorrelation(x, c), 0.0);
+}
+
+TEST(StatsTest, WelfordMatchesDirect) {
+  Rng rng(8);
+  std::vector<double> v;
+  stats::Welford w;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-5, 5);
+    v.push_back(x);
+    w.Add(x);
+  }
+  EXPECT_NEAR(w.mean(), stats::Mean(v), 1e-10);
+  EXPECT_NEAR(w.variance(), stats::Variance(v), 1e-9);
+}
+
+TEST(StatsTest, NormalizedMae) {
+  std::vector<double> truth = {10, 20}, pred = {11, 19};
+  // MAE = 1, mean |truth| = 15 -> 1/15.
+  EXPECT_NEAR(stats::NormalizedMae(truth, pred), 1.0 / 15.0, 1e-12);
+}
+
+TEST(StatsTest, NormalizedMaeZeroTruthFallsBackToMae) {
+  std::vector<double> truth = {0, 0}, pred = {1, -1};
+  EXPECT_DOUBLE_EQ(stats::NormalizedMae(truth, pred), 1.0);
+}
+
+TEST(StringTest, SplitAndTrimAndJoin) {
+  auto parts = str::Split("a, b ,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(str::Trim(parts[1]), "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(str::Join({"x", "y", "z"}, "-"), "x-y-z");
+  EXPECT_EQ(str::Trim("  hi\t"), "hi");
+  EXPECT_EQ(str::Trim(""), "");
+}
+
+TEST(StringTest, FormatDouble) {
+  EXPECT_EQ(str::FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(str::FormatDouble(1.0, 0), "1");
+}
+
+TEST(CsvTest, RoundTrip) {
+  const std::string path = testing::TempDir() + "/ns_csv_test.csv";
+  Status st = csv::WriteNumeric(path, {"a", "b"}, {{1.5, 2.5}, {3.0, -4.0}});
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto r = csv::ReadNumeric(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(r.value().rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.value().rows[1][1], -4.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  auto r = csv::ReadNumeric("/nonexistent/file.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, NonNumericFieldRejected) {
+  const std::string path = testing::TempDir() + "/ns_csv_bad.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("a,b\n1,hello\n", f);
+    fclose(f);
+  }
+  auto r = csv::ReadNumeric(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RaggedRowRejected) {
+  const std::string path = testing::TempDir() + "/ns_csv_ragged.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("a,b\n1,2\n3\n", f);
+    fclose(f);
+  }
+  auto r = csv::ReadNumeric(path);
+  ASSERT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace neurosketch
