@@ -241,14 +241,10 @@ inline std::vector<MethodRow> CompareMethods(const Workbench& wb,
     // model granularity.
     bool multi_active = false;
     const size_t dim = table.num_columns();
-    size_t active_col = 0;
     for (const auto& q : wb.test_q) {
       size_t active = 0;
       for (size_t i = 0; i < dim; ++i) {
-        if (!(q[i] == 0.0 && q[dim + i] >= 1.0)) {
-          active_col = i;
-          ++active;
-        }
+        if (!(q[i] == 0.0 && q[dim + i] >= 1.0)) ++active;
       }
       if (active > 1) {
         multi_active = true;

@@ -1,0 +1,217 @@
+// Serving throughput benchmark: client-thread count x micro-batch window
+// sweep over the serve/ subsystem, reporting QPS and latency percentiles,
+// plus the headline comparison the serving subsystem exists for:
+// micro-batched serving vs per-query Answer dispatch on the same sketch.
+// Emits a BENCH_serving.json snapshot (written to the working directory)
+// so the perf trajectory can be tracked across commits.
+//
+// Usage: bench_serving_throughput [out.json]
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/serve_engine.h"
+#include "serve/sketch_store.h"
+
+namespace neurosketch {
+namespace bench {
+namespace {
+
+using serve::ServeEngine;
+using serve::ServeOptions;
+using serve::ServeResult;
+using serve::ServeStats;
+using serve::SketchStore;
+
+struct RunResult {
+  std::string mode;
+  size_t clients = 0;
+  double window_us = 0.0;
+  size_t max_batch = 0;
+  double qps = 0.0;
+  ServeStats stats;
+};
+
+constexpr size_t kPerClient = 8000;
+constexpr size_t kBurst = 128;  // client-side submission burst
+
+/// Per-query dispatch: batching disabled, one Answer call per request.
+RunResult RunPerQuery(const SketchStore* store, const QueryFunctionSpec& spec,
+                      const std::vector<QueryInstance>& pool,
+                      size_t clients) {
+  ServeOptions opts;
+  opts.max_batch = 1;
+  opts.batch_window_us = 0.0;
+  ServeEngine eng(store, opts);
+  Timer t;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<std::future<ServeResult>> futs;
+      futs.reserve(kBurst);
+      size_t done = 0;
+      while (done < kPerClient) {
+        const size_t n = std::min(kBurst, kPerClient - done);
+        futs.clear();
+        for (size_t i = 0; i < n; ++i) {
+          futs.push_back(eng.Submit(
+              "bench", spec, pool[(c * kPerClient + done + i) % pool.size()]));
+        }
+        for (auto& f : futs) f.get();
+        done += n;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  RunResult r;
+  r.mode = "per_query";
+  r.clients = clients;
+  r.max_batch = 1;
+  r.qps = static_cast<double>(clients * kPerClient) / t.ElapsedSeconds();
+  r.stats = eng.Snapshot();
+  return r;
+}
+
+/// Micro-batched dispatch: burst submission + server-side coalescing.
+RunResult RunBatched(const SketchStore* store, const QueryFunctionSpec& spec,
+                     const std::vector<QueryInstance>& pool, size_t clients,
+                     size_t max_batch, double window_us) {
+  ServeOptions opts;
+  opts.max_batch = max_batch;
+  opts.batch_window_us = window_us;
+  ServeEngine eng(store, opts);
+  Timer t;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      size_t done = 0;
+      while (done < kPerClient) {
+        const size_t n = std::min(kBurst, kPerClient - done);
+        std::vector<QueryInstance> burst;
+        burst.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          burst.push_back(
+              pool[(c * kPerClient + done + i) % pool.size()]);
+        }
+        eng.SubmitMany("bench", spec, std::move(burst)).get();
+        done += n;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  RunResult r;
+  r.mode = "micro_batch";
+  r.clients = clients;
+  r.window_us = window_us;
+  r.max_batch = max_batch;
+  r.qps = static_cast<double>(clients * kPerClient) / t.ElapsedSeconds();
+  r.stats = eng.Snapshot();
+  return r;
+}
+
+void PrintRow(const RunResult& r) {
+  std::printf("%-12s %8zu %10.0f %10zu %12.0f %9.0f %9.0f %9.0f %11.1f\n",
+              r.mode.c_str(), r.clients, r.window_us, r.max_batch, r.qps,
+              r.stats.p50_us, r.stats.p95_us, r.stats.p99_us,
+              r.stats.mean_batch_size);
+}
+
+Status WriteJson(const std::string& path, const std::vector<RunResult>& rows,
+                 double per_query_qps8, double batched_qps8) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fprintf(f, "{\n  \"bench\": \"serving_throughput\",\n");
+  std::fprintf(f, "  \"dataset\": \"PM\",\n");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"queries_per_client\": %zu,\n", kPerClient);
+  std::fprintf(f, "  \"client_burst\": %zu,\n", kBurst);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RunResult& r = rows[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"clients\": %zu, "
+                 "\"batch_window_us\": %.0f, \"max_batch\": %zu, "
+                 "\"qps\": %.0f, \"p50_us\": %.1f, \"p95_us\": %.1f, "
+                 "\"p99_us\": %.1f, \"mean_batch\": %.1f, "
+                 "\"fallback_rate\": %.4f}%s\n",
+                 r.mode.c_str(), r.clients, r.window_us, r.max_batch, r.qps,
+                 r.stats.p50_us, r.stats.p95_us, r.stats.p99_us,
+                 r.stats.mean_batch_size, r.stats.fallback_rate,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"headline\": {\"clients\": 8, \"per_query_qps\": %.0f, "
+               "\"micro_batch_qps\": %.0f, \"speedup\": %.2f}\n}\n",
+               per_query_qps8, batched_qps8,
+               per_query_qps8 > 0.0 ? batched_qps8 / per_query_qps8 : 0.0);
+  std::fclose(f);
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serving.json";
+
+  PrintHeader("Serving throughput (serve/ subsystem)");
+  std::printf("preparing PM dataset and training a sketch...\n");
+  Workbench wb = MakeWorkbench(Prepare("PM"), Aggregate::kAvg,
+                               DefaultWorkload("PM", 11), 2000, 4096);
+  auto sketch = NeuroSketch::Train(wb.train_q, wb.train_a,
+                                   DefaultSketchConfig());
+  if (!sketch.ok()) {
+    std::fprintf(stderr, "train: %s\n", sketch.status().ToString().c_str());
+    return 1;
+  }
+  ExactEngine engine(&wb.data.normalized);
+  SketchStore store;
+  (void)store.RegisterDataset("bench", &engine);
+  (void)store.Register("bench", wb.spec, std::move(sketch).value());
+
+  std::printf("%-12s %8s %10s %10s %12s %9s %9s %9s %11s\n", "mode",
+              "clients", "window_us", "max_batch", "qps", "p50_us", "p95_us",
+              "p99_us", "mean_batch");
+
+  std::vector<RunResult> rows;
+  // Warm up allocator / page cache / ifunc dispatch once.
+  (void)RunBatched(&store, wb.spec, wb.test_q, 2, 256, 200.0);
+
+  double per_query_qps8 = 0.0, batched_qps8 = 0.0;
+  for (size_t clients : {1, 2, 4, 8}) {
+    RunResult pq = RunPerQuery(&store, wb.spec, wb.test_q, clients);
+    PrintRow(pq);
+    if (clients == 8) per_query_qps8 = pq.qps;
+    rows.push_back(pq);
+    for (double window : {0.0, 100.0, 200.0, 500.0}) {
+      RunResult mb =
+          RunBatched(&store, wb.spec, wb.test_q, clients, 512, window);
+      PrintRow(mb);
+      if (clients == 8 && window == 200.0) batched_qps8 = mb.qps;
+      rows.push_back(mb);
+    }
+  }
+
+  const double speedup =
+      per_query_qps8 > 0.0 ? batched_qps8 / per_query_qps8 : 0.0;
+  std::printf("\nheadline: 8 clients, micro-batch (window 200us) vs "
+              "per-query: %.2fx QPS (%.0f vs %.0f)\n",
+              speedup, batched_qps8, per_query_qps8);
+
+  Status st = WriteJson(out_path, rows, per_query_qps8, batched_qps8);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace neurosketch
+
+int main(int argc, char** argv) {
+  return neurosketch::bench::Main(argc, argv);
+}

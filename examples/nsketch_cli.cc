@@ -15,16 +15,28 @@
 //   nsketch_cli eval <data.csv> "<sql template>" <out.sketch> [n_test]
 //       Compares the sketch against the exact engine on a random workload
 //       of the template's parameters.
+//
+//   nsketch_cli serve <data.csv> "<sql template>" <out.sketch> [n_queries]
+//                     [n_clients]
+//       Serves a random workload of the template's parameters through the
+//       concurrent micro-batching engine (serve/): n_clients threads
+//       submit bursts, answered by the sketch with exact-engine fallback;
+//       prints throughput, latency percentiles and the fallback rate.
+//       When the sketch file cannot be loaded, serving runs exact-only —
+//       the fallback path end to end.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/neurosketch.h"
 #include "data/normalizer.h"
 #include "data/table.h"
 #include "query/parametric.h"
+#include "serve/serve_engine.h"
+#include "serve/sketch_store.h"
 #include "util/csv.h"
 #include "util/random.h"
 #include "util/stats.h"
@@ -200,6 +212,77 @@ int CmdEval(int argc, char** argv) {
   return 0;
 }
 
+int CmdServe(int argc, char** argv) {
+  if (argc < 5) return Fail(Status::InvalidArgument("serve needs 3+ args"));
+  const std::string csv_path = argv[2], sql = argv[3], sketch_path = argv[4];
+  const size_t n_queries =
+      argc > 5 ? std::strtoul(argv[5], nullptr, 10) : 20000;
+  const size_t n_clients = argc > 6 ? std::strtoul(argv[6], nullptr, 10) : 4;
+  if (n_queries == 0 || n_clients == 0) {
+    return Fail(Status::InvalidArgument(
+        "n_queries and n_clients must be positive integers"));
+  }
+
+  auto table_r = Table::FromCsvFile(csv_path);
+  if (!table_r.ok()) return Fail(table_r.status());
+  Normalizer norm = Normalizer::Fit(table_r.value());
+  auto pq = ParametricQuery::Parse(sql, table_r.value().schema());
+  if (!pq.ok()) return Fail(pq.status());
+  Table table = PrepareQueryTable(table_r.value(), norm, pq.value());
+  const QueryFunctionSpec& spec = pq.value().spec();
+
+  ExactEngine engine(&table);
+  serve::SketchStore store;
+  Status st = store.RegisterDataset("cli", &engine);
+  if (!st.ok()) return Fail(st);
+  auto version = store.RegisterFromFile("cli", spec, sketch_path);
+  if (version.ok()) {
+    std::printf("registered %s as version %llu\n", sketch_path.c_str(),
+                static_cast<unsigned long long>(version.value()));
+  } else {
+    std::printf("no sketch (%s); serving exact-only\n",
+                version.status().ToString().c_str());
+  }
+
+  Rng rng(2026);
+  const auto pool = RandomWorkload(pq.value(), 4096, &rng);
+  if (pool.empty()) return Fail(Status::InvalidArgument("empty workload"));
+
+  serve::ServeEngine serving(&store);
+  Timer t;
+  std::vector<std::thread> clients;
+  const size_t per_client = (n_queries + n_clients - 1) / n_clients;
+  for (size_t c = 0; c < n_clients; ++c) {
+    clients.emplace_back([&, c] {
+      constexpr size_t kBurst = 128;
+      size_t done = 0;
+      while (done < per_client) {
+        const size_t n = std::min(kBurst, per_client - done);
+        std::vector<QueryInstance> burst;
+        burst.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          burst.push_back(pool[(c * per_client + done + i) % pool.size()]);
+        }
+        serving.SubmitMany("cli", spec, std::move(burst)).get();
+        done += n;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double seconds = t.ElapsedSeconds();
+
+  const auto stats = serving.Snapshot();
+  std::printf("served %llu queries from %zu clients in %.2fs\n",
+              static_cast<unsigned long long>(stats.queries), n_clients,
+              seconds);
+  std::printf("  qps: %.0f | mean batch: %.1f | fallback rate: %.2f%%\n",
+              static_cast<double>(stats.queries) / seconds,
+              stats.mean_batch_size, 100.0 * stats.fallback_rate);
+  std::printf("  latency p50/p95/p99: %.0f / %.0f / %.0f us\n", stats.p50_us,
+              stats.p95_us, stats.p99_us);
+  return 0;
+}
+
 void SelfDemo() {
   // With no arguments, run a self-contained demo: synthesize a CSV,
   // train, query, eval, clean up.
@@ -232,6 +315,12 @@ void SelfDemo() {
                                "demo.sketch"};
     CmdEval(5, const_cast<char**>(argv_eval));
   }
+  {
+    const char* argv_serve[] = {"nsketch_cli",    "serve", csv_path.c_str(),
+                                sql,              "demo.sketch", "20000",
+                                "4"};
+    CmdServe(7, const_cast<char**>(argv_serve));
+  }
   std::remove(csv_path.c_str());
   std::remove("demo.sketch");
   std::remove("demo.sketch.norm");
@@ -248,9 +337,10 @@ int main(int argc, char** argv) {
   if (cmd == "train") return CmdTrain(argc, argv);
   if (cmd == "query") return CmdQuery(argc, argv);
   if (cmd == "eval") return CmdEval(argc, argv);
+  if (cmd == "serve") return CmdServe(argc, argv);
   std::fprintf(stderr,
-               "usage: %s train|query|eval ... (run with no args for a "
-               "demo)\n",
+               "usage: %s train|query|eval|serve ... (run with no args for "
+               "a demo)\n",
                argv[0]);
   return 1;
 }

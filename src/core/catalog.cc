@@ -38,7 +38,8 @@ Result<CatalogEntryInfo> SketchCatalog::Register(
                       NeuroSketch::Train(queries, answers, config_));
   info.built = true;
   info.size_bytes = sketch.SizeBytes();
-  sketches_.insert_or_assign(key, std::move(sketch));
+  sketches_.insert_or_assign(
+      key, std::make_shared<const NeuroSketch>(std::move(sketch)));
   info_[key] = info;
   return info;
 }
@@ -47,13 +48,19 @@ bool SketchCatalog::Has(const QueryFunctionSpec& spec) const {
   return sketches_.count(QueryFunctionKey::From(spec)) > 0;
 }
 
+std::shared_ptr<const NeuroSketch> SketchCatalog::Find(
+    const QueryFunctionSpec& spec) const {
+  auto it = sketches_.find(QueryFunctionKey::From(spec));
+  return it == sketches_.end() ? nullptr : it->second;
+}
+
 HybridExecutor::Answer SketchCatalog::Execute(const QueryFunctionSpec& spec,
                                               const QueryInstance& q) const {
   HybridExecutor::Answer out;
   auto it = sketches_.find(QueryFunctionKey::From(spec));
   const size_t data_dim = engine_->table().num_columns();
   if (it != sketches_.end() && advisor_.ShouldUseSketch(q, data_dim)) {
-    out.value = it->second.Answer(q);
+    out.value = it->second->Answer(q);
     out.used_sketch = true;
     if (!std::isnan(out.value)) return out;
   }
@@ -69,9 +76,18 @@ std::vector<CatalogEntryInfo> SketchCatalog::Entries() const {
   return out;
 }
 
+std::vector<std::pair<QueryFunctionKey, std::shared_ptr<const NeuroSketch>>>
+SketchCatalog::Sketches() const {
+  std::vector<std::pair<QueryFunctionKey, std::shared_ptr<const NeuroSketch>>>
+      out;
+  out.reserve(sketches_.size());
+  for (const auto& [key, sketch] : sketches_) out.emplace_back(key, sketch);
+  return out;
+}
+
 size_t SketchCatalog::TotalSizeBytes() const {
   size_t bytes = 0;
-  for (const auto& [key, sketch] : sketches_) bytes += sketch.SizeBytes();
+  for (const auto& [key, sketch] : sketches_) bytes += sketch->SizeBytes();
   return bytes;
 }
 

@@ -59,6 +59,11 @@ class SketchCatalog {
   /// \brief True when a sketch exists for this query function.
   bool Has(const QueryFunctionSpec& spec) const;
 
+  /// \brief The sketch built for this query function, or nullptr. Shared
+  /// ownership lets callers (e.g. serve/SketchStore) keep serving a sketch
+  /// even if the catalog later rebuilds the entry.
+  std::shared_ptr<const NeuroSketch> Find(const QueryFunctionSpec& spec) const;
+
   /// \brief Query dispatch: the sketch when present AND the advisor's
   /// per-instance rule passes; otherwise the exact engine.
   HybridExecutor::Answer Execute(const QueryFunctionSpec& spec,
@@ -67,6 +72,11 @@ class SketchCatalog {
   /// \brief Registered entries (built or rejected), for inspection.
   std::vector<CatalogEntryInfo> Entries() const;
 
+  /// \brief Every built sketch with its key, for export into a serving
+  /// store (serve/SketchStore::ImportFromCatalog).
+  std::vector<std::pair<QueryFunctionKey, std::shared_ptr<const NeuroSketch>>>
+  Sketches() const;
+
   size_t num_sketches() const { return sketches_.size(); }
   size_t TotalSizeBytes() const;
 
@@ -74,7 +84,7 @@ class SketchCatalog {
   const ExactEngine* engine_;
   Advisor advisor_;
   NeuroSketchConfig config_;
-  std::map<QueryFunctionKey, NeuroSketch> sketches_;
+  std::map<QueryFunctionKey, std::shared_ptr<const NeuroSketch>> sketches_;
   std::map<QueryFunctionKey, CatalogEntryInfo> info_;
 };
 

@@ -11,9 +11,14 @@ void ApplyActivation(Activation act, const Matrix& in, Matrix* out) {
   switch (act) {
     case Activation::kIdentity:
       return;
-    case Activation::kRelu:
-      out->Apply([](double x) { return x > 0.0 ? x : 0.0; });
+    case Activation::kRelu: {
+      // Hot inference path: direct loop instead of Matrix::Apply's
+      // per-element std::function indirection.
+      double* d = out->data();
+      const size_t sz = out->size();
+      for (size_t i = 0; i < sz; ++i) d[i] = d[i] > 0.0 ? d[i] : 0.0;
       return;
+    }
     case Activation::kTanh:
       out->Apply([](double x) { return std::tanh(x); });
       return;

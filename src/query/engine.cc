@@ -1,9 +1,7 @@
 #include "query/engine.h"
 
-#include <atomic>
-#include <thread>
-
 #include "query/aggregate.h"
+#include "util/thread_pool.h"
 
 namespace neurosketch {
 
@@ -52,24 +50,17 @@ std::vector<double> ExactEngine::AnswerBatch(
     const QueryFunctionSpec& spec, const std::vector<QueryInstance>& queries,
     size_t num_threads) const {
   std::vector<double> out(queries.size());
-  if (num_threads <= 1 || queries.size() < 2 * num_threads) {
+  ThreadPool& pool = ThreadPool::Shared();
+  const size_t parallelism =
+      num_threads == 0 ? pool.num_threads() + 1 : num_threads;
+  if (parallelism <= 1 || queries.size() < 2 * parallelism) {
     for (size_t i = 0; i < queries.size(); ++i) {
       out[i] = Answer(spec, queries[i]);
     }
     return out;
   }
-  std::vector<std::thread> workers;
-  std::atomic<size_t> next{0};
-  for (size_t t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&]() {
-      for (;;) {
-        const size_t i = next.fetch_add(1);
-        if (i >= queries.size()) return;
-        out[i] = Answer(spec, queries[i]);
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
+  pool.ParallelFor(queries.size(), parallelism,
+                   [&](size_t i) { out[i] = Answer(spec, queries[i]); });
   return out;
 }
 

@@ -29,7 +29,9 @@ class ExactEngine {
   size_t CountMatches(const QueryFunctionSpec& spec,
                       const QueryInstance& q) const;
 
-  /// \brief Exact answers for a batch; optionally multi-threaded.
+  /// \brief Exact answers for a batch; optionally multi-threaded on the
+  /// shared process pool (util/thread_pool.h). `num_threads == 0` means
+  /// hardware concurrency; 1 runs serially on the calling thread.
   std::vector<double> AnswerBatch(const QueryFunctionSpec& spec,
                                   const std::vector<QueryInstance>& queries,
                                   size_t num_threads = 1) const;

@@ -1,0 +1,270 @@
+#include "serve/serve_engine.h"
+
+#include <cmath>
+
+namespace neurosketch {
+namespace serve {
+
+namespace {
+std::chrono::microseconds WindowDuration(double us) {
+  if (us <= 0.0) return std::chrono::microseconds(0);
+  return std::chrono::microseconds(static_cast<int64_t>(us));
+}
+}  // namespace
+
+namespace {
+ServeOptions Sanitize(ServeOptions o) {
+  if (o.max_batch == 0) o.max_batch = 1;  // 0 would livelock the dispatcher
+  return o;
+}
+}  // namespace
+
+ServeEngine::ServeEngine(const SketchStore* store, ServeOptions options)
+    : store_(store), options_(Sanitize(std::move(options))) {
+  const size_t n = options_.num_dispatchers == 0 ? 1 : options_.num_dispatchers;
+  dispatchers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    dispatchers_.emplace_back([this] { DispatchLoop(); });
+  }
+}
+
+ServeEngine::~ServeEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& d : dispatchers_) d.join();
+}
+
+std::future<ServeResult> ServeEngine::Submit(const std::string& dataset,
+                                             const QueryFunctionSpec& spec,
+                                             QueryInstance q) {
+  Request r;
+  r.q = std::move(q);
+  r.enqueued = Clock::now();
+  r.promise = std::make_unique<std::promise<ServeResult>>();
+  std::future<ServeResult> fut = r.promise->get_future();
+  bool ready = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    KeyState& st = keys_[ServeKey::From(dataset, spec)];
+    if (st.spec.predicate == nullptr) st.spec = spec;
+    st.pending.push_back(std::move(r));
+    ++pending_count_;
+    // Wake a dispatcher when a batch became dispatchable, or when this
+    // request started a new queue (its deadline is unknown to sleeping
+    // dispatchers). Otherwise dispatchers sleep until the window expires
+    // rather than being woken per request.
+    ready = st.pending.size() >= options_.max_batch ||
+            options_.batch_window_us <= 0.0 || st.pending.size() == 1;
+  }
+  if (ready) cv_.notify_one();
+  return fut;
+}
+
+std::future<std::vector<ServeResult>> ServeEngine::SubmitMany(
+    const std::string& dataset, const QueryFunctionSpec& spec,
+    std::vector<QueryInstance> queries) {
+  auto wave = std::make_shared<Wave>();
+  const size_t n = queries.size();
+  wave->results.resize(n);
+  wave->remaining.store(n, std::memory_order_relaxed);
+  std::future<std::vector<ServeResult>> fut = wave->promise.get_future();
+  if (n == 0) {
+    wave->promise.set_value({});
+    return fut;
+  }
+  const auto now = Clock::now();
+  bool ready = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    KeyState& st = keys_[ServeKey::From(dataset, spec)];
+    if (st.spec.predicate == nullptr) st.spec = spec;
+    const bool was_empty = st.pending.empty();
+    for (size_t i = 0; i < n; ++i) {
+      Request r;
+      r.q = std::move(queries[i]);
+      r.enqueued = now;
+      r.wave = wave;
+      r.wave_slot = i;
+      st.pending.push_back(std::move(r));
+    }
+    pending_count_ += n;
+    ready = st.pending.size() >= options_.max_batch ||
+            options_.batch_window_us <= 0.0 || was_empty;
+  }
+  if (ready) cv_.notify_one();
+  return fut;
+}
+
+ServeResult ServeEngine::Answer(const std::string& dataset,
+                                const QueryFunctionSpec& spec,
+                                QueryInstance q) {
+  return Submit(dataset, spec, std::move(q)).get();
+}
+
+void ServeEngine::DispatchLoop() {
+  const auto window = WindowDuration(options_.batch_window_us);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Pick the first dispatchable batch: a full queue, an expired window,
+    // or anything at all once the window is zero / we are stopping.
+    const auto now = Clock::now();
+    KeyState* chosen = nullptr;
+    ServeKey chosen_key;
+    bool have_deadline = false;
+    Clock::time_point earliest{};
+    for (auto& [key, st] : keys_) {
+      if (st.pending.empty()) continue;
+      const auto deadline = st.pending.front().enqueued + window;
+      if (st.pending.size() >= options_.max_batch || window.count() == 0 ||
+          stop_ || deadline <= now) {
+        chosen = &st;
+        chosen_key = key;
+        break;
+      }
+      if (!have_deadline || deadline < earliest) {
+        earliest = deadline;
+        have_deadline = true;
+      }
+    }
+    if (chosen == nullptr) {
+      if (stop_ && pending_count_ == 0) return;
+      if (have_deadline) {
+        cv_.wait_until(lock, earliest);
+      } else {
+        cv_.wait(lock);
+      }
+      continue;
+    }
+
+    std::vector<Request> batch;
+    const size_t take = std::min(options_.max_batch, chosen->pending.size());
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(chosen->pending.front()));
+      chosen->pending.pop_front();
+    }
+    pending_count_ -= take;
+    const bool allow_sketch = !chosen->demoted;
+    const QueryFunctionSpec spec = chosen->spec;
+
+    lock.unlock();
+    ExecuteBatch(chosen_key, spec, allow_sketch, &batch);
+    lock.lock();
+  }
+}
+
+void ServeEngine::Fulfill(Request* r, double value, bool used_sketch) {
+  const double us =
+      std::chrono::duration<double, std::micro>(Clock::now() - r->enqueued)
+          .count();
+  latency_.Add(us);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (used_sketch) {
+    sketch_answers_.fetch_add(1, std::memory_order_relaxed);
+  } else if (std::isnan(value)) {
+    failed_answers_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    fallback_answers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (r->wave != nullptr) {
+    r->wave->results[r->wave_slot] = ServeResult{value, used_sketch};
+    if (r->wave->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      r->wave->promise.set_value(std::move(r->wave->results));
+    }
+    return;
+  }
+  r->promise->set_value(ServeResult{value, used_sketch});
+}
+
+void ServeEngine::ExecuteBatch(const ServeKey& key,
+                               const QueryFunctionSpec& spec,
+                               bool allow_sketch,
+                               std::vector<Request>* batch) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const NeuroSketch> sketch =
+      allow_sketch ? store_->Lookup(key) : nullptr;
+  const ExactEngine* engine = store_->Engine(key.dataset);
+
+  // Requests own their queries and never read them again; steal the
+  // buffers instead of cloning one heap allocation per query.
+  std::vector<QueryInstance> queries;
+  queries.reserve(batch->size());
+  for (auto& r : *batch) queries.push_back(std::move(r.q));
+
+  if (sketch != nullptr) {
+    std::vector<double> answers = sketch->AnswerBatchVectorized(queries);
+    size_t nans = 0;
+    for (size_t i = 0; i < answers.size(); ++i) {
+      if (std::isnan(answers[i])) {
+        // Per-query exact repair: the sketch could not route/answer this
+        // instance (e.g. out-of-domain), but the batch as a whole stays
+        // on the fast path.
+        ++nans;
+        if (engine != nullptr) {
+          Fulfill(&(*batch)[i], engine->Answer(spec, queries[i]), false);
+          continue;
+        }
+      }
+      Fulfill(&(*batch)[i], answers[i], !std::isnan(answers[i]));
+    }
+    // Error-budget accounting; demote the store entry when the sketch
+    // fails too often.
+    std::lock_guard<std::mutex> lock(mu_);
+    KeyState& st = keys_[key];
+    st.sketch_answers += answers.size();
+    st.sketch_nans += nans;
+    if (!st.demoted && st.sketch_answers >= options_.budget_min_samples &&
+        static_cast<double>(st.sketch_nans) >
+            options_.max_sketch_failure_rate *
+                static_cast<double>(st.sketch_answers)) {
+      st.demoted = true;
+      budget_trips_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+
+  if (engine != nullptr) {
+    std::vector<double> answers =
+        engine->AnswerBatch(spec, queries, options_.exact_batch_threads);
+    for (size_t i = 0; i < answers.size(); ++i) {
+      Fulfill(&(*batch)[i], answers[i], false);
+    }
+    return;
+  }
+
+  // Neither a sketch nor an exact engine: answer NaN rather than hang.
+  for (auto& r : *batch) Fulfill(&r, std::nan(""), false);
+}
+
+ServeStats ServeEngine::Snapshot() const {
+  ServeStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.sketch_answers = sketch_answers_.load(std::memory_order_relaxed);
+  s.fallback_answers = fallback_answers_.load(std::memory_order_relaxed);
+  s.failed_answers = failed_answers_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.budget_trips = budget_trips_.load(std::memory_order_relaxed);
+  s.elapsed_seconds = uptime_.ElapsedSeconds();
+  s.qps = s.elapsed_seconds > 0.0
+              ? static_cast<double>(s.queries) / s.elapsed_seconds
+              : 0.0;
+  s.mean_batch_size =
+      s.batches > 0
+          ? static_cast<double>(s.queries) / static_cast<double>(s.batches)
+          : 0.0;
+  s.fallback_rate =
+      s.queries > 0
+          ? static_cast<double>(s.fallback_answers) /
+                static_cast<double>(s.queries)
+          : 0.0;
+  s.p50_us = latency_.PercentileUs(50);
+  s.p95_us = latency_.PercentileUs(95);
+  s.p99_us = latency_.PercentileUs(99);
+  return s;
+}
+
+}  // namespace serve
+}  // namespace neurosketch

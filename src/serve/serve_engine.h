@@ -1,0 +1,147 @@
+// ServeEngine: concurrent request front end over a SketchStore (paper
+// Sec. 4 / Alg. 5 turned into a serving system). Clients Submit() queries
+// from any number of threads; a dispatcher groups them into time/size
+// bounded micro-batches per (dataset, query function), answers each batch
+// with one vectorized sketch forward pass (NeuroSketch::
+// AnswerBatchVectorized), and falls back to the exact engine when no
+// sketch is registered or a per-store error budget has been exceeded.
+// Answers are bit-identical to serial NeuroSketch::AnswerBatch.
+#ifndef NEUROSKETCH_SERVE_SERVE_ENGINE_H_
+#define NEUROSKETCH_SERVE_SERVE_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/serve_stats.h"
+#include "serve/sketch_store.h"
+#include "util/timer.h"
+
+namespace neurosketch {
+namespace serve {
+
+struct ServeOptions {
+  /// Micro-batch size bound: a batch dispatches as soon as this many
+  /// requests are pending for one store entry. 1 disables batching
+  /// (per-query dispatch).
+  size_t max_batch = 256;
+  /// Micro-batch time bound in microseconds: a batch dispatches once its
+  /// oldest request has waited this long, full or not. 0 disables the
+  /// wait (dispatch as soon as a dispatcher is free).
+  double batch_window_us = 200.0;
+  /// Dispatcher threads draining the request queue.
+  size_t num_dispatchers = 1;
+  /// Threads for exact-engine fallback batches (0 = hardware concurrency).
+  size_t exact_batch_threads = 0;
+  /// Error budget: once a store entry has produced at least
+  /// `budget_min_samples` sketch answers and more than
+  /// `max_sketch_failure_rate` of them were NaN (unanswerable), the entry
+  /// is demoted and all later traffic goes to the exact engine.
+  double max_sketch_failure_rate = 0.1;
+  size_t budget_min_samples = 64;
+};
+
+/// \brief One delivered answer.
+struct ServeResult {
+  double value = 0.0;
+  bool used_sketch = false;
+};
+
+/// \brief Concurrent micro-batching query server.
+class ServeEngine {
+ public:
+  explicit ServeEngine(const SketchStore* store, ServeOptions options = {});
+
+  /// \brief Drains every pending request, then stops the dispatchers.
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// \brief Enqueue one query; the future resolves when its micro-batch
+  /// has been answered. Thread-safe, non-blocking.
+  std::future<ServeResult> Submit(const std::string& dataset,
+                                  const QueryFunctionSpec& spec,
+                                  QueryInstance q);
+
+  /// \brief Enqueue a burst of queries sharing one future; the results
+  /// come back in submission order. Semantically identical to calling
+  /// Submit per query, but the burst pays one lock acquisition and one
+  /// promise instead of one per query — the client half of micro-batching.
+  std::future<std::vector<ServeResult>> SubmitMany(
+      const std::string& dataset, const QueryFunctionSpec& spec,
+      std::vector<QueryInstance> queries);
+
+  /// \brief Blocking convenience: Submit + wait.
+  ServeResult Answer(const std::string& dataset,
+                     const QueryFunctionSpec& spec, QueryInstance q);
+
+  /// \brief Current counters; cheap enough to poll.
+  ServeStats Snapshot() const;
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Completion state for one SubmitMany burst: the last answered slot
+  /// resolves the shared promise.
+  struct Wave {
+    std::vector<ServeResult> results;
+    std::atomic<size_t> remaining{0};
+    std::promise<std::vector<ServeResult>> promise;
+  };
+
+  struct Request {
+    QueryInstance q;
+    Clock::time_point enqueued;
+    std::unique_ptr<std::promise<ServeResult>> promise;  // single Submit
+    std::shared_ptr<Wave> wave;                          // SubmitMany
+    size_t wave_slot = 0;
+  };
+
+  /// Per (dataset, query function) pending queue + error-budget health.
+  struct KeyState {
+    QueryFunctionSpec spec;  // canonical spec, set by the first Submit
+    std::deque<Request> pending;
+    uint64_t sketch_answers = 0;
+    uint64_t sketch_nans = 0;
+    bool demoted = false;  // error budget exceeded; serve exact only
+  };
+
+  void DispatchLoop();
+  void ExecuteBatch(const ServeKey& key, const QueryFunctionSpec& spec,
+                    bool allow_sketch, std::vector<Request>* batch);
+  void Fulfill(Request* r, double value, bool used_sketch);
+
+  const SketchStore* store_;
+  const ServeOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<ServeKey, KeyState> keys_;
+  size_t pending_count_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> dispatchers_;
+
+  // Metrics (relaxed atomics; snapshot may be ~a batch stale).
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> sketch_answers_{0};
+  std::atomic<uint64_t> fallback_answers_{0};
+  std::atomic<uint64_t> failed_answers_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> budget_trips_{0};
+  LatencyHistogram latency_;
+  Timer uptime_;
+};
+
+}  // namespace serve
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_SERVE_SERVE_ENGINE_H_

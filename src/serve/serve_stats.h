@@ -1,0 +1,91 @@
+// Serve-side metrics: a lock-free latency histogram plus the aggregate
+// counters (throughput, fallback rate, batch shape) a serving deployment
+// exports. Counters are atomics updated on the dispatch path; Snapshot()
+// materializes a consistent-enough view without stalling serving.
+#ifndef NEUROSKETCH_SERVE_SERVE_STATS_H_
+#define NEUROSKETCH_SERVE_SERVE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace neurosketch {
+namespace serve {
+
+/// \brief Log-bucketed histogram of latencies in microseconds: 4 buckets
+/// per octave over [1us, ~16.7s]. Add() is a single relaxed atomic
+/// increment; percentiles interpolate the geometric bucket midpoint, so
+/// quantiles carry ~19% worst-case bucket error — plenty for p50/p95/p99
+/// dashboards.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBucketsPerOctave = 4;
+  static constexpr size_t kNumBuckets = 96;  // 24 octaves
+
+  void Add(double us) {
+    buckets_[BucketIndex(us)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t TotalCount() const {
+    uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  /// \brief p in [0, 100]. Returns 0 when empty.
+  double PercentileUs(double p) const {
+    std::array<uint64_t, kNumBuckets> counts;
+    uint64_t total = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      counts[i] = buckets_[i].load(std::memory_order_relaxed);
+      total += counts[i];
+    }
+    if (total == 0) return 0.0;
+    const double rank = p / 100.0 * static_cast<double>(total);
+    uint64_t cum = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      cum += counts[i];
+      if (static_cast<double>(cum) >= rank) return BucketMidUs(i);
+    }
+    return BucketMidUs(kNumBuckets - 1);
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static size_t BucketIndex(double us) {
+    if (!(us > 1.0)) return 0;
+    const double idx = kBucketsPerOctave * std::log2(us);
+    if (idx >= static_cast<double>(kNumBuckets - 1)) return kNumBuckets - 1;
+    return static_cast<size_t>(idx);
+  }
+  static double BucketMidUs(size_t i) {
+    return std::exp2((static_cast<double>(i) + 0.5) / kBucketsPerOctave);
+  }
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// \brief Point-in-time view of a ServeEngine's counters.
+struct ServeStats {
+  uint64_t queries = 0;          ///< answers delivered
+  uint64_t sketch_answers = 0;   ///< answered by a sketch forward pass
+  uint64_t fallback_answers = 0; ///< answered by the exact engine
+  uint64_t failed_answers = 0;   ///< NaN with no fallback available
+  uint64_t batches = 0;          ///< micro-batches dispatched
+  uint64_t budget_trips = 0;     ///< stores demoted by the error budget
+  double elapsed_seconds = 0.0;  ///< since engine start (or last reset)
+  double qps = 0.0;              ///< queries / elapsed_seconds
+  double mean_batch_size = 0.0;
+  double fallback_rate = 0.0;    ///< fallback_answers / queries
+  double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;  ///< submit->answer
+};
+
+}  // namespace serve
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_SERVE_SERVE_STATS_H_

@@ -1,0 +1,123 @@
+#include "serve/sketch_store.h"
+
+#include <mutex>
+
+namespace neurosketch {
+namespace serve {
+
+Status SketchStore::RegisterDataset(const std::string& dataset,
+                                    const ExactEngine* engine) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("null engine for dataset " + dataset);
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  engines_[dataset] = engine;
+  return Status::OK();
+}
+
+Result<uint64_t> SketchStore::Register(
+    const std::string& dataset, const QueryFunctionSpec& spec,
+    std::shared_ptr<const NeuroSketch> sketch, uint64_t version) {
+  if (sketch == nullptr) {
+    return Status::InvalidArgument("null sketch for dataset " + dataset);
+  }
+  if (spec.predicate == nullptr) {
+    return Status::InvalidArgument("spec has no predicate");
+  }
+  const ServeKey key = ServeKey::From(dataset, spec);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& versions = sketches_[key];
+  if (version == 0) {
+    version = versions.empty() ? 1 : versions.rbegin()->first + 1;
+  }
+  versions[version] = std::move(sketch);
+  return version;
+}
+
+Result<uint64_t> SketchStore::Register(const std::string& dataset,
+                                       const QueryFunctionSpec& spec,
+                                       NeuroSketch sketch, uint64_t version) {
+  return Register(dataset, spec,
+                  std::make_shared<const NeuroSketch>(std::move(sketch)),
+                  version);
+}
+
+Result<uint64_t> SketchStore::RegisterFromFile(const std::string& dataset,
+                                               const QueryFunctionSpec& spec,
+                                               const std::string& path,
+                                               uint64_t version) {
+  NS_ASSIGN_OR_RETURN(NeuroSketch sketch, NeuroSketch::Load(path));
+  return Register(dataset, spec, std::move(sketch), version);
+}
+
+size_t SketchStore::ImportFromCatalog(const std::string& dataset,
+                                      const SketchCatalog& catalog) {
+  size_t imported = 0;
+  std::unique_lock<std::shared_mutex> lock(mu_);  // one atomic import
+  for (auto& [fn_key, sketch] : catalog.Sketches()) {
+    auto& versions = sketches_[ServeKey{dataset, fn_key}];
+    const uint64_t version =
+        versions.empty() ? 1 : versions.rbegin()->first + 1;
+    versions[version] = sketch;
+    ++imported;
+  }
+  return imported;
+}
+
+std::shared_ptr<const NeuroSketch> SketchStore::Lookup(
+    const ServeKey& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = sketches_.find(key);
+  if (it == sketches_.end() || it->second.empty()) return nullptr;
+  return it->second.rbegin()->second;
+}
+
+std::shared_ptr<const NeuroSketch> SketchStore::Lookup(
+    const ServeKey& key, uint64_t version) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = sketches_.find(key);
+  if (it == sketches_.end()) return nullptr;
+  auto vit = it->second.find(version);
+  return vit == it->second.end() ? nullptr : vit->second;
+}
+
+size_t SketchStore::Unregister(const ServeKey& key) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = sketches_.find(key);
+  if (it == sketches_.end()) return 0;
+  const size_t removed = it->second.size();
+  sketches_.erase(it);
+  return removed;
+}
+
+const ExactEngine* SketchStore::Engine(const std::string& dataset) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = engines_.find(dataset);
+  return it == engines_.end() ? nullptr : it->second;
+}
+
+std::vector<SketchListing> SketchStore::List() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<SketchListing> out;
+  for (const auto& [key, versions] : sketches_) {
+    for (auto vit = versions.rbegin(); vit != versions.rend(); ++vit) {
+      SketchListing l;
+      l.key = key;
+      l.version = vit->first;
+      l.size_bytes = vit->second->SizeBytes();
+      l.num_partitions = vit->second->num_partitions();
+      out.push_back(std::move(l));
+    }
+  }
+  return out;
+}
+
+size_t SketchStore::num_sketches() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [key, versions] : sketches_) n += versions.size();
+  return n;
+}
+
+}  // namespace serve
+}  // namespace neurosketch

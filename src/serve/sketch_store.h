@@ -1,0 +1,112 @@
+// SketchStore: the serving-side registry of trained NeuroSketches. Where
+// core/SketchCatalog is the maintenance view (decide, train, rebuild), the
+// store is the read-mostly runtime view: named datasets, versioned sketches
+// per query function, and the exact engine to fall back to. All methods are
+// thread-safe; lookups take a shared lock and hand out shared_ptrs so a
+// sketch stays alive for in-flight batches even if a newer version lands.
+#ifndef NEUROSKETCH_SERVE_SKETCH_STORE_H_
+#define NEUROSKETCH_SERVE_SKETCH_STORE_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/neurosketch.h"
+#include "query/engine.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace neurosketch {
+namespace serve {
+
+/// \brief Store key: dataset name + query-function identity.
+struct ServeKey {
+  std::string dataset;
+  QueryFunctionKey fn;
+
+  bool operator<(const ServeKey& other) const {
+    return std::tie(dataset, fn) < std::tie(other.dataset, other.fn);
+  }
+  bool operator==(const ServeKey& other) const {
+    return !(*this < other) && !(other < *this);
+  }
+
+  static ServeKey From(const std::string& dataset,
+                       const QueryFunctionSpec& spec) {
+    return ServeKey{dataset, QueryFunctionKey::From(spec)};
+  }
+};
+
+/// \brief One registered sketch version, for listings.
+struct SketchListing {
+  ServeKey key;
+  uint64_t version = 0;
+  size_t size_bytes = 0;
+  size_t num_partitions = 0;
+};
+
+/// \brief Thread-safe registry of (dataset, query function) -> versioned
+/// sketches plus per-dataset exact engines.
+class SketchStore {
+ public:
+  /// \brief Register the exact engine serving fallback traffic for a
+  /// dataset. The engine (and its table) must outlive the store.
+  Status RegisterDataset(const std::string& dataset,
+                         const ExactEngine* engine);
+
+  /// \brief Register a sketch under (dataset, spec) with an explicit
+  /// version; version 0 means "one past the current latest". Re-registering
+  /// an existing version replaces it. Returns the version actually used.
+  Result<uint64_t> Register(const std::string& dataset,
+                            const QueryFunctionSpec& spec,
+                            std::shared_ptr<const NeuroSketch> sketch,
+                            uint64_t version = 0);
+  Result<uint64_t> Register(const std::string& dataset,
+                            const QueryFunctionSpec& spec,
+                            NeuroSketch sketch, uint64_t version = 0);
+
+  /// \brief Deserialize a sketch from `path` (NeuroSketch::Load) and
+  /// register it.
+  Result<uint64_t> RegisterFromFile(const std::string& dataset,
+                                    const QueryFunctionSpec& spec,
+                                    const std::string& path,
+                                    uint64_t version = 0);
+
+  /// \brief Adopt every sketch the catalog has built, sharing ownership.
+  /// Returns the number of sketches imported.
+  size_t ImportFromCatalog(const std::string& dataset,
+                           const SketchCatalog& catalog);
+
+  /// \brief Latest version for the key, or nullptr when none registered.
+  std::shared_ptr<const NeuroSketch> Lookup(const ServeKey& key) const;
+  /// \brief A specific version, or nullptr.
+  std::shared_ptr<const NeuroSketch> Lookup(const ServeKey& key,
+                                            uint64_t version) const;
+
+  /// \brief Drop all versions for a key. Returns how many were removed.
+  size_t Unregister(const ServeKey& key);
+
+  /// \brief Fallback engine for a dataset, or nullptr when unknown.
+  const ExactEngine* Engine(const std::string& dataset) const;
+
+  /// \brief Every registered (key, version), latest first per key.
+  std::vector<SketchListing> List() const;
+
+  size_t num_sketches() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<ServeKey, std::map<uint64_t, std::shared_ptr<const NeuroSketch>>>
+      sketches_;
+  std::map<std::string, const ExactEngine*> engines_;
+};
+
+}  // namespace serve
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_SERVE_SKETCH_STORE_H_

@@ -2,7 +2,69 @@
 
 #include <algorithm>
 
+// Runtime-dispatched SIMD clones for the GEMM kernels: the same source
+// loop is compiled per ISA (AVX-512 / AVX2 / baseline) and glibc's ifunc
+// resolver picks the widest one the CPU supports. The element-wise
+// accumulation order is identical in every clone and the build pins
+// -ffp-contract=off, so results are bit-identical across ISAs — serving
+// batches answer exactly what the scalar per-query path answers.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define NS_TARGET_CLONES \
+  __attribute__((target_clones("avx512f", "avx2", "default")))
+#else
+#define NS_TARGET_CLONES
+#endif
+
 namespace neurosketch {
+
+namespace {
+
+NS_TARGET_CLONES
+void GemmKernel(const double* a, const double* b, double* o, size_t m,
+                size_t k, size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* orow = o + i * n;
+    for (size_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      const double* brow = b + p * n;
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+NS_TARGET_CLONES
+void GemmTransAKernel(const double* a, const double* b, double* o, size_t k,
+                      size_t m, size_t n) {
+  for (size_t p = 0; p < k; ++p) {
+    const double* arow = a + p * m;
+    const double* brow = b + p * n;
+    for (size_t i = 0; i < m; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* orow = o + i * n;
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+NS_TARGET_CLONES
+void GemmTransBKernel(const double* a, const double* b, double* o, size_t m,
+                      size_t k, size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* orow = o + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const double* brow = b + j * k;
+      double acc = 0.0;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+}
+
+}  // namespace
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
   if (rows.empty()) return Matrix();
@@ -47,48 +109,21 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
   assert(a.cols() == b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
   *out = Matrix(m, n, 0.0);
-  for (size_t i = 0; i < m; ++i) {
-    const double* arow = a.row(i);
-    double* orow = out->row(i);
-    for (size_t p = 0; p < k; ++p) {
-      const double av = arow[p];
-      if (av == 0.0) continue;
-      const double* brow = b.row(p);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  GemmKernel(a.data(), b.data(), out->data(), m, k, n);
 }
 
 void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out) {
   assert(a.rows() == b.rows());
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
   *out = Matrix(m, n, 0.0);
-  for (size_t p = 0; p < k; ++p) {
-    const double* arow = a.row(p);
-    const double* brow = b.row(p);
-    for (size_t i = 0; i < m; ++i) {
-      const double av = arow[i];
-      if (av == 0.0) continue;
-      double* orow = out->row(i);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  GemmTransAKernel(a.data(), b.data(), out->data(), k, m, n);
 }
 
 void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out) {
   assert(a.cols() == b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
   *out = Matrix(m, n, 0.0);
-  for (size_t i = 0; i < m; ++i) {
-    const double* arow = a.row(i);
-    double* orow = out->row(i);
-    for (size_t j = 0; j < n; ++j) {
-      const double* brow = b.row(j);
-      double acc = 0.0;
-      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      orow[j] = acc;
-    }
-  }
+  GemmTransBKernel(a.data(), b.data(), out->data(), m, k, n);
 }
 
 void AddRowVector(Matrix* m, const Matrix& rowvec) {

@@ -1,0 +1,163 @@
+// Fixed-size thread pool shared by the exact engine's batch path and the
+// serving subsystem. Replaces ad-hoc per-call std::thread spawning: threads
+// are created once and reused, so a serving loop issuing thousands of small
+// batches per second does not pay thread-creation latency on the hot path.
+#ifndef NEUROSKETCH_UTIL_THREAD_POOL_H_
+#define NEUROSKETCH_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace neurosketch {
+
+/// \brief Fixed worker pool with a FIFO task queue. Threads start on
+/// construction and join on destruction; Submit never blocks (the queue is
+/// unbounded). Safe to use from multiple producer threads.
+class ThreadPool {
+ public:
+  /// \brief `num_threads == 0` means hardware concurrency.
+  explicit ThreadPool(size_t num_threads = 0) {
+    if (num_threads == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      num_threads = hw == 0 ? 4 : hw;
+    }
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// \brief Enqueue a task for asynchronous execution.
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  /// \brief Run fn(0..n-1) with up to `max_parallelism` threads (0 = pool
+  /// width + caller). The calling thread participates, so this completes
+  /// even when every pool worker is busy (no nested-parallelism deadlock),
+  /// and `max_parallelism <= 1` degenerates to a plain serial loop.
+  void ParallelFor(size_t n, size_t max_parallelism,
+                   const std::function<void(size_t)>& fn) {
+    if (n == 0) return;
+    if (max_parallelism == 0) max_parallelism = num_threads() + 1;
+    if (max_parallelism <= 1 || n == 1) {
+      for (size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    struct SharedState {
+      std::atomic<size_t> next{0};
+      std::atomic<size_t> live_helpers{0};
+      std::mutex mu;
+      std::condition_variable done;
+    };
+    auto state = std::make_shared<SharedState>();
+    // Caller counts toward the parallelism budget; helpers draw indices
+    // from the shared counter so load balances across uneven items.
+    const size_t helpers =
+        std::min({max_parallelism - 1, n - 1, num_threads()});
+    state->live_helpers.store(helpers);
+    for (size_t h = 0; h < helpers; ++h) {
+      // fn is captured by reference: the caller blocks below until every
+      // helper has finished, keeping it alive.
+      Submit([state, &fn, n] {
+        for (;;) {
+          const size_t i = state->next.fetch_add(1);
+          if (i >= n) break;
+          fn(i);
+        }
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->live_helpers.fetch_sub(1);
+        }
+        state->done.notify_one();
+      });
+    }
+    for (;;) {
+      const size_t i = state->next.fetch_add(1);
+      if (i >= n) break;
+      fn(i);
+    }
+    // Wait for the helpers, stealing queued pool tasks meanwhile: if this
+    // ParallelFor runs on a pool worker, the helpers it submitted may be
+    // stuck behind it in the queue — draining the queue ourselves keeps
+    // the no-deadlock guarantee.
+    for (;;) {
+      if (state->live_helpers.load() == 0) break;
+      std::function<void()> task;
+      {
+        std::lock_guard<std::mutex> plock(mu_);
+        if (!tasks_.empty()) {
+          task = std::move(tasks_.front());
+          tasks_.pop();
+        }
+      }
+      if (task) {
+        task();
+        continue;
+      }
+      // Queue empty: every remaining helper is running on some worker;
+      // block until the last one signals.
+      std::unique_lock<std::mutex> slock(state->mu);
+      state->done.wait(slock,
+                       [&] { return state->live_helpers.load() == 0; });
+      break;
+    }
+  }
+
+  /// \brief Process-wide pool sized to hardware concurrency. Constructed
+  /// on first use; never destroyed before main returns.
+  static ThreadPool& Shared() {
+    static ThreadPool pool(0);
+    return pool;
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
+        if (stop_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_UTIL_THREAD_POOL_H_

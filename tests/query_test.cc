@@ -252,7 +252,9 @@ TEST(WorkloadTest, FixedRangeFraction) {
   for (int i = 0; i < 50; ++i) {
     QueryInstance q = gen.Generate();
     for (size_t a = 0; a < 2; ++a) {
-      if (q[2 + a] < 1.0) EXPECT_NEAR(q[2 + a], 0.05, 1e-12);
+      if (q[2 + a] < 1.0) {
+        EXPECT_NEAR(q[2 + a], 0.05, 1e-12);
+      }
     }
   }
 }

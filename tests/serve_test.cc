@@ -1,0 +1,360 @@
+// Tests for the serving subsystem: thread pool, sketch store, and the
+// micro-batching serve engine (concurrency smoke, fallback routing, error
+// budget) plus the serve-side metrics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/catalog.h"
+#include "data/datasets.h"
+#include "data/normalizer.h"
+#include "query/engine.h"
+#include "query/predicate.h"
+#include "query/workload.h"
+#include "serve/serve_engine.h"
+#include "serve/sketch_store.h"
+#include "util/thread_pool.h"
+
+namespace neurosketch {
+namespace {
+
+using serve::ServeEngine;
+using serve::ServeKey;
+using serve::ServeOptions;
+using serve::ServeResult;
+using serve::SketchStore;
+
+QueryFunctionSpec AvgSpec(size_t measure_col) {
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = Aggregate::kAvg;
+  spec.measure_col = measure_col;
+  return spec;
+}
+
+/// Small shared fixture: a normalized GMM table, its exact engine, a
+/// workload, and a quickly trained sketch.
+struct ServeFixture {
+  Table table;
+  QueryFunctionSpec spec;
+  std::vector<QueryInstance> queries;
+  NeuroSketch sketch;
+
+  static ServeFixture Make(size_t n_queries = 256) {
+    ServeFixture f;
+    Dataset ds = MakeGmmDataset(2000, 3, 3, /*seed=*/5);
+    f.table = Normalizer::Fit(ds.table).Transform(ds.table);
+    f.spec = AvgSpec(ds.measure_col);
+    ExactEngine engine(&f.table);
+    WorkloadConfig wc;
+    wc.seed = 99;
+    WorkloadGenerator gen(f.table.num_columns(), wc);
+    f.queries = gen.GenerateMany(n_queries, &engine, &f.spec);
+
+    WorkloadConfig train_wc;
+    train_wc.seed = 7;
+    WorkloadGenerator train_gen(f.table.num_columns(), train_wc);
+    auto train_q = train_gen.GenerateMany(400, &engine, &f.spec);
+    auto train_a = engine.AnswerBatch(f.spec, train_q);
+    NeuroSketchConfig cfg;
+    cfg.tree_height = 2;
+    cfg.target_partitions = 2;
+    cfg.n_layers = 3;
+    cfg.l_first = 16;
+    cfg.l_rest = 8;
+    cfg.train.epochs = 25;
+    auto sk = NeuroSketch::Train(train_q, train_a, cfg);
+    EXPECT_TRUE(sk.ok()) << sk.status().ToString();
+    f.sketch = std::move(sk).value();
+    return f;
+  }
+};
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), 0,
+                   [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSerialWhenParallelismOne) {
+  ThreadPool pool(4);
+  size_t sum = 0;  // unsynchronized on purpose: must run on caller thread
+  pool.ParallelFor(100, 1, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromPoolWorkersDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<size_t> total{0};
+  std::atomic<int> outer_done{0};
+  // Saturate every worker with a task that itself calls ParallelFor: the
+  // callers must steal their helpers from the queue instead of waiting on
+  // workers that are all busy doing exactly the same thing.
+  for (int t = 0; t < 4; ++t) {
+    pool.Submit([&] {
+      pool.ParallelFor(100, 0, [&](size_t) { total.fetch_add(1); });
+      outer_done.fetch_add(1);
+    });
+  }
+  while (outer_done.load() < 4) std::this_thread::yield();
+  EXPECT_EQ(total.load(), 400u);
+}
+
+TEST(ThreadPoolTest, ParallelForFromManyClientThreads) {
+  ThreadPool pool(2);
+  std::vector<std::thread> clients;
+  std::atomic<size_t> total{0};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      pool.ParallelFor(50, 0, [&](size_t) { total.fetch_add(1); });
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(total.load(), 200u);
+}
+
+TEST(ExactEngineTest, BatchThreadCountsAgree) {
+  ServeFixture f = ServeFixture::Make(64);
+  ExactEngine engine(&f.table);
+  const auto serial = engine.AnswerBatch(f.spec, f.queries, 1);
+  const auto pooled = engine.AnswerBatch(f.spec, f.queries, 4);
+  const auto hw = engine.AnswerBatch(f.spec, f.queries, 0);
+  ASSERT_EQ(serial.size(), pooled.size());
+  ASSERT_EQ(serial.size(), hw.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i], pooled[i]);
+    EXPECT_DOUBLE_EQ(serial[i], hw[i]);
+  }
+}
+
+TEST(SketchStoreTest, VersioningAndLookup) {
+  ServeFixture f = ServeFixture::Make(8);
+  SketchStore store;
+  const ServeKey key = ServeKey::From("gmm", f.spec);
+  EXPECT_EQ(store.Lookup(key), nullptr);
+
+  auto v1 = store.Register("gmm", f.spec, std::move(f.sketch));
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1.value(), 1u);
+  auto latest = store.Lookup(key);
+  ASSERT_NE(latest, nullptr);
+
+  // Auto-versioning appends; Lookup returns the newest.
+  auto v2 = store.Register("gmm", f.spec, latest);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2.value(), 2u);
+  EXPECT_EQ(store.num_sketches(), 2u);
+  EXPECT_NE(store.Lookup(key, 1), nullptr);
+  EXPECT_EQ(store.Lookup(key, 3), nullptr);
+
+  auto listings = store.List();
+  ASSERT_EQ(listings.size(), 2u);
+  EXPECT_EQ(listings[0].version, 2u);  // latest first per key
+
+  EXPECT_EQ(store.Unregister(key), 2u);
+  EXPECT_EQ(store.Lookup(key), nullptr);
+}
+
+TEST(SketchStoreTest, ImportFromCatalogSharesSketches) {
+  ServeFixture f = ServeFixture::Make(8);
+  ExactEngine engine(&f.table);
+  AdvisorConfig ac;
+  ac.max_buildable_aqc = 1e9;  // always build
+  NeuroSketchConfig cfg;
+  cfg.tree_height = 1;
+  cfg.target_partitions = 1;
+  cfg.n_layers = 3;
+  cfg.l_first = 8;
+  cfg.l_rest = 8;
+  cfg.train.epochs = 5;
+  SketchCatalog catalog(&engine, Advisor(ac), cfg);
+  WorkloadConfig wc;
+  WorkloadGenerator gen(f.table.num_columns(), wc);
+  auto info = catalog.Register(f.spec, &gen, 100);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  ASSERT_TRUE(info.value().built);
+
+  SketchStore store;
+  EXPECT_EQ(store.ImportFromCatalog("gmm", catalog), 1u);
+  auto served = store.Lookup(ServeKey::From("gmm", f.spec));
+  ASSERT_NE(served, nullptr);
+  EXPECT_EQ(served.get(), catalog.Find(f.spec).get());  // shared, not copied
+}
+
+// The headline concurrency smoke test: N client threads submit M queries
+// each through the micro-batching engine; every answer must be
+// bit-identical to the serial NeuroSketch::AnswerBatch result.
+TEST(ServeEngineTest, ConcurrentClientsBitIdenticalToSerial) {
+  constexpr size_t kClients = 8;
+  constexpr size_t kPerClient = 200;
+  ServeFixture f = ServeFixture::Make(kClients * kPerClient);
+  const std::vector<double> expected = f.sketch.AnswerBatch(f.queries);
+
+  SketchStore store;
+  ExactEngine engine(&f.table);
+  ASSERT_TRUE(store.RegisterDataset("gmm", &engine).ok());
+  ASSERT_TRUE(store.Register("gmm", f.spec, std::move(f.sketch)).ok());
+
+  ServeOptions opts;
+  opts.max_batch = 64;
+  opts.batch_window_us = 300.0;
+  ServeEngine serve(&store, opts);
+
+  std::vector<std::vector<double>> got(kClients,
+                                       std::vector<double>(kPerClient));
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::future<ServeResult>> futs;
+      futs.reserve(kPerClient);
+      for (size_t i = 0; i < kPerClient; ++i) {
+        futs.push_back(
+            serve.Submit("gmm", f.spec, f.queries[c * kPerClient + i]));
+      }
+      for (size_t i = 0; i < kPerClient; ++i) {
+        const ServeResult r = futs[i].get();
+        EXPECT_TRUE(r.used_sketch);
+        got[c][i] = r.value;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (size_t c = 0; c < kClients; ++c) {
+    for (size_t i = 0; i < kPerClient; ++i) {
+      const double want = expected[c * kPerClient + i];
+      // Bit-identical: the serving path must run the very same forward
+      // pass math as the serial API.
+      EXPECT_EQ(got[c][i], want) << "client " << c << " query " << i;
+    }
+  }
+
+  const auto stats = serve.Snapshot();
+  EXPECT_EQ(stats.queries, kClients * kPerClient);
+  EXPECT_EQ(stats.sketch_answers, kClients * kPerClient);
+  EXPECT_EQ(stats.fallback_answers, 0u);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GT(stats.mean_batch_size, 1.0);  // batching actually happened
+  EXPECT_GT(stats.p50_us, 0.0);
+  EXPECT_LE(stats.p50_us, stats.p99_us);
+}
+
+// Fallback path: no sketch registered for the query function -> every
+// query routes to the exact engine and is reported as a fallback.
+TEST(ServeEngineTest, UnregisteredSketchFallsBackToExact) {
+  ServeFixture f = ServeFixture::Make(64);
+  ExactEngine engine(&f.table);
+  const auto expected = engine.AnswerBatch(f.spec, f.queries);
+
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", &engine).ok());
+  // Note: no sketch registered.
+  ServeOptions opts;
+  opts.max_batch = 16;
+  opts.batch_window_us = 100.0;
+  ServeEngine serve(&store, opts);
+
+  std::vector<std::future<ServeResult>> futs;
+  for (const auto& q : f.queries) futs.push_back(serve.Submit("gmm", f.spec, q));
+  for (size_t i = 0; i < futs.size(); ++i) {
+    const ServeResult r = futs[i].get();
+    EXPECT_FALSE(r.used_sketch);
+    EXPECT_DOUBLE_EQ(r.value, expected[i]);
+  }
+
+  const auto stats = serve.Snapshot();
+  EXPECT_EQ(stats.queries, f.queries.size());
+  EXPECT_EQ(stats.fallback_answers, f.queries.size());
+  EXPECT_EQ(stats.sketch_answers, 0u);
+  EXPECT_DOUBLE_EQ(stats.fallback_rate, 1.0);
+}
+
+// A dataset with neither sketch nor exact engine answers NaN (rather than
+// hanging the client).
+TEST(ServeEngineTest, UnknownDatasetAnswersNan) {
+  ServeFixture f = ServeFixture::Make(4);
+  SketchStore store;
+  ServeOptions opts;
+  opts.batch_window_us = 0.0;
+  ServeEngine serve(&store, opts);
+  const ServeResult r = serve.Answer("nope", f.spec, f.queries[0]);
+  EXPECT_TRUE(std::isnan(r.value));
+  EXPECT_FALSE(r.used_sketch);
+  EXPECT_EQ(serve.Snapshot().failed_answers, 1u);
+}
+
+/// Write a loadable sketch file whose routing is a single leaf but which
+/// carries zero models: every Answer is NaN, exercising the error budget.
+std::string WriteBrokenSketchFile(size_t qdim) {
+  const std::string path = testing::TempDir() + "/ns_broken.sketch";
+  std::ofstream out(path, std::ios::binary);
+  const uint64_t dim = qdim;
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  const std::vector<double> routing = {-1.0, 0.0};  // single leaf, id 0
+  const uint64_t rsize = routing.size();
+  out.write(reinterpret_cast<const char*>(&rsize), sizeof(rsize));
+  out.write(reinterpret_cast<const char*>(routing.data()),
+            static_cast<std::streamsize>(rsize * sizeof(double)));
+  const uint64_t nmodels = 0;  // leaf id 0 has no model -> NaN answers
+  out.write(reinterpret_cast<const char*>(&nmodels), sizeof(nmodels));
+  return path;
+}
+
+// Error budget: a sketch that cannot answer anything gets demoted after
+// budget_min_samples failures and the store entry serves exact-only, while
+// every individual answer is still repaired by the exact engine.
+TEST(ServeEngineTest, ErrorBudgetDemotesFailingSketch) {
+  ServeFixture f = ServeFixture::Make(128);
+  ExactEngine engine(&f.table);
+  const auto expected = engine.AnswerBatch(f.spec, f.queries);
+
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", &engine).ok());
+  const std::string path = WriteBrokenSketchFile(2 * f.table.num_columns());
+  auto ver = store.RegisterFromFile("gmm", f.spec, path);
+  ASSERT_TRUE(ver.ok()) << ver.status().ToString();
+  std::remove(path.c_str());
+
+  ServeOptions opts;
+  opts.max_batch = 16;
+  opts.batch_window_us = 50.0;
+  opts.budget_min_samples = 32;
+  opts.max_sketch_failure_rate = 0.5;
+  ServeEngine serve(&store, opts);
+
+  std::vector<std::future<ServeResult>> futs;
+  for (const auto& q : f.queries) futs.push_back(serve.Submit("gmm", f.spec, q));
+  for (size_t i = 0; i < futs.size(); ++i) {
+    const ServeResult r = futs[i].get();
+    EXPECT_FALSE(r.used_sketch);
+    EXPECT_DOUBLE_EQ(r.value, expected[i]);  // repaired per query
+  }
+
+  const auto stats = serve.Snapshot();
+  EXPECT_EQ(stats.queries, f.queries.size());
+  EXPECT_EQ(stats.fallback_answers, f.queries.size());
+  EXPECT_EQ(stats.budget_trips, 1u);  // demoted exactly once
+}
+
+TEST(LatencyHistogramTest, PercentilesLandInBucketTolerance) {
+  serve::LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.Add(100.0);
+  EXPECT_EQ(h.TotalCount(), 1000u);
+  // Log-bucketed: the midpoint is within ~19% of the true value.
+  EXPECT_NEAR(h.PercentileUs(50), 100.0, 20.0);
+  for (int i = 0; i < 9000; ++i) h.Add(10.0);
+  EXPECT_NEAR(h.PercentileUs(50), 10.0, 2.0);
+  EXPECT_NEAR(h.PercentileUs(99), 100.0, 20.0);
+}
+
+}  // namespace
+}  // namespace neurosketch
