@@ -1,11 +1,15 @@
 // Serving throughput benchmark: client-thread count x micro-batch window
 // sweep over the serve/ subsystem, reporting QPS and latency percentiles,
 // plus the headline comparison the serving subsystem exists for:
-// micro-batched serving vs per-query Answer dispatch on the same sketch.
-// Emits a BENCH_serving.json snapshot (written to the working directory)
-// so the perf trajectory can be tracked across commits.
+// micro-batched serving vs per-query Answer dispatch on the same sketch,
+// and a single-query latency section (p50/p95/p99 in ns) comparing the
+// Matrix-allocating scalar path against the compiled zero-allocation
+// inference plan. Emits a BENCH_serving.json snapshot (written to the
+// working directory) so the perf trajectory can be tracked across commits.
 //
 // Usage: bench_serving_throughput [out.json]
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -36,6 +40,40 @@ struct RunResult {
 
 constexpr size_t kPerClient = 8000;
 constexpr size_t kBurst = 128;  // client-side submission burst
+
+/// Single-query forward-pass latency percentiles, in nanoseconds.
+struct LatencyNs {
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+/// Times each call individually (steady_clock, ~20-30ns overhead, paid
+/// equally by both paths) and reports sample percentiles.
+template <typename Fn>
+LatencyNs MeasureSingleQuery(const std::vector<QueryInstance>& pool,
+                             const Fn& answer_one) {
+  using SteadyClock = std::chrono::steady_clock;
+  constexpr size_t kWarmup = 5000;
+  constexpr size_t kSamples = 50000;
+  double sink = 0.0;
+  for (size_t i = 0; i < kWarmup; ++i) {
+    sink += answer_one(pool[i % pool.size()]);
+  }
+  std::vector<double> ns(kSamples);
+  for (size_t i = 0; i < kSamples; ++i) {
+    const auto t0 = SteadyClock::now();
+    sink += answer_one(pool[i % pool.size()]);
+    const auto t1 = SteadyClock::now();
+    ns[i] = std::chrono::duration<double, std::nano>(t1 - t0).count();
+  }
+  volatile double keep = sink;  // keep the timed calls observable
+  (void)keep;
+  std::sort(ns.begin(), ns.end());
+  LatencyNs out;
+  out.p50 = ns[kSamples / 2];
+  out.p95 = ns[kSamples * 95 / 100];
+  out.p99 = ns[kSamples * 99 / 100];
+  return out;
+}
 
 /// Per-query dispatch: batching disabled, one Answer call per request.
 RunResult RunPerQuery(const SketchStore* store, const QueryFunctionSpec& spec,
@@ -119,7 +157,8 @@ void PrintRow(const RunResult& r) {
 }
 
 Status WriteJson(const std::string& path, const std::vector<RunResult>& rows,
-                 double per_query_qps8, double batched_qps8) {
+                 double per_query_qps8, double batched_qps8,
+                 const LatencyNs& scalar, const LatencyNs& compiled) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   std::fprintf(f, "{\n  \"bench\": \"serving_throughput\",\n");
@@ -143,6 +182,16 @@ Status WriteJson(const std::string& path, const std::vector<RunResult>& rows,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"single_query\": {\n"
+               "    \"scalar\": {\"p50_ns\": %.0f, \"p95_ns\": %.0f, "
+               "\"p99_ns\": %.0f},\n"
+               "    \"compiled_plan\": {\"p50_ns\": %.0f, \"p95_ns\": %.0f, "
+               "\"p99_ns\": %.0f},\n"
+               "    \"p50_speedup\": %.2f\n  },\n",
+               scalar.p50, scalar.p95, scalar.p99, compiled.p50, compiled.p95,
+               compiled.p99,
+               compiled.p50 > 0.0 ? scalar.p50 / compiled.p50 : 0.0);
   std::fprintf(f,
                "  \"headline\": {\"clients\": 8, \"per_query_qps\": %.0f, "
                "\"micro_batch_qps\": %.0f, \"speedup\": %.2f}\n}\n",
@@ -168,6 +217,23 @@ int Main(int argc, char** argv) {
   ExactEngine engine(&wb.data.normalized);
   SketchStore store;
   (void)store.RegisterDataset("bench", &engine);
+  const NeuroSketch& ns = sketch.value();
+
+  // Single-query forward-pass latency: Matrix-allocating scalar reference
+  // vs the compiled flat-buffer plan (same routing, same bits out).
+  std::printf("\nsingle-query latency (ns):\n%-14s %10s %10s %10s\n", "path",
+              "p50", "p95", "p99");
+  const LatencyNs scalar_lat = MeasureSingleQuery(
+      wb.test_q, [&ns](const QueryInstance& q) { return ns.AnswerScalar(q); });
+  const LatencyNs plan_lat = MeasureSingleQuery(
+      wb.test_q, [&ns](const QueryInstance& q) { return ns.Answer(q); });
+  std::printf("%-14s %10.0f %10.0f %10.0f\n", "scalar", scalar_lat.p50,
+              scalar_lat.p95, scalar_lat.p99);
+  std::printf("%-14s %10.0f %10.0f %10.0f\n", "compiled_plan", plan_lat.p50,
+              plan_lat.p95, plan_lat.p99);
+  std::printf("p50 speedup: %.2fx\n\n",
+              plan_lat.p50 > 0.0 ? scalar_lat.p50 / plan_lat.p50 : 0.0);
+
   (void)store.Register("bench", wb.spec, std::move(sketch).value());
 
   std::printf("%-12s %8s %10s %10s %12s %9s %9s %9s %11s\n", "mode",
@@ -199,7 +265,8 @@ int Main(int argc, char** argv) {
               "per-query: %.2fx QPS (%.0f vs %.0f)\n",
               speedup, batched_qps8, per_query_qps8);
 
-  Status st = WriteJson(out_path, rows, per_query_qps8, batched_qps8);
+  Status st = WriteJson(out_path, rows, per_query_qps8, batched_qps8,
+                        scalar_lat, plan_lat);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;

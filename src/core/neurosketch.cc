@@ -5,6 +5,7 @@
 
 #include "nn/serialize.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace neurosketch {
@@ -52,47 +53,51 @@ Result<NeuroSketch> NeuroSketch::Train(
   auto leaves = sketch.tree_.Leaves();
   sketch.stats_.num_partitions = leaves.size();
   sketch.models_.resize(leaves.size());
+  sketch.plans_.resize(leaves.size());
   sketch.target_mean_.assign(leaves.size(), 0.0);
   sketch.target_scale_.assign(leaves.size(), 1.0);
 
-  for (auto* leaf : leaves) {
+  // Leaf models are independent: each derives its init and shuffle seeds
+  // from its leaf id alone and writes only its own slots, so training them
+  // concurrently on the shared pool reproduces the sequential build
+  // bit-for-bit regardless of thread count or completion order.
+  auto train_leaf = [&](size_t li) {
+    const auto* leaf = leaves[li];
     const int id = leaf->leaf_id;
     const auto& ids = leaf->query_ids;
-    if (ids.empty()) {
-      // No training data routed here; keep a fresh model predicting ~0.
-      sketch.models_[id] =
-          nn::Mlp(nn::MlpConfig::Paper(qdim, config.n_layers, config.l_first,
-                                       config.l_rest),
-                  config.seed + id);
-      continue;
-    }
-    // Per-leaf target standardization keeps the MSE well-scaled across
-    // query functions with very different answer magnitudes.
-    std::vector<double> targets;
-    targets.reserve(ids.size());
-    for (size_t i : ids) targets.push_back(a_ok[i]);
-    const double mean = stats::Mean(targets);
-    double scale = stats::Stddev(targets);
-    if (scale <= 1e-12) scale = 1.0;
-    sketch.target_mean_[id] = mean;
-    sketch.target_scale_[id] = scale;
+    nn::Mlp& model = sketch.models_[id];
+    model = nn::Mlp(nn::MlpConfig::Paper(qdim, config.n_layers, config.l_first,
+                                         config.l_rest),
+                    config.seed + id);
+    if (!ids.empty()) {
+      // Per-leaf target standardization keeps the MSE well-scaled across
+      // query functions with very different answer magnitudes.
+      std::vector<double> targets;
+      targets.reserve(ids.size());
+      for (size_t i : ids) targets.push_back(a_ok[i]);
+      const double mean = stats::Mean(targets);
+      double scale = stats::Stddev(targets);
+      if (scale <= 1e-12) scale = 1.0;
+      sketch.target_mean_[id] = mean;
+      sketch.target_scale_[id] = scale;
 
-    Matrix inputs(ids.size(), qdim);
-    Matrix outputs(ids.size(), 1);
-    for (size_t i = 0; i < ids.size(); ++i) {
-      const auto& q = q_ok[ids[i]];
-      for (size_t jj = 0; jj < qdim; ++jj) inputs(i, jj) = q.q[jj];
-      outputs(i, 0) = (a_ok[ids[i]] - mean) / scale;
+      Matrix inputs(ids.size(), qdim);
+      Matrix outputs(ids.size(), 1);
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const auto& q = q_ok[ids[i]];
+        for (size_t jj = 0; jj < qdim; ++jj) inputs(i, jj) = q.q[jj];
+        outputs(i, 0) = (a_ok[ids[i]] - mean) / scale;
+      }
+      nn::TrainConfig tc = config.train;
+      tc.seed = config.train.seed + static_cast<uint64_t>(id) * 1000003ULL;
+      nn::TrainRegressor(&model, inputs, outputs, tc);
     }
-
-    sketch.models_[id] =
-        nn::Mlp(nn::MlpConfig::Paper(qdim, config.n_layers, config.l_first,
-                                     config.l_rest),
-                config.seed + id);
-    nn::TrainConfig tc = config.train;
-    tc.seed = config.train.seed + static_cast<uint64_t>(id) * 1000003ULL;
-    nn::TrainRegressor(&sketch.models_[id], inputs, outputs, tc);
-  }
+    // An untrained (empty-leaf) model still gets a plan: it predicts the
+    // initialization's output, matching the previous behavior.
+    sketch.plans_[id] = nn::CompiledMlp::FromMlp(model);
+  };
+  ThreadPool::Shared().ParallelFor(leaves.size(), config.train_threads,
+                                   train_leaf);
   sketch.stats_.train_seconds = train_timer.ElapsedSeconds();
   return sketch;
 }
@@ -108,6 +113,18 @@ Result<NeuroSketch> NeuroSketch::TrainFromEngine(
 }
 
 double NeuroSketch::Answer(const QueryInstance& q) const {
+  const auto* leaf = tree_.Route(q);
+  if (leaf == nullptr || leaf->leaf_id < 0 ||
+      static_cast<size_t>(leaf->leaf_id) >= plans_.size()) {
+    return std::nan("");
+  }
+  const int id = leaf->leaf_id;
+  const double raw =
+      plans_[id].PredictOne(q.q.data(), &nn::Workspace::ThreadLocal());
+  return raw * target_scale_[id] + target_mean_[id];
+}
+
+double NeuroSketch::AnswerScalar(const QueryInstance& q) const {
   const auto* leaf = tree_.Route(q);
   if (leaf == nullptr || leaf->leaf_id < 0 ||
       static_cast<size_t>(leaf->leaf_id) >= models_.size()) {
@@ -129,29 +146,38 @@ std::vector<double> NeuroSketch::AnswerBatch(
 std::vector<double> NeuroSketch::AnswerBatchVectorized(
     const std::vector<QueryInstance>& queries) const {
   std::vector<double> out(queries.size(), std::nan(""));
+  if (queries.size() == 1) {
+    // Serve fast path: a single-query "batch" skips bucket bookkeeping and
+    // runs the zero-allocation compiled plan directly.
+    out[0] = Answer(queries[0]);
+    return out;
+  }
   // Bucket query indices by leaf model.
-  std::vector<std::vector<size_t>> buckets(models_.size());
+  std::vector<std::vector<size_t>> buckets(plans_.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     const auto* leaf = tree_.Route(queries[i]);
     if (leaf == nullptr || leaf->leaf_id < 0 ||
-        static_cast<size_t>(leaf->leaf_id) >= models_.size()) {
+        static_cast<size_t>(leaf->leaf_id) >= plans_.size()) {
       continue;
     }
     buckets[leaf->leaf_id].push_back(i);
   }
   const size_t qdim = tree_.query_dim();
+  nn::Workspace& ws = nn::Workspace::ThreadLocal();
   for (size_t m = 0; m < buckets.size(); ++m) {
     const auto& ids = buckets[m];
     if (ids.empty()) continue;
-    Matrix inputs(ids.size(), qdim);
+    // Gather the bucket's inputs and stage its predictions in the arena:
+    // per-batch cost is bookkeeping only, the model math never allocates.
+    double* inputs = ws.Input(ids.size() * qdim);
     for (size_t r = 0; r < ids.size(); ++r) {
       const auto& q = queries[ids[r]].q;
-      std::copy(q.begin(), q.end(), inputs.row(r));
+      std::copy(q.begin(), q.end(), inputs + r * qdim);
     }
-    Matrix pred;
-    models_[m].Predict(inputs, &pred);
+    double* pred = ws.Output(ids.size());
+    plans_[m].PredictBatch(inputs, ids.size(), &ws, pred);
     for (size_t r = 0; r < ids.size(); ++r) {
-      out[ids[r]] = pred(r, 0) * target_scale_[m] + target_mean_[m];
+      out[ids[r]] = pred[r] * target_scale_[m] + target_mean_[m];
     }
   }
   return out;
@@ -175,14 +201,19 @@ Status NeuroSketch::Save(const std::string& path) const {
   out.write(reinterpret_cast<const char*>(&rsize), sizeof(rsize));
   out.write(reinterpret_cast<const char*>(routing.data()),
             static_cast<std::streamsize>(rsize * sizeof(double)));
-  const uint64_t nmodels = models_.size();
+  // plans_ is what the loop below serializes; counting it (rather than
+  // models_) keeps the header honest if the two vectors ever diverge.
+  const uint64_t nmodels = plans_.size();
   out.write(reinterpret_cast<const char*>(&nmodels), sizeof(nmodels));
   out.write(reinterpret_cast<const char*>(target_mean_.data()),
             static_cast<std::streamsize>(nmodels * sizeof(double)));
   out.write(reinterpret_cast<const char*>(target_scale_.data()),
             static_cast<std::streamsize>(nmodels * sizeof(double)));
-  for (const auto& m : models_) {
-    NS_RETURN_NOT_OK(nn::SaveMlp(m, &out));
+  // Serialize from the compiled plans: the flat buffer is already in
+  // on-disk parameter order, so each model is one contiguous write and the
+  // bytes are identical to SaveMlp on the corresponding Mlp.
+  for (const auto& p : plans_) {
+    NS_RETURN_NOT_OK(nn::SaveCompiledMlp(p, &out));
   }
   if (!out.good()) return Status::IOError("write failed for " + path);
   return Status::OK();
@@ -212,9 +243,14 @@ Result<NeuroSketch> NeuroSketch::Load(const std::string& path) {
           static_cast<std::streamsize>(nmodels * sizeof(double)));
   if (!in.good()) return Status::IOError("truncated sketch scales");
   sketch.models_.reserve(nmodels);
+  sketch.plans_.reserve(nmodels);
   for (uint64_t i = 0; i < nmodels; ++i) {
-    NS_ASSIGN_OR_RETURN(nn::Mlp model, nn::LoadMlp(&in));
-    sketch.models_.push_back(std::move(model));
+    // Compile-on-load: the plan is the deserialization target (one
+    // contiguous parameter read); the trainable form is rehydrated from it
+    // so the scalar reference path stays available.
+    NS_ASSIGN_OR_RETURN(nn::CompiledMlp plan, nn::LoadCompiledMlp(&in));
+    sketch.models_.push_back(plan.ToMlp());
+    sketch.plans_.push_back(std::move(plan));
   }
   sketch.stats_.num_partitions = nmodels;
   return sketch;

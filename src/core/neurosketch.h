@@ -13,6 +13,7 @@
 
 #include "core/partitioner.h"
 #include "index/kdtree.h"
+#include "nn/inference_plan.h"
 #include "nn/mlp.h"
 #include "nn/trainer.h"
 #include "query/engine.h"
@@ -35,6 +36,12 @@ struct NeuroSketchConfig {
 
   nn::TrainConfig train;
   uint64_t seed = 17;
+
+  /// Per-leaf training parallelism: 0 = one job per hardware thread (the
+  /// shared pool), 1 = sequential, n = at most n concurrent leaf trainers.
+  /// Results are bit-identical for every setting: each leaf derives its
+  /// init and shuffle seeds from its leaf id alone.
+  size_t train_threads = 0;
 };
 
 /// \brief A trained NeuroSketch for one query function.
@@ -66,7 +73,14 @@ class NeuroSketch {
                                              const NeuroSketchConfig& config);
 
   /// \brief Alg. 5: answer one query with a kd-tree route + forward pass.
+  /// Runs on the compiled plan: zero heap allocations once the calling
+  /// thread's workspace is warm.
   double Answer(const QueryInstance& q) const;
+
+  /// \brief Reference implementation of Answer on the uncompiled Mlp
+  /// (Matrix-allocating scalar path). Bit-identical to Answer; kept for
+  /// golden equivalence tests and scalar-vs-plan benchmarks.
+  double AnswerScalar(const QueryInstance& q) const;
 
   std::vector<double> AnswerBatch(
       const std::vector<QueryInstance>& queries) const;
@@ -85,6 +99,12 @@ class NeuroSketch {
   const BuildStats& stats() const { return stats_; }
   size_t query_dim() const { return tree_.query_dim(); }
 
+  /// \brief True once every leaf model has a compiled inference plan
+  /// (always the case after Train or Load).
+  bool compiled() const {
+    return !plans_.empty() && plans_.size() == models_.size();
+  }
+
   /// \brief Serialize / deserialize the full sketch (routing + scales +
   /// model parameters). Round-trips bit-exactly.
   Status Save(const std::string& path) const;
@@ -92,8 +112,9 @@ class NeuroSketch {
 
  private:
   QuerySpaceKdTree tree_;
-  std::vector<nn::Mlp> models_;       // indexed by leaf_id
-  std::vector<double> target_mean_;   // per-leaf target standardization
+  std::vector<nn::Mlp> models_;  // indexed by leaf_id; training/reference
+  std::vector<nn::CompiledMlp> plans_;  // serving form, same indexing
+  std::vector<double> target_mean_;     // per-leaf target standardization
   std::vector<double> target_scale_;
   BuildStats stats_;
 };

@@ -6,48 +6,50 @@
 namespace neurosketch {
 namespace nn {
 
+// Every case is a direct enum-dispatched loop: training forward/backward
+// runs these on whole batches, and Matrix::Apply's per-element
+// std::function indirection was measurable there too.
 void ApplyActivation(Activation act, const Matrix& in, Matrix* out) {
   if (out != &in) *out = in;
+  double* d = out->data();
+  const size_t sz = out->size();
   switch (act) {
     case Activation::kIdentity:
       return;
-    case Activation::kRelu: {
-      // Hot inference path: direct loop instead of Matrix::Apply's
-      // per-element std::function indirection.
-      double* d = out->data();
-      const size_t sz = out->size();
+    case Activation::kRelu:
       for (size_t i = 0; i < sz; ++i) d[i] = d[i] > 0.0 ? d[i] : 0.0;
       return;
-    }
     case Activation::kTanh:
-      out->Apply([](double x) { return std::tanh(x); });
+      for (size_t i = 0; i < sz; ++i) d[i] = std::tanh(d[i]);
       return;
     case Activation::kSigmoid:
-      out->Apply([](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+      for (size_t i = 0; i < sz; ++i) d[i] = 1.0 / (1.0 + std::exp(-d[i]));
       return;
   }
 }
 
 void ActivationGrad(Activation act, const Matrix& z, Matrix* out) {
   *out = z;
+  double* d = out->data();
+  const size_t sz = out->size();
   switch (act) {
     case Activation::kIdentity:
       out->Fill(1.0);
       return;
     case Activation::kRelu:
-      out->Apply([](double x) { return x > 0.0 ? 1.0 : 0.0; });
+      for (size_t i = 0; i < sz; ++i) d[i] = d[i] > 0.0 ? 1.0 : 0.0;
       return;
     case Activation::kTanh:
-      out->Apply([](double x) {
-        double t = std::tanh(x);
-        return 1.0 - t * t;
-      });
+      for (size_t i = 0; i < sz; ++i) {
+        const double t = std::tanh(d[i]);
+        d[i] = 1.0 - t * t;
+      }
       return;
     case Activation::kSigmoid:
-      out->Apply([](double x) {
-        double s = 1.0 / (1.0 + std::exp(-x));
-        return s * (1.0 - s);
-      });
+      for (size_t i = 0; i < sz; ++i) {
+        const double s = 1.0 / (1.0 + std::exp(-d[i]));
+        d[i] = s * (1.0 - s);
+      }
       return;
   }
 }

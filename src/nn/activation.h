@@ -1,5 +1,8 @@
 // Activation functions for the dense layers. The paper's networks use ReLU
-// on hidden layers and identity on the output layer (Sec. 4.2).
+// on hidden layers and identity on the output layer (Sec. 4.2). The enum
+// itself lives at tensor level (tensor/matrix.h) so the fused dense kernel
+// can dispatch on it; this header aliases it into nn:: and adds the
+// training-side helpers (batch apply, gradients, names).
 #ifndef NEUROSKETCH_NN_ACTIVATION_H_
 #define NEUROSKETCH_NN_ACTIVATION_H_
 
@@ -10,12 +13,7 @@
 namespace neurosketch {
 namespace nn {
 
-enum class Activation {
-  kIdentity,
-  kRelu,
-  kTanh,
-  kSigmoid,
-};
+using Activation = ::neurosketch::Activation;
 
 /// \brief Apply activation elementwise: out = act(in). in may alias out.
 void ApplyActivation(Activation act, const Matrix& in, Matrix* out);

@@ -1,0 +1,102 @@
+#include "nn/inference_plan.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace neurosketch {
+namespace nn {
+
+Workspace& Workspace::ThreadLocal() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+CompiledMlp CompiledMlp::FromConfig(const MlpConfig& config) {
+  CompiledMlp plan;
+  plan.config_ = config;
+  size_t prev = config.in_dim;
+  size_t off = 0;
+  auto add_layer = [&](size_t out, Activation act) {
+    LayerMeta meta;
+    meta.in = prev;
+    meta.out = out;
+    meta.act = act;
+    meta.w_off = off;
+    off += prev * out;
+    meta.b_off = off;
+    off += out;
+    plan.layers_.push_back(meta);
+    plan.max_width_ = std::max(plan.max_width_, out);
+    prev = out;
+  };
+  for (size_t h : config.hidden) add_layer(h, config.hidden_act);
+  add_layer(config.out_dim, Activation::kIdentity);
+  plan.params_.assign(off, 0.0);
+  return plan;
+}
+
+CompiledMlp CompiledMlp::FromMlp(const Mlp& model) {
+  CompiledMlp plan = FromConfig(model.config());
+  assert(plan.layers_.size() == model.layers().size());
+  for (size_t i = 0; i < plan.layers_.size(); ++i) {
+    const DenseLayer& layer = model.layers()[i];
+    const LayerMeta& meta = plan.layers_[i];
+    assert(layer.in_dim() == meta.in && layer.out_dim() == meta.out);
+    std::copy(layer.weight().data(), layer.weight().data() + meta.in * meta.out,
+              plan.params_.data() + meta.w_off);
+    std::copy(layer.bias().data(), layer.bias().data() + meta.out,
+              plan.params_.data() + meta.b_off);
+  }
+  return plan;
+}
+
+Mlp CompiledMlp::ToMlp() const {
+  Mlp model(config_);
+  assert(model.layers().size() == layers_.size());
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    DenseLayer& layer = model.layers()[i];
+    const LayerMeta& meta = layers_[i];
+    std::copy(params_.data() + meta.w_off,
+              params_.data() + meta.w_off + meta.in * meta.out,
+              layer.weight().data());
+    std::copy(params_.data() + meta.b_off,
+              params_.data() + meta.b_off + meta.out, layer.bias().data());
+  }
+  return model;
+}
+
+double CompiledMlp::PredictOne(const double* x, Workspace* ws) const {
+  assert(!layers_.empty() && config_.out_dim == 1);
+  double* ping = ws->Ping(max_width_);
+  double* pong = ws->Pong(max_width_);
+  // The first layer reads the caller's input in place; subsequent layers
+  // ping-pong between the two arena buffers.
+  const double* cur = x;
+  for (const LayerMeta& L : layers_) {
+    FusedDenseForward(cur, 1, L.in, params_.data() + L.w_off,
+                      params_.data() + L.b_off, L.act, ping, L.out);
+    cur = ping;
+    std::swap(ping, pong);
+  }
+  return cur[0];
+}
+
+void CompiledMlp::PredictBatch(const double* x, size_t rows, Workspace* ws,
+                               double* out) const {
+  assert(!layers_.empty());
+  if (rows == 0) return;
+  double* ping = ws->Ping(rows * max_width_);
+  double* pong = ws->Pong(rows * max_width_);
+  const double* cur = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const LayerMeta& L = layers_[i];
+    double* dst = (i + 1 == layers_.size()) ? out : ping;
+    FusedDenseForward(cur, rows, L.in, params_.data() + L.w_off,
+                      params_.data() + L.b_off, L.act, dst, L.out);
+    cur = dst;
+    std::swap(ping, pong);
+  }
+}
+
+}  // namespace nn
+}  // namespace neurosketch

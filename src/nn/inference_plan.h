@@ -1,0 +1,101 @@
+// Compiled zero-allocation inference plans. A trained Mlp is a training
+// structure: per-layer Matrix objects, cached activations, gradient
+// buffers. CompiledMlp is its serving form — all layer weights and biases
+// packed into one contiguous flat buffer (in serialization order: per
+// layer, weights then bias) plus fixed layer metadata — executed with the
+// fused GEMM+bias+activation kernel (tensor/matrix.h) against a reusable
+// Workspace arena. After warm-up a forward pass performs zero heap
+// allocations and is bit-identical to Mlp::Predict / Mlp::PredictOne.
+#ifndef NEUROSKETCH_NN_INFERENCE_PLAN_H_
+#define NEUROSKETCH_NN_INFERENCE_PLAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/mlp.h"
+
+namespace neurosketch {
+namespace nn {
+
+/// \brief Reusable scratch arena for compiled-plan execution. Buffers grow
+/// monotonically and are never shrunk, so a serving thread stops allocating
+/// once it has seen its largest batch. Not thread-safe; use ThreadLocal()
+/// (one arena per thread) or own one per worker.
+class Workspace {
+ public:
+  /// \brief Ping/pong layer-activation buffers of at least n doubles each.
+  double* Ping(size_t n) { return Ensure(&ping_, n); }
+  double* Pong(size_t n) { return Ensure(&pong_, n); }
+  /// \brief Input-marshalling buffer (batch gather) of at least n doubles.
+  double* Input(size_t n) { return Ensure(&input_, n); }
+  /// \brief Output staging buffer of at least n doubles.
+  double* Output(size_t n) { return Ensure(&output_, n); }
+
+  /// \brief The calling thread's arena (constructed on first use).
+  static Workspace& ThreadLocal();
+
+ private:
+  static double* Ensure(std::vector<double>* v, size_t n) {
+    if (v->size() < n) v->resize(n);
+    return v->data();
+  }
+  std::vector<double> ping_, pong_, input_, output_;
+};
+
+/// \brief Execution plan compiled from a trained Mlp: flat parameter
+/// buffer + per-layer geometry, no per-call allocation, enum-dispatched
+/// activations. Parameters are bit-identical copies of the source model.
+class CompiledMlp {
+ public:
+  CompiledMlp() = default;
+
+  /// \brief Pack `model`'s parameters into a plan.
+  static CompiledMlp FromMlp(const Mlp& model);
+
+  /// \brief Lay out a plan for `config` with zeroed parameters; the caller
+  /// fills params() afterwards (deserialization path).
+  static CompiledMlp FromConfig(const MlpConfig& config);
+
+  /// \brief Reconstruct the trainable form; parameters round-trip
+  /// bit-exactly. Used to rehydrate the scalar reference path after Load.
+  Mlp ToMlp() const;
+
+  /// \brief Single-input forward pass; x has in_dim() doubles. Zero heap
+  /// allocations once `ws` is warm. out_dim() must be 1.
+  double PredictOne(const double* x, Workspace* ws) const;
+
+  /// \brief Batched forward pass over `rows` row-major inputs
+  /// (rows x in_dim); writes rows x out_dim results to `out`. out must not
+  /// alias x. Bit-identical to Mlp::Predict on the same batch.
+  void PredictBatch(const double* x, size_t rows, Workspace* ws,
+                    double* out) const;
+
+  bool empty() const { return layers_.empty(); }
+  size_t in_dim() const { return config_.in_dim; }
+  size_t out_dim() const { return config_.out_dim; }
+  size_t num_params() const { return params_.size(); }
+  size_t SizeBytes() const { return params_.size() * sizeof(double); }
+  const MlpConfig& config() const { return config_; }
+
+  /// \brief Flat parameter buffer in serialization order (per layer:
+  /// weights row-major, then bias) — what SaveCompiledMlp streams.
+  const std::vector<double>& params() const { return params_; }
+  std::vector<double>& mutable_params() { return params_; }
+
+ private:
+  struct LayerMeta {
+    size_t in = 0, out = 0;
+    size_t w_off = 0, b_off = 0;  // offsets into params_
+    Activation act = Activation::kIdentity;
+  };
+
+  MlpConfig config_;
+  std::vector<LayerMeta> layers_;
+  std::vector<double> params_;
+  size_t max_width_ = 0;  // widest layer output, sizes the ping/pong pair
+};
+
+}  // namespace nn
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_NN_INFERENCE_PLAN_H_

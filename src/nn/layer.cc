@@ -38,6 +38,9 @@ void DenseLayer::Forward(const Matrix& x, Matrix* y) {
 }
 
 void DenseLayer::ForwardInference(const Matrix& x, Matrix* y) const {
+  // Deliberately stays on the unfused three-pass pipeline: this is the
+  // golden reference the compiled plan's fused kernel is tested against
+  // (tests/inference_plan_test.cc), so it must not share that kernel.
   Matrix z;
   Gemm(x, weight_, &z);
   AddRowVector(&z, bias_);

@@ -27,17 +27,48 @@ bool ReadU64(std::istream* in, uint64_t* v) {
   return in->good();
 }
 
-}  // namespace
-
-Status SaveMlp(const Mlp& model, std::ostream* out) {
+void WriteHeader(const MlpConfig& cfg, std::ostream* out) {
   WriteU32(out, kMagic);
   WriteU32(out, kVersion);
-  const MlpConfig& cfg = model.config();
   WriteU64(out, cfg.in_dim);
   WriteU64(out, cfg.out_dim);
   WriteU32(out, static_cast<uint32_t>(cfg.hidden_act));
   WriteU64(out, cfg.hidden.size());
   for (size_t h : cfg.hidden) WriteU64(out, h);
+}
+
+Result<MlpConfig> ReadHeader(std::istream* in) {
+  uint32_t magic = 0, version = 0, act = 0;
+  uint64_t in_dim = 0, out_dim = 0, n_hidden = 0;
+  if (!ReadU32(in, &magic) || magic != kMagic) {
+    return Status::InvalidArgument("bad magic in model stream");
+  }
+  if (!ReadU32(in, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported model version");
+  }
+  if (!ReadU64(in, &in_dim) || !ReadU64(in, &out_dim) || !ReadU32(in, &act) ||
+      !ReadU64(in, &n_hidden)) {
+    return Status::IOError("truncated model header");
+  }
+  if (act > static_cast<uint32_t>(Activation::kSigmoid)) {
+    return Status::InvalidArgument("unknown activation id in model stream");
+  }
+  MlpConfig cfg;
+  cfg.in_dim = in_dim;
+  cfg.out_dim = out_dim;
+  cfg.hidden_act = static_cast<Activation>(act);
+  for (uint64_t i = 0; i < n_hidden; ++i) {
+    uint64_t h = 0;
+    if (!ReadU64(in, &h)) return Status::IOError("truncated hidden widths");
+    cfg.hidden.push_back(h);
+  }
+  return cfg;
+}
+
+}  // namespace
+
+Status SaveMlp(const Mlp& model, std::ostream* out) {
+  WriteHeader(model.config(), out);
   for (const auto& layer : model.layers()) {
     out->write(reinterpret_cast<const char*>(layer.weight().data()),
                static_cast<std::streamsize>(layer.weight().size() *
@@ -57,27 +88,7 @@ Status SaveMlpFile(const Mlp& model, const std::string& path) {
 }
 
 Result<Mlp> LoadMlp(std::istream* in) {
-  uint32_t magic = 0, version = 0, act = 0;
-  uint64_t in_dim = 0, out_dim = 0, n_hidden = 0;
-  if (!ReadU32(in, &magic) || magic != kMagic) {
-    return Status::InvalidArgument("bad magic in model stream");
-  }
-  if (!ReadU32(in, &version) || version != kVersion) {
-    return Status::InvalidArgument("unsupported model version");
-  }
-  if (!ReadU64(in, &in_dim) || !ReadU64(in, &out_dim) || !ReadU32(in, &act) ||
-      !ReadU64(in, &n_hidden)) {
-    return Status::IOError("truncated model header");
-  }
-  MlpConfig cfg;
-  cfg.in_dim = in_dim;
-  cfg.out_dim = out_dim;
-  cfg.hidden_act = static_cast<Activation>(act);
-  for (uint64_t i = 0; i < n_hidden; ++i) {
-    uint64_t h = 0;
-    if (!ReadU64(in, &h)) return Status::IOError("truncated hidden widths");
-    cfg.hidden.push_back(h);
-  }
+  NS_ASSIGN_OR_RETURN(MlpConfig cfg, ReadHeader(in));
   Mlp model(cfg);
   for (auto& layer : model.layers()) {
     in->read(reinterpret_cast<char*>(layer.weight().data()),
@@ -95,6 +106,26 @@ Result<Mlp> LoadMlpFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
   return LoadMlp(&in);
+}
+
+Status SaveCompiledMlp(const CompiledMlp& plan, std::ostream* out) {
+  // The flat buffer is already laid out in serialization order (per layer:
+  // weights then bias), so the whole parameter block is one write.
+  WriteHeader(plan.config(), out);
+  out->write(reinterpret_cast<const char*>(plan.params().data()),
+             static_cast<std::streamsize>(plan.params().size() *
+                                          sizeof(double)));
+  if (!out->good()) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Result<CompiledMlp> LoadCompiledMlp(std::istream* in) {
+  NS_ASSIGN_OR_RETURN(MlpConfig cfg, ReadHeader(in));
+  CompiledMlp plan = CompiledMlp::FromConfig(cfg);
+  in->read(reinterpret_cast<char*>(plan.mutable_params().data()),
+           static_cast<std::streamsize>(plan.num_params() * sizeof(double)));
+  if (!in->good()) return Status::IOError("truncated parameter block");
+  return plan;
 }
 
 }  // namespace nn

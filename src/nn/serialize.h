@@ -6,6 +6,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "nn/inference_plan.h"
 #include "nn/mlp.h"
 #include "util/status.h"
 
@@ -22,6 +23,13 @@ Status SaveMlpFile(const Mlp& model, const std::string& path);
 /// bit-exactly.
 Result<Mlp> LoadMlp(std::istream* in);
 Result<Mlp> LoadMlpFile(const std::string& path);
+
+/// \brief Compiled-plan serialization. Byte-identical to SaveMlp/LoadMlp
+/// (a plan's flat buffer *is* the serialized parameter block), so plans
+/// and Mlps are interchangeable on disk; the plan path streams all
+/// parameters with a single contiguous read/write.
+Status SaveCompiledMlp(const CompiledMlp& plan, std::ostream* out);
+Result<CompiledMlp> LoadCompiledMlp(std::istream* in);
 
 }  // namespace nn
 }  // namespace neurosketch

@@ -108,11 +108,15 @@ void ServeEngine::DispatchLoop() {
   const auto window = WindowDuration(options_.batch_window_us);
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    // Pick the first dispatchable batch: a full queue, an expired window,
-    // or anything at all once the window is zero / we are stopping.
+    // A key is dispatchable when its queue is full, its window has
+    // expired, the window is zero, or we are stopping. Among dispatchable
+    // keys, serve the one whose oldest request has waited longest — a
+    // continuously-full hot key must not starve a colder key whose window
+    // already expired.
     const auto now = Clock::now();
     KeyState* chosen = nullptr;
     ServeKey chosen_key;
+    Clock::time_point chosen_deadline{};
     bool have_deadline = false;
     Clock::time_point earliest{};
     for (auto& [key, st] : keys_) {
@@ -120,9 +124,12 @@ void ServeEngine::DispatchLoop() {
       const auto deadline = st.pending.front().enqueued + window;
       if (st.pending.size() >= options_.max_batch || window.count() == 0 ||
           stop_ || deadline <= now) {
-        chosen = &st;
-        chosen_key = key;
-        break;
+        if (chosen == nullptr || deadline < chosen_deadline) {
+          chosen = &st;
+          chosen_key = key;
+          chosen_deadline = deadline;
+        }
+        continue;
       }
       if (!have_deadline || deadline < earliest) {
         earliest = deadline;

@@ -2,10 +2,12 @@
 // Sec. 4 / Alg. 5 turned into a serving system). Clients Submit() queries
 // from any number of threads; a dispatcher groups them into time/size
 // bounded micro-batches per (dataset, query function), answers each batch
-// with one vectorized sketch forward pass (NeuroSketch::
-// AnswerBatchVectorized), and falls back to the exact engine when no
-// sketch is registered or a per-store error budget has been exceeded.
-// Answers are bit-identical to serial NeuroSketch::AnswerBatch.
+// with one vectorized forward pass over the sketch's compiled inference
+// plans (NeuroSketch::AnswerBatchVectorized: flat-buffer fused kernels +
+// thread-local workspace, so the model math performs zero heap allocations
+// per query), and falls back to the exact engine when no sketch is
+// registered or a per-store error budget has been exceeded. Answers are
+// bit-identical to serial NeuroSketch::AnswerBatch.
 #ifndef NEUROSKETCH_SERVE_SERVE_ENGINE_H_
 #define NEUROSKETCH_SERVE_SERVE_ENGINE_H_
 

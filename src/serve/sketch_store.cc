@@ -106,6 +106,7 @@ std::vector<SketchListing> SketchStore::List() const {
       l.version = vit->first;
       l.size_bytes = vit->second->SizeBytes();
       l.num_partitions = vit->second->num_partitions();
+      l.compiled = vit->second->compiled();
       out.push_back(std::move(l));
     }
   }

@@ -48,6 +48,7 @@ struct SketchListing {
   uint64_t version = 0;
   size_t size_bytes = 0;
   size_t num_partitions = 0;
+  bool compiled = false;  // serving from compiled inference plans
 };
 
 /// \brief Thread-safe registry of (dataset, query function) -> versioned

@@ -1,6 +1,7 @@
 #include "tensor/matrix.h"
 
 #include <algorithm>
+#include <cmath>
 
 // Runtime-dispatched SIMD clones for the GEMM kernels: the same source
 // loop is compiled per ISA (AVX-512 / AVX2 / baseline) and glibc's ifunc
@@ -61,6 +62,49 @@ void GemmTransBKernel(const double* a, const double* b, double* o, size_t m,
       for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
       orow[j] = acc;
     }
+  }
+}
+
+// Bias + activation epilogue of the fused kernel. Kept as per-activation
+// loops (not a switch in the inner loop) so each case auto-vectorizes; the
+// arithmetic matches AddRowVector followed by ApplyActivation exactly.
+NS_TARGET_CLONES
+void FusedEpilogue(double* yrow, const double* b, size_t n, Activation act) {
+  switch (act) {
+    case Activation::kIdentity:
+      for (size_t j = 0; j < n; ++j) yrow[j] += b[j];
+      return;
+    case Activation::kRelu:
+      for (size_t j = 0; j < n; ++j) {
+        const double v = yrow[j] + b[j];
+        yrow[j] = v > 0.0 ? v : 0.0;
+      }
+      return;
+    case Activation::kTanh:
+      for (size_t j = 0; j < n; ++j) yrow[j] = std::tanh(yrow[j] + b[j]);
+      return;
+    case Activation::kSigmoid:
+      for (size_t j = 0; j < n; ++j) {
+        yrow[j] = 1.0 / (1.0 + std::exp(-(yrow[j] + b[j])));
+      }
+      return;
+  }
+}
+
+NS_TARGET_CLONES
+void FusedDenseKernel(const double* x, size_t m, size_t k, const double* w,
+                      const double* b, Activation act, double* y, size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    const double* xrow = x + i * k;
+    double* yrow = y + i * n;
+    for (size_t j = 0; j < n; ++j) yrow[j] = 0.0;
+    for (size_t p = 0; p < k; ++p) {
+      const double xv = xrow[p];
+      if (xv == 0.0) continue;
+      const double* wrow = w + p * n;
+      for (size_t j = 0; j < n; ++j) yrow[j] += xv * wrow[j];
+    }
+    FusedEpilogue(yrow, b, n, act);
   }
 }
 
@@ -133,6 +177,11 @@ void AddRowVector(Matrix* m, const Matrix& rowvec) {
     const double* v = rowvec.row(0);
     for (size_t c = 0; c < m->cols(); ++c) mr[c] += v[c];
   }
+}
+
+void FusedDenseForward(const double* x, size_t m, size_t k, const double* w,
+                       const double* b, Activation act, double* y, size_t n) {
+  FusedDenseKernel(x, m, k, w, b, act, y, n);
 }
 
 void ColumnSums(const Matrix& m, Matrix* out) {

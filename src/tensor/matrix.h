@@ -13,6 +13,17 @@
 
 namespace neurosketch {
 
+/// \brief Elementwise nonlinearity applied by the dense kernels. Lives at
+/// tensor level (not nn/) so the fused forward kernel below can dispatch on
+/// it without a std::function indirection; nn/activation.h aliases it into
+/// namespace nn and adds training-side helpers (gradients, names).
+enum class Activation {
+  kIdentity,
+  kRelu,
+  kTanh,
+  kSigmoid,
+};
+
 /// \brief Row-major dense matrix of double.
 class Matrix {
  public:
@@ -81,6 +92,15 @@ void AddRowVector(Matrix* m, const Matrix& row);
 
 /// \brief out(0,j) = sum_i m(i,j): column sums as a (1,n) matrix.
 void ColumnSums(const Matrix& m, Matrix* out);
+
+/// \brief Fused dense-layer forward on raw row-major buffers:
+/// y = act(x * w + b), with x (m,k), w (k,n), b (n), y (m,n). Performs no
+/// heap allocation — callers own every buffer — and uses the exact same
+/// accumulation order as Gemm + AddRowVector + elementwise activation
+/// (zero-initialized ikj accumulation, bias added last), so results are
+/// bit-identical to the unfused three-pass pipeline. y must not alias x.
+void FusedDenseForward(const double* x, size_t m, size_t k, const double* w,
+                       const double* b, Activation act, double* y, size_t n);
 
 }  // namespace neurosketch
 
