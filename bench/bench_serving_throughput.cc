@@ -4,8 +4,10 @@
 // micro-batched serving vs per-query Answer dispatch on the same sketch,
 // and a single-query latency section (p50/p95/p99 in ns) comparing the
 // Matrix-allocating scalar path against the compiled zero-allocation
-// inference plan. Emits a BENCH_serving.json snapshot (written to the
-// working directory) so the perf trajectory can be tracked across commits.
+// inference plans in both precision tiers (f64 reference and the opt-in
+// f32 tier, with its validated max divergence and footprint). Emits a
+// BENCH_serving.json snapshot (written to the working directory) so the
+// perf trajectory can be tracked across commits.
 //
 // Usage: bench_serving_throughput [out.json]
 #include <algorithm>
@@ -156,9 +158,22 @@ void PrintRow(const RunResult& r) {
               r.stats.mean_batch_size);
 }
 
+/// f32-tier record for the json snapshot.
+struct F32Report {
+  bool active = false;
+  double max_divergence = 0.0;
+  double error_bound = 0.0;
+  size_t plan_bytes_f64 = 0;
+  size_t plan_bytes_f32 = 0;
+  LatencyNs latency;
+  double micro_batch_qps8 = 0.0;
+  uint64_t f32_answers = 0;
+};
+
 Status WriteJson(const std::string& path, const std::vector<RunResult>& rows,
                  double per_query_qps8, double batched_qps8,
-                 const LatencyNs& scalar, const LatencyNs& compiled) {
+                 const LatencyNs& scalar, const LatencyNs& compiled,
+                 const F32Report& f32) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   std::fprintf(f, "{\n  \"bench\": \"serving_throughput\",\n");
@@ -188,10 +203,23 @@ Status WriteJson(const std::string& path, const std::vector<RunResult>& rows,
                "\"p99_ns\": %.0f},\n"
                "    \"compiled_plan\": {\"p50_ns\": %.0f, \"p95_ns\": %.0f, "
                "\"p99_ns\": %.0f},\n"
-               "    \"p50_speedup\": %.2f\n  },\n",
+               "    \"compiled_plan_f32\": {\"p50_ns\": %.0f, "
+               "\"p95_ns\": %.0f, \"p99_ns\": %.0f},\n"
+               "    \"p50_speedup\": %.2f,\n"
+               "    \"f32_p50_speedup_vs_f64_plan\": %.2f\n  },\n",
                scalar.p50, scalar.p95, scalar.p99, compiled.p50, compiled.p95,
-               compiled.p99,
-               compiled.p50 > 0.0 ? scalar.p50 / compiled.p50 : 0.0);
+               compiled.p99, f32.latency.p50, f32.latency.p95, f32.latency.p99,
+               compiled.p50 > 0.0 ? scalar.p50 / compiled.p50 : 0.0,
+               f32.latency.p50 > 0.0 ? compiled.p50 / f32.latency.p50 : 0.0);
+  std::fprintf(f,
+               "  \"f32_tier\": {\"active\": %s, \"max_divergence\": %.3g, "
+               "\"error_bound\": %.3g, \"plan_bytes_f64\": %zu, "
+               "\"plan_bytes_f32\": %zu, \"micro_batch_qps_8c\": %.0f, "
+               "\"f32_answers\": %llu},\n",
+               f32.active ? "true" : "false", f32.max_divergence,
+               f32.error_bound, f32.plan_bytes_f64, f32.plan_bytes_f32,
+               f32.micro_batch_qps8,
+               static_cast<unsigned long long>(f32.f32_answers));
   std::fprintf(f,
                "  \"headline\": {\"clients\": 8, \"per_query_qps\": %.0f, "
                "\"micro_batch_qps\": %.0f, \"speedup\": %.2f}\n}\n",
@@ -217,22 +245,60 @@ int Main(int argc, char** argv) {
   ExactEngine engine(&wb.data.normalized);
   SketchStore store;
   (void)store.RegisterDataset("bench", &engine);
-  const NeuroSketch& ns = sketch.value();
+  NeuroSketch& ns = sketch.value();
+
+  // Pin the reference tier for the baseline sections: under
+  // NEUROSKETCH_FORCE_F32_PLANS, Train comes back serving f32 and the
+  // "compiled_plan" rows would silently measure the wrong tier.
+  if (ns.has_f32_plans()) (void)ns.SelectPrecision(PlanPrecision::kF64);
 
   // Single-query forward-pass latency: Matrix-allocating scalar reference
-  // vs the compiled flat-buffer plan (same routing, same bits out).
-  std::printf("\nsingle-query latency (ns):\n%-14s %10s %10s %10s\n", "path",
+  // vs the compiled flat-buffer plan (same routing, same bits out), then
+  // the opt-in f32 tier (validated against the f64 reference first).
+  std::printf("\nsingle-query latency (ns):\n%-18s %10s %10s %10s\n", "path",
               "p50", "p95", "p99");
   const LatencyNs scalar_lat = MeasureSingleQuery(
       wb.test_q, [&ns](const QueryInstance& q) { return ns.AnswerScalar(q); });
   const LatencyNs plan_lat = MeasureSingleQuery(
       wb.test_q, [&ns](const QueryInstance& q) { return ns.Answer(q); });
-  std::printf("%-14s %10.0f %10.0f %10.0f\n", "scalar", scalar_lat.p50,
+
+  F32Report f32;
+  f32.error_bound = NeuroSketchConfig().f32_error_bound;
+  f32.active = ns.EnableF32(wb.train_q, f32.error_bound);
+  f32.max_divergence = ns.f32_max_divergence();
+  f32.plan_bytes_f64 = ns.PlanBytes(PlanPrecision::kF64);
+  f32.plan_bytes_f32 = ns.PlanBytes(PlanPrecision::kF32);
+  LatencyNs f32_lat;
+  const std::string f32_path = out_path + ".f32.sketch";
+  if (f32.active) {
+    // Answer now runs the f32 plans; persist the f32 sketch for the
+    // serving run below, then flip this instance back to f64 so the
+    // sweep keeps measuring the reference tier.
+    f32_lat = MeasureSingleQuery(
+        wb.test_q, [&ns](const QueryInstance& q) { return ns.Answer(q); });
+    Status save_st = ns.Save(f32_path);
+    if (!save_st.ok()) {
+      std::fprintf(stderr, "warning: f32 sketch save failed (%s); the f32 "
+                   "serving numbers will be zero\n",
+                   save_st.ToString().c_str());
+    }
+    (void)ns.SelectPrecision(PlanPrecision::kF64);
+  }
+  f32.latency = f32_lat;
+
+  std::printf("%-18s %10.0f %10.0f %10.0f\n", "scalar", scalar_lat.p50,
               scalar_lat.p95, scalar_lat.p99);
-  std::printf("%-14s %10.0f %10.0f %10.0f\n", "compiled_plan", plan_lat.p50,
+  std::printf("%-18s %10.0f %10.0f %10.0f\n", "compiled_plan", plan_lat.p50,
               plan_lat.p95, plan_lat.p99);
-  std::printf("p50 speedup: %.2fx\n\n",
-              plan_lat.p50 > 0.0 ? scalar_lat.p50 / plan_lat.p50 : 0.0);
+  std::printf("%-18s %10.0f %10.0f %10.0f\n", "compiled_plan_f32",
+              f32_lat.p50, f32_lat.p95, f32_lat.p99);
+  std::printf("p50 speedup: scalar/f64 %.2fx, f64/f32 %.2fx "
+              "(f32 max divergence %.3g, bound %.3g, plan bytes %zu -> "
+              "%zu)\n\n",
+              plan_lat.p50 > 0.0 ? scalar_lat.p50 / plan_lat.p50 : 0.0,
+              f32_lat.p50 > 0.0 ? plan_lat.p50 / f32_lat.p50 : 0.0,
+              f32.max_divergence, f32.error_bound, f32.plan_bytes_f64,
+              f32.plan_bytes_f32);
 
   (void)store.Register("bench", wb.spec, std::move(sketch).value());
 
@@ -265,8 +331,31 @@ int Main(int argc, char** argv) {
               "per-query: %.2fx QPS (%.0f vs %.0f)\n",
               speedup, batched_qps8, per_query_qps8);
 
+  // f32-tier serving: reload the persisted f32 sketch (precision survives
+  // serialization) into a fresh store and run the headline micro-batch
+  // configuration on it.
+  if (f32.active) {
+    SketchStore f32_store;
+    (void)f32_store.RegisterDataset("bench", &engine);
+    auto ver = f32_store.RegisterFromFile("bench", wb.spec, f32_path);
+    if (ver.ok()) {
+      RunResult mb = RunBatched(&f32_store, wb.spec, wb.test_q, 8, 512, 200.0);
+      f32.micro_batch_qps8 = mb.qps;
+      f32.f32_answers = mb.stats.f32_sketch_answers;
+      std::printf("f32 tier: 8 clients, micro-batch (window 200us): %.0f qps "
+                  "(%llu f32 answers)\n",
+                  mb.qps,
+                  static_cast<unsigned long long>(mb.stats.f32_sketch_answers));
+    } else {
+      std::fprintf(stderr, "warning: f32 sketch register failed (%s); the "
+                   "f32 serving numbers will be zero\n",
+                   ver.status().ToString().c_str());
+    }
+    std::remove(f32_path.c_str());
+  }
+
   Status st = WriteJson(out_path, rows, per_query_qps8, batched_qps8,
-                        scalar_lat, plan_lat);
+                        scalar_lat, plan_lat, f32);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;

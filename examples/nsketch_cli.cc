@@ -2,11 +2,15 @@
 // line, using CSV data and the parametric-SQL front end (Sec. 4.3).
 //
 //   nsketch_cli train <data.csv> "<sql template>" <out.sketch> [n_train]
+//                     [f32|f64]
 //       Trains a sketch for the query function denoted by the template
 //       (e.g. "SELECT AVG(duration) FROM t WHERE latitude BETWEEN ?a AND
 //       ?b AND longitude BETWEEN ?c AND ?d"). Writes <out.sketch> plus a
 //       <out.sketch>.norm sidecar holding the column normalization so
-//       query-time parameters can be given in original units.
+//       query-time parameters can be given in original units. The final
+//       argument selects the compiled-plan precision tier (default f64);
+//       f32 is validated against the f64 reference on the training
+//       workload and automatically falls back when out of bound.
 //
 //   nsketch_cli query <out.sketch> "<sql template>" <data.csv> <p1> <p2> ...
 //       Binds the parameters (original units) and answers from the sketch
@@ -106,6 +110,15 @@ int CmdTrain(int argc, char** argv) {
   if (argc < 5) return Fail(Status::InvalidArgument("train needs 3+ args"));
   const std::string csv_path = argv[2], sql = argv[3], out_path = argv[4];
   const size_t n_train = argc > 5 ? std::strtoul(argv[5], nullptr, 10) : 4000;
+  PlanPrecision precision = PlanPrecision::kF64;
+  if (argc > 6) {
+    const std::string tier = argv[6];
+    if (tier == "f32") {
+      precision = PlanPrecision::kF32;
+    } else if (tier != "f64") {
+      return Fail(Status::InvalidArgument("precision must be f32 or f64"));
+    }
+  }
 
   auto table_r = Table::FromCsvFile(csv_path);
   if (!table_r.ok()) return Fail(table_r.status());
@@ -126,12 +139,22 @@ int CmdTrain(int argc, char** argv) {
 
   NeuroSketchConfig config;
   config.train.epochs = 150;
+  config.plan_precision = precision;
   Timer train_timer;
   auto sketch = NeuroSketch::Train(queries, answers, config);
   if (!sketch.ok()) return Fail(sketch.status());
   std::printf("trained %zu partitions in %.1fs (%.1f KB)\n",
               sketch.value().num_partitions(), train_timer.ElapsedSeconds(),
               sketch.value().SizeBytes() / 1024.0);
+  if (precision == PlanPrecision::kF32) {
+    std::printf("plan precision: %s (max f32 divergence %.3g, bound %.3g)%s\n",
+                PlanPrecisionName(sketch.value().plan_precision()),
+                sketch.value().f32_max_divergence(),
+                sketch.value().f32_error_bound(),
+                sketch.value().plan_precision() == PlanPrecision::kF32
+                    ? ""
+                    : " — fell back to f64");
+  }
   Status st = sketch.value().Save(out_path);
   if (!st.ok()) return Fail(st);
   st = SaveNormalizer(norm, raw.schema(), out_path + ".norm");
@@ -237,8 +260,13 @@ int CmdServe(int argc, char** argv) {
   if (!st.ok()) return Fail(st);
   auto version = store.RegisterFromFile("cli", spec, sketch_path);
   if (version.ok()) {
-    std::printf("registered %s as version %llu\n", sketch_path.c_str(),
-                static_cast<unsigned long long>(version.value()));
+    const auto listings = store.List();
+    std::printf("registered %s as version %llu (%s plans)\n",
+                sketch_path.c_str(),
+                static_cast<unsigned long long>(version.value()),
+                listings.empty()
+                    ? "?"
+                    : PlanPrecisionName(listings.front().precision));
   } else {
     std::printf("no sketch (%s); serving exact-only\n",
                 version.status().ToString().c_str());
@@ -275,9 +303,11 @@ int CmdServe(int argc, char** argv) {
   std::printf("served %llu queries from %zu clients in %.2fs\n",
               static_cast<unsigned long long>(stats.queries), n_clients,
               seconds);
-  std::printf("  qps: %.0f | mean batch: %.1f | fallback rate: %.2f%%\n",
+  std::printf("  qps: %.0f | mean batch: %.1f | fallback rate: %.2f%% | "
+              "f32 answers: %llu\n",
               static_cast<double>(stats.queries) / seconds,
-              stats.mean_batch_size, 100.0 * stats.fallback_rate);
+              stats.mean_batch_size, 100.0 * stats.fallback_rate,
+              static_cast<unsigned long long>(stats.f32_sketch_answers));
   std::printf("  latency p50/p95/p99: %.0f / %.0f / %.0f us\n", stats.p50_us,
               stats.p95_us, stats.p99_us);
   return 0;

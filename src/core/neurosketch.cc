@@ -1,6 +1,8 @@
 #include "core/neurosketch.h"
 
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 
 #include "nn/serialize.h"
@@ -9,6 +11,28 @@
 #include "util/timer.h"
 
 namespace neurosketch {
+
+namespace {
+
+// Trailer appended after the model blocks by Save(): precision tier plus
+// the f32 validation record. Sketches written before the trailer existed
+// simply end at the last model; Load treats that as f64.
+constexpr uint32_t kPrecisionMagic = 0x4e535031;  // "NSP1"
+constexpr size_t kPrecisionTrailerBytes =
+    2 * sizeof(uint32_t) + 2 * sizeof(double);
+
+}  // namespace
+
+const char* PlanPrecisionName(PlanPrecision p) {
+  return p == PlanPrecision::kF32 ? "f32" : "f64";
+}
+
+// CI hook: NEUROSKETCH_FORCE_F32_PLANS=1 upgrades default-precision
+// training to the f32 tier so the whole test suite exercises it.
+bool ForceF32PlansFromEnv() {
+  const char* v = std::getenv("NEUROSKETCH_FORCE_F32_PLANS");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
 
 Result<NeuroSketch> NeuroSketch::Train(
     const std::vector<QueryInstance>& queries,
@@ -99,6 +123,16 @@ Result<NeuroSketch> NeuroSketch::Train(
   ThreadPool::Shared().ParallelFor(leaves.size(), config.train_threads,
                                    train_leaf);
   sketch.stats_.train_seconds = train_timer.ElapsedSeconds();
+
+  PlanPrecision requested = config.plan_precision;
+  if (requested == PlanPrecision::kF64 && ForceF32PlansFromEnv()) {
+    requested = PlanPrecision::kF32;
+  }
+  if (requested == PlanPrecision::kF32) {
+    // Compile the f32 tier and validate it over the training workload; on
+    // a blown error bound EnableF32 leaves the sketch serving f64.
+    sketch.EnableF32(q_ok, config.f32_error_bound);
+  }
   return sketch;
 }
 
@@ -112,6 +146,55 @@ Result<NeuroSketch> NeuroSketch::TrainFromEngine(
   return Train(queries, answers, config);
 }
 
+bool NeuroSketch::EnableF32(const std::vector<QueryInstance>& validation,
+                            double error_bound) {
+  if (!compiled()) return false;
+  plans_f32_.resize(plans_.size());
+  for (size_t i = 0; i < plans_.size(); ++i) {
+    plans_f32_[i] = nn::CompiledMlpF32::FromPlan(plans_[i]);
+  }
+  // Measure the worst |f32 - f64| divergence in standardized units (the
+  // raw network output, before per-leaf rescaling) so the bound does not
+  // depend on the magnitude of the query function's answers.
+  nn::Workspace& ws = nn::Workspace::ThreadLocal();
+  double max_div = 0.0;
+  size_t measured = 0;
+  for (const auto& q : validation) {
+    const auto* leaf = tree_.Route(q);
+    if (leaf == nullptr || leaf->leaf_id < 0 ||
+        static_cast<size_t>(leaf->leaf_id) >= plans_.size()) {
+      continue;
+    }
+    const int id = leaf->leaf_id;
+    const double raw64 = plans_[id].PredictOne(q.q.data(), &ws);
+    const double raw32 = plans_f32_[id].PredictOne(q.q.data(), &ws);
+    const double div = std::fabs(raw32 - raw64);
+    if (div > max_div) max_div = div;
+    ++measured;
+  }
+  f32_error_bound_ = error_bound;
+  f32_max_divergence_ = max_div;
+  if (measured == 0 || !(max_div <= error_bound)) {
+    // Blown bound, NaN divergence, or no validation coverage at all: f32
+    // is never served blind — drop the tier, keep serving f64.
+    plans_f32_.clear();
+    precision_ = PlanPrecision::kF64;
+    return false;
+  }
+  precision_ = PlanPrecision::kF32;
+  return true;
+}
+
+Status NeuroSketch::SelectPrecision(PlanPrecision precision) {
+  if (precision == PlanPrecision::kF32 && plans_f32_.empty()) {
+    return Status::InvalidArgument(
+        "no f32 plans compiled: train with plan_precision = kF32 or call "
+        "EnableF32");
+  }
+  precision_ = precision;
+  return Status::OK();
+}
+
 double NeuroSketch::Answer(const QueryInstance& q) const {
   const auto* leaf = tree_.Route(q);
   if (leaf == nullptr || leaf->leaf_id < 0 ||
@@ -119,8 +202,10 @@ double NeuroSketch::Answer(const QueryInstance& q) const {
     return std::nan("");
   }
   const int id = leaf->leaf_id;
-  const double raw =
-      plans_[id].PredictOne(q.q.data(), &nn::Workspace::ThreadLocal());
+  nn::Workspace& ws = nn::Workspace::ThreadLocal();
+  const double raw = precision_ == PlanPrecision::kF32
+                         ? plans_f32_[id].PredictOne(q.q.data(), &ws)
+                         : plans_[id].PredictOne(q.q.data(), &ws);
   return raw * target_scale_[id] + target_mean_[id];
 }
 
@@ -145,15 +230,25 @@ std::vector<double> NeuroSketch::AnswerBatch(
 
 std::vector<double> NeuroSketch::AnswerBatchVectorized(
     const std::vector<QueryInstance>& queries) const {
-  std::vector<double> out(queries.size(), std::nan(""));
+  std::vector<double> out(queries.size());
+  AnswerBatchVectorizedTo(queries, out.data());
+  return out;
+}
+
+void NeuroSketch::AnswerBatchVectorizedTo(
+    const std::vector<QueryInstance>& queries, double* out) const {
+  if (queries.empty()) return;
   if (queries.size() == 1) {
     // Serve fast path: a single-query "batch" skips bucket bookkeeping and
     // runs the zero-allocation compiled plan directly.
     out[0] = Answer(queries[0]);
-    return out;
+    return;
   }
-  // Bucket query indices by leaf model.
-  std::vector<std::vector<size_t>> buckets(plans_.size());
+  for (size_t i = 0; i < queries.size(); ++i) out[i] = std::nan("");
+  // Bucket query indices by leaf model, staging the buckets in the arena
+  // so a warm thread performs zero heap allocations per batch.
+  nn::Workspace& ws = nn::Workspace::ThreadLocal();
+  std::vector<std::vector<size_t>>& buckets = ws.Buckets(plans_.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     const auto* leaf = tree_.Route(queries[i]);
     if (leaf == nullptr || leaf->leaf_id < 0 ||
@@ -163,8 +258,8 @@ std::vector<double> NeuroSketch::AnswerBatchVectorized(
     buckets[leaf->leaf_id].push_back(i);
   }
   const size_t qdim = tree_.query_dim();
-  nn::Workspace& ws = nn::Workspace::ThreadLocal();
-  for (size_t m = 0; m < buckets.size(); ++m) {
+  const bool f32 = precision_ == PlanPrecision::kF32;
+  for (size_t m = 0; m < plans_.size(); ++m) {
     const auto& ids = buckets[m];
     if (ids.empty()) continue;
     // Gather the bucket's inputs and stage its predictions in the arena:
@@ -175,19 +270,35 @@ std::vector<double> NeuroSketch::AnswerBatchVectorized(
       std::copy(q.begin(), q.end(), inputs + r * qdim);
     }
     double* pred = ws.Output(ids.size());
-    plans_[m].PredictBatch(inputs, ids.size(), &ws, pred);
+    if (f32) {
+      plans_f32_[m].PredictBatch(inputs, ids.size(), &ws, pred);
+    } else {
+      plans_[m].PredictBatch(inputs, ids.size(), &ws, pred);
+    }
     for (size_t r = 0; r < ids.size(); ++r) {
       out[ids[r]] = pred[r] * target_scale_[m] + target_mean_[m];
     }
   }
-  return out;
+}
+
+size_t NeuroSketch::PlanBytes(PlanPrecision precision) const {
+  size_t bytes = 0;
+  if (precision == PlanPrecision::kF32) {
+    for (const auto& p : plans_f32_) bytes += p.SizeBytes();
+  } else {
+    for (const auto& p : plans_) bytes += p.SizeBytes();
+  }
+  return bytes;
 }
 
 size_t NeuroSketch::SizeBytes() const {
-  size_t bytes = 0;
-  for (const auto& m : models_) bytes += m.SizeBytes();
+  // Exactly the bytes Save() writes, in the same order: header fields,
+  // routing block, per-leaf scales, serialized models, precision trailer.
+  size_t bytes = 3 * sizeof(uint64_t);  // qdim, routing size, model count
   bytes += tree_.EncodeRouting().size() * sizeof(double);
-  bytes += 2 * models_.size() * sizeof(double);  // per-leaf scales
+  bytes += 2 * plans_.size() * sizeof(double);  // per-leaf mean + scale
+  for (const auto& p : plans_) bytes += nn::SerializedModelBytes(p);
+  bytes += kPrecisionTrailerBytes;
   return bytes;
 }
 
@@ -211,10 +322,24 @@ Status NeuroSketch::Save(const std::string& path) const {
             static_cast<std::streamsize>(nmodels * sizeof(double)));
   // Serialize from the compiled plans: the flat buffer is already in
   // on-disk parameter order, so each model is one contiguous write and the
-  // bytes are identical to SaveMlp on the corresponding Mlp.
+  // bytes are identical to SaveMlp on the corresponding Mlp. Parameters
+  // are always stored in f64 — the f32 tier is a deterministic narrowing
+  // rebuilt on Load.
   for (const auto& p : plans_) {
     NS_RETURN_NOT_OK(nn::SaveCompiledMlp(p, &out));
   }
+  const uint32_t magic = kPrecisionMagic;
+  // Bit 0: the active serving tier. Bit 1: f32 plans are compiled (they
+  // may exist while f64 is temporarily selected; the tier must survive
+  // the round-trip either way).
+  const uint32_t precision = static_cast<uint32_t>(precision_) |
+                             (plans_f32_.empty() ? 0u : 2u);
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&precision), sizeof(precision));
+  out.write(reinterpret_cast<const char*>(&f32_error_bound_),
+            sizeof(f32_error_bound_));
+  out.write(reinterpret_cast<const char*>(&f32_max_divergence_),
+            sizeof(f32_max_divergence_));
   if (!out.good()) return Status::IOError("write failed for " + path);
   return Status::OK();
 }
@@ -253,6 +378,45 @@ Result<NeuroSketch> NeuroSketch::Load(const std::string& path) {
     sketch.plans_.push_back(std::move(plan));
   }
   sketch.stats_.num_partitions = nmodels;
+
+  // Optional precision trailer; sketches written before it existed end at
+  // the last model (a clean EOF here) and load as f64.
+  uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in.good() && in.gcount() != 0) {
+    // A partial magic read is a truncated trailer, not a legacy file.
+    return Status::IOError("truncated precision trailer");
+  }
+  if (in.good()) {
+    if (magic != kPrecisionMagic) {
+      return Status::InvalidArgument("bad precision trailer in sketch file");
+    }
+    uint32_t precision = 0;
+    in.read(reinterpret_cast<char*>(&precision), sizeof(precision));
+    in.read(reinterpret_cast<char*>(&sketch.f32_error_bound_),
+            sizeof(sketch.f32_error_bound_));
+    in.read(reinterpret_cast<char*>(&sketch.f32_max_divergence_),
+            sizeof(sketch.f32_max_divergence_));
+    if (!in.good()) return Status::IOError("truncated precision trailer");
+    if (precision > 3u) {
+      return Status::InvalidArgument("unknown plan precision in sketch file");
+    }
+    const bool active_f32 =
+        (precision & 1u) == static_cast<uint32_t>(PlanPrecision::kF32);
+    const bool has_f32 = (precision & 2u) != 0 || active_f32;
+    if (has_f32) {
+      // Rebuild the f32 tier from the f64 parameters: narrowing is
+      // deterministic, so the loaded sketch serves the same f32 bits the
+      // saved one did. The train-time validation record rides along, and
+      // a validated-but-inactive tier stays selectable after Load.
+      sketch.plans_f32_.resize(sketch.plans_.size());
+      for (size_t i = 0; i < sketch.plans_.size(); ++i) {
+        sketch.plans_f32_[i] = nn::CompiledMlpF32::FromPlan(sketch.plans_[i]);
+      }
+      sketch.precision_ =
+          active_f32 ? PlanPrecision::kF32 : PlanPrecision::kF64;
+    }
+  }
   return sketch;
 }
 

@@ -23,6 +23,20 @@
 
 namespace neurosketch {
 
+/// \brief Numeric tier the compiled inference plans execute in. kF64 is
+/// the accuracy reference (bit-identical to the scalar Mlp path); kF32 is
+/// the opt-in fast tier: half the flat-buffer footprint, twice the SIMD
+/// lanes, validated against the f64 reference before it is allowed to
+/// serve.
+enum class PlanPrecision { kF64 = 0, kF32 = 1 };
+
+const char* PlanPrecisionName(PlanPrecision p);
+
+/// \brief True when NEUROSKETCH_FORCE_F32_PLANS is set (CI hook): Train
+/// upgrades default-precision (kF64) requests to the f32 tier. Exposed so
+/// tests can key their expectations off the same predicate Train uses.
+bool ForceF32PlansFromEnv();
+
 struct NeuroSketchConfig {
   /// Partitioning (paper defaults: height 4, merge to s = 8 leaves).
   size_t tree_height = 4;
@@ -42,6 +56,22 @@ struct NeuroSketchConfig {
   /// Results are bit-identical for every setting: each leaf derives its
   /// init and shuffle seeds from its leaf id alone.
   size_t train_threads = 0;
+
+  /// Serving precision for the compiled plans. kF32 compiles both tiers,
+  /// measures the max |f32 - f64| divergence over the training workload,
+  /// and serves f32 only if it stays within `f32_error_bound`; otherwise
+  /// the sketch automatically falls back to f64. (The environment variable
+  /// NEUROSKETCH_FORCE_F32_PLANS=1 upgrades kF64 requests to kF32 so CI
+  /// can run the whole suite on the f32 tier.)
+  PlanPrecision plan_precision = PlanPrecision::kF64;
+
+  /// Max tolerated |f32 - f64| divergence, measured in standardized (per-
+  /// leaf z-score) units — the space the MLPs are trained in — so the
+  /// bound is scale-free across query functions. Divergence in answer
+  /// units is this times the leaf's target scale. Typical measured values
+  /// are ~1e-6..1e-5; the default leaves two orders of magnitude headroom
+  /// while still catching pathological f32 blow-ups.
+  double f32_error_bound = 1e-3;
 };
 
 /// \brief A trained NeuroSketch for one query function.
@@ -73,13 +103,14 @@ class NeuroSketch {
                                              const NeuroSketchConfig& config);
 
   /// \brief Alg. 5: answer one query with a kd-tree route + forward pass.
-  /// Runs on the compiled plan: zero heap allocations once the calling
-  /// thread's workspace is warm.
+  /// Runs on the compiled plan of the active precision tier: zero heap
+  /// allocations once the calling thread's workspace is warm.
   double Answer(const QueryInstance& q) const;
 
   /// \brief Reference implementation of Answer on the uncompiled Mlp
-  /// (Matrix-allocating scalar path). Bit-identical to Answer; kept for
-  /// golden equivalence tests and scalar-vs-plan benchmarks.
+  /// (Matrix-allocating scalar path, always f64). Bit-identical to Answer
+  /// when the active precision is kF64; kept for golden equivalence tests,
+  /// f32 validation, and scalar-vs-plan benchmarks.
   double AnswerScalar(const QueryInstance& q) const;
 
   std::vector<double> AnswerBatch(
@@ -91,8 +122,15 @@ class NeuroSketch {
   std::vector<double> AnswerBatchVectorized(
       const std::vector<QueryInstance>& queries) const;
 
-  /// \brief Total model size in bytes (all MLPs + routing structure), the
-  /// paper's storage metric.
+  /// \brief Allocation-free core of AnswerBatchVectorized: writes
+  /// queries.size() answers to `out` (caller-owned), staging all bucketing
+  /// scratch in the thread-local workspace arena. Zero heap allocations
+  /// once the calling thread's arena is warm.
+  void AnswerBatchVectorizedTo(const std::vector<QueryInstance>& queries,
+                               double* out) const;
+
+  /// \brief Serialized model size in bytes — the paper's storage metric.
+  /// Exactly the number of bytes Save() writes.
   size_t SizeBytes() const;
 
   size_t num_partitions() const { return models_.size(); }
@@ -105,8 +143,37 @@ class NeuroSketch {
     return !plans_.empty() && plans_.size() == models_.size();
   }
 
+  /// \brief The precision tier Answer / AnswerBatch* currently serve from.
+  PlanPrecision plan_precision() const { return precision_; }
+  bool has_f32_plans() const { return !plans_f32_.empty(); }
+  /// \brief Max |f32 - f64| divergence measured by the last f32
+  /// validation pass, in standardized units (0 when never validated).
+  double f32_max_divergence() const { return f32_max_divergence_; }
+  double f32_error_bound() const { return f32_error_bound_; }
+
+  /// \brief Resident bytes of a tier's compiled flat buffers (0 when that
+  /// tier is not compiled). The f32 tier is half the f64 tier.
+  size_t PlanBytes(PlanPrecision precision) const;
+
+  /// \brief Compile the f32 plan tier and validate it against the f64
+  /// reference on `validation` queries. Activates f32 serving and returns
+  /// true iff the measured max divergence stays within `error_bound`;
+  /// otherwise drops the f32 plans and stays on (or reverts to) f64. The
+  /// measured divergence is available from f32_max_divergence() either
+  /// way.
+  bool EnableF32(const std::vector<QueryInstance>& validation,
+                 double error_bound);
+
+  /// \brief Switch the active serving tier. kF32 requires f32 plans
+  /// (compiled by Train with plan_precision = kF32, EnableF32, or Load of
+  /// an f32 sketch).
+  Status SelectPrecision(PlanPrecision precision);
+
   /// \brief Serialize / deserialize the full sketch (routing + scales +
-  /// model parameters). Round-trips bit-exactly.
+  /// model parameters + precision tier). Parameters are always stored in
+  /// f64 — the accuracy reference — and an f32 sketch deterministically
+  /// rebuilds its f32 plans from them on Load, so round-trips are
+  /// bit-exact in both tiers.
   Status Save(const std::string& path) const;
   static Result<NeuroSketch> Load(const std::string& path);
 
@@ -114,8 +181,12 @@ class NeuroSketch {
   QuerySpaceKdTree tree_;
   std::vector<nn::Mlp> models_;  // indexed by leaf_id; training/reference
   std::vector<nn::CompiledMlp> plans_;  // serving form, same indexing
+  std::vector<nn::CompiledMlpF32> plans_f32_;  // opt-in fast tier
   std::vector<double> target_mean_;     // per-leaf target standardization
   std::vector<double> target_scale_;
+  PlanPrecision precision_ = PlanPrecision::kF64;
+  double f32_error_bound_ = 0.0;     // bound in effect when validated
+  double f32_max_divergence_ = 0.0;  // measured by the validation pass
   BuildStats stats_;
 };
 

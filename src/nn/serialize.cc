@@ -128,5 +128,17 @@ Result<CompiledMlp> LoadCompiledMlp(std::istream* in) {
   return plan;
 }
 
+size_t SerializedHeaderBytes(const MlpConfig& config) {
+  // Mirrors WriteHeader: magic, version, in/out dims, activation, hidden
+  // count, then one u64 per hidden width.
+  return 2 * sizeof(uint32_t) + 2 * sizeof(uint64_t) + sizeof(uint32_t) +
+         sizeof(uint64_t) + config.hidden.size() * sizeof(uint64_t);
+}
+
+size_t SerializedModelBytes(const CompiledMlp& plan) {
+  return SerializedHeaderBytes(plan.config()) +
+         plan.num_params() * sizeof(double);
+}
+
 }  // namespace nn
 }  // namespace neurosketch

@@ -31,6 +31,12 @@ Result<Mlp> LoadMlpFile(const std::string& path);
 Status SaveCompiledMlp(const CompiledMlp& plan, std::ostream* out);
 Result<CompiledMlp> LoadCompiledMlp(std::istream* in);
 
+/// \brief Exact number of bytes SaveMlp/SaveCompiledMlp writes for a model
+/// with this architecture, header included. Lets size accounting
+/// (NeuroSketch::SizeBytes) agree byte-for-byte with the save path.
+size_t SerializedHeaderBytes(const MlpConfig& config);
+size_t SerializedModelBytes(const CompiledMlp& plan);
+
 }  // namespace nn
 }  // namespace neurosketch
 

@@ -163,7 +163,8 @@ void ServeEngine::DispatchLoop() {
   }
 }
 
-void ServeEngine::Fulfill(Request* r, double value, bool used_sketch) {
+void ServeEngine::Fulfill(Request* r, double value, bool used_sketch,
+                          bool f32_sketch) {
   const double us =
       std::chrono::duration<double, std::micro>(Clock::now() - r->enqueued)
           .count();
@@ -171,6 +172,11 @@ void ServeEngine::Fulfill(Request* r, double value, bool used_sketch) {
   queries_.fetch_add(1, std::memory_order_relaxed);
   if (used_sketch) {
     sketch_answers_.fetch_add(1, std::memory_order_relaxed);
+    // Ticked together with sketch_answers_ (and before the promise
+    // resolves) so f32_sketch_answers is always a consistent subset.
+    if (f32_sketch) {
+      f32_sketch_answers_.fetch_add(1, std::memory_order_relaxed);
+    }
   } else if (std::isnan(value)) {
     failed_answers_.fetch_add(1, std::memory_order_relaxed);
   } else {
@@ -202,33 +208,50 @@ void ServeEngine::ExecuteBatch(const ServeKey& key,
   for (auto& r : *batch) queries.push_back(std::move(r.q));
 
   if (sketch != nullptr) {
-    std::vector<double> answers = sketch->AnswerBatchVectorized(queries);
+    // Dispatcher-thread answer buffer: capacity is retained across
+    // batches, so with AnswerBatchVectorizedTo staging its bucketing in
+    // the workspace arena the whole sketch path is allocation-free once
+    // the thread is warm.
+    thread_local std::vector<double> answers;
+    answers.resize(queries.size());
+    sketch->AnswerBatchVectorizedTo(queries, answers.data());
     size_t nans = 0;
+    for (double a : answers) nans += std::isnan(a) ? 1 : 0;
+    const size_t genuine = answers.size() - nans;
+    const bool f32 = sketch->plan_precision() == PlanPrecision::kF32;
+
+    {
+      // Error-budget accounting BEFORE any request is fulfilled: the
+      // moment the last Fulfill resolves a client future, that client may
+      // Snapshot() — the demotion decision must already be visible.
+      // sketch_answers counts only genuinely sketch-answered queries —
+      // repaired (NaN) queries must not dilute the failure-rate
+      // denominator, or a half-broken sketch is demoted late or never.
+      std::lock_guard<std::mutex> lock(mu_);
+      KeyState& st = keys_[key];
+      st.sketch_answers += genuine;
+      st.sketch_nans += nans;
+      if (!st.demoted &&
+          st.sketch_answers + st.sketch_nans >= options_.budget_min_samples &&
+          static_cast<double>(st.sketch_nans) >
+              options_.max_sketch_failure_rate *
+                  static_cast<double>(st.sketch_answers)) {
+        st.demoted = true;
+        budget_trips_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
     for (size_t i = 0; i < answers.size(); ++i) {
-      if (std::isnan(answers[i])) {
+      if (std::isnan(answers[i]) && engine != nullptr) {
         // Per-query exact repair: the sketch could not route/answer this
         // instance (e.g. out-of-domain), but the batch as a whole stays
-        // on the fast path.
-        ++nans;
-        if (engine != nullptr) {
-          Fulfill(&(*batch)[i], engine->Answer(spec, queries[i]), false);
-          continue;
-        }
+        // on the fast path. Fulfill ticks fallback_answers_ (or
+        // failed_answers_ when the engine is also stumped).
+        Fulfill(&(*batch)[i], engine->Answer(spec, queries[i]), false);
+        continue;
       }
-      Fulfill(&(*batch)[i], answers[i], !std::isnan(answers[i]));
-    }
-    // Error-budget accounting; demote the store entry when the sketch
-    // fails too often.
-    std::lock_guard<std::mutex> lock(mu_);
-    KeyState& st = keys_[key];
-    st.sketch_answers += answers.size();
-    st.sketch_nans += nans;
-    if (!st.demoted && st.sketch_answers >= options_.budget_min_samples &&
-        static_cast<double>(st.sketch_nans) >
-            options_.max_sketch_failure_rate *
-                static_cast<double>(st.sketch_answers)) {
-      st.demoted = true;
-      budget_trips_.fetch_add(1, std::memory_order_relaxed);
+      const bool genuine_answer = !std::isnan(answers[i]);
+      Fulfill(&(*batch)[i], answers[i], genuine_answer, genuine_answer && f32);
     }
     return;
   }
@@ -250,6 +273,7 @@ ServeStats ServeEngine::Snapshot() const {
   ServeStats s;
   s.queries = queries_.load(std::memory_order_relaxed);
   s.sketch_answers = sketch_answers_.load(std::memory_order_relaxed);
+  s.f32_sketch_answers = f32_sketch_answers_.load(std::memory_order_relaxed);
   s.fallback_answers = fallback_answers_.load(std::memory_order_relaxed);
   s.failed_answers = failed_answers_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);

@@ -41,10 +41,13 @@ struct ServeOptions {
   size_t num_dispatchers = 1;
   /// Threads for exact-engine fallback batches (0 = hardware concurrency).
   size_t exact_batch_threads = 0;
-  /// Error budget: once a store entry has produced at least
-  /// `budget_min_samples` sketch answers and more than
-  /// `max_sketch_failure_rate` of them were NaN (unanswerable), the entry
-  /// is demoted and all later traffic goes to the exact engine.
+  /// Error budget: once a store entry has attempted at least
+  /// `budget_min_samples` sketch answers, it is demoted — all later
+  /// traffic goes to the exact engine — when its NaN (unanswerable) count
+  /// exceeds `max_sketch_failure_rate` times its count of genuinely
+  /// sketch-answered queries. Repaired queries do not count as sketch
+  /// answers, so a mostly-broken sketch cannot dilute its own failure
+  /// rate.
   double max_sketch_failure_rate = 0.1;
   size_t budget_min_samples = 64;
 };
@@ -112,15 +115,16 @@ class ServeEngine {
   struct KeyState {
     QueryFunctionSpec spec;  // canonical spec, set by the first Submit
     std::deque<Request> pending;
-    uint64_t sketch_answers = 0;
-    uint64_t sketch_nans = 0;
+    uint64_t sketch_answers = 0;  // genuinely sketch-answered (non-NaN)
+    uint64_t sketch_nans = 0;     // sketch NaNs (repaired or failed)
     bool demoted = false;  // error budget exceeded; serve exact only
   };
 
   void DispatchLoop();
   void ExecuteBatch(const ServeKey& key, const QueryFunctionSpec& spec,
                     bool allow_sketch, std::vector<Request>* batch);
-  void Fulfill(Request* r, double value, bool used_sketch);
+  void Fulfill(Request* r, double value, bool used_sketch,
+               bool f32_sketch = false);
 
   const SketchStore* store_;
   const ServeOptions options_;
@@ -135,6 +139,7 @@ class ServeEngine {
   // Metrics (relaxed atomics; snapshot may be ~a batch stale).
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> sketch_answers_{0};
+  std::atomic<uint64_t> f32_sketch_answers_{0};
   std::atomic<uint64_t> fallback_answers_{0};
   std::atomic<uint64_t> failed_answers_{0};
   std::atomic<uint64_t> batches_{0};

@@ -74,6 +74,7 @@ class LatencyHistogram {
 struct ServeStats {
   uint64_t queries = 0;          ///< answers delivered
   uint64_t sketch_answers = 0;   ///< answered by a sketch forward pass
+  uint64_t f32_sketch_answers = 0;  ///< subset served from f32 plans
   uint64_t fallback_answers = 0; ///< answered by the exact engine
   uint64_t failed_answers = 0;   ///< NaN with no fallback available
   uint64_t batches = 0;          ///< micro-batches dispatched

@@ -107,6 +107,7 @@ std::vector<SketchListing> SketchStore::List() const {
       l.size_bytes = vit->second->SizeBytes();
       l.num_partitions = vit->second->num_partitions();
       l.compiled = vit->second->compiled();
+      l.precision = vit->second->plan_precision();
       out.push_back(std::move(l));
     }
   }

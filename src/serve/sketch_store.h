@@ -49,6 +49,9 @@ struct SketchListing {
   size_t size_bytes = 0;
   size_t num_partitions = 0;
   bool compiled = false;  // serving from compiled inference plans
+  /// Precision tier this version serves from (per-store selection: each
+  /// registered sketch carries its own validated tier).
+  PlanPrecision precision = PlanPrecision::kF64;
 };
 
 /// \brief Thread-safe registry of (dataset, query function) -> versioned

@@ -108,6 +108,52 @@ void FusedDenseKernel(const double* x, size_t m, size_t k, const double* w,
   }
 }
 
+// The f32 kernels below are explicit clones of their f64 counterparts
+// rather than a shared template: GCC's target_clones attribute (the ifunc
+// SIMD dispatch above) does not apply to function templates, and the ifunc
+// dispatch is the point of these kernels. Keep the loop bodies in lockstep
+// when editing either tier; the exhaustive Activation switches make the
+// compiler flag a tier that misses a new enum value.
+NS_TARGET_CLONES
+void FusedEpilogueF32(float* yrow, const float* b, size_t n, Activation act) {
+  switch (act) {
+    case Activation::kIdentity:
+      for (size_t j = 0; j < n; ++j) yrow[j] += b[j];
+      return;
+    case Activation::kRelu:
+      for (size_t j = 0; j < n; ++j) {
+        const float v = yrow[j] + b[j];
+        yrow[j] = v > 0.0f ? v : 0.0f;
+      }
+      return;
+    case Activation::kTanh:
+      for (size_t j = 0; j < n; ++j) yrow[j] = std::tanh(yrow[j] + b[j]);
+      return;
+    case Activation::kSigmoid:
+      for (size_t j = 0; j < n; ++j) {
+        yrow[j] = 1.0f / (1.0f + std::exp(-(yrow[j] + b[j])));
+      }
+      return;
+  }
+}
+
+NS_TARGET_CLONES
+void FusedDenseKernelF32(const float* x, size_t m, size_t k, const float* w,
+                         const float* b, Activation act, float* y, size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    const float* xrow = x + i * k;
+    float* yrow = y + i * n;
+    for (size_t j = 0; j < n; ++j) yrow[j] = 0.0f;
+    for (size_t p = 0; p < k; ++p) {
+      const float xv = xrow[p];
+      if (xv == 0.0f) continue;
+      const float* wrow = w + p * n;
+      for (size_t j = 0; j < n; ++j) yrow[j] += xv * wrow[j];
+    }
+    FusedEpilogueF32(yrow, b, n, act);
+  }
+}
+
 }  // namespace
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
@@ -182,6 +228,11 @@ void AddRowVector(Matrix* m, const Matrix& rowvec) {
 void FusedDenseForward(const double* x, size_t m, size_t k, const double* w,
                        const double* b, Activation act, double* y, size_t n) {
   FusedDenseKernel(x, m, k, w, b, act, y, n);
+}
+
+void FusedDenseForwardF32(const float* x, size_t m, size_t k, const float* w,
+                          const float* b, Activation act, float* y, size_t n) {
+  FusedDenseKernelF32(x, m, k, w, b, act, y, n);
 }
 
 void ColumnSums(const Matrix& m, Matrix* out) {

@@ -102,6 +102,15 @@ void ColumnSums(const Matrix& m, Matrix* out);
 void FusedDenseForward(const double* x, size_t m, size_t k, const double* w,
                        const double* b, Activation act, double* y, size_t n);
 
+/// \brief Single-precision clone of FusedDenseForward for the opt-in f32
+/// compiled-plan tier: half the memory traffic and twice the SIMD lanes of
+/// the f64 kernel, same zero-allocation contract and same accumulation
+/// order (in float). Not bit-comparable to the f64 kernel by construction;
+/// the caller (core/NeuroSketch) validates the f32 tier against the f64
+/// reference and falls back when the divergence exceeds its error bound.
+void FusedDenseForwardF32(const float* x, size_t m, size_t k, const float* w,
+                          const float* b, Activation act, float* y, size_t n);
+
 }  // namespace neurosketch
 
 #endif  // NEUROSKETCH_TENSOR_MATRIX_H_

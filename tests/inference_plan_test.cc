@@ -5,6 +5,7 @@
 // build exactly, and the serve hot path must not allocate per query.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -51,6 +52,33 @@ std::vector<double> RandomInput(Rng* rng, size_t dim) {
   std::vector<double> x(dim);
   for (double& v : x) v = rng->Uniform(-1.0, 1.0);
   return x;
+}
+
+// Compare a compiled-plan answer against the f64 scalar reference. At the
+// default precision the contract is bitwise equality; when the CI matrix
+// forces the f32 tier (NEUROSKETCH_FORCE_F32_PLANS=1) the compiled path
+// legitimately diverges within the validated error bound, so compare with
+// an answer-space tolerance instead. The bound is in standardized units;
+// answer-space divergence is bound x the leaf's target scale, so callers
+// pass `answer_scale` = 1 + the workload's max |answer| (an upper proxy
+// for any leaf's target stddev).
+void ExpectMatchesScalar(const NeuroSketch& sketch, double compiled,
+                         double scalar, double answer_scale) {
+  if (sketch.plan_precision() == PlanPrecision::kF32) {
+    EXPECT_NEAR(compiled, scalar, sketch.f32_error_bound() * answer_scale);
+  } else {
+    EXPECT_EQ(compiled, scalar);
+  }
+}
+
+double AnswerScale(const NeuroSketch& sketch,
+                   const std::vector<QueryInstance>& probes) {
+  double max_abs = 0.0;
+  for (const auto& q : probes) {
+    const double a = sketch.AnswerScalar(q);
+    if (std::isfinite(a)) max_abs = std::max(max_abs, std::fabs(a));
+  }
+  return 1.0 + max_abs;
 }
 
 TEST(CompiledMlpTest, PredictOneBitIdenticalAcrossActivations) {
@@ -166,10 +194,13 @@ TEST(InferencePlanGoldenTest, AnswerSurfacesBitIdentical) {
     const auto vectorized = sketch.value().AnswerBatchVectorized(probes);
     ASSERT_EQ(serial.size(), probes.size());
     ASSERT_EQ(vectorized.size(), probes.size());
+    const double scale = AnswerScale(sketch.value(), probes);
     for (size_t i = 0; i < probes.size(); ++i) {
       const double compiled = sketch.value().Answer(probes[i]);
       const double scalar = sketch.value().AnswerScalar(probes[i]);
-      EXPECT_EQ(compiled, scalar) << "probe " << i << " seed " << seed;
+      // All compiled surfaces serve the same bits as Answer regardless of
+      // tier; only the scalar-reference comparison is precision-aware.
+      ExpectMatchesScalar(sketch.value(), compiled, scalar, scale);
       EXPECT_EQ(compiled, serial[i]) << "probe " << i << " seed " << seed;
       EXPECT_EQ(compiled, vectorized[i]) << "probe " << i << " seed " << seed;
     }
@@ -205,9 +236,11 @@ TEST(InferencePlanGoldenTest, SaveLoadServesIdenticalAnswers) {
 
   EXPECT_TRUE(loaded.value().compiled());
   EXPECT_EQ(loaded.value().SizeBytes(), sketch.value().SizeBytes());
+  const double scale = AnswerScale(loaded.value(), probes);
   for (const auto& q : probes) {
     EXPECT_EQ(loaded.value().Answer(q), sketch.value().Answer(q));
-    EXPECT_EQ(loaded.value().AnswerScalar(q), sketch.value().Answer(q));
+    ExpectMatchesScalar(loaded.value(), sketch.value().Answer(q),
+                        loaded.value().AnswerScalar(q), scale);
   }
 }
 
@@ -228,6 +261,33 @@ TEST(InferencePlanGoldenTest, AnswerIsZeroAllocationWhenWarm) {
   EXPECT_EQ(after - before, 0u) << "Answer allocated on the hot path";
   // Keep `sink` observable so the loop cannot be optimized away.
   EXPECT_TRUE(std::isfinite(sink));
+}
+
+TEST(InferencePlanGoldenTest, BatchVectorizedIsZeroAllocationWhenWarm) {
+  std::vector<QueryInstance> probes;
+  auto sketch = BuildSketch(56, 0, &probes);
+  ASSERT_TRUE(sketch.ok());
+
+  // The allocation-free surface takes a caller-owned output buffer; the
+  // bucketing scratch and all model math live in the thread-local arena.
+  std::vector<double> out(probes.size());
+  for (int rep = 0; rep < 3; ++rep) {
+    sketch.value().AnswerBatchVectorizedTo(probes, out.data());
+  }
+
+  const size_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (int rep = 0; rep < 10; ++rep) {
+    sketch.value().AnswerBatchVectorizedTo(probes, out.data());
+  }
+  const size_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "AnswerBatchVectorizedTo allocated on the warm batch path";
+
+  // And it answers exactly what the serial surface answers.
+  const auto serial = sketch.value().AnswerBatch(probes);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(out[i], serial[i]) << "probe " << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,256 @@
+// Tests for the opt-in f32 compiled-plan tier: activation under the error
+// bound, automatic fallback to f64 when the bound is blown, bitwise f64
+// golden behavior at the default precision, precision surviving
+// serialization, tier switching, and serialized-size accounting
+// (SizeBytes() == bytes Save() writes).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "core/neurosketch.h"
+#include "data/generators.h"
+#include "query/predicate.h"
+#include "serve/sketch_store.h"
+
+namespace neurosketch {
+namespace {
+
+struct Bench {
+  std::vector<QueryInstance> train_q;
+  std::vector<double> train_a;
+  std::vector<QueryInstance> probes;
+  NeuroSketchConfig cfg;
+};
+
+Bench MakeBench(uint64_t seed) {
+  Bench b;
+  Table t = MakeUniformTable(4000, 2, seed);
+  ExactEngine engine(&t);
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = Aggregate::kCount;
+  spec.measure_col = 0;
+  WorkloadConfig wc;
+  wc.num_active = 1;
+  wc.seed = seed + 1;
+  WorkloadGenerator gen(2, wc);
+  b.train_q = gen.GenerateMany(500, &engine, &spec);
+  b.train_a = engine.AnswerBatch(spec, b.train_q);
+
+  WorkloadConfig pc = wc;
+  pc.seed = seed + 3;
+  WorkloadGenerator pgen(2, pc);
+  b.probes = pgen.GenerateMany(200, &engine, &spec);
+
+  b.cfg.tree_height = 2;
+  b.cfg.target_partitions = 4;
+  b.cfg.n_layers = 4;
+  b.cfg.l_first = 24;
+  b.cfg.l_rest = 16;
+  b.cfg.train.epochs = 40;
+  b.cfg.seed = seed + 2;
+  return b;
+}
+
+size_t FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in ? static_cast<size_t>(in.tellg()) : 0;
+}
+
+TEST(PrecisionTest, F32ActivatesWithinBoundAndStaysCloseToF64) {
+  Bench b = MakeBench(91);
+  b.cfg.plan_precision = PlanPrecision::kF32;
+  auto sketch = NeuroSketch::Train(b.train_q, b.train_a, b.cfg);
+  ASSERT_TRUE(sketch.ok()) << sketch.status().ToString();
+  const NeuroSketch& ns = sketch.value();
+
+  ASSERT_EQ(ns.plan_precision(), PlanPrecision::kF32)
+      << "f32 tier should activate under the default bound (measured "
+      << ns.f32_max_divergence() << ")";
+  EXPECT_TRUE(ns.has_f32_plans());
+  EXPECT_GT(ns.f32_max_divergence(), 0.0);
+  EXPECT_LE(ns.f32_max_divergence(), ns.f32_error_bound());
+  // The f32 tier halves the resident flat-buffer footprint.
+  EXPECT_EQ(ns.PlanBytes(PlanPrecision::kF32),
+            ns.PlanBytes(PlanPrecision::kF64) / 2);
+
+  // Every batch surface serves the same f32 bits as single-query Answer,
+  // and all of them stay close to the f64 scalar reference. The bound is
+  // in standardized units; scale it into answer space by the workload's
+  // max |answer|, an upper proxy for any leaf's target stddev.
+  const auto serial = ns.AnswerBatch(b.probes);
+  const auto vectorized = ns.AnswerBatchVectorized(b.probes);
+  double max_abs = 0.0;
+  for (const auto& q : b.probes) {
+    max_abs = std::max(max_abs, std::fabs(ns.AnswerScalar(q)));
+  }
+  const double tol = ns.f32_error_bound() * (1.0 + max_abs);
+  for (size_t i = 0; i < b.probes.size(); ++i) {
+    const double f32_answer = ns.Answer(b.probes[i]);
+    const double f64_answer = ns.AnswerScalar(b.probes[i]);
+    EXPECT_EQ(f32_answer, serial[i]) << "probe " << i;
+    EXPECT_EQ(f32_answer, vectorized[i]) << "probe " << i;
+    EXPECT_NEAR(f32_answer, f64_answer, tol) << "probe " << i;
+  }
+}
+
+TEST(PrecisionTest, BlownErrorBoundFallsBackToF64) {
+  Bench b = MakeBench(92);
+  b.cfg.plan_precision = PlanPrecision::kF32;
+  b.cfg.f32_error_bound = 0.0;  // nothing passes: force the fallback
+  auto sketch = NeuroSketch::Train(b.train_q, b.train_a, b.cfg);
+  ASSERT_TRUE(sketch.ok()) << sketch.status().ToString();
+  const NeuroSketch& ns = sketch.value();
+
+  EXPECT_EQ(ns.plan_precision(), PlanPrecision::kF64);
+  EXPECT_FALSE(ns.has_f32_plans());
+  EXPECT_GT(ns.f32_max_divergence(), 0.0);  // measured, then rejected
+  // Fallback means the golden contract holds: bit-identical to scalar.
+  for (const auto& q : b.probes) {
+    EXPECT_EQ(ns.Answer(q), ns.AnswerScalar(q));
+  }
+}
+
+TEST(PrecisionTest, DefaultPrecisionIsBitwiseGolden) {
+  if (ForceF32PlansFromEnv()) {
+    GTEST_SKIP() << "NEUROSKETCH_FORCE_F32_PLANS upgrades the default tier";
+  }
+  Bench b = MakeBench(93);
+  auto sketch = NeuroSketch::Train(b.train_q, b.train_a, b.cfg);
+  ASSERT_TRUE(sketch.ok()) << sketch.status().ToString();
+  EXPECT_EQ(sketch.value().plan_precision(), PlanPrecision::kF64);
+  for (const auto& q : b.probes) {
+    EXPECT_EQ(sketch.value().Answer(q), sketch.value().AnswerScalar(q));
+  }
+}
+
+TEST(PrecisionTest, SelectPrecisionSwitchesTiers) {
+  Bench b = MakeBench(94);
+  b.cfg.plan_precision = PlanPrecision::kF32;
+  auto sketch = NeuroSketch::Train(b.train_q, b.train_a, b.cfg);
+  ASSERT_TRUE(sketch.ok());
+  NeuroSketch& ns = sketch.value();
+  ASSERT_EQ(ns.plan_precision(), PlanPrecision::kF32);
+  const double f32_answer = ns.Answer(b.probes[0]);
+
+  ASSERT_TRUE(ns.SelectPrecision(PlanPrecision::kF64).ok());
+  EXPECT_EQ(ns.Answer(b.probes[0]), ns.AnswerScalar(b.probes[0]));
+  ASSERT_TRUE(ns.SelectPrecision(PlanPrecision::kF32).ok());
+  EXPECT_EQ(ns.Answer(b.probes[0]), f32_answer);
+
+  // A sketch without f32 plans refuses the f32 tier.
+  Bench b64 = MakeBench(95);
+  b64.cfg.plan_precision = PlanPrecision::kF64;
+  auto plain = NeuroSketch::Train(b64.train_q, b64.train_a, b64.cfg);
+  ASSERT_TRUE(plain.ok());
+  if (!plain.value().has_f32_plans()) {
+    EXPECT_FALSE(plain.value().SelectPrecision(PlanPrecision::kF32).ok());
+  }
+  // EnableF32 compiles the tier after the fact.
+  EXPECT_TRUE(plain.value().EnableF32(b64.train_q,
+                                      NeuroSketchConfig().f32_error_bound));
+  EXPECT_EQ(plain.value().plan_precision(), PlanPrecision::kF32);
+}
+
+TEST(PrecisionTest, EnableF32RefusesEmptyValidation) {
+  Bench b = MakeBench(99);
+  auto sketch = NeuroSketch::Train(b.train_q, b.train_a, b.cfg);
+  ASSERT_TRUE(sketch.ok());
+  // No validation coverage -> f32 must not activate: it is never served
+  // blind.
+  EXPECT_FALSE(sketch.value().EnableF32(
+      {}, NeuroSketchConfig().f32_error_bound));
+  EXPECT_EQ(sketch.value().plan_precision(), PlanPrecision::kF64);
+  EXPECT_FALSE(sketch.value().has_f32_plans());
+}
+
+TEST(PrecisionTest, PrecisionSurvivesSaveLoadBitExactly) {
+  Bench b = MakeBench(96);
+  b.cfg.plan_precision = PlanPrecision::kF32;
+  auto sketch = NeuroSketch::Train(b.train_q, b.train_a, b.cfg);
+  ASSERT_TRUE(sketch.ok());
+  ASSERT_EQ(sketch.value().plan_precision(), PlanPrecision::kF32);
+
+  const std::string path = testing::TempDir() + "/ns_precision_roundtrip.bin";
+  ASSERT_TRUE(sketch.value().Save(path).ok());
+  auto loaded = NeuroSketch::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.value().plan_precision(), PlanPrecision::kF32);
+  EXPECT_TRUE(loaded.value().has_f32_plans());
+  EXPECT_EQ(loaded.value().f32_max_divergence(),
+            sketch.value().f32_max_divergence());
+  EXPECT_EQ(loaded.value().f32_error_bound(),
+            sketch.value().f32_error_bound());
+  for (const auto& q : b.probes) {
+    // The f32 narrowing is deterministic, so the loaded sketch serves the
+    // exact same f32 bits, and its f64 reference is untouched.
+    EXPECT_EQ(loaded.value().Answer(q), sketch.value().Answer(q));
+    EXPECT_EQ(loaded.value().AnswerScalar(q), sketch.value().AnswerScalar(q));
+  }
+}
+
+TEST(PrecisionTest, InactiveF32TierSurvivesSaveLoad) {
+  Bench b = MakeBench(90);
+  b.cfg.plan_precision = PlanPrecision::kF32;
+  auto sketch = NeuroSketch::Train(b.train_q, b.train_a, b.cfg);
+  ASSERT_TRUE(sketch.ok());
+  NeuroSketch& ns = sketch.value();
+  ASSERT_EQ(ns.plan_precision(), PlanPrecision::kF32);
+  const double f32_answer = ns.Answer(b.probes[0]);
+
+  // Serve the reference tier for a while, then Save: the validated f32
+  // plans must not be lost across the round-trip.
+  ASSERT_TRUE(ns.SelectPrecision(PlanPrecision::kF64).ok());
+  const std::string path = testing::TempDir() + "/ns_inactive_f32.bin";
+  ASSERT_TRUE(ns.Save(path).ok());
+  auto loaded = NeuroSketch::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.value().plan_precision(), PlanPrecision::kF64);
+  EXPECT_TRUE(loaded.value().has_f32_plans());
+  ASSERT_TRUE(loaded.value().SelectPrecision(PlanPrecision::kF32).ok());
+  EXPECT_EQ(loaded.value().Answer(b.probes[0]), f32_answer);
+}
+
+TEST(PrecisionTest, SizeBytesMatchesSaveOutputExactly) {
+  for (bool f32 : {false, true}) {
+    Bench b = MakeBench(97);
+    b.cfg.plan_precision = f32 ? PlanPrecision::kF32 : PlanPrecision::kF64;
+    auto sketch = NeuroSketch::Train(b.train_q, b.train_a, b.cfg);
+    ASSERT_TRUE(sketch.ok());
+    const std::string path = testing::TempDir() + "/ns_sizebytes.bin";
+    ASSERT_TRUE(sketch.value().Save(path).ok());
+    EXPECT_EQ(sketch.value().SizeBytes(), FileBytes(path))
+        << "precision " << PlanPrecisionName(sketch.value().plan_precision());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(PrecisionTest, StoreListingReportsPrecision) {
+  Bench b = MakeBench(98);
+  b.cfg.plan_precision = PlanPrecision::kF32;
+  auto sketch = NeuroSketch::Train(b.train_q, b.train_a, b.cfg);
+  ASSERT_TRUE(sketch.ok());
+  ASSERT_EQ(sketch.value().plan_precision(), PlanPrecision::kF32);
+
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = Aggregate::kCount;
+  spec.measure_col = 0;
+  serve::SketchStore store;
+  ASSERT_TRUE(store.Register("uni", spec, std::move(sketch).value()).ok());
+  const auto listings = store.List();
+  ASSERT_EQ(listings.size(), 1u);
+  EXPECT_EQ(listings[0].precision, PlanPrecision::kF32);
+  EXPECT_TRUE(listings[0].compiled);
+}
+
+}  // namespace
+}  // namespace neurosketch

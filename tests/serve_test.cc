@@ -15,6 +15,9 @@
 #include "core/catalog.h"
 #include "data/datasets.h"
 #include "data/normalizer.h"
+#include "nn/inference_plan.h"
+#include "nn/mlp.h"
+#include "nn/serialize.h"
 #include "query/engine.h"
 #include "query/predicate.h"
 #include "query/workload.h"
@@ -343,6 +346,123 @@ TEST(ServeEngineTest, ErrorBudgetDemotesFailingSketch) {
   EXPECT_EQ(stats.queries, f.queries.size());
   EXPECT_EQ(stats.fallback_answers, f.queries.size());
   EXPECT_EQ(stats.budget_trips, 1u);  // demoted exactly once
+}
+
+/// Write a loadable sketch whose routing splits dimension 0 at 0.5: the
+/// left leaf has a real (untrained but finite) model, the right leaf id is
+/// out of range, so a deterministic fraction of the workload NaNs — a NaN
+/// storm that exercises the error-budget math with mixed traffic.
+std::string WriteHalfBrokenSketchFile(size_t qdim) {
+  const std::string path = testing::TempDir() + "/ns_half_broken.sketch";
+  std::ofstream out(path, std::ios::binary);
+  const uint64_t dim = qdim;
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  // Pre-order: internal (dim 0, split 0.5), leaf 0, leaf 1.
+  const std::vector<double> routing = {0.0, 0.5, -1.0, 0.0, -1.0, 1.0};
+  const uint64_t rsize = routing.size();
+  out.write(reinterpret_cast<const char*>(&rsize), sizeof(rsize));
+  out.write(reinterpret_cast<const char*>(routing.data()),
+            static_cast<std::streamsize>(rsize * sizeof(double)));
+  const uint64_t nmodels = 1;  // leaf 1 has no model -> NaN answers
+  out.write(reinterpret_cast<const char*>(&nmodels), sizeof(nmodels));
+  const double mean = 0.0, scale = 1.0;
+  out.write(reinterpret_cast<const char*>(&mean), sizeof(mean));
+  out.write(reinterpret_cast<const char*>(&scale), sizeof(scale));
+  nn::MlpConfig cfg;
+  cfg.in_dim = qdim;
+  cfg.hidden = {4};
+  nn::Mlp model(cfg, /*seed=*/321);
+  EXPECT_TRUE(
+      nn::SaveCompiledMlp(nn::CompiledMlp::FromMlp(model), &out).ok());
+  return path;
+}
+
+// Corrected error-budget math: repaired (NaN) queries must not count as
+// sketch answers. With a sketch that NaNs on a fixed fraction of traffic,
+// a failure rate between nans/attempts (the old, diluted denominator) and
+// nans/genuine must still demote — under the old accounting it never
+// would.
+TEST(ServeEngineTest, BudgetCountsOnlyGenuineSketchAnswers) {
+  ServeFixture f = ServeFixture::Make(256);
+  ExactEngine engine(&f.table);
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", &engine).ok());
+  const std::string path =
+      WriteHalfBrokenSketchFile(2 * f.table.num_columns());
+  ASSERT_TRUE(store.RegisterFromFile("gmm", f.spec, path).ok());
+  std::remove(path.c_str());
+
+  // Ground truth for this workload straight from the registered sketch.
+  auto sketch = store.Lookup(ServeKey::From("gmm", f.spec));
+  ASSERT_NE(sketch, nullptr);
+  const auto direct = sketch->AnswerBatch(f.queries);
+  size_t nans = 0;
+  for (double a : direct) nans += std::isnan(a) ? 1 : 0;
+  const size_t genuine = f.queries.size() - nans;
+  ASSERT_GT(nans, 0u) << "workload never hits the broken leaf";
+  ASSERT_GT(genuine, 0u) << "workload never hits the healthy leaf";
+
+  const double diluted =
+      static_cast<double>(nans) / static_cast<double>(f.queries.size());
+  const double corrected =
+      static_cast<double>(nans) / static_cast<double>(genuine);
+  ASSERT_LT(diluted, corrected);
+
+  ServeOptions opts;
+  opts.max_batch = f.queries.size();  // one batch, one budget update
+  opts.batch_window_us = 10000.0;
+  opts.budget_min_samples = f.queries.size();
+  opts.max_sketch_failure_rate = 0.5 * (diluted + corrected);
+  {
+    ServeEngine serve(&store, opts);
+    (void)serve.SubmitMany("gmm", f.spec, f.queries).get();
+    const auto stats = serve.Snapshot();
+    EXPECT_EQ(stats.sketch_answers, genuine);  // repairs excluded
+    EXPECT_EQ(stats.fallback_answers + stats.failed_answers, nans);
+    EXPECT_EQ(stats.budget_trips, 1u)
+        << "rate above nans/attempts but below nans/genuine must demote";
+    // Demoted: the next wave is answered exact-only.
+    auto repaired = serve.SubmitMany("gmm", f.spec, f.queries).get();
+    for (const auto& r : repaired) EXPECT_FALSE(r.used_sketch);
+  }
+  {
+    // Just above the corrected threshold: the budget must hold.
+    ServeOptions lax = opts;
+    lax.max_sketch_failure_rate = corrected * 1.05;
+    ServeEngine serve(&store, lax);
+    (void)serve.SubmitMany("gmm", f.spec, f.queries).get();
+    EXPECT_EQ(serve.Snapshot().budget_trips, 0u);
+  }
+}
+
+// f32-tier serving: a sketch trained with f32 plans reports its tier in
+// the store listing and the engine counts its answers as f32.
+TEST(ServeEngineTest, F32SketchAnswersAreCounted) {
+  ServeFixture f = ServeFixture::Make(64);
+  ExactEngine engine(&f.table);
+  ASSERT_TRUE(f.sketch.EnableF32(
+      f.queries, NeuroSketchConfig().f32_error_bound));
+  ASSERT_EQ(f.sketch.plan_precision(), PlanPrecision::kF32);
+
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", &engine).ok());
+  ASSERT_TRUE(store.Register("gmm", f.spec, std::move(f.sketch)).ok());
+  const auto listings = store.List();
+  ASSERT_EQ(listings.size(), 1u);
+  EXPECT_EQ(listings[0].precision, PlanPrecision::kF32);
+
+  ServeOptions opts;
+  opts.max_batch = 16;
+  opts.batch_window_us = 100.0;
+  ServeEngine serve(&store, opts);
+  auto results = serve.SubmitMany("gmm", f.spec, f.queries).get();
+  size_t sketch_answered = 0;
+  for (const auto& r : results) sketch_answered += r.used_sketch ? 1 : 0;
+
+  const auto stats = serve.Snapshot();
+  EXPECT_EQ(stats.sketch_answers, sketch_answered);
+  EXPECT_EQ(stats.f32_sketch_answers, sketch_answered);
+  EXPECT_GT(stats.f32_sketch_answers, 0u);
 }
 
 TEST(LatencyHistogramTest, PercentilesLandInBucketTolerance) {
