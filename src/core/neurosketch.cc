@@ -15,23 +15,45 @@ namespace neurosketch {
 namespace {
 
 // Trailer appended after the model blocks by Save(): precision tier plus
-// the f32 validation record. Sketches written before the trailer existed
-// simply end at the last model; Load treats that as f64.
+// the f32 validation record, then (when the int8 tier is compiled) the
+// int8 validation record and per-leaf calibration scales. Sketches
+// written before the trailer existed simply end at the last model; Load
+// treats that as f64. Flag bits in the precision word: bit 0 = f32
+// active, bit 1 = f32 plans compiled, bit 2 = int8 active, bit 3 = int8
+// plans compiled (calibration block follows) — PR 3 files only ever set
+// bits 0-1, so they load unchanged.
 constexpr uint32_t kPrecisionMagic = 0x4e535031;  // "NSP1"
 constexpr size_t kPrecisionTrailerBytes =
     2 * sizeof(uint32_t) + 2 * sizeof(double);
 
+bool EnvFlagSet(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
 }  // namespace
 
 const char* PlanPrecisionName(PlanPrecision p) {
-  return p == PlanPrecision::kF32 ? "f32" : "f64";
+  switch (p) {
+    case PlanPrecision::kF32:
+      return "f32";
+    case PlanPrecision::kInt8:
+      return "int8";
+    case PlanPrecision::kF64:
+      break;
+  }
+  return "f64";
 }
 
-// CI hook: NEUROSKETCH_FORCE_F32_PLANS=1 upgrades default-precision
-// training to the f32 tier so the whole test suite exercises it.
+// CI hooks: NEUROSKETCH_FORCE_F32_PLANS=1 / NEUROSKETCH_FORCE_INT8_PLANS=1
+// upgrade default-precision training to that tier so the whole test suite
+// exercises it.
 bool ForceF32PlansFromEnv() {
-  const char* v = std::getenv("NEUROSKETCH_FORCE_F32_PLANS");
-  return v != nullptr && v[0] != '\0' && v[0] != '0';
+  return EnvFlagSet("NEUROSKETCH_FORCE_F32_PLANS");
+}
+
+bool ForceInt8PlansFromEnv() {
+  return EnvFlagSet("NEUROSKETCH_FORCE_INT8_PLANS");
 }
 
 Result<NeuroSketch> NeuroSketch::Train(
@@ -125,10 +147,22 @@ Result<NeuroSketch> NeuroSketch::Train(
   sketch.stats_.train_seconds = train_timer.ElapsedSeconds();
 
   PlanPrecision requested = config.plan_precision;
-  if (requested == PlanPrecision::kF64 && ForceF32PlansFromEnv()) {
-    requested = PlanPrecision::kF32;
+  if (requested == PlanPrecision::kF64) {
+    if (ForceInt8PlansFromEnv()) {
+      requested = PlanPrecision::kInt8;
+    } else if (ForceF32PlansFromEnv()) {
+      requested = PlanPrecision::kF32;
+    }
   }
-  if (requested == PlanPrecision::kF32) {
+  if (requested == PlanPrecision::kInt8) {
+    // Validate-or-fallback chain: int8 calibrates + validates over the
+    // training workload; out of bound it demotes to the f32 tier, which
+    // validates in turn and leaves the sketch on f64 if also out of
+    // bound. Both tiers' measured divergences are retained either way.
+    if (!sketch.EnableInt8(q_ok, config.int8_error_bound)) {
+      sketch.EnableF32(q_ok, config.f32_error_bound);
+    }
+  } else if (requested == PlanPrecision::kF32) {
     // Compile the f32 tier and validate it over the training workload; on
     // a blown error bound EnableF32 leaves the sketch serving f64.
     sketch.EnableF32(q_ok, config.f32_error_bound);
@@ -185,11 +219,79 @@ bool NeuroSketch::EnableF32(const std::vector<QueryInstance>& validation,
   return true;
 }
 
+bool NeuroSketch::EnableInt8(const std::vector<QueryInstance>& validation,
+                             double error_bound) {
+  if (!compiled()) return false;
+  // Calibration pass: replay the workload through the f64 plans, recording
+  // per-leaf, per-layer input absmax (layer 0 sees the raw query, layer
+  // l > 0 the previous layer's activations). The routed leaf and the f64
+  // prediction are cached per query so the validation pass below pays for
+  // neither a second Route nor a second f64 forward.
+  nn::Workspace& ws = nn::Workspace::ThreadLocal();
+  std::vector<std::vector<double>> absmax(plans_.size());
+  std::vector<size_t> covered(plans_.size(), 0);
+  for (size_t i = 0; i < plans_.size(); ++i) {
+    absmax[i].assign(plans_[i].layers().size(), 0.0);
+  }
+  std::vector<int> routed(validation.size(), -1);
+  std::vector<double> raw64(validation.size(), 0.0);
+  for (size_t v = 0; v < validation.size(); ++v) {
+    const auto* leaf = tree_.Route(validation[v]);
+    if (leaf == nullptr || leaf->leaf_id < 0 ||
+        static_cast<size_t>(leaf->leaf_id) >= plans_.size()) {
+      continue;
+    }
+    const int id = leaf->leaf_id;
+    routed[v] = id;
+    raw64[v] =
+        plans_[id].CalibrateOne(validation[v].q.data(), &ws, absmax[id].data());
+    ++covered[id];
+  }
+  // Quantize calibrated leaves; a leaf with no calibration coverage keeps
+  // an empty int8 plan and serves its f64 plan instead — int8 is never
+  // served with made-up scales.
+  plans_i8_.assign(plans_.size(), nn::CompiledMlpI8());
+  for (size_t i = 0; i < plans_.size(); ++i) {
+    if (covered[i] > 0) {
+      plans_i8_[i] = nn::CompiledMlpI8::FromPlan(plans_[i], absmax[i]);
+    }
+  }
+  // Validate: worst |int8 - f64| divergence in standardized units over
+  // the same workload (uncovered leaves contribute nothing — they will
+  // serve f64 bits anyway).
+  double max_div = 0.0;
+  size_t measured = 0;
+  for (size_t v = 0; v < validation.size(); ++v) {
+    const int id = routed[v];
+    if (id < 0 || plans_i8_[id].empty()) continue;
+    const double raw8 = plans_i8_[id].PredictOne(validation[v].q.data(), &ws);
+    const double div = std::fabs(raw8 - raw64[v]);
+    if (div > max_div) max_div = div;
+    ++measured;
+  }
+  int8_error_bound_ = error_bound;
+  int8_max_divergence_ = max_div;
+  if (measured == 0 || !(max_div <= error_bound)) {
+    // Blown bound, NaN divergence, or no validation coverage at all:
+    // drop the tier; never serve unvalidated int8.
+    plans_i8_.clear();
+    if (precision_ == PlanPrecision::kInt8) precision_ = PlanPrecision::kF64;
+    return false;
+  }
+  precision_ = PlanPrecision::kInt8;
+  return true;
+}
+
 Status NeuroSketch::SelectPrecision(PlanPrecision precision) {
   if (precision == PlanPrecision::kF32 && plans_f32_.empty()) {
     return Status::InvalidArgument(
         "no f32 plans compiled: train with plan_precision = kF32 or call "
         "EnableF32");
+  }
+  if (precision == PlanPrecision::kInt8 && plans_i8_.empty()) {
+    return Status::InvalidArgument(
+        "no int8 plans compiled: train with plan_precision = kInt8 or call "
+        "EnableInt8");
   }
   precision_ = precision;
   return Status::OK();
@@ -203,9 +305,16 @@ double NeuroSketch::Answer(const QueryInstance& q) const {
   }
   const int id = leaf->leaf_id;
   nn::Workspace& ws = nn::Workspace::ThreadLocal();
-  const double raw = precision_ == PlanPrecision::kF32
-                         ? plans_f32_[id].PredictOne(q.q.data(), &ws)
-                         : plans_[id].PredictOne(q.q.data(), &ws);
+  double raw;
+  if (precision_ == PlanPrecision::kInt8 && !plans_i8_[id].empty()) {
+    raw = plans_i8_[id].PredictOne(q.q.data(), &ws);
+  } else if (precision_ == PlanPrecision::kF32) {
+    raw = plans_f32_[id].PredictOne(q.q.data(), &ws);
+  } else {
+    // kF64, or an int8-tier leaf with no calibration coverage (which
+    // serves the f64 reference bits rather than unvalidated int8).
+    raw = plans_[id].PredictOne(q.q.data(), &ws);
+  }
   return raw * target_scale_[id] + target_mean_[id];
 }
 
@@ -258,21 +367,37 @@ void NeuroSketch::AnswerBatchVectorizedTo(
     buckets[leaf->leaf_id].push_back(i);
   }
   const size_t qdim = tree_.query_dim();
-  const bool f32 = precision_ == PlanPrecision::kF32;
   for (size_t m = 0; m < plans_.size(); ++m) {
     const auto& ids = buckets[m];
     if (ids.empty()) continue;
     // Gather the bucket's inputs and stage its predictions in the arena:
     // per-batch cost is bookkeeping only, the model math never allocates.
-    double* inputs = ws.Input(ids.size() * qdim);
-    for (size_t r = 0; r < ids.size(); ++r) {
-      const auto& q = queries[ids[r]].q;
-      std::copy(q.begin(), q.end(), inputs + r * qdim);
-    }
+    // When a narrow tier is active the gather marshals straight into the
+    // float arena — casting once per element during the copy instead of
+    // staging doubles and re-reading them for a separate narrowing pass
+    // (8 fewer bytes of traffic per element, same float bits).
+    const bool i8 =
+        precision_ == PlanPrecision::kInt8 && !plans_i8_[m].empty();
+    const bool narrow = i8 || precision_ == PlanPrecision::kF32;
     double* pred = ws.Output(ids.size());
-    if (f32) {
-      plans_f32_[m].PredictBatch(inputs, ids.size(), &ws, pred);
+    if (narrow) {
+      float* inputs = ws.InputF(ids.size() * qdim);
+      for (size_t r = 0; r < ids.size(); ++r) {
+        const auto& q = queries[ids[r]].q;
+        float* dst = inputs + r * qdim;
+        for (size_t j = 0; j < qdim; ++j) dst[j] = static_cast<float>(q[j]);
+      }
+      if (i8) {
+        plans_i8_[m].PredictBatchF32In(inputs, ids.size(), &ws, pred);
+      } else {
+        plans_f32_[m].PredictBatchF32In(inputs, ids.size(), &ws, pred);
+      }
     } else {
+      double* inputs = ws.Input(ids.size() * qdim);
+      for (size_t r = 0; r < ids.size(); ++r) {
+        const auto& q = queries[ids[r]].q;
+        std::copy(q.begin(), q.end(), inputs + r * qdim);
+      }
       plans_[m].PredictBatch(inputs, ids.size(), &ws, pred);
     }
     for (size_t r = 0; r < ids.size(); ++r) {
@@ -285,6 +410,8 @@ size_t NeuroSketch::PlanBytes(PlanPrecision precision) const {
   size_t bytes = 0;
   if (precision == PlanPrecision::kF32) {
     for (const auto& p : plans_f32_) bytes += p.SizeBytes();
+  } else if (precision == PlanPrecision::kInt8) {
+    for (const auto& p : plans_i8_) bytes += p.SizeBytes();
   } else {
     for (const auto& p : plans_) bytes += p.SizeBytes();
   }
@@ -293,12 +420,19 @@ size_t NeuroSketch::PlanBytes(PlanPrecision precision) const {
 
 size_t NeuroSketch::SizeBytes() const {
   // Exactly the bytes Save() writes, in the same order: header fields,
-  // routing block, per-leaf scales, serialized models, precision trailer.
+  // routing block, per-leaf scales, serialized models, precision trailer
+  // (plus the int8 calibration block when that tier is compiled).
   size_t bytes = 3 * sizeof(uint64_t);  // qdim, routing size, model count
   bytes += tree_.EncodeRouting().size() * sizeof(double);
   bytes += 2 * plans_.size() * sizeof(double);  // per-leaf mean + scale
   for (const auto& p : plans_) bytes += nn::SerializedModelBytes(p);
   bytes += kPrecisionTrailerBytes;
+  if (!plans_i8_.empty()) {
+    bytes += 2 * sizeof(double);  // int8 bound + measured divergence
+    for (const auto& p : plans_i8_) {
+      bytes += sizeof(uint64_t) + p.layer_absmax().size() * sizeof(double);
+    }
+  }
   return bytes;
 }
 
@@ -329,17 +463,37 @@ Status NeuroSketch::Save(const std::string& path) const {
     NS_RETURN_NOT_OK(nn::SaveCompiledMlp(p, &out));
   }
   const uint32_t magic = kPrecisionMagic;
-  // Bit 0: the active serving tier. Bit 1: f32 plans are compiled (they
-  // may exist while f64 is temporarily selected; the tier must survive
-  // the round-trip either way).
-  const uint32_t precision = static_cast<uint32_t>(precision_) |
-                             (plans_f32_.empty() ? 0u : 2u);
+  // Bit 0: f32 is the active serving tier. Bit 1: f32 plans are compiled
+  // (they may exist while f64 is temporarily selected; the tier must
+  // survive the round-trip either way). Bit 2: int8 active. Bit 3: int8
+  // plans compiled — the calibration block below follows.
+  const uint32_t precision =
+      (precision_ == PlanPrecision::kF32 ? 1u : 0u) |
+      (plans_f32_.empty() ? 0u : 2u) |
+      (precision_ == PlanPrecision::kInt8 ? 4u : 0u) |
+      (plans_i8_.empty() ? 0u : 8u);
   out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
   out.write(reinterpret_cast<const char*>(&precision), sizeof(precision));
   out.write(reinterpret_cast<const char*>(&f32_error_bound_),
             sizeof(f32_error_bound_));
   out.write(reinterpret_cast<const char*>(&f32_max_divergence_),
             sizeof(f32_max_divergence_));
+  if (!plans_i8_.empty()) {
+    // Int8 calibration block: validation record + per-leaf per-layer
+    // input absmax. Parameters stay f64 above; Load re-quantizes from
+    // them with these scales, reproducing the identical int8 plans. An
+    // uncovered (never-calibrated) leaf writes zero layers.
+    out.write(reinterpret_cast<const char*>(&int8_error_bound_),
+              sizeof(int8_error_bound_));
+    out.write(reinterpret_cast<const char*>(&int8_max_divergence_),
+              sizeof(int8_max_divergence_));
+    for (const auto& p : plans_i8_) {
+      const uint64_t nl = p.layer_absmax().size();
+      out.write(reinterpret_cast<const char*>(&nl), sizeof(nl));
+      out.write(reinterpret_cast<const char*>(p.layer_absmax().data()),
+                static_cast<std::streamsize>(nl * sizeof(double)));
+    }
+  }
   if (!out.good()) return Status::IOError("write failed for " + path);
   return Status::OK();
 }
@@ -398,12 +552,13 @@ Result<NeuroSketch> NeuroSketch::Load(const std::string& path) {
     in.read(reinterpret_cast<char*>(&sketch.f32_max_divergence_),
             sizeof(sketch.f32_max_divergence_));
     if (!in.good()) return Status::IOError("truncated precision trailer");
-    if (precision > 3u) {
+    if (precision > 15u) {
       return Status::InvalidArgument("unknown plan precision in sketch file");
     }
-    const bool active_f32 =
-        (precision & 1u) == static_cast<uint32_t>(PlanPrecision::kF32);
+    const bool active_f32 = (precision & 1u) != 0;
     const bool has_f32 = (precision & 2u) != 0 || active_f32;
+    const bool active_i8 = (precision & 4u) != 0;
+    const bool has_i8 = (precision & 8u) != 0 || active_i8;
     if (has_f32) {
       // Rebuild the f32 tier from the f64 parameters: narrowing is
       // deterministic, so the loaded sketch serves the same f32 bits the
@@ -413,8 +568,39 @@ Result<NeuroSketch> NeuroSketch::Load(const std::string& path) {
       for (size_t i = 0; i < sketch.plans_.size(); ++i) {
         sketch.plans_f32_[i] = nn::CompiledMlpF32::FromPlan(sketch.plans_[i]);
       }
-      sketch.precision_ =
-          active_f32 ? PlanPrecision::kF32 : PlanPrecision::kF64;
+    }
+    if (has_i8) {
+      // Rebuild the int8 tier by re-quantizing the f64 parameters with
+      // the saved calibration scales — quantization is deterministic, so
+      // the loaded sketch serves the same int8 bits the saved one did.
+      in.read(reinterpret_cast<char*>(&sketch.int8_error_bound_),
+              sizeof(sketch.int8_error_bound_));
+      in.read(reinterpret_cast<char*>(&sketch.int8_max_divergence_),
+              sizeof(sketch.int8_max_divergence_));
+      sketch.plans_i8_.resize(sketch.plans_.size());
+      for (size_t i = 0; i < sketch.plans_.size(); ++i) {
+        uint64_t nl = 0;
+        in.read(reinterpret_cast<char*>(&nl), sizeof(nl));
+        if (!in.good()) return Status::IOError("truncated int8 calibration");
+        if (nl == 0) continue;  // uncovered leaf: stays on its f64 plan
+        if (nl != sketch.plans_[i].layers().size()) {
+          return Status::InvalidArgument(
+              "int8 calibration does not match model architecture");
+        }
+        std::vector<double> absmax(nl);
+        in.read(reinterpret_cast<char*>(absmax.data()),
+                static_cast<std::streamsize>(nl * sizeof(double)));
+        if (!in.good()) return Status::IOError("truncated int8 calibration");
+        sketch.plans_i8_[i] =
+            nn::CompiledMlpI8::FromPlan(sketch.plans_[i], absmax);
+      }
+    }
+    if (active_i8) {
+      sketch.precision_ = PlanPrecision::kInt8;
+    } else if (active_f32) {
+      sketch.precision_ = PlanPrecision::kF32;
+    } else {
+      sketch.precision_ = PlanPrecision::kF64;
     }
   }
   return sketch;

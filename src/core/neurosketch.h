@@ -27,8 +27,11 @@ namespace neurosketch {
 /// the accuracy reference (bit-identical to the scalar Mlp path); kF32 is
 /// the opt-in fast tier: half the flat-buffer footprint, twice the SIMD
 /// lanes, validated against the f64 reference before it is allowed to
-/// serve.
-enum class PlanPrecision { kF64 = 0, kF32 = 1 };
+/// serve. kInt8 is the quantized tier: weights as int8 with calibrated
+/// symmetric scales, int32 accumulation, f32 requantization — ~1/8 the
+/// weight footprint — under the same validate-or-fallback contract
+/// (falling back int8 -> f32 -> f64).
+enum class PlanPrecision { kF64 = 0, kF32 = 1, kInt8 = 2 };
 
 const char* PlanPrecisionName(PlanPrecision p);
 
@@ -36,6 +39,12 @@ const char* PlanPrecisionName(PlanPrecision p);
 /// upgrades default-precision (kF64) requests to the f32 tier. Exposed so
 /// tests can key their expectations off the same predicate Train uses.
 bool ForceF32PlansFromEnv();
+
+/// \brief True when NEUROSKETCH_FORCE_INT8_PLANS is set (CI hook): Train
+/// upgrades default-precision (kF64) requests to the int8 tier (which
+/// itself may validate-and-fall-back to f32/f64). Takes priority over
+/// NEUROSKETCH_FORCE_F32_PLANS when both are set.
+bool ForceInt8PlansFromEnv();
 
 struct NeuroSketchConfig {
   /// Partitioning (paper defaults: height 4, merge to s = 8 leaves).
@@ -60,9 +69,13 @@ struct NeuroSketchConfig {
   /// Serving precision for the compiled plans. kF32 compiles both tiers,
   /// measures the max |f32 - f64| divergence over the training workload,
   /// and serves f32 only if it stays within `f32_error_bound`; otherwise
-  /// the sketch automatically falls back to f64. (The environment variable
-  /// NEUROSKETCH_FORCE_F32_PLANS=1 upgrades kF64 requests to kF32 so CI
-  /// can run the whole suite on the f32 tier.)
+  /// the sketch automatically falls back to f64. kInt8 calibrates
+  /// per-layer activation ranges over the training workload, quantizes,
+  /// and validates against `int8_error_bound`; when out of bound it falls
+  /// back to the f32 tier (which validates in turn, chaining down to
+  /// f64). (The environment variables NEUROSKETCH_FORCE_F32_PLANS=1 /
+  /// NEUROSKETCH_FORCE_INT8_PLANS=1 upgrade kF64 requests so CI can run
+  /// the whole suite on each tier.)
   PlanPrecision plan_precision = PlanPrecision::kF64;
 
   /// Max tolerated |f32 - f64| divergence, measured in standardized (per-
@@ -72,6 +85,16 @@ struct NeuroSketchConfig {
   /// are ~1e-6..1e-5; the default leaves two orders of magnitude headroom
   /// while still catching pathological f32 blow-ups.
   double f32_error_bound = 1e-3;
+
+  /// Max tolerated |int8 - f64| divergence, standardized units (same
+  /// space as f32_error_bound). Int8 quantization error is inherently
+  /// larger than f32 rounding: with 127 symmetric levels per layer
+  /// compounding through the paper-default depth, measured divergence is
+  /// typically ~0.05-0.1 (see int8_tier.max_divergence in
+  /// BENCH_serving.json). The default gives ~2.5x headroom over that
+  /// while still rejecting calibration blow-ups. Tighten it to push
+  /// accuracy-critical deployments down the fallback chain to f32/f64.
+  double int8_error_bound = 0.25;
 };
 
 /// \brief A trained NeuroSketch for one query function.
@@ -146,10 +169,15 @@ class NeuroSketch {
   /// \brief The precision tier Answer / AnswerBatch* currently serve from.
   PlanPrecision plan_precision() const { return precision_; }
   bool has_f32_plans() const { return !plans_f32_.empty(); }
+  bool has_int8_plans() const { return !plans_i8_.empty(); }
   /// \brief Max |f32 - f64| divergence measured by the last f32
   /// validation pass, in standardized units (0 when never validated).
   double f32_max_divergence() const { return f32_max_divergence_; }
   double f32_error_bound() const { return f32_error_bound_; }
+  /// \brief Max |int8 - f64| divergence measured by the last int8
+  /// validation pass, standardized units (0 when never validated).
+  double int8_max_divergence() const { return int8_max_divergence_; }
+  double int8_error_bound() const { return int8_error_bound_; }
 
   /// \brief Resident bytes of a tier's compiled flat buffers (0 when that
   /// tier is not compiled). The f32 tier is half the f64 tier.
@@ -164,16 +192,28 @@ class NeuroSketch {
   bool EnableF32(const std::vector<QueryInstance>& validation,
                  double error_bound);
 
-  /// \brief Switch the active serving tier. kF32 requires f32 plans
-  /// (compiled by Train with plan_precision = kF32, EnableF32, or Load of
-  /// an f32 sketch).
+  /// \brief Compile the int8 plan tier: calibrate per-layer activation
+  /// ranges by replaying `validation` through the f64 plans, quantize
+  /// each leaf (leaves with no calibration coverage keep serving their
+  /// f64 plan — int8 is never served uncalibrated), and validate the max
+  /// standardized-unit divergence against `error_bound`. Activates int8
+  /// serving and returns true iff in bound; otherwise drops the int8
+  /// plans. The measured divergence is available from
+  /// int8_max_divergence() either way.
+  bool EnableInt8(const std::vector<QueryInstance>& validation,
+                  double error_bound);
+
+  /// \brief Switch the active serving tier. kF32/kInt8 require that
+  /// tier's plans (compiled by Train with the matching plan_precision,
+  /// EnableF32/EnableInt8, or Load of a sketch carrying the tier).
   Status SelectPrecision(PlanPrecision precision);
 
   /// \brief Serialize / deserialize the full sketch (routing + scales +
-  /// model parameters + precision tier). Parameters are always stored in
-  /// f64 — the accuracy reference — and an f32 sketch deterministically
-  /// rebuilds its f32 plans from them on Load, so round-trips are
-  /// bit-exact in both tiers.
+  /// model parameters + precision tier + int8 calibration scales).
+  /// Parameters are always stored in f64 — the accuracy reference — and
+  /// narrow tiers deterministically rebuild from them on Load (f32 by
+  /// narrowing, int8 by re-quantizing with the saved calibration
+  /// absmax), so round-trips are bit-exact in every tier.
   Status Save(const std::string& path) const;
   static Result<NeuroSketch> Load(const std::string& path);
 
@@ -182,11 +222,14 @@ class NeuroSketch {
   std::vector<nn::Mlp> models_;  // indexed by leaf_id; training/reference
   std::vector<nn::CompiledMlp> plans_;  // serving form, same indexing
   std::vector<nn::CompiledMlpF32> plans_f32_;  // opt-in fast tier
+  std::vector<nn::CompiledMlpI8> plans_i8_;    // opt-in quantized tier
   std::vector<double> target_mean_;     // per-leaf target standardization
   std::vector<double> target_scale_;
   PlanPrecision precision_ = PlanPrecision::kF64;
   double f32_error_bound_ = 0.0;     // bound in effect when validated
   double f32_max_divergence_ = 0.0;  // measured by the validation pass
+  double int8_error_bound_ = 0.0;     // int8 validation record
+  double int8_max_divergence_ = 0.0;
   BuildStats stats_;
 };
 

@@ -164,7 +164,7 @@ void ServeEngine::DispatchLoop() {
 }
 
 void ServeEngine::Fulfill(Request* r, double value, bool used_sketch,
-                          bool f32_sketch) {
+                          PlanPrecision tier) {
   const double us =
       std::chrono::duration<double, std::micro>(Clock::now() - r->enqueued)
           .count();
@@ -173,9 +173,11 @@ void ServeEngine::Fulfill(Request* r, double value, bool used_sketch,
   if (used_sketch) {
     sketch_answers_.fetch_add(1, std::memory_order_relaxed);
     // Ticked together with sketch_answers_ (and before the promise
-    // resolves) so f32_sketch_answers is always a consistent subset.
-    if (f32_sketch) {
+    // resolves) so the per-tier counters are always a consistent subset.
+    if (tier == PlanPrecision::kF32) {
       f32_sketch_answers_.fetch_add(1, std::memory_order_relaxed);
+    } else if (tier == PlanPrecision::kInt8) {
+      int8_sketch_answers_.fetch_add(1, std::memory_order_relaxed);
     }
   } else if (std::isnan(value)) {
     failed_answers_.fetch_add(1, std::memory_order_relaxed);
@@ -218,7 +220,7 @@ void ServeEngine::ExecuteBatch(const ServeKey& key,
     size_t nans = 0;
     for (double a : answers) nans += std::isnan(a) ? 1 : 0;
     const size_t genuine = answers.size() - nans;
-    const bool f32 = sketch->plan_precision() == PlanPrecision::kF32;
+    const PlanPrecision tier = sketch->plan_precision();
 
     {
       // Error-budget accounting BEFORE any request is fulfilled: the
@@ -251,7 +253,8 @@ void ServeEngine::ExecuteBatch(const ServeKey& key,
         continue;
       }
       const bool genuine_answer = !std::isnan(answers[i]);
-      Fulfill(&(*batch)[i], answers[i], genuine_answer, genuine_answer && f32);
+      Fulfill(&(*batch)[i], answers[i], genuine_answer,
+              genuine_answer ? tier : PlanPrecision::kF64);
     }
     return;
   }
@@ -274,6 +277,7 @@ ServeStats ServeEngine::Snapshot() const {
   s.queries = queries_.load(std::memory_order_relaxed);
   s.sketch_answers = sketch_answers_.load(std::memory_order_relaxed);
   s.f32_sketch_answers = f32_sketch_answers_.load(std::memory_order_relaxed);
+  s.int8_sketch_answers = int8_sketch_answers_.load(std::memory_order_relaxed);
   s.fallback_answers = fallback_answers_.load(std::memory_order_relaxed);
   s.failed_answers = failed_answers_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);

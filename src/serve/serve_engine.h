@@ -123,8 +123,10 @@ class ServeEngine {
   void DispatchLoop();
   void ExecuteBatch(const ServeKey& key, const QueryFunctionSpec& spec,
                     bool allow_sketch, std::vector<Request>* batch);
+  /// `tier` is the precision the answer was served from; only meaningful
+  /// when used_sketch is true (fallback/failed answers pass kF64).
   void Fulfill(Request* r, double value, bool used_sketch,
-               bool f32_sketch = false);
+               PlanPrecision tier = PlanPrecision::kF64);
 
   const SketchStore* store_;
   const ServeOptions options_;
@@ -140,6 +142,7 @@ class ServeEngine {
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> sketch_answers_{0};
   std::atomic<uint64_t> f32_sketch_answers_{0};
+  std::atomic<uint64_t> int8_sketch_answers_{0};
   std::atomic<uint64_t> fallback_answers_{0};
   std::atomic<uint64_t> failed_answers_{0};
   std::atomic<uint64_t> batches_{0};

@@ -74,7 +74,12 @@ class LatencyHistogram {
 struct ServeStats {
   uint64_t queries = 0;          ///< answers delivered
   uint64_t sketch_answers = 0;   ///< answered by a sketch forward pass
-  uint64_t f32_sketch_answers = 0;  ///< subset served from f32 plans
+  /// Subsets of sketch_answers by the sketch's active tier at answer
+  /// time. Note: an int8 sketch serves its rare uncalibrated leaves from
+  /// their f64 plan, but those answers still count under the active tier
+  /// here — the counters attribute traffic per sketch, not per kernel.
+  uint64_t f32_sketch_answers = 0;
+  uint64_t int8_sketch_answers = 0;
   uint64_t fallback_answers = 0; ///< answered by the exact engine
   uint64_t failed_answers = 0;   ///< NaN with no fallback available
   uint64_t batches = 0;          ///< micro-batches dispatched

@@ -1,8 +1,10 @@
-// Tests for the opt-in f32 compiled-plan tier: activation under the error
-// bound, automatic fallback to f64 when the bound is blown, bitwise f64
-// golden behavior at the default precision, precision surviving
-// serialization, tier switching, and serialized-size accounting
-// (SizeBytes() == bytes Save() writes).
+// Tests for the opt-in narrow compiled-plan tiers (f32 and int8):
+// activation under the error bound, automatic fallback chaining
+// (int8 -> f32 -> f64) when bounds are blown, bitwise f64 golden behavior
+// at the default precision, precision + calibration surviving
+// serialization, tier switching, serialized-size accounting (SizeBytes()
+// == bytes Save() writes), and int8 calibration edge cases (zero-range
+// layers, saturating outliers).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -13,8 +15,11 @@
 
 #include "core/neurosketch.h"
 #include "data/generators.h"
+#include "nn/inference_plan.h"
+#include "nn/mlp.h"
 #include "query/predicate.h"
 #include "serve/sketch_store.h"
+#include "util/random.h"
 
 namespace neurosketch {
 namespace {
@@ -116,8 +121,8 @@ TEST(PrecisionTest, BlownErrorBoundFallsBackToF64) {
 }
 
 TEST(PrecisionTest, DefaultPrecisionIsBitwiseGolden) {
-  if (ForceF32PlansFromEnv()) {
-    GTEST_SKIP() << "NEUROSKETCH_FORCE_F32_PLANS upgrades the default tier";
+  if (ForceF32PlansFromEnv() || ForceInt8PlansFromEnv()) {
+    GTEST_SKIP() << "NEUROSKETCH_FORCE_*_PLANS upgrades the default tier";
   }
   Bench b = MakeBench(93);
   auto sketch = NeuroSketch::Train(b.train_q, b.train_a, b.cfg);
@@ -220,9 +225,10 @@ TEST(PrecisionTest, InactiveF32TierSurvivesSaveLoad) {
 }
 
 TEST(PrecisionTest, SizeBytesMatchesSaveOutputExactly) {
-  for (bool f32 : {false, true}) {
+  for (PlanPrecision p :
+       {PlanPrecision::kF64, PlanPrecision::kF32, PlanPrecision::kInt8}) {
     Bench b = MakeBench(97);
-    b.cfg.plan_precision = f32 ? PlanPrecision::kF32 : PlanPrecision::kF64;
+    b.cfg.plan_precision = p;
     auto sketch = NeuroSketch::Train(b.train_q, b.train_a, b.cfg);
     ASSERT_TRUE(sketch.ok());
     const std::string path = testing::TempDir() + "/ns_sizebytes.bin";
@@ -231,6 +237,235 @@ TEST(PrecisionTest, SizeBytesMatchesSaveOutputExactly) {
         << "precision " << PlanPrecisionName(sketch.value().plan_precision());
     std::remove(path.c_str());
   }
+}
+
+// ---------------------------------------------------------------- int8
+
+TEST(PrecisionTest, Int8ActivatesWithinBoundAndShrinksFootprint) {
+  Bench b = MakeBench(81);
+  b.cfg.plan_precision = PlanPrecision::kInt8;
+  auto sketch = NeuroSketch::Train(b.train_q, b.train_a, b.cfg);
+  ASSERT_TRUE(sketch.ok()) << sketch.status().ToString();
+  const NeuroSketch& ns = sketch.value();
+
+  ASSERT_EQ(ns.plan_precision(), PlanPrecision::kInt8)
+      << "int8 tier should activate under the default bound (measured "
+      << ns.int8_max_divergence() << ")";
+  EXPECT_TRUE(ns.has_int8_plans());
+  EXPECT_GT(ns.int8_max_divergence(), 0.0);
+  EXPECT_LE(ns.int8_max_divergence(), ns.int8_error_bound());
+  // The headline footprint claim: the int8 tier's resident plan bytes are
+  // at most a quarter of the f64 tier's (int8 weights are 1/8; the f32
+  // bias/dequant epilogue and calibration record eat some of that back).
+  EXPECT_LE(ns.PlanBytes(PlanPrecision::kInt8),
+            ns.PlanBytes(PlanPrecision::kF64) / 4);
+
+  // Every batch surface serves the same int8 bits as single-query Answer,
+  // and all stay within the standardized bound of the f64 reference.
+  const auto serial = ns.AnswerBatch(b.probes);
+  const auto vectorized = ns.AnswerBatchVectorized(b.probes);
+  double max_abs = 0.0;
+  for (const auto& q : b.probes) {
+    max_abs = std::max(max_abs, std::fabs(ns.AnswerScalar(q)));
+  }
+  const double tol = ns.int8_error_bound() * (1.0 + max_abs);
+  for (size_t i = 0; i < b.probes.size(); ++i) {
+    const double int8_answer = ns.Answer(b.probes[i]);
+    const double f64_answer = ns.AnswerScalar(b.probes[i]);
+    EXPECT_EQ(int8_answer, serial[i]) << "probe " << i;
+    EXPECT_EQ(int8_answer, vectorized[i]) << "probe " << i;
+    EXPECT_NEAR(int8_answer, f64_answer, tol) << "probe " << i;
+  }
+}
+
+TEST(PrecisionTest, Int8BlownBoundChainsToF32ThenF64) {
+  {
+    // Int8 bound blown, f32 bound fine: the chain lands on f32.
+    Bench b = MakeBench(82);
+    b.cfg.plan_precision = PlanPrecision::kInt8;
+    b.cfg.int8_error_bound = 0.0;  // nothing passes: force the demotion
+    auto sketch = NeuroSketch::Train(b.train_q, b.train_a, b.cfg);
+    ASSERT_TRUE(sketch.ok());
+    EXPECT_EQ(sketch.value().plan_precision(), PlanPrecision::kF32);
+    EXPECT_FALSE(sketch.value().has_int8_plans());
+    EXPECT_TRUE(sketch.value().has_f32_plans());
+    EXPECT_GT(sketch.value().int8_max_divergence(), 0.0);  // measured
+  }
+  {
+    // Both narrow bounds blown: the chain bottoms out on the f64 golden
+    // reference, bit-identical to the scalar path.
+    Bench b = MakeBench(82);
+    b.cfg.plan_precision = PlanPrecision::kInt8;
+    b.cfg.int8_error_bound = 0.0;
+    b.cfg.f32_error_bound = 0.0;
+    auto sketch = NeuroSketch::Train(b.train_q, b.train_a, b.cfg);
+    ASSERT_TRUE(sketch.ok());
+    const NeuroSketch& ns = sketch.value();
+    EXPECT_EQ(ns.plan_precision(), PlanPrecision::kF64);
+    EXPECT_FALSE(ns.has_int8_plans());
+    EXPECT_FALSE(ns.has_f32_plans());
+    for (const auto& q : b.probes) {
+      EXPECT_EQ(ns.Answer(q), ns.AnswerScalar(q));
+    }
+  }
+}
+
+TEST(PrecisionTest, EnableInt8RefusesEmptyValidation) {
+  Bench b = MakeBench(83);
+  auto sketch = NeuroSketch::Train(b.train_q, b.train_a, b.cfg);
+  ASSERT_TRUE(sketch.ok());
+  // No calibration coverage at all -> int8 must not activate. A non-int8
+  // serving tier (f64, or the tier a forced CI matrix trained) is left
+  // untouched; a previously active int8 tier is dropped rather than kept
+  // serving bits the failed re-validation no longer vouches for.
+  const PlanPrecision before = sketch.value().plan_precision();
+  EXPECT_FALSE(sketch.value().EnableInt8(
+      {}, NeuroSketchConfig().int8_error_bound));
+  EXPECT_NE(sketch.value().plan_precision(), PlanPrecision::kInt8);
+  if (before != PlanPrecision::kInt8) {
+    EXPECT_EQ(sketch.value().plan_precision(), before);
+  }
+  EXPECT_FALSE(sketch.value().has_int8_plans());
+}
+
+// A layer whose input is identically zero (dead first layer) has a
+// zero-range calibration: its activations quantize to all zeros and the
+// layer degenerates to act(bias), matching the f64 reference up to the
+// f32 bias cast.
+TEST(PrecisionTest, Int8ZeroRangeLayerDegeneratesToBias) {
+  nn::MlpConfig cfg;
+  cfg.in_dim = 3;
+  cfg.hidden = {8, 4};
+  nn::Mlp model(cfg, 7);
+  // Kill layer 0: zero weights and bias -> its ReLU output is exactly 0,
+  // so layer 1 calibrates a zero range.
+  model.layers()[0].weight().Zero();
+  model.layers()[0].bias().Zero();
+  nn::CompiledMlp plan = nn::CompiledMlp::FromMlp(model);
+
+  nn::Workspace ws;
+  std::vector<double> absmax(plan.layers().size(), 0.0);
+  Rng rng(19);
+  std::vector<std::vector<double>> calib;
+  for (int i = 0; i < 32; ++i) {
+    std::vector<double> x(3);
+    for (double& v : x) v = rng.Uniform(-1.0, 1.0);
+    plan.CalibrateOne(x.data(), &ws, absmax.data());
+    calib.push_back(std::move(x));
+  }
+  ASSERT_GT(absmax[0], 0.0);
+  EXPECT_EQ(absmax[1], 0.0) << "dead layer must calibrate a zero range";
+
+  nn::CompiledMlpI8 i8 = nn::CompiledMlpI8::FromPlan(plan, absmax);
+  for (const auto& x : calib) {
+    const double got = i8.PredictOne(x.data(), &ws);
+    const double want = plan.PredictOne(x.data(), &ws);
+    EXPECT_TRUE(std::isfinite(got));
+    // Everything downstream of the dead layer is a bias chain; the only
+    // divergence left is the f64 -> f32 bias narrowing.
+    EXPECT_NEAR(got, want, 1e-5);
+  }
+}
+
+// Serve-time activations beyond the calibrated range saturate at the
+// +/-127 quantization boundary instead of wrapping: an outlier input
+// answers exactly what the boundary input answers.
+TEST(PrecisionTest, Int8SaturatingOutliersClampAtCalibrationBoundary) {
+  nn::MlpConfig cfg;
+  cfg.in_dim = 1;
+  cfg.hidden = {};  // single linear output layer
+  nn::Mlp model(cfg, 3);
+  nn::CompiledMlp plan = nn::CompiledMlp::FromMlp(model);
+
+  nn::Workspace ws;
+  std::vector<double> absmax(plan.layers().size(), 0.0);
+  for (double x : {-1.0, 0.25, 1.0}) {
+    plan.CalibrateOne(&x, &ws, absmax.data());
+  }
+  ASSERT_EQ(absmax[0], 1.0);
+
+  nn::CompiledMlpI8 i8 = nn::CompiledMlpI8::FromPlan(plan, absmax);
+  const double boundary = 1.0, outlier = 10.0, far_outlier = 1e6;
+  const double at_boundary = i8.PredictOne(&boundary, &ws);
+  EXPECT_TRUE(std::isfinite(at_boundary));
+  EXPECT_EQ(i8.PredictOne(&outlier, &ws), at_boundary);
+  EXPECT_EQ(i8.PredictOne(&far_outlier, &ws), at_boundary);
+  const double neg = -5.0;
+  const double neg_boundary = -1.0;
+  EXPECT_EQ(i8.PredictOne(&neg, &ws), i8.PredictOne(&neg_boundary, &ws));
+}
+
+TEST(PrecisionTest, Int8PrecisionAndCalibrationSurviveSaveLoad) {
+  Bench b = MakeBench(84);
+  b.cfg.plan_precision = PlanPrecision::kInt8;
+  auto sketch = NeuroSketch::Train(b.train_q, b.train_a, b.cfg);
+  ASSERT_TRUE(sketch.ok());
+  ASSERT_EQ(sketch.value().plan_precision(), PlanPrecision::kInt8);
+
+  const std::string path = testing::TempDir() + "/ns_int8_roundtrip.bin";
+  ASSERT_TRUE(sketch.value().Save(path).ok());
+  auto loaded = NeuroSketch::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.value().plan_precision(), PlanPrecision::kInt8);
+  EXPECT_TRUE(loaded.value().has_int8_plans());
+  EXPECT_EQ(loaded.value().int8_max_divergence(),
+            sketch.value().int8_max_divergence());
+  EXPECT_EQ(loaded.value().int8_error_bound(),
+            sketch.value().int8_error_bound());
+  for (const auto& q : b.probes) {
+    // Re-quantizing the saved f64 parameters with the saved calibration
+    // scales is deterministic: the loaded sketch serves the exact same
+    // int8 bits, and the f64 reference is untouched.
+    EXPECT_EQ(loaded.value().Answer(q), sketch.value().Answer(q));
+    EXPECT_EQ(loaded.value().AnswerScalar(q), sketch.value().AnswerScalar(q));
+  }
+}
+
+TEST(PrecisionTest, InactiveInt8TierSurvivesSaveLoad) {
+  Bench b = MakeBench(85);
+  b.cfg.plan_precision = PlanPrecision::kInt8;
+  auto sketch = NeuroSketch::Train(b.train_q, b.train_a, b.cfg);
+  ASSERT_TRUE(sketch.ok());
+  NeuroSketch& ns = sketch.value();
+  ASSERT_EQ(ns.plan_precision(), PlanPrecision::kInt8);
+  const double int8_answer = ns.Answer(b.probes[0]);
+
+  // Serve the reference tier for a while, then Save: the validated int8
+  // plans (and their calibration) must survive the round-trip.
+  ASSERT_TRUE(ns.SelectPrecision(PlanPrecision::kF64).ok());
+  const std::string path = testing::TempDir() + "/ns_inactive_int8.bin";
+  ASSERT_TRUE(ns.Save(path).ok());
+  auto loaded = NeuroSketch::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.value().plan_precision(), PlanPrecision::kF64);
+  EXPECT_TRUE(loaded.value().has_int8_plans());
+  EXPECT_EQ(loaded.value().Answer(b.probes[0]),
+            loaded.value().AnswerScalar(b.probes[0]));
+  ASSERT_TRUE(loaded.value().SelectPrecision(PlanPrecision::kInt8).ok());
+  EXPECT_EQ(loaded.value().Answer(b.probes[0]), int8_answer);
+}
+
+TEST(PrecisionTest, StoreListingReportsInt8Precision) {
+  Bench b = MakeBench(86);
+  b.cfg.plan_precision = PlanPrecision::kInt8;
+  auto sketch = NeuroSketch::Train(b.train_q, b.train_a, b.cfg);
+  ASSERT_TRUE(sketch.ok());
+  ASSERT_EQ(sketch.value().plan_precision(), PlanPrecision::kInt8);
+
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = Aggregate::kCount;
+  spec.measure_col = 0;
+  serve::SketchStore store;
+  ASSERT_TRUE(store.Register("uni", spec, std::move(sketch).value()).ok());
+  const auto listings = store.List();
+  ASSERT_EQ(listings.size(), 1u);
+  EXPECT_EQ(listings[0].precision, PlanPrecision::kInt8);
+  EXPECT_TRUE(listings[0].compiled);
 }
 
 TEST(PrecisionTest, StoreListingReportsPrecision) {

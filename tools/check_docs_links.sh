@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Fails when a relative markdown link in README.md or docs/*.md points at
+# a file that does not exist. External links (http/https/mailto) and
+# intra-page anchors are skipped; "path#anchor" links are checked for the
+# path only. Run from anywhere; paths resolve against the repo root.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+status=0
+
+for doc in "$root"/README.md "$root"/docs/*.md; do
+  [ -f "$doc" ] || continue
+  docdir="$(dirname "$doc")"
+  # Inline markdown links: [text](target). Good enough for these docs;
+  # reference-style links are not used here.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$docdir/$path" ]; then
+      echo "BROKEN: $doc -> $target"
+      status=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/')
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "docs links OK"
+fi
+exit "$status"
