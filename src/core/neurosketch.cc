@@ -31,6 +31,45 @@ bool EnvFlagSet(const char* name) {
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
+// Result of a validation replay: worst divergence seen and how many
+// queries actually contributed a measurement.
+struct DivergenceRecord {
+  double max_div = 0.0;
+  size_t measured = 0;
+};
+
+// Sharded max-divergence reduction shared by the f32 and int8 validation
+// replays. `fn(v, &div)` measures query v (returning false to skip it);
+// queries shard into contiguous ranges, each shard keeps a local record,
+// and the shards fold in fixed order below. max and + are exact
+// reductions, so the result is bit-identical to a serial sweep for any
+// shard layout — the determinism contract construction_parallel_test
+// pins.
+template <typename PerQuery>
+DivergenceRecord ShardedMaxDivergence(size_t n, size_t num_threads,
+                                      const PerQuery& fn) {
+  ThreadPool& pool = ThreadPool::Shared();
+  const size_t shards = pool.NumShards(n, num_threads);
+  std::vector<DivergenceRecord> partial(shards);
+  pool.ParallelForShards(n, num_threads,
+                         [&](size_t s, size_t begin, size_t end) {
+                           DivergenceRecord local;
+                           for (size_t v = begin; v < end; ++v) {
+                             double div;
+                             if (!fn(v, &div)) continue;
+                             if (div > local.max_div) local.max_div = div;
+                             ++local.measured;
+                           }
+                           partial[s] = local;
+                         });
+  DivergenceRecord total;
+  for (const DivergenceRecord& p : partial) {
+    if (p.max_div > total.max_div) total.max_div = p.max_div;
+    total.measured += p.measured;
+  }
+  return total;
+}
+
 }  // namespace
 
 const char* PlanPrecisionName(PlanPrecision p) {
@@ -90,6 +129,7 @@ Result<NeuroSketch> NeuroSketch::Train(
   pc.tree_height = config.tree_height;
   pc.target_leaves = config.target_partitions;
   pc.aqc = config.aqc;
+  pc.num_threads = config.train_threads;
   PartitionResult partition = PartitionQuerySpace(q_ok, a_ok, pc);
   sketch.tree_ = std::move(partition.tree);
   sketch.stats_.leaf_aqc = std::move(partition.leaf_aqc);
@@ -154,18 +194,22 @@ Result<NeuroSketch> NeuroSketch::Train(
       requested = PlanPrecision::kF32;
     }
   }
+  Timer calib_timer;
   if (requested == PlanPrecision::kInt8) {
     // Validate-or-fallback chain: int8 calibrates + validates over the
     // training workload; out of bound it demotes to the f32 tier, which
     // validates in turn and leaves the sketch on f64 if also out of
     // bound. Both tiers' measured divergences are retained either way.
-    if (!sketch.EnableInt8(q_ok, config.int8_error_bound)) {
-      sketch.EnableF32(q_ok, config.f32_error_bound);
+    if (!sketch.EnableInt8(q_ok, config.int8_error_bound,
+                           config.train_threads)) {
+      sketch.EnableF32(q_ok, config.f32_error_bound, config.train_threads);
     }
+    sketch.stats_.calibrate_seconds = calib_timer.ElapsedSeconds();
   } else if (requested == PlanPrecision::kF32) {
     // Compile the f32 tier and validate it over the training workload; on
     // a blown error bound EnableF32 leaves the sketch serving f64.
-    sketch.EnableF32(q_ok, config.f32_error_bound);
+    sketch.EnableF32(q_ok, config.f32_error_bound, config.train_threads);
+    sketch.stats_.calibrate_seconds = calib_timer.ElapsedSeconds();
   }
   return sketch;
 }
@@ -181,31 +225,36 @@ Result<NeuroSketch> NeuroSketch::TrainFromEngine(
 }
 
 bool NeuroSketch::EnableF32(const std::vector<QueryInstance>& validation,
-                            double error_bound) {
+                            double error_bound, size_t num_threads) {
   if (!compiled()) return false;
+  // Per-leaf narrowing is independent and deterministic; compile the tier
+  // concurrently on the shared pool.
+  ThreadPool& pool = ThreadPool::Shared();
   plans_f32_.resize(plans_.size());
-  for (size_t i = 0; i < plans_.size(); ++i) {
+  pool.ParallelFor(plans_.size(), num_threads, [&](size_t i) {
     plans_f32_[i] = nn::CompiledMlpF32::FromPlan(plans_[i]);
-  }
+  });
   // Measure the worst |f32 - f64| divergence in standardized units (the
   // raw network output, before per-leaf rescaling) so the bound does not
-  // depend on the magnitude of the query function's answers.
-  nn::Workspace& ws = nn::Workspace::ThreadLocal();
-  double max_div = 0.0;
-  size_t measured = 0;
-  for (const auto& q : validation) {
-    const auto* leaf = tree_.Route(q);
-    if (leaf == nullptr || leaf->leaf_id < 0 ||
-        static_cast<size_t>(leaf->leaf_id) >= plans_.size()) {
-      continue;
-    }
-    const int id = leaf->leaf_id;
-    const double raw64 = plans_[id].PredictOne(q.q.data(), &ws);
-    const double raw32 = plans_f32_[id].PredictOne(q.q.data(), &ws);
-    const double div = std::fabs(raw32 - raw64);
-    if (div > max_div) max_div = div;
-    ++measured;
-  }
+  // depend on the magnitude of the query function's answers. Sharded
+  // replay; bit-identical to serial (see ShardedMaxDivergence).
+  const DivergenceRecord rec = ShardedMaxDivergence(
+      validation.size(), num_threads, [&](size_t v, double* div) {
+        const auto& q = validation[v];
+        const auto* leaf = tree_.Route(q);
+        if (leaf == nullptr || leaf->leaf_id < 0 ||
+            static_cast<size_t>(leaf->leaf_id) >= plans_.size()) {
+          return false;
+        }
+        const int id = leaf->leaf_id;
+        nn::Workspace& ws = nn::Workspace::ThreadLocal();
+        const double raw64 = plans_[id].PredictOne(q.q.data(), &ws);
+        const double raw32 = plans_f32_[id].PredictOne(q.q.data(), &ws);
+        *div = std::fabs(raw32 - raw64);
+        return true;
+      });
+  const double max_div = rec.max_div;
+  const size_t measured = rec.measured;
   f32_error_bound_ = error_bound;
   f32_max_divergence_ = max_div;
   if (measured == 0 || !(max_div <= error_bound)) {
@@ -220,55 +269,81 @@ bool NeuroSketch::EnableF32(const std::vector<QueryInstance>& validation,
 }
 
 bool NeuroSketch::EnableInt8(const std::vector<QueryInstance>& validation,
-                             double error_bound) {
+                             double error_bound, size_t num_threads) {
   if (!compiled()) return false;
   // Calibration pass: replay the workload through the f64 plans, recording
   // per-leaf, per-layer input absmax (layer 0 sees the raw query, layer
   // l > 0 the previous layer's activations). The routed leaf and the f64
   // prediction are cached per query so the validation pass below pays for
-  // neither a second Route nor a second f64 forward.
-  nn::Workspace& ws = nn::Workspace::ThreadLocal();
+  // neither a second Route nor a second f64 forward. The replay shards
+  // across threads: each shard accumulates into its own absmax matrix and
+  // coverage counts (queries from two shards may route to the same leaf,
+  // so sharing one matrix would race), and the per-shard records fold in
+  // fixed shard order below. absmax combines by max and coverage by
+  // integer sum — both exact — so the calibration scales are bit-identical
+  // to the serial single-pass sweep for every thread count. routed[] and
+  // raw64[] are indexed by query, disjoint across shards.
+  ThreadPool& pool = ThreadPool::Shared();
+  const size_t shards = pool.NumShards(validation.size(), num_threads);
   std::vector<std::vector<double>> absmax(plans_.size());
   std::vector<size_t> covered(plans_.size(), 0);
   for (size_t i = 0; i < plans_.size(); ++i) {
     absmax[i].assign(plans_[i].layers().size(), 0.0);
   }
+  std::vector<std::vector<std::vector<double>>> shard_absmax(shards, absmax);
+  std::vector<std::vector<size_t>> shard_covered(
+      shards, std::vector<size_t>(plans_.size(), 0));
   std::vector<int> routed(validation.size(), -1);
   std::vector<double> raw64(validation.size(), 0.0);
-  for (size_t v = 0; v < validation.size(); ++v) {
-    const auto* leaf = tree_.Route(validation[v]);
-    if (leaf == nullptr || leaf->leaf_id < 0 ||
-        static_cast<size_t>(leaf->leaf_id) >= plans_.size()) {
-      continue;
+  pool.ParallelForShards(
+      validation.size(), num_threads, [&](size_t s, size_t begin, size_t end) {
+        nn::Workspace& ws = nn::Workspace::ThreadLocal();
+        std::vector<std::vector<double>>& local_absmax = shard_absmax[s];
+        std::vector<size_t>& local_covered = shard_covered[s];
+        for (size_t v = begin; v < end; ++v) {
+          const auto* leaf = tree_.Route(validation[v]);
+          if (leaf == nullptr || leaf->leaf_id < 0 ||
+              static_cast<size_t>(leaf->leaf_id) >= plans_.size()) {
+            continue;
+          }
+          const int id = leaf->leaf_id;
+          routed[v] = id;
+          raw64[v] = plans_[id].CalibrateOne(validation[v].q.data(), &ws,
+                                             local_absmax[id].data());
+          ++local_covered[id];
+        }
+      });
+  for (size_t s = 0; s < shards; ++s) {
+    nn::CombineLayerAbsmax(&absmax, shard_absmax[s]);
+    for (size_t i = 0; i < plans_.size(); ++i) {
+      covered[i] += shard_covered[s][i];
     }
-    const int id = leaf->leaf_id;
-    routed[v] = id;
-    raw64[v] =
-        plans_[id].CalibrateOne(validation[v].q.data(), &ws, absmax[id].data());
-    ++covered[id];
   }
   // Quantize calibrated leaves; a leaf with no calibration coverage keeps
   // an empty int8 plan and serves its f64 plan instead — int8 is never
-  // served with made-up scales.
+  // served with made-up scales. Leaves quantize independently (pure
+  // function of the f64 plan + its absmax), so this fans out per leaf.
   plans_i8_.assign(plans_.size(), nn::CompiledMlpI8());
-  for (size_t i = 0; i < plans_.size(); ++i) {
+  pool.ParallelFor(plans_.size(), num_threads, [&](size_t i) {
     if (covered[i] > 0) {
       plans_i8_[i] = nn::CompiledMlpI8::FromPlan(plans_[i], absmax[i]);
     }
-  }
+  });
   // Validate: worst |int8 - f64| divergence in standardized units over
   // the same workload (uncovered leaves contribute nothing — they will
-  // serve f64 bits anyway).
-  double max_div = 0.0;
-  size_t measured = 0;
-  for (size_t v = 0; v < validation.size(); ++v) {
-    const int id = routed[v];
-    if (id < 0 || plans_i8_[id].empty()) continue;
-    const double raw8 = plans_i8_[id].PredictOne(validation[v].q.data(), &ws);
-    const double div = std::fabs(raw8 - raw64[v]);
-    if (div > max_div) max_div = div;
-    ++measured;
-  }
+  // serve f64 bits anyway). Same sharded max reduction as EnableF32.
+  const DivergenceRecord rec = ShardedMaxDivergence(
+      validation.size(), num_threads, [&](size_t v, double* div) {
+        const int id = routed[v];
+        if (id < 0 || plans_i8_[id].empty()) return false;
+        nn::Workspace& ws = nn::Workspace::ThreadLocal();
+        const double raw8 =
+            plans_i8_[id].PredictOne(validation[v].q.data(), &ws);
+        *div = std::fabs(raw8 - raw64[v]);
+        return true;
+      });
+  const double max_div = rec.max_div;
+  const size_t measured = rec.measured;
   int8_error_bound_ = error_bound;
   int8_max_divergence_ = max_div;
   if (measured == 0 || !(max_div <= error_bound)) {

@@ -60,10 +60,16 @@ struct NeuroSketchConfig {
   nn::TrainConfig train;
   uint64_t seed = 17;
 
-  /// Per-leaf training parallelism: 0 = one job per hardware thread (the
-  /// shared pool), 1 = sequential, n = at most n concurrent leaf trainers.
-  /// Results are bit-identical for every setting: each leaf derives its
-  /// init and shuffle seeds from its leaf id alone.
+  /// Construction parallelism for every phase of Train — the kd-tree
+  /// partition/merge, per-leaf training, and the narrow-tier
+  /// calibrate/validate replays — on the shared pool: 0 = one job per
+  /// hardware thread, 1 = sequential, n = at most n concurrent workers.
+  /// Results are bit-identical for every setting: tree splits are pure
+  /// functions of each node's query set, each leaf derives its init and
+  /// shuffle seeds from its leaf id alone, and the sharded
+  /// calibration/validation reductions (max / absmax / counts) are exact
+  /// regardless of shard boundaries (see docs/ARCHITECTURE.md,
+  /// "Construction pipeline").
   size_t train_threads = 0;
 
   /// Serving precision for the compiled plans. kF32 compiles both tiers,
@@ -100,9 +106,15 @@ struct NeuroSketchConfig {
 /// \brief A trained NeuroSketch for one query function.
 class NeuroSketch {
  public:
+  /// Per-phase wall times of the construction pipeline. Every phase runs
+  /// on the shared pool under `NeuroSketchConfig::train_threads`:
+  /// partition (kd-tree build + AQC merge), train (per-leaf MLP training +
+  /// plan compilation), calibrate (the narrow-tier validate-or-calibrate
+  /// replays; 0 when the sketch trains at the default f64 precision).
   struct BuildStats {
     double partition_seconds = 0.0;
     double train_seconds = 0.0;
+    double calibrate_seconds = 0.0;
     std::vector<double> leaf_aqc;  // per final leaf
     size_t num_partitions = 0;
     size_t training_queries = 0;
@@ -159,6 +171,9 @@ class NeuroSketch {
   size_t num_partitions() const { return models_.size(); }
   const BuildStats& stats() const { return stats_; }
   size_t query_dim() const { return tree_.query_dim(); }
+  /// \brief The routing kd-tree (read-only). Lets tests and tools compare
+  /// partitions structurally (e.g. EncodeRouting between builds).
+  const QuerySpaceKdTree& tree() const { return tree_; }
 
   /// \brief True once every leaf model has a compiled inference plan
   /// (always the case after Train or Load).
@@ -179,6 +194,17 @@ class NeuroSketch {
   double int8_max_divergence() const { return int8_max_divergence_; }
   double int8_error_bound() const { return int8_error_bound_; }
 
+  /// \brief Per-leaf int8 calibration records (per-layer input absmax).
+  /// Empty when the int8 tier is not compiled; a leaf with no calibration
+  /// coverage contributes an empty inner vector. Exposed so tests can pin
+  /// the calibration scales bit-for-bit across thread counts.
+  std::vector<std::vector<double>> Int8CalibrationScales() const {
+    std::vector<std::vector<double>> out;
+    out.reserve(plans_i8_.size());
+    for (const auto& p : plans_i8_) out.push_back(p.layer_absmax());
+    return out;
+  }
+
   /// \brief Resident bytes of a tier's compiled flat buffers (0 when that
   /// tier is not compiled). The f32 tier is half the f64 tier.
   size_t PlanBytes(PlanPrecision precision) const;
@@ -188,9 +214,12 @@ class NeuroSketch {
   /// true iff the measured max divergence stays within `error_bound`;
   /// otherwise drops the f32 plans and stays on (or reverts to) f64. The
   /// measured divergence is available from f32_max_divergence() either
-  /// way.
+  /// way. The validation replay shards across `num_threads` workers on
+  /// the shared pool (0 = hardware concurrency); per-shard maxima combine
+  /// in fixed shard order, so the record is bit-identical to a serial
+  /// sweep for every thread count.
   bool EnableF32(const std::vector<QueryInstance>& validation,
-                 double error_bound);
+                 double error_bound, size_t num_threads = 0);
 
   /// \brief Compile the int8 plan tier: calibrate per-layer activation
   /// ranges by replaying `validation` through the f64 plans, quantize
@@ -199,9 +228,13 @@ class NeuroSketch {
   /// standardized-unit divergence against `error_bound`. Activates int8
   /// serving and returns true iff in bound; otherwise drops the int8
   /// plans. The measured divergence is available from
-  /// int8_max_divergence() either way.
+  /// int8_max_divergence() either way. Both replays shard across
+  /// `num_threads` workers (0 = hardware concurrency); per-shard absmax /
+  /// coverage / divergence reductions combine in fixed shard order, so
+  /// calibration scales and the validation record are bit-identical to a
+  /// serial sweep for every thread count.
   bool EnableInt8(const std::vector<QueryInstance>& validation,
-                  double error_bound);
+                  double error_bound, size_t num_threads = 0);
 
   /// \brief Switch the active serving tier. kF32/kInt8 require that
   /// tier's plans (compiled by Train with the matching plan_precision,

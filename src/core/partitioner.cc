@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "util/thread_pool.h"
+
 namespace neurosketch {
 
 namespace {
@@ -22,16 +24,30 @@ PartitionResult PartitionQuerySpace(const std::vector<QueryInstance>& queries,
                                     const std::vector<double>& answers,
                                     const PartitionConfig& config) {
   PartitionResult result;
-  result.tree = QuerySpaceKdTree::Build(queries, config.tree_height);
+  result.tree =
+      QuerySpaceKdTree::Build(queries, config.tree_height, config.num_threads);
 
   // Alg. 3 merge loop.
   while (result.tree.NumLeaves() > config.target_leaves) {
     std::vector<Node*> leaves = result.tree.Leaves();
-    // Line 3: AQC per leaf, over the queries routed to it.
+    // Line 3: AQC per leaf, over the queries routed to it. A leaf's AQC
+    // is a pure function of its query set, so only leaves whose set
+    // changed since the last round (the freshly merged parents, which
+    // MergeChildren invalidates) need computing — the rest reuse their
+    // cached value, identical by purity. The stale leaves are independent
+    // (each writes only its own cached_aqc, with its own seeded
+    // pair-sampling RNG), so the pass parallelizes bit-identically.
+    std::vector<Node*> stale;
+    stale.reserve(leaves.size());
     for (Node* leaf : leaves) {
-      leaf->cached_aqc = ComputeAqc(queries, answers, leaf->query_ids,
-                                    config.aqc);
+      if (!leaf->aqc_valid) stale.push_back(leaf);
     }
+    ThreadPool::Shared().ParallelFor(
+        stale.size(), config.num_threads, [&](size_t i) {
+          stale[i]->cached_aqc =
+              ComputeAqc(queries, answers, stale[i]->query_ids, config.aqc);
+          stale[i]->aqc_valid = true;
+        });
     // Line 4-5: mark the unmarked leaf with the smallest AQC.
     Node* best = nullptr;
     for (Node* leaf : leaves) {
@@ -60,10 +76,18 @@ PartitionResult PartitionQuerySpace(const std::vector<QueryInstance>& queries,
   result.tree.AssignLeafIds();
   std::vector<Node*> leaves = result.tree.Leaves();
   result.leaf_aqc.assign(leaves.size(), 0.0);
-  for (Node* leaf : leaves) {
-    result.leaf_aqc[leaf->leaf_id] =
-        ComputeAqc(queries, answers, leaf->query_ids, config.aqc);
-  }
+  // Same purity argument: a leaf that still carries a valid cache (from
+  // the merge loop) reuses it; leaves never touched by merging (e.g. when
+  // no merge round ran) compute here, in parallel.
+  ThreadPool::Shared().ParallelFor(
+      leaves.size(), config.num_threads, [&](size_t i) {
+        if (!leaves[i]->aqc_valid) {
+          leaves[i]->cached_aqc =
+              ComputeAqc(queries, answers, leaves[i]->query_ids, config.aqc);
+          leaves[i]->aqc_valid = true;
+        }
+        result.leaf_aqc[leaves[i]->leaf_id] = leaves[i]->cached_aqc;
+      });
   return result;
 }
 

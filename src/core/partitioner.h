@@ -22,6 +22,12 @@ struct PartitionConfig {
   /// disable merging.
   size_t target_leaves = 8;
   AqcOptions aqc;
+  /// Concurrency for the kd-tree build and the per-leaf AQC passes of the
+  /// merge loop, on the shared pool (0 = hardware concurrency, 1 =
+  /// sequential). The partition is bit-identical for every setting: tree
+  /// splits are pure functions of each node's query set, and each leaf's
+  /// AQC is computed independently with its own seeded RNG.
+  size_t num_threads = 1;
 };
 
 struct PartitionResult {

@@ -3,27 +3,78 @@
 #include <algorithm>
 #include <functional>
 
+#include "util/thread_pool.h"
+
 namespace neurosketch {
 
+namespace {
+/// Subtrees with fewer queries than this build sequentially even when the
+/// parallel path is active: below it the split work is too small to cover
+/// a pool hand-off. The cutoff affects scheduling only, never the splits.
+constexpr size_t kSequentialBuildCutoff = 2048;
+}  // namespace
+
 QuerySpaceKdTree QuerySpaceKdTree::Build(
-    const std::vector<QueryInstance>& queries, size_t height) {
+    const std::vector<QueryInstance>& queries, size_t height,
+    size_t parallelism) {
   QuerySpaceKdTree tree;
   tree.query_dim_ = queries.empty() ? 0 : queries[0].dim();
   tree.root_ = std::make_unique<Node>();
   tree.root_->query_ids.resize(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) tree.root_->query_ids[i] = i;
-  BuildRecursive(tree.root_.get(), queries, height, 0, tree.query_dim_);
+  if (parallelism == 1 || queries.size() < kSequentialBuildCutoff) {
+    BuildRecursive(tree.root_.get(), queries, height, 0, tree.query_dim_);
+  } else {
+    // Task-splitting build, realized level-synchronously: each round
+    // splits the current frontier of pending nodes concurrently on the
+    // shared pool, then the children form the next frontier. A node whose
+    // query set has shrunk below the cutoff builds its whole remaining
+    // subtree sequentially inside its task instead of re-entering the
+    // frontier. Distinct nodes touch disjoint state, and every split is
+    // the same pure function of the node's query set the sequential build
+    // applies, so the resulting tree is bit-identical to BuildRecursive.
+    std::vector<Node*> frontier = {tree.root_.get()};
+    size_t depth = 0;
+    while (!frontier.empty() && depth < height) {
+      const size_t d = depth;
+      std::vector<std::pair<Node*, Node*>> children(frontier.size(),
+                                                    {nullptr, nullptr});
+      ThreadPool::Shared().ParallelFor(
+          frontier.size(), parallelism, [&](size_t i) {
+            Node* node = frontier[i];
+            if (node->query_ids.size() < kSequentialBuildCutoff) {
+              BuildRecursive(node, queries, height, d, tree.query_dim_);
+              return;  // subtree finished; nothing joins the frontier
+            }
+            if (SplitNode(node, queries, d, tree.query_dim_)) {
+              children[i] = {node->left.get(), node->right.get()};
+            }
+          });
+      std::vector<Node*> next;
+      next.reserve(2 * frontier.size());
+      for (const auto& [left, right] : children) {
+        if (left != nullptr) {
+          next.push_back(left);
+          next.push_back(right);
+        }
+      }
+      frontier = std::move(next);
+      ++depth;
+    }
+  }
   tree.AssignLeafIds();
   return tree;
 }
 
-void QuerySpaceKdTree::BuildRecursive(Node* node,
-                                      const std::vector<QueryInstance>& queries,
-                                      size_t height, size_t depth, size_t dim) {
-  if (depth >= height || node->query_ids.size() < 2 || dim == 0) return;
+bool QuerySpaceKdTree::SplitNode(Node* node,
+                                 const std::vector<QueryInstance>& queries,
+                                 size_t depth, size_t dim) {
+  if (node->query_ids.size() < 2 || dim == 0) return false;
   const size_t split_dim = depth % dim;  // Alg. 2: cycle dimensions
 
-  // Median of the node's queries along split_dim (Alg. 2 line 3).
+  // Median of the node's queries along split_dim (Alg. 2 line 3). The
+  // median *value* is the mid-th order statistic — deterministic no matter
+  // how nth_element permutes the scratch vector internally.
   std::vector<double> vals;
   vals.reserve(node->query_ids.size());
   for (size_t id : node->query_ids) vals.push_back(queries[id].q[split_dim]);
@@ -40,7 +91,7 @@ void QuerySpaceKdTree::BuildRecursive(Node* node,
     }
   }
   // Degenerate split (many duplicate coordinates): keep the node a leaf.
-  if (left_ids.empty() || right_ids.empty()) return;
+  if (left_ids.empty() || right_ids.empty()) return false;
 
   node->split_dim = static_cast<int>(split_dim);
   node->split_val = split_val;
@@ -52,6 +103,14 @@ void QuerySpaceKdTree::BuildRecursive(Node* node,
   node->right->query_ids = std::move(right_ids);
   node->query_ids.clear();
   node->query_ids.shrink_to_fit();
+  return true;
+}
+
+void QuerySpaceKdTree::BuildRecursive(Node* node,
+                                      const std::vector<QueryInstance>& queries,
+                                      size_t height, size_t depth, size_t dim) {
+  if (depth >= height) return;
+  if (!SplitNode(node, queries, depth, dim)) return;
   BuildRecursive(node->left.get(), queries, height, depth + 1, dim);
   BuildRecursive(node->right.get(), queries, height, depth + 1, dim);
 }
@@ -113,6 +172,7 @@ Status QuerySpaceKdTree::MergeChildren(Node* parent) {
   parent->right.reset();
   parent->split_dim = -1;
   parent->marked = false;
+  parent->aqc_valid = false;  // the merged query set needs a fresh AQC
   return Status::OK();
 }
 

@@ -27,6 +27,7 @@ class QuerySpaceKdTree {
     bool marked = false;            // Alg. 3 merge mark
     int leaf_id = -1;               // model slot, set by AssignLeafIds
     double cached_aqc = 0.0;        // Alg. 3 line 3 result (set by caller)
+    bool aqc_valid = false;         // cached_aqc reflects query_ids
 
     bool is_leaf() const { return left == nullptr; }
   };
@@ -35,8 +36,13 @@ class QuerySpaceKdTree {
 
   /// \brief Alg. 2: build a tree of height `height` over `queries`
   /// (2^height leaves); splitting stops early if a node has < 2 queries.
+  /// `parallelism` bounds the number of concurrent subtree builders on the
+  /// shared pool (0 = hardware concurrency, 1 = fully sequential). Every
+  /// split decision is a pure function of the node's query set — the
+  /// median value along the cycled dimension and a stable left/right scan
+  /// — so the tree is bit-identical for every parallelism setting.
   static QuerySpaceKdTree Build(const std::vector<QueryInstance>& queries,
-                                size_t height);
+                                size_t height, size_t parallelism = 1);
 
   /// \brief Alg. 5 traversal: the leaf whose region contains q.
   const Node* Route(const QueryInstance& q) const;
@@ -67,6 +73,12 @@ class QuerySpaceKdTree {
       const std::vector<double>& encoded, size_t query_dim);
 
  private:
+  /// Split one node at `depth` (median along the cycled dimension); leaves
+  /// the node a leaf when no further split is possible. Returns true iff
+  /// children were created. Touches only `node` and its new children, so
+  /// distinct nodes may be split concurrently.
+  static bool SplitNode(Node* node, const std::vector<QueryInstance>& queries,
+                        size_t depth, size_t dim);
   static void BuildRecursive(Node* node,
                              const std::vector<QueryInstance>& queries,
                              size_t height, size_t depth, size_t dim);

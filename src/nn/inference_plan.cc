@@ -12,6 +12,19 @@ Workspace& Workspace::ThreadLocal() {
   return ws;
 }
 
+void CombineLayerAbsmax(std::vector<std::vector<double>>* dst,
+                        const std::vector<std::vector<double>>& src) {
+  assert(dst->size() == src.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    std::vector<double>& d = (*dst)[i];
+    const std::vector<double>& s = src[i];
+    assert(d.size() == s.size());
+    for (size_t l = 0; l < s.size(); ++l) {
+      if (s[l] > d[l]) d[l] = s[l];
+    }
+  }
+}
+
 CompiledMlp CompiledMlp::FromConfig(const MlpConfig& config) {
   CompiledMlp plan;
   plan.config_ = config;

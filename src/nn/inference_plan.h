@@ -88,6 +88,16 @@ class Workspace {
   std::vector<std::vector<size_t>> buckets_;
 };
 
+/// \brief Fixed-order shard combine for parallel int8 calibration: raise
+/// each entry of `dst` (per-leaf, per-layer input absmax) to the matching
+/// entry of `src`. max is associative and commutative over doubles (NaN
+/// never enters: absmax entries come from std::fabs comparisons that drop
+/// NaN), so folding the shards in shard order reproduces the serial
+/// single-pass record bit-for-bit. `src` must have the same shape as
+/// `dst`.
+void CombineLayerAbsmax(std::vector<std::vector<double>>* dst,
+                        const std::vector<std::vector<double>>& src);
+
 /// \brief Execution plan compiled from a trained Mlp: flat parameter
 /// buffer + per-layer geometry, no per-call allocation, enum-dispatched
 /// activations. Parameters are bit-identical copies of the source model.

@@ -9,7 +9,15 @@
 // accumulation order is identical in every clone and the build pins
 // -ffp-contract=off, so results are bit-identical across ISAs — serving
 // batches answer exactly what the scalar per-query path answers.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+//
+// NEUROSKETCH_NO_SIMD_CLONES disables the dispatch (plain baseline
+// codegen). ThreadSanitizer builds need this: the dynamic linker runs
+// ifunc resolvers while processing relocations, before libtsan's
+// .preinit_array initializes its thread state, and GCC's libtsan
+// segfaults on the first intercepted call from that window. Results are
+// unchanged either way — every clone computes the same bits.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(NEUROSKETCH_NO_SIMD_CLONES) && !defined(__SANITIZE_THREAD__)
 #define NS_TARGET_CLONES \
   __attribute__((target_clones("avx512f", "avx2", "default")))
 #else

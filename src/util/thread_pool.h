@@ -129,6 +129,36 @@ class ThreadPool {
     }
   }
 
+  /// \brief Sharded variant of ParallelFor for reductions: splits [0, n)
+  /// into `NumShards(n, max_parallelism)` contiguous ranges and runs
+  /// fn(shard, begin, end) for each, concurrently. Shard boundaries depend
+  /// only on (n, max_parallelism) — never on scheduling — so a caller that
+  /// keeps one accumulator per shard and combines them in shard order gets
+  /// the same result on every run. Combining with max (or any operation
+  /// that is associative and commutative over the shard partials, like
+  /// integer sums) additionally reproduces the single-shard result
+  /// bit-for-bit regardless of thread count.
+  void ParallelForShards(
+      size_t n, size_t max_parallelism,
+      const std::function<void(size_t, size_t, size_t)>& fn) {
+    const size_t shards = NumShards(n, max_parallelism);
+    if (shards == 0) return;
+    ParallelFor(shards, max_parallelism, [&](size_t s) {
+      const size_t begin = n * s / shards;
+      const size_t end = n * (s + 1) / shards;
+      if (begin < end) fn(s, begin, end);
+    });
+  }
+
+  /// \brief Shard count ParallelForShards will use: min(n, resolved
+  /// parallelism), where 0 resolves to pool width + caller. Callers size
+  /// their per-shard accumulator arrays with this.
+  size_t NumShards(size_t n, size_t max_parallelism) const {
+    if (max_parallelism == 0) max_parallelism = num_threads() + 1;
+    if (max_parallelism < 1) max_parallelism = 1;
+    return n < max_parallelism ? n : max_parallelism;
+  }
+
   /// \brief Process-wide pool sized to hardware concurrency. Constructed
   /// on first use; never destroyed before main returns.
   static ThreadPool& Shared() {

@@ -1,13 +1,15 @@
 // Tests for the Theorem 3.4 / Algorithm 1 constructive network: exact
 // memorization at grid vertices (Lemma A.1), constant behaviour inside the
 // inner cell region (Lemma A.2a), the 1-norm error bound (Eq. 7), and the
-// CS+SGD trainable variant (Appendix A.5).
+// CS+SGD trainable variant (Appendix A.5) — plus the NeuroSketch
+// construction-pipeline phase accounting (BuildStats).
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <set>
 #include <tuple>
 
+#include "core/neurosketch.h"
 #include "nn/construction.h"
 #include "util/random.h"
 
@@ -211,6 +213,47 @@ TEST(CsSgdTest, TrainOnMismatchedDimsIsNoOp) {
   Matrix inputs(4, 3), targets(4, 1);  // wrong input dim
   EXPECT_DOUBLE_EQ(
       net.value().TrainSgd(inputs, targets, 5, 2, 0.01, 1), 0.0);
+}
+
+// BuildStats splits the construction pipeline into per-phase wall times:
+// partition (kd-tree + AQC merge), train (per-leaf MLPs + plans), and
+// calibrate (narrow-tier validate/calibrate replays). A narrow-tier build
+// must populate all three; a default f64 build performs no calibration
+// replay and must report exactly 0 for that phase.
+TEST(BuildStatsTest, AllThreePhaseTimesPopulated) {
+  Rng rng(4100);
+  std::vector<QueryInstance> queries;
+  std::vector<double> answers;
+  for (int i = 0; i < 800; ++i) {
+    const double c = rng.Uniform(), r = rng.Uniform(0.0, 0.5);
+    queries.push_back(QueryInstance(std::vector<double>{c, r}));
+    answers.push_back(std::cos(3.0 * c) + 2.0 * r);
+  }
+  NeuroSketchConfig cfg;
+  cfg.tree_height = 3;
+  cfg.target_partitions = 4;
+  cfg.n_layers = 3;
+  cfg.l_first = 12;
+  cfg.l_rest = 8;
+  cfg.train.epochs = 10;
+  cfg.seed = 4101;
+  cfg.plan_precision = PlanPrecision::kInt8;
+  auto sketch = NeuroSketch::Train(queries, answers, cfg);
+  ASSERT_TRUE(sketch.ok()) << sketch.status().ToString();
+  const auto& stats = sketch.value().stats();
+  EXPECT_GT(stats.partition_seconds, 0.0);
+  EXPECT_GT(stats.train_seconds, 0.0);
+  EXPECT_GT(stats.calibrate_seconds, 0.0);
+
+  if (!ForceF32PlansFromEnv() && !ForceInt8PlansFromEnv()) {
+    cfg.plan_precision = PlanPrecision::kF64;
+    auto plain = NeuroSketch::Train(queries, answers, cfg);
+    ASSERT_TRUE(plain.ok());
+    EXPECT_GT(plain.value().stats().partition_seconds, 0.0);
+    EXPECT_GT(plain.value().stats().train_seconds, 0.0);
+    EXPECT_EQ(plain.value().stats().calibrate_seconds, 0.0)
+        << "f64 builds run no calibrate/validate replay";
+  }
 }
 
 }  // namespace

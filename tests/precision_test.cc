@@ -395,6 +395,56 @@ TEST(PrecisionTest, Int8SaturatingOutliersClampAtCalibrationBoundary) {
   EXPECT_EQ(i8.PredictOne(&neg, &ws), i8.PredictOne(&neg_boundary, &ws));
 }
 
+// Pins the current *signed* symmetric activation-quantization scheme
+// (127 levels per side, step = absmax/127) — including for ReLU layers
+// whose activations are non-negative and would fit an unsigned 0..255
+// grid with half the step (the deferred ROADMAP item: unsigned ReLU
+// activation quantization would roughly halve measured divergence at the
+// same width). If that scheme lands, this test is the one that must
+// change: the pinned step below halves, and the zero-range / saturating
+// behavior must be re-pinned under the new grid (today those edges are
+// covered by Int8ZeroRangeLayerDegeneratesToBias and
+// Int8SaturatingOutliersClampAtCalibrationBoundary, both of which are
+// grid-agnostic on the negative side only for signed grids).
+TEST(PrecisionTest, Int8ActivationQuantizationPinnedToSignedGrid) {
+  // Identity network: 1 input, single linear layer, weight 1, bias 0.
+  // With absmax = 127 the activation multiplier is exactly 127/127 = 1,
+  // so PredictOne(x) == round(x) exposes the quantization grid directly.
+  nn::MlpConfig cfg;
+  cfg.in_dim = 1;
+  cfg.hidden = {};
+  nn::Mlp model(cfg, 5);
+  model.layers()[0].weight()(0, 0) = 1.0;
+  model.layers()[0].bias()(0, 0) = 0.0;
+  nn::CompiledMlp plan = nn::CompiledMlp::FromMlp(model);
+  nn::CompiledMlpI8 i8 = nn::CompiledMlpI8::FromPlan(plan, {127.0});
+
+  nn::Workspace ws;
+  // Signed grid: step = absmax/127 = 1.0, symmetric about zero. An
+  // unsigned 0..255 grid for the same range would have step 127/255 and
+  // these expectations would fail (e.g. 2.4 would quantize near 2.49; the
+  // 1e-4 tolerance absorbs only the f32 dequant-multiplier rounding, not
+  // a grid change).
+  const struct { double in, out; } pinned[] = {
+      {0.0, 0.0},  {0.4, 0.0},  {0.6, 1.0},  {2.4, 2.0},   {2.6, 3.0},
+      {-0.4, 0.0}, {-0.6, -1.0}, {-2.6, -3.0}, {126.4, 126.0},
+  };
+  for (const auto& c : pinned) {
+    EXPECT_NEAR(i8.PredictOne(&c.in, &ws), c.out, 1e-4) << "input " << c.in;
+  }
+  // The worst-case rounding error of the signed grid is half a step,
+  // absmax/254 — twice what the deferred unsigned scheme would measure on
+  // non-negative (ReLU-range) inputs. Pin it from above *and* below so a
+  // silent scheme change in either direction trips here.
+  double max_err = 0.0;
+  for (double x = 0.0; x <= 127.0; x += 0.01) {
+    max_err = std::max(max_err, std::fabs(i8.PredictOne(&x, &ws) - x));
+  }
+  EXPECT_NEAR(max_err, 127.0 / 254.0, 1e-2);
+  EXPECT_GT(max_err, 127.0 / 510.0) << "unsigned-grid error bound reached: "
+                                       "re-pin this test to the new scheme";
+}
+
 TEST(PrecisionTest, Int8PrecisionAndCalibrationSurviveSaveLoad) {
   Bench b = MakeBench(84);
   b.cfg.plan_precision = PlanPrecision::kInt8;

@@ -141,6 +141,69 @@ INSTANTIATE_TEST_SUITE_P(
                      testing::Values<size_t>(1, 2, 4, 6)));
 
 // ---------------------------------------------------------------------
+// Parallel construction determinism, randomized: over seeded random
+// tables/workloads, the parallel kd-tree build must yield the exact same
+// leaf boundaries as the serial build, and a sketch trained with hw
+// threads must serialize to the same SizeBytes() as the serial build.
+// (construction_parallel_test pins one configuration exhaustively; this
+// sweeps 20 random shapes.)
+TEST(ParallelConstructionSweep, ParallelKdTreeMatchesSerialAcrossTrials) {
+  for (uint64_t trial = 0; trial < 20; ++trial) {
+    Rng rng(3000 + trial);
+    const size_t dim = 1 + rng.Index(4);          // 1..4
+    const size_t height = 2 + rng.Index(4);       // 2..5
+    const size_t n = 2500 + rng.Index(4000);      // straddles the cutoff
+    std::vector<QueryInstance> queries;
+    std::vector<double> answers;
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<double> v(dim);
+      for (double& x : v) x = rng.Uniform();
+      // A few duplicate coordinates so degenerate splits get exercised.
+      if (rng.Index(10) == 0 && i > 0) v[0] = queries[i - 1].q[0];
+      double a = 0.0;
+      for (double x : v) a += std::sin(3.0 * x);
+      queries.emplace_back(std::move(v));
+      answers.push_back(a);
+    }
+    auto serial = QuerySpaceKdTree::Build(queries, height, 1);
+    auto parallel = QuerySpaceKdTree::Build(queries, height, 0);
+    EXPECT_EQ(parallel.EncodeRouting(), serial.EncodeRouting())
+        << "trial " << trial << " dim=" << dim << " height=" << height;
+    const auto serial_leaves = serial.Leaves();
+    const auto parallel_leaves = parallel.Leaves();
+    ASSERT_EQ(parallel_leaves.size(), serial_leaves.size()) << "trial "
+                                                            << trial;
+    for (size_t l = 0; l < serial_leaves.size(); ++l) {
+      EXPECT_EQ(parallel_leaves[l]->query_ids, serial_leaves[l]->query_ids)
+          << "trial " << trial << " leaf " << l;
+    }
+
+    // Every few trials, carry the same workload through a full (tiny)
+    // sketch build and demand identical serialized size.
+    if (trial % 4 == 0) {
+      NeuroSketchConfig cfg;
+      cfg.tree_height = std::min<size_t>(height, 3);
+      cfg.target_partitions = 4;
+      cfg.n_layers = 2;
+      cfg.l_first = 8;
+      cfg.l_rest = 8;
+      cfg.train.epochs = 3;
+      cfg.seed = 3100 + trial;
+      cfg.train_threads = 1;
+      auto s = NeuroSketch::Train(queries, answers, cfg);
+      cfg.train_threads = 0;
+      auto p = NeuroSketch::Train(queries, answers, cfg);
+      ASSERT_TRUE(s.ok() && p.ok()) << "trial " << trial;
+      EXPECT_EQ(p.value().SizeBytes(), s.value().SizeBytes())
+          << "trial " << trial;
+      EXPECT_EQ(p.value().tree().EncodeRouting(),
+                s.value().tree().EncodeRouting())
+          << "trial " << trial;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
 // Workload generator: for every (num_active, range) combination, the
 // generated instance has exactly num_active active attributes, each with
 // the requested width, and the (c, r) encoding stays in the simplex.
