@@ -186,6 +186,7 @@ void RunThreadScaling() {
   cfg.seed = 1406;
 
   double base_total = 0.0;
+  metrics::MetricsRegistry registry;
   std::printf("%8s %12s %12s %12s %12s %9s %12s\n", "threads", "partition_s",
               "train_s", "calibrate_s", "total_s", "speedup", "size_bytes");
   for (size_t threads : {1u, 2u, 4u, 0u}) {
@@ -201,7 +202,11 @@ void RunThreadScaling() {
                 st.partition_seconds, st.train_seconds, st.calibrate_seconds,
                 total_s, base_total > 0.0 ? base_total / total_s : 0.0,
                 sketch.value().SizeBytes());
+    if (threads == 0) sketch.value().ExportBuildMetrics(&registry);
   }
+  // The same uniform build-metrics document nsketch_cli train and the
+  // serving bench emit (hw-thread build; see docs/OBSERVABILITY.md).
+  std::printf("\n-- build metrics --\n%s", registry.TextExposition().c_str());
 }
 
 }  // namespace

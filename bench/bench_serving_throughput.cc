@@ -9,7 +9,11 @@
 // footprint), and a vectorized-batch section per tier (the float-
 // marshalled gather path). Emits a BENCH_serving.json snapshot (written
 // to the working directory) so the perf trajectory can be tracked across
-// commits.
+// commits; the snapshot also carries the observability sections — the
+// headline run's per-stage latency breakdown and per-store stats, the
+// stage-tracing on/off overhead on the single-query serve path (CI gates
+// it via tools/check_serving_overhead.sh), and the metrics-registry
+// document (nsketch_build_* + nsketch_serve_*) under "metrics".
 //
 // Usage: bench_serving_throughput [out.json]
 #include <algorithm>
@@ -22,6 +26,7 @@
 #include "bench_common.h"
 #include "serve/serve_engine.h"
 #include "serve/sketch_store.h"
+#include "util/metrics.h"
 
 namespace neurosketch {
 namespace bench {
@@ -81,11 +86,12 @@ LatencyNs MeasureSingleQuery(const std::vector<QueryInstance>& pool,
 
 /// Per-query dispatch: batching disabled, one Answer call per request.
 RunResult RunPerQuery(const SketchStore* store, const QueryFunctionSpec& spec,
-                      const std::vector<QueryInstance>& pool,
-                      size_t clients) {
+                      const std::vector<QueryInstance>& pool, size_t clients,
+                      bool stage_tracing = true) {
   ServeOptions opts;
   opts.max_batch = 1;
   opts.batch_window_us = 0.0;
+  opts.stage_tracing = stage_tracing;
   ServeEngine eng(store, opts);
   Timer t;
   std::vector<std::thread> threads;
@@ -119,7 +125,8 @@ RunResult RunPerQuery(const SketchStore* store, const QueryFunctionSpec& spec,
 /// Micro-batched dispatch: burst submission + server-side coalescing.
 RunResult RunBatched(const SketchStore* store, const QueryFunctionSpec& spec,
                      const std::vector<QueryInstance>& pool, size_t clients,
-                     size_t max_batch, double window_us) {
+                     size_t max_batch, double window_us,
+                     metrics::MetricsRegistry* export_reg = nullptr) {
   ServeOptions opts;
   opts.max_batch = max_batch;
   opts.batch_window_us = window_us;
@@ -150,15 +157,53 @@ RunResult RunBatched(const SketchStore* store, const QueryFunctionSpec& spec,
   r.max_batch = max_batch;
   r.qps = static_cast<double>(clients * kPerClient) / t.ElapsedSeconds();
   r.stats = eng.Snapshot();
+  if (export_reg != nullptr) eng.ExportMetrics(export_reg);
   return r;
 }
 
 void PrintRow(const RunResult& r) {
-  std::printf("%-12s %8zu %10.0f %10zu %12.0f %9.0f %9.0f %9.0f %11.1f\n",
+  std::printf("%-12s %8zu %10.0f %10zu %12.0f %9.0f %9.0f %9.0f %9.0f "
+              "%11.1f\n",
               r.mode.c_str(), r.clients, r.window_us, r.max_batch, r.qps,
               r.stats.p50_us, r.stats.p95_us, r.stats.p99_us,
-              r.stats.mean_batch_size);
+              r.stats.p999_us, r.stats.mean_batch_size);
 }
+
+/// True single-query serve p50: one client, submit one, wait, repeat —
+/// no burst, so no queueing amplification (in a 128-deep burst the p50
+/// request waits behind ~64 predecessors and every nanosecond of
+/// per-request dispatcher work is paid ~64x in measured latency). Warmup
+/// runs first, then ResetStats opens a clean measurement window.
+double ServeSingleQueryP50(const SketchStore* store,
+                           const QueryFunctionSpec& spec,
+                           const std::vector<QueryInstance>& pool,
+                           bool stage_tracing) {
+  ServeOptions opts;
+  opts.max_batch = 1;
+  opts.batch_window_us = 0.0;
+  opts.stage_tracing = stage_tracing;
+  ServeEngine eng(store, opts);
+  constexpr size_t kWarm = 500, kSamples = 4000;
+  for (size_t i = 0; i < kWarm; ++i) {
+    eng.Submit("bench", spec, pool[i % pool.size()]).get();
+  }
+  eng.ResetStats();
+  for (size_t i = 0; i < kSamples; ++i) {
+    eng.Submit("bench", spec, pool[i % pool.size()]).get();
+  }
+  return eng.Snapshot().p50_us;
+}
+
+/// Observability sections for the json snapshot: the headline run's stage
+/// breakdown + per-store stats, the tracing on/off overhead on the
+/// single-query serve path, and the registry document (build + serve).
+struct ObservabilityReport {
+  ServeStats headline;
+  double tracing_on_p50_us = 0.0;
+  double tracing_off_p50_us = 0.0;
+  double overhead_pct = 0.0;
+  std::string metrics_json;
+};
 
 /// Narrow-tier (f32 / int8) record for the json snapshot.
 struct TierReport {
@@ -200,11 +245,21 @@ double MeasureBatchedMqps(const NeuroSketch& ns,
   return static_cast<double>(kReps * batch.size()) / seconds / 1e6;
 }
 
+void WriteBreakdown(FILE* f, const char* name,
+                    const serve::LatencyBreakdown& b, const char* trailer) {
+  std::fprintf(f,
+               "    \"%s\": {\"count\": %llu, \"p50_us\": %.1f, "
+               "\"p95_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f}%s\n",
+               name, static_cast<unsigned long long>(b.count), b.p50_us,
+               b.p95_us, b.p99_us, b.p999_us, trailer);
+}
+
 Status WriteJson(const std::string& path, const std::vector<RunResult>& rows,
                  double per_query_qps8, double batched_qps8,
                  const LatencyNs& scalar, const LatencyNs& compiled,
                  const TierReport& f32, const TierReport& i8,
-                 const std::vector<BatchedRow>& batched) {
+                 const std::vector<BatchedRow>& batched,
+                 const ObservabilityReport& obs) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   std::fprintf(f, "{\n  \"bench\": \"serving_throughput\",\n");
@@ -220,12 +275,12 @@ Status WriteJson(const std::string& path, const std::vector<RunResult>& rows,
                  "    {\"mode\": \"%s\", \"clients\": %zu, "
                  "\"batch_window_us\": %.0f, \"max_batch\": %zu, "
                  "\"qps\": %.0f, \"p50_us\": %.1f, \"p95_us\": %.1f, "
-                 "\"p99_us\": %.1f, \"mean_batch\": %.1f, "
+                 "\"p99_us\": %.1f, \"p999_us\": %.1f, \"mean_batch\": %.1f, "
                  "\"fallback_rate\": %.4f}%s\n",
                  r.mode.c_str(), r.clients, r.window_us, r.max_batch, r.qps,
                  r.stats.p50_us, r.stats.p95_us, r.stats.p99_us,
-                 r.stats.mean_batch_size, r.stats.fallback_rate,
-                 i + 1 < rows.size() ? "," : "");
+                 r.stats.p999_us, r.stats.mean_batch_size,
+                 r.stats.fallback_rate, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
@@ -269,6 +324,38 @@ Status WriteJson(const std::string& path, const std::vector<RunResult>& rows,
                  i + 1 < batched.size() ? ", " : "");
   }
   std::fprintf(f, "},\n");
+  // Stage attribution of the headline micro-batch run: queue counts
+  // requests, the other stages count micro-batches.
+  std::fprintf(f, "  \"stage_breakdown\": {\n");
+  WriteBreakdown(f, "queue", obs.headline.stage_queue, ",");
+  WriteBreakdown(f, "assembly", obs.headline.stage_assembly, ",");
+  WriteBreakdown(f, "inference", obs.headline.stage_inference, ",");
+  WriteBreakdown(f, "fulfill", obs.headline.stage_fulfill, "");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"per_store\": [\n");
+  for (size_t i = 0; i < obs.headline.per_store.size(); ++i) {
+    const auto& ss = obs.headline.per_store[i];
+    std::fprintf(f,
+                 "    {\"store\": \"%s\", \"queries\": %llu, "
+                 "\"sketch_answers\": %llu, \"fallback_answers\": %llu, "
+                 "\"failed_answers\": %llu, \"fallback_rate\": %.4f, "
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f}%s\n",
+                 ss.store.c_str(),
+                 static_cast<unsigned long long>(ss.queries),
+                 static_cast<unsigned long long>(ss.sketch_answers),
+                 static_cast<unsigned long long>(ss.fallback_answers),
+                 static_cast<unsigned long long>(ss.failed_answers),
+                 ss.fallback_rate, ss.latency.p50_us, ss.latency.p99_us,
+                 ss.latency.p999_us,
+                 i + 1 < obs.headline.per_store.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"tracing_overhead\": {\"single_query_p50_on_us\": %.1f, "
+               "\"single_query_p50_off_us\": %.1f, \"overhead_pct\": %.2f},\n",
+               obs.tracing_on_p50_us, obs.tracing_off_p50_us,
+               obs.overhead_pct);
+  std::fprintf(f, "  \"metrics\": %s,\n", obs.metrics_json.c_str());
   std::fprintf(f,
                "  \"headline\": {\"clients\": 8, \"per_query_qps\": %.0f, "
                "\"micro_batch_qps\": %.0f, \"speedup\": %.2f}\n}\n",
@@ -400,13 +487,19 @@ int Main(int argc, char** argv) {
                 i + 1 < batched.size() ? ", " : "\n\n");
   }
 
+  // The registry document embedded in the json: build metrics of the
+  // bench sketch (captured before it moves into the store) + the serve
+  // metrics of the headline run, exported below.
+  metrics::MetricsRegistry registry;
+  ns.ExportBuildMetrics(&registry);
   (void)store.Register("bench", wb.spec, std::move(sketch).value());
 
-  std::printf("%-12s %8s %10s %10s %12s %9s %9s %9s %11s\n", "mode",
+  std::printf("%-12s %8s %10s %10s %12s %9s %9s %9s %9s %11s\n", "mode",
               "clients", "window_us", "max_batch", "qps", "p50_us", "p95_us",
-              "p99_us", "mean_batch");
+              "p99_us", "p999_us", "mean_batch");
 
   std::vector<RunResult> rows;
+  ObservabilityReport obs;
   // Warm up allocator / page cache / ifunc dispatch once.
   (void)RunBatched(&store, wb.spec, wb.test_q, 2, 256, 200.0);
 
@@ -417,13 +510,58 @@ int Main(int argc, char** argv) {
     if (clients == 8) per_query_qps8 = pq.qps;
     rows.push_back(pq);
     for (double window : {0.0, 100.0, 200.0, 500.0}) {
-      RunResult mb =
-          RunBatched(&store, wb.spec, wb.test_q, clients, 512, window);
+      const bool headline = clients == 8 && window == 200.0;
+      RunResult mb = RunBatched(&store, wb.spec, wb.test_q, clients, 512,
+                                window, headline ? &registry : nullptr);
       PrintRow(mb);
-      if (clients == 8 && window == 200.0) batched_qps8 = mb.qps;
+      if (headline) {
+        batched_qps8 = mb.qps;
+        obs.headline = mb.stats;
+      }
       rows.push_back(mb);
     }
   }
+  obs.metrics_json = registry.Json();
+
+  // Where does each headline microsecond go? Stage attribution of the
+  // 8-client / 200us-window run.
+  if (obs.headline.stage_tracing) {
+    std::printf("\nheadline stage p50/p99 (us): queue %.0f/%.0f | assembly "
+                "%.0f/%.0f | inference %.0f/%.0f | fulfill %.0f/%.0f\n",
+                obs.headline.stage_queue.p50_us,
+                obs.headline.stage_queue.p99_us,
+                obs.headline.stage_assembly.p50_us,
+                obs.headline.stage_assembly.p99_us,
+                obs.headline.stage_inference.p50_us,
+                obs.headline.stage_inference.p99_us,
+                obs.headline.stage_fulfill.p50_us,
+                obs.headline.stage_fulfill.p99_us);
+  }
+
+  // Stage-tracing overhead on the single-query serve path: tracing on vs
+  // off in the same process, arms alternated to cancel drift. Each arm
+  // takes the min over 5 serial-submission runs — the p50 of this path is
+  // scheduler-jittery, and noise only ever inflates a run, so the min is
+  // a stable floor estimator.
+  obs.tracing_on_p50_us = 1e300;
+  obs.tracing_off_p50_us = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    obs.tracing_on_p50_us =
+        std::min(obs.tracing_on_p50_us,
+                 ServeSingleQueryP50(&store, wb.spec, wb.test_q, true));
+    obs.tracing_off_p50_us =
+        std::min(obs.tracing_off_p50_us,
+                 ServeSingleQueryP50(&store, wb.spec, wb.test_q, false));
+  }
+  obs.overhead_pct =
+      obs.tracing_off_p50_us > 0.0
+          ? (obs.tracing_on_p50_us - obs.tracing_off_p50_us) /
+                obs.tracing_off_p50_us * 100.0
+          : 0.0;
+  std::printf("tracing overhead (single-query p50): on %.1f us vs off %.1f "
+              "us = %.2f%%\n",
+              obs.tracing_on_p50_us, obs.tracing_off_p50_us,
+              obs.overhead_pct);
 
   const double speedup =
       per_query_qps8 > 0.0 ? batched_qps8 / per_query_qps8 : 0.0;
@@ -465,7 +603,7 @@ int Main(int argc, char** argv) {
   }
 
   Status st = WriteJson(out_path, rows, per_query_qps8, batched_qps8,
-                        scalar_lat, plan_lat, f32, i8, batched);
+                        scalar_lat, plan_lat, f32, i8, batched, obs);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;

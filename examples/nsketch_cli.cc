@@ -22,13 +22,24 @@
 //       of the template's parameters.
 //
 //   nsketch_cli serve <data.csv> "<sql template>" <out.sketch> [n_queries]
-//                     [n_clients]
+//                     [n_clients] [metrics_interval_s]
 //       Serves a random workload of the template's parameters through the
 //       concurrent micro-batching engine (serve/): n_clients threads
 //       submit bursts, answered by the sketch with exact-engine fallback;
 //       prints throughput, latency percentiles and the fallback rate.
 //       When the sketch file cannot be loaded, serving runs exact-only —
-//       the fallback path end to end.
+//       the fallback path end to end. A positive metrics_interval_s dumps
+//       the metrics registry (text exposition) every that-many seconds
+//       while serving, and once more at the end.
+//
+//   nsketch_cli metrics <data.csv> "<sql template>" [n_train] [n_queries]
+//       One-shot observability dump: trains a small sketch in-process,
+//       serves a workload through the micro-batching engine, then prints
+//       one uniform metrics document (Prometheus-style text exposition)
+//       covering both build metrics (nsketch_build_*) and serve metrics
+//       (nsketch_serve_*), followed by the slowest captured queries.
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +54,7 @@
 #include "serve/serve_engine.h"
 #include "serve/sketch_store.h"
 #include "util/csv.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/timer.h"
@@ -170,6 +182,11 @@ int CmdTrain(int argc, char** argv) {
   st = SaveNormalizer(norm, raw.schema(), out_path + ".norm");
   if (!st.ok()) return Fail(st);
   std::printf("wrote %s and %s.norm\n", out_path.c_str(), out_path.c_str());
+  // Emit the build phases / tier divergences as the same uniform metrics
+  // document the serve side produces (see docs/OBSERVABILITY.md).
+  metrics::MetricsRegistry reg;
+  sketch.value().ExportBuildMetrics(&reg);
+  std::printf("-- build metrics --\n%s", reg.TextExposition().c_str());
   return 0;
 }
 
@@ -251,6 +268,8 @@ int CmdServe(int argc, char** argv) {
   const size_t n_queries =
       argc > 5 ? std::strtoul(argv[5], nullptr, 10) : 20000;
   const size_t n_clients = argc > 6 ? std::strtoul(argv[6], nullptr, 10) : 4;
+  const double metrics_interval_s =
+      argc > 7 ? std::strtod(argv[7], nullptr) : 0.0;
   if (n_queries == 0 || n_clients == 0) {
     return Fail(Status::InvalidArgument(
         "n_queries and n_clients must be positive integers"));
@@ -287,6 +306,24 @@ int CmdServe(int argc, char** argv) {
   if (pool.empty()) return Fail(Status::InvalidArgument("empty workload"));
 
   serve::ServeEngine serving(&store);
+
+  // Optional periodic scrape: dump the registry every interval while the
+  // clients run, the way a Prometheus scraper would poll /metrics.
+  std::atomic<bool> serving_done{false};
+  std::thread scraper;
+  if (metrics_interval_s > 0.0) {
+    scraper = std::thread([&] {
+      const auto interval = std::chrono::duration<double>(metrics_interval_s);
+      while (!serving_done.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(interval);
+        metrics::MetricsRegistry reg;
+        serving.ExportMetrics(&reg);
+        std::printf("-- metrics scrape --\n%s", reg.TextExposition().c_str());
+        std::fflush(stdout);
+      }
+    });
+  }
+
   Timer t;
   std::vector<std::thread> clients;
   const size_t per_client = (n_queries + n_clients - 1) / n_clients;
@@ -308,6 +345,8 @@ int CmdServe(int argc, char** argv) {
   }
   for (auto& c : clients) c.join();
   const double seconds = t.ElapsedSeconds();
+  serving_done.store(true, std::memory_order_relaxed);
+  if (scraper.joinable()) scraper.join();
 
   const auto stats = serving.Snapshot();
   std::printf("served %llu queries from %zu clients in %.2fs\n",
@@ -319,8 +358,88 @@ int CmdServe(int argc, char** argv) {
               stats.mean_batch_size, 100.0 * stats.fallback_rate,
               static_cast<unsigned long long>(stats.f32_sketch_answers),
               static_cast<unsigned long long>(stats.int8_sketch_answers));
-  std::printf("  latency p50/p95/p99: %.0f / %.0f / %.0f us\n", stats.p50_us,
-              stats.p95_us, stats.p99_us);
+  std::printf("  latency p50/p95/p99/p99.9: %.0f / %.0f / %.0f / %.0f us\n",
+              stats.p50_us, stats.p95_us, stats.p99_us, stats.p999_us);
+  if (stats.stage_tracing && stats.stage_queue.count > 0) {
+    std::printf("  stage p50 (us): queue %.0f | assembly %.0f | inference "
+                "%.0f | fulfill %.0f\n",
+                stats.stage_queue.p50_us, stats.stage_assembly.p50_us,
+                stats.stage_inference.p50_us, stats.stage_fulfill.p50_us);
+  }
+  if (metrics_interval_s > 0.0) {
+    metrics::MetricsRegistry reg;
+    serving.ExportMetrics(&reg);
+    std::printf("-- final metrics --\n%s", reg.TextExposition().c_str());
+  }
+  return 0;
+}
+
+/// Prints the slowest captured queries with their stage attribution —
+/// where did each tail-latency microsecond go?
+void PrintSlowQueries(const serve::ServeEngine& serving) {
+  const auto slow = serving.SlowQueries();
+  if (slow.empty()) return;
+  std::printf("-- slowest queries --\n");
+  for (const auto& q : slow) {
+    std::printf("  %8.0f us total | queue %6.0f | assembly %5.0f | "
+                "inference %6.0f | fulfill %5.0f | %s | %s | batch %zu\n",
+                q.total_us, q.queue_us, q.assembly_us, q.inference_us,
+                q.fulfill_us, q.store.c_str(), q.tier.c_str(), q.batch_size);
+  }
+}
+
+int CmdMetrics(int argc, char** argv) {
+  if (argc < 4) return Fail(Status::InvalidArgument("metrics needs 2+ args"));
+  const std::string csv_path = argv[2], sql = argv[3];
+  const size_t n_train = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 1500;
+  const size_t n_queries =
+      argc > 5 ? std::strtoul(argv[5], nullptr, 10) : 4000;
+
+  auto table_r = Table::FromCsvFile(csv_path);
+  if (!table_r.ok()) return Fail(table_r.status());
+  Normalizer norm = Normalizer::Fit(table_r.value());
+  auto pq = ParametricQuery::Parse(sql, table_r.value().schema());
+  if (!pq.ok()) return Fail(pq.status());
+  Table table = PrepareQueryTable(table_r.value(), norm, pq.value());
+  const QueryFunctionSpec& spec = pq.value().spec();
+
+  // Build a small sketch in-process so the document carries real
+  // partition/train/calibrate timings, then push a workload through the
+  // serve engine so every serve family is populated too.
+  ExactEngine engine(&table);
+  Rng rng(4242);
+  auto train_q = RandomWorkload(pq.value(), n_train, &rng);
+  auto train_a = engine.AnswerBatch(spec, train_q, 8);
+  NeuroSketchConfig config;
+  config.train.epochs = 60;
+  auto sketch = NeuroSketch::Train(train_q, train_a, config);
+  if (!sketch.ok()) return Fail(sketch.status());
+
+  metrics::MetricsRegistry reg;
+  sketch.value().ExportBuildMetrics(&reg);
+
+  serve::SketchStore store;
+  Status st = store.RegisterDataset("cli", &engine);
+  if (!st.ok()) return Fail(st);
+  auto ver = store.Register("cli", spec, std::move(sketch).value());
+  if (!ver.ok()) return Fail(ver.status());
+
+  serve::ServeEngine serving(&store);
+  const auto pool = RandomWorkload(pq.value(), 1024, &rng);
+  if (pool.empty()) return Fail(Status::InvalidArgument("empty workload"));
+  constexpr size_t kBurst = 128;
+  size_t done = 0;
+  while (done < n_queries) {
+    const size_t n = std::min(kBurst, n_queries - done);
+    std::vector<QueryInstance> burst;
+    burst.reserve(n);
+    for (size_t i = 0; i < n; ++i) burst.push_back(pool[(done + i) % pool.size()]);
+    serving.SubmitMany("cli", spec, std::move(burst)).get();
+    done += n;
+  }
+  serving.ExportMetrics(&reg);
+  std::printf("%s", reg.TextExposition().c_str());
+  PrintSlowQueries(serving);
   return 0;
 }
 
@@ -379,9 +498,10 @@ int main(int argc, char** argv) {
   if (cmd == "query") return CmdQuery(argc, argv);
   if (cmd == "eval") return CmdEval(argc, argv);
   if (cmd == "serve") return CmdServe(argc, argv);
+  if (cmd == "metrics") return CmdMetrics(argc, argv);
   std::fprintf(stderr,
-               "usage: %s train|query|eval|serve ... (run with no args for "
-               "a demo)\n",
+               "usage: %s train|query|eval|serve|metrics ... (run with no "
+               "args for a demo)\n",
                argv[0]);
   return 1;
 }

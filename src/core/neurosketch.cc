@@ -493,6 +493,64 @@ size_t NeuroSketch::PlanBytes(PlanPrecision precision) const {
   return bytes;
 }
 
+void NeuroSketch::ExportBuildMetrics(metrics::MetricsRegistry* registry,
+                                     const std::string& prefix) const {
+  registry->SetGauge(prefix + "partition_seconds", stats_.partition_seconds,
+                     "Construction phase wall time: kd-tree build + AQC merge");
+  registry->SetGauge(prefix + "train_seconds", stats_.train_seconds,
+                     "Construction phase wall time: per-leaf MLP training");
+  registry->SetGauge(prefix + "calibrate_seconds", stats_.calibrate_seconds,
+                     "Construction phase wall time: narrow-tier "
+                     "calibrate/validate replays (0 for plain f64)");
+  registry->SetGauge(prefix + "num_partitions",
+                     static_cast<double>(stats_.num_partitions),
+                     "Final leaf count after the AQC merge");
+  registry->SetGauge(prefix + "training_queries",
+                     static_cast<double>(stats_.training_queries),
+                     "Training-set size after NaN drops");
+  registry->SetGauge(prefix + "size_bytes", static_cast<double>(SizeBytes()),
+                     "Serialized sketch size (the paper's storage metric)");
+  double aqc_max = 0.0, aqc_sum = 0.0;
+  for (double a : stats_.leaf_aqc) {
+    aqc_sum += a;
+    if (a > aqc_max) aqc_max = a;
+  }
+  registry->SetGauge(prefix + "leaf_aqc_max", aqc_max,
+                     "Max per-leaf AQC after merging");
+  registry->SetGauge(
+      prefix + "leaf_aqc_mean",
+      stats_.leaf_aqc.empty() ? 0.0 : aqc_sum / stats_.leaf_aqc.size());
+  registry->SetGauge(prefix + "active_precision",
+                     static_cast<double>(precision_),
+                     "Serving tier: 0 = f64, 1 = f32, 2 = int8");
+  for (PlanPrecision tier :
+       {PlanPrecision::kF64, PlanPrecision::kF32, PlanPrecision::kInt8}) {
+    registry->SetGauge(prefix + "plan_bytes{tier=\"" +
+                           std::string(PlanPrecisionName(tier)) + "\"}",
+                       static_cast<double>(PlanBytes(tier)),
+                       "Resident compiled-plan bytes per precision tier");
+  }
+  // The validate-or-fallback record: a tier whose measured divergence
+  // exceeds its bound was dropped (fell back down the chain), which
+  // reads here as divergence > bound with zero plan bytes for the tier.
+  registry->SetGauge(prefix + "f32_max_divergence", f32_max_divergence_,
+                     "Max |f32 - f64| over the validation workload, "
+                     "standardized units");
+  registry->SetGauge(prefix + "f32_error_bound", f32_error_bound_);
+  registry->SetGauge(prefix + "int8_max_divergence", int8_max_divergence_,
+                     "Max |int8 - f64| over the validation workload, "
+                     "standardized units");
+  registry->SetGauge(prefix + "int8_error_bound", int8_error_bound_);
+  size_t uncalibrated = 0;
+  for (const auto& p : plans_i8_) {
+    uncalibrated += p.empty() ? 1 : 0;
+  }
+  registry->SetGauge(prefix + "int8_uncalibrated_leaves",
+                     static_cast<double>(uncalibrated),
+                     "Leaves the int8 tier serves from f64 for lack of "
+                     "calibration coverage");
+}
+
 size_t NeuroSketch::SizeBytes() const {
   // Exactly the bytes Save() writes, in the same order: header fields,
   // routing block, per-leaf scales, serialized models, precision trailer

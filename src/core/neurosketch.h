@@ -19,6 +19,7 @@
 #include "query/engine.h"
 #include "query/query.h"
 #include "query/workload.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace neurosketch {
@@ -240,6 +241,14 @@ class NeuroSketch {
   /// tier's plans (compiled by Train with the matching plan_precision,
   /// EnableF32/EnableInt8, or Load of a sketch carrying the tier).
   Status SelectPrecision(PlanPrecision precision);
+
+  /// \brief Mirror the construction-side record — BuildStats phase wall
+  /// times, partition/AQC shape, per-tier validation divergences and
+  /// bounds, plan footprints, and the active precision tier — into
+  /// `registry` under `prefix`, so `nsketch_cli` and the benches emit one
+  /// uniform metrics document covering build and serve.
+  void ExportBuildMetrics(metrics::MetricsRegistry* registry,
+                          const std::string& prefix = "nsketch_build_") const;
 
   /// \brief Serialize / deserialize the full sketch (routing + scales +
   /// model parameters + precision tier + int8 calibration scales).

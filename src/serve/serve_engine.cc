@@ -1,5 +1,6 @@
 #include "serve/serve_engine.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace neurosketch {
@@ -10,17 +11,23 @@ std::chrono::microseconds WindowDuration(double us) {
   if (us <= 0.0) return std::chrono::microseconds(0);
   return std::chrono::microseconds(static_cast<int64_t>(us));
 }
-}  // namespace
 
-namespace {
 ServeOptions Sanitize(ServeOptions o) {
   if (o.max_batch == 0) o.max_batch = 1;  // 0 would livelock the dispatcher
   return o;
 }
+
+double MicrosBetween(std::chrono::steady_clock::time_point a,
+                     std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
 }  // namespace
 
 ServeEngine::ServeEngine(const SketchStore* store, ServeOptions options)
-    : store_(store), options_(Sanitize(std::move(options))) {
+    : store_(store),
+      options_(Sanitize(std::move(options))),
+      slow_queries_(options_.stage_tracing ? options_.slow_query_capacity
+                                           : 0) {
   const size_t n = options_.num_dispatchers == 0 ? 1 : options_.num_dispatchers;
   dispatchers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -37,6 +44,18 @@ ServeEngine::~ServeEngine() {
   for (auto& d : dispatchers_) d.join();
 }
 
+ServeEngine::KeyState& ServeEngine::KeyStateLocked(
+    const ServeKey& key, const QueryFunctionSpec& spec) {
+  KeyState& st = keys_[key];
+  if (st.spec.predicate == nullptr) st.spec = spec;
+  if (st.counters == nullptr) {
+    st.counters = std::make_shared<StoreCounters>();
+    st.counters->display = key.dataset + "/" + AggregateName(spec.agg) +
+                           "(col " + std::to_string(spec.measure_col) + ")";
+  }
+  return st;
+}
+
 std::future<ServeResult> ServeEngine::Submit(const std::string& dataset,
                                              const QueryFunctionSpec& spec,
                                              QueryInstance q) {
@@ -48,8 +67,7 @@ std::future<ServeResult> ServeEngine::Submit(const std::string& dataset,
   bool ready = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    KeyState& st = keys_[ServeKey::From(dataset, spec)];
-    if (st.spec.predicate == nullptr) st.spec = spec;
+    KeyState& st = KeyStateLocked(ServeKey::From(dataset, spec), spec);
     st.pending.push_back(std::move(r));
     ++pending_count_;
     // Wake a dispatcher when a batch became dispatchable, or when this
@@ -79,8 +97,7 @@ std::future<std::vector<ServeResult>> ServeEngine::SubmitMany(
   bool ready = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    KeyState& st = keys_[ServeKey::From(dataset, spec)];
-    if (st.spec.predicate == nullptr) st.spec = spec;
+    KeyState& st = KeyStateLocked(ServeKey::From(dataset, spec), spec);
     const bool was_empty = st.pending.empty();
     for (size_t i = 0; i < n; ++i) {
       Request r;
@@ -156,49 +173,69 @@ void ServeEngine::DispatchLoop() {
     pending_count_ -= take;
     const bool allow_sketch = !chosen->demoted;
     const QueryFunctionSpec spec = chosen->spec;
+    const std::shared_ptr<StoreCounters> counters = chosen->counters;
 
     lock.unlock();
-    ExecuteBatch(chosen_key, spec, allow_sketch, &batch);
+    // The queue-wait / batch-assembly boundary: everything before this
+    // instant is time spent waiting in the per-key queue.
+    ExecuteBatch(chosen_key, spec, allow_sketch, &batch, Clock::now(),
+                 counters.get());
     lock.lock();
   }
 }
 
-void ServeEngine::Fulfill(Request* r, double value, bool used_sketch,
-                          PlanPrecision tier) {
-  const double us =
-      std::chrono::duration<double, std::micro>(Clock::now() - r->enqueued)
-          .count();
+double ServeEngine::Fulfill(Request* r, double value, bool used_sketch,
+                            PlanPrecision tier, StoreCounters* sc) {
+  const double us = MicrosBetween(r->enqueued, Clock::now());
   latency_.Add(us);
+  sc->latency.Add(us);
   queries_.fetch_add(1, std::memory_order_relaxed);
+  sc->queries.fetch_add(1, std::memory_order_relaxed);
   if (used_sketch) {
     sketch_answers_.fetch_add(1, std::memory_order_relaxed);
+    sc->sketch_answers.fetch_add(1, std::memory_order_relaxed);
     // Ticked together with sketch_answers_ (and before the promise
     // resolves) so the per-tier counters are always a consistent subset.
     if (tier == PlanPrecision::kF32) {
       f32_sketch_answers_.fetch_add(1, std::memory_order_relaxed);
+      sc->f32_sketch_answers.fetch_add(1, std::memory_order_relaxed);
     } else if (tier == PlanPrecision::kInt8) {
       int8_sketch_answers_.fetch_add(1, std::memory_order_relaxed);
+      sc->int8_sketch_answers.fetch_add(1, std::memory_order_relaxed);
     }
   } else if (std::isnan(value)) {
     failed_answers_.fetch_add(1, std::memory_order_relaxed);
+    sc->failed_answers.fetch_add(1, std::memory_order_relaxed);
   } else {
     fallback_answers_.fetch_add(1, std::memory_order_relaxed);
+    sc->fallback_answers.fetch_add(1, std::memory_order_relaxed);
   }
   if (r->wave != nullptr) {
     r->wave->results[r->wave_slot] = ServeResult{value, used_sketch};
     if (r->wave->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       r->wave->promise.set_value(std::move(r->wave->results));
     }
-    return;
+    return us;
   }
   r->promise->set_value(ServeResult{value, used_sketch});
+  return us;
 }
 
 void ServeEngine::ExecuteBatch(const ServeKey& key,
                                const QueryFunctionSpec& spec,
                                bool allow_sketch,
-                               std::vector<Request>* batch) {
+                               std::vector<Request>* batch,
+                               Clock::time_point collected,
+                               StoreCounters* sc) {
   batches_.fetch_add(1, std::memory_order_relaxed);
+  const bool tracing = options_.stage_tracing;
+  if (tracing) {
+    // Queue-wait per request: each waited individually, but the whole
+    // batch shares the one `collected` clock read.
+    for (const auto& r : *batch) {
+      stage_queue_.Add(MicrosBetween(r.enqueued, collected));
+    }
+  }
   std::shared_ptr<const NeuroSketch> sketch =
       allow_sketch ? store_->Lookup(key) : nullptr;
   const ExactEngine* engine = store_->Engine(key.dataset);
@@ -209,6 +246,32 @@ void ServeEngine::ExecuteBatch(const ServeKey& key,
   queries.reserve(batch->size());
   for (auto& r : *batch) queries.push_back(std::move(r.q));
 
+  // Stage boundaries: assembly = collection -> inference start (store
+  // lookup + query stealing), inference = the forward pass or exact
+  // batch, fulfill = everything after (budget accounting + answer
+  // delivery), measured per micro-batch.
+  Clock::time_point infer_start{};
+  Clock::time_point infer_end{};
+  const char* tier_name = "exact";
+
+  // Offers this request's trace to the slow-query ring; trace strings are
+  // only materialized past the lock-free threshold gate, so the common
+  // (fast-query) case costs one relaxed load and one compare.
+  auto maybe_trace = [&](double total_us, double queue_us, const char* tier) {
+    if (total_us <= slow_queries_.min_kept_us()) return;
+    metrics::SlowQueryTrace t;
+    t.total_us = total_us;
+    t.queue_us = queue_us;
+    t.assembly_us = MicrosBetween(collected, infer_start);
+    t.inference_us = MicrosBetween(infer_start, infer_end);
+    const double rest = total_us - t.queue_us - t.assembly_us - t.inference_us;
+    t.fulfill_us = rest > 0.0 ? rest : 0.0;
+    t.store = sc->display;
+    t.tier = tier;
+    t.batch_size = batch->size();
+    slow_queries_.Offer(std::move(t));
+  };
+
   if (sketch != nullptr) {
     // Dispatcher-thread answer buffer: capacity is retained across
     // batches, so with AnswerBatchVectorizedTo staging its bucketing in
@@ -216,11 +279,14 @@ void ServeEngine::ExecuteBatch(const ServeKey& key,
     // the thread is warm.
     thread_local std::vector<double> answers;
     answers.resize(queries.size());
+    if (tracing) infer_start = Clock::now();
     sketch->AnswerBatchVectorizedTo(queries, answers.data());
+    if (tracing) infer_end = Clock::now();
     size_t nans = 0;
     for (double a : answers) nans += std::isnan(a) ? 1 : 0;
     const size_t genuine = answers.size() - nans;
     const PlanPrecision tier = sketch->plan_precision();
+    tier_name = PlanPrecisionName(tier);
 
     {
       // Error-budget accounting BEFORE any request is fulfilled: the
@@ -244,32 +310,70 @@ void ServeEngine::ExecuteBatch(const ServeKey& key,
     }
 
     for (size_t i = 0; i < answers.size(); ++i) {
+      double total_us;
+      const char* served_as;
       if (std::isnan(answers[i]) && engine != nullptr) {
         // Per-query exact repair: the sketch could not route/answer this
         // instance (e.g. out-of-domain), but the batch as a whole stays
         // on the fast path. Fulfill ticks fallback_answers_ (or
         // failed_answers_ when the engine is also stumped).
-        Fulfill(&(*batch)[i], engine->Answer(spec, queries[i]), false);
-        continue;
+        total_us = Fulfill(&(*batch)[i], engine->Answer(spec, queries[i]),
+                           false, PlanPrecision::kF64, sc);
+        served_as = "exact";
+      } else {
+        const bool genuine_answer = !std::isnan(answers[i]);
+        total_us = Fulfill(&(*batch)[i], answers[i], genuine_answer,
+                           genuine_answer ? tier : PlanPrecision::kF64, sc);
+        served_as = genuine_answer ? tier_name : "failed";
       }
-      const bool genuine_answer = !std::isnan(answers[i]);
-      Fulfill(&(*batch)[i], answers[i], genuine_answer,
-              genuine_answer ? tier : PlanPrecision::kF64);
+      if (tracing) {
+        maybe_trace(total_us, MicrosBetween((*batch)[i].enqueued, collected),
+                    served_as);
+      }
+    }
+    if (tracing) {
+      stage_assembly_.Add(MicrosBetween(collected, infer_start));
+      stage_inference_.Add(MicrosBetween(infer_start, infer_end));
+      stage_fulfill_.Add(MicrosBetween(infer_end, Clock::now()));
     }
     return;
   }
 
   if (engine != nullptr) {
+    if (tracing) infer_start = Clock::now();
     std::vector<double> answers =
         engine->AnswerBatch(spec, queries, options_.exact_batch_threads);
+    if (tracing) infer_end = Clock::now();
     for (size_t i = 0; i < answers.size(); ++i) {
-      Fulfill(&(*batch)[i], answers[i], false);
+      const double total_us =
+          Fulfill(&(*batch)[i], answers[i], false, PlanPrecision::kF64, sc);
+      if (tracing) {
+        maybe_trace(total_us, MicrosBetween((*batch)[i].enqueued, collected),
+                    std::isnan(answers[i]) ? "failed" : "exact");
+      }
+    }
+    if (tracing) {
+      stage_assembly_.Add(MicrosBetween(collected, infer_start));
+      stage_inference_.Add(MicrosBetween(infer_start, infer_end));
+      stage_fulfill_.Add(MicrosBetween(infer_end, Clock::now()));
     }
     return;
   }
 
   // Neither a sketch nor an exact engine: answer NaN rather than hang.
-  for (auto& r : *batch) Fulfill(&r, std::nan(""), false);
+  if (tracing) infer_start = infer_end = Clock::now();
+  for (auto& r : *batch) {
+    const double total_us =
+        Fulfill(&r, std::nan(""), false, PlanPrecision::kF64, sc);
+    if (tracing) {
+      maybe_trace(total_us, MicrosBetween(r.enqueued, collected), "failed");
+    }
+  }
+  if (tracing) {
+    stage_assembly_.Add(MicrosBetween(collected, infer_start));
+    stage_inference_.Add(0.0);
+    stage_fulfill_.Add(MicrosBetween(infer_end, Clock::now()));
+  }
 }
 
 ServeStats ServeEngine::Snapshot() const {
@@ -298,7 +402,141 @@ ServeStats ServeEngine::Snapshot() const {
   s.p50_us = latency_.PercentileUs(50);
   s.p95_us = latency_.PercentileUs(95);
   s.p99_us = latency_.PercentileUs(99);
+  s.p999_us = latency_.PercentileUs(99.9);
+
+  s.stage_tracing = options_.stage_tracing;
+  if (s.stage_tracing) {
+    s.stage_queue = LatencyBreakdown::From(stage_queue_);
+    s.stage_assembly = LatencyBreakdown::From(stage_assembly_);
+    s.stage_inference = LatencyBreakdown::From(stage_inference_);
+    s.stage_fulfill = LatencyBreakdown::From(stage_fulfill_);
+  }
+
+  // Per-store view: the key map is only touched long enough to copy the
+  // counter pointers; the counters themselves are read lock-free.
+  std::vector<std::pair<std::shared_ptr<StoreCounters>, bool>> stores;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stores.reserve(keys_.size());
+    for (const auto& [key, st] : keys_) {
+      (void)key;
+      if (st.counters != nullptr) stores.emplace_back(st.counters, st.demoted);
+    }
+  }
+  s.per_store.reserve(stores.size());
+  for (const auto& [sc, demoted] : stores) {
+    StoreStatsSnapshot ss;
+    ss.store = sc->display;
+    ss.queries = sc->queries.load(std::memory_order_relaxed);
+    ss.sketch_answers = sc->sketch_answers.load(std::memory_order_relaxed);
+    ss.f32_sketch_answers =
+        sc->f32_sketch_answers.load(std::memory_order_relaxed);
+    ss.int8_sketch_answers =
+        sc->int8_sketch_answers.load(std::memory_order_relaxed);
+    ss.fallback_answers = sc->fallback_answers.load(std::memory_order_relaxed);
+    ss.failed_answers = sc->failed_answers.load(std::memory_order_relaxed);
+    ss.demoted = demoted;
+    ss.fallback_rate = ss.queries > 0
+                           ? static_cast<double>(ss.fallback_answers) /
+                                 static_cast<double>(ss.queries)
+                           : 0.0;
+    ss.latency = LatencyBreakdown::From(sc->latency);
+    s.per_store.push_back(std::move(ss));
+  }
+  std::sort(s.per_store.begin(), s.per_store.end(),
+            [](const StoreStatsSnapshot& a, const StoreStatsSnapshot& b) {
+              return a.store < b.store;
+            });
   return s;
+}
+
+void ServeEngine::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  queries_.store(0, std::memory_order_relaxed);
+  sketch_answers_.store(0, std::memory_order_relaxed);
+  f32_sketch_answers_.store(0, std::memory_order_relaxed);
+  int8_sketch_answers_.store(0, std::memory_order_relaxed);
+  fallback_answers_.store(0, std::memory_order_relaxed);
+  failed_answers_.store(0, std::memory_order_relaxed);
+  batches_.store(0, std::memory_order_relaxed);
+  budget_trips_.store(0, std::memory_order_relaxed);
+  latency_.Reset();
+  stage_queue_.Reset();
+  stage_assembly_.Reset();
+  stage_inference_.Reset();
+  stage_fulfill_.Reset();
+  slow_queries_.Clear();
+  for (auto& [key, st] : keys_) {
+    (void)key;
+    if (st.counters == nullptr) continue;
+    st.counters->queries.store(0, std::memory_order_relaxed);
+    st.counters->sketch_answers.store(0, std::memory_order_relaxed);
+    st.counters->f32_sketch_answers.store(0, std::memory_order_relaxed);
+    st.counters->int8_sketch_answers.store(0, std::memory_order_relaxed);
+    st.counters->fallback_answers.store(0, std::memory_order_relaxed);
+    st.counters->failed_answers.store(0, std::memory_order_relaxed);
+    st.counters->latency.Reset();
+  }
+  uptime_.Reset();
+}
+
+std::vector<metrics::SlowQueryTrace> ServeEngine::SlowQueries() const {
+  return slow_queries_.SlowestFirst();
+}
+
+void ServeEngine::ExportMetrics(metrics::MetricsRegistry* registry,
+                                const std::string& prefix) const {
+  const ServeStats s = Snapshot();
+  registry->SetCounter(prefix + "queries_total", s.queries,
+                       "Answers delivered");
+  registry->SetCounter(prefix + "sketch_answers_total", s.sketch_answers,
+                       "Answered by a sketch forward pass");
+  registry->SetCounter(prefix + "f32_sketch_answers_total",
+                       s.f32_sketch_answers);
+  registry->SetCounter(prefix + "int8_sketch_answers_total",
+                       s.int8_sketch_answers);
+  registry->SetCounter(prefix + "fallback_answers_total", s.fallback_answers,
+                       "Answered by the exact engine");
+  registry->SetCounter(prefix + "failed_answers_total", s.failed_answers,
+                       "NaN with no fallback available");
+  registry->SetCounter(prefix + "batches_total", s.batches,
+                       "Micro-batches dispatched");
+  registry->SetCounter(prefix + "budget_trips_total", s.budget_trips,
+                       "Stores demoted by the error budget");
+  registry->SetGauge(prefix + "elapsed_seconds", s.elapsed_seconds,
+                     "Seconds since engine start or last ResetStats");
+  registry->SetGauge(prefix + "mean_batch_size", s.mean_batch_size);
+
+  auto copy_hist = [&](const std::string& name, const LatencyHistogram& h,
+                       const std::string& help) {
+    LatencyHistogram* dst = registry->GetHistogram(name, help);
+    if (dst != nullptr) dst->CopyFrom(h);
+  };
+  copy_hist(prefix + "latency_us", latency_,
+            "Submit->answer latency, microseconds");
+  if (options_.stage_tracing) {
+    copy_hist(prefix + "stage_us{stage=\"queue\"}", stage_queue_,
+              "Per-stage serve pipeline latency, microseconds");
+    copy_hist(prefix + "stage_us{stage=\"assembly\"}", stage_assembly_, "");
+    copy_hist(prefix + "stage_us{stage=\"inference\"}", stage_inference_, "");
+    copy_hist(prefix + "stage_us{stage=\"fulfill\"}", stage_fulfill_, "");
+  }
+  for (const auto& ss : s.per_store) {
+    const std::string label = "{store=\"" + ss.store + "\"}";
+    registry->SetCounter(prefix + "store_queries_total" + label, ss.queries,
+                         "Answers delivered per store");
+    registry->SetCounter(prefix + "store_sketch_answers_total" + label,
+                         ss.sketch_answers);
+    registry->SetCounter(prefix + "store_fallback_answers_total" + label,
+                         ss.fallback_answers);
+    registry->SetCounter(prefix + "store_failed_answers_total" + label,
+                         ss.failed_answers);
+    registry->SetGauge(prefix + "store_demoted" + label,
+                       ss.demoted ? 1.0 : 0.0,
+                       "1 when the error budget tripped for this store");
+    registry->SetGauge(prefix + "store_p99_us" + label, ss.latency.p99_us,
+                       "Per-store submit->answer p99, microseconds");
+  }
 }
 
 }  // namespace serve

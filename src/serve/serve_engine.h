@@ -8,6 +8,15 @@
 // per query), and falls back to the exact engine when no sketch is
 // registered or a per-store error budget has been exceeded. Answers are
 // bit-identical to serial NeuroSketch::AnswerBatch.
+//
+// Observability: the engine splits every answer's submit->answer latency
+// into queue-wait / batch-assembly / inference / fulfill stage histograms
+// (one steady_clock read per stage boundary, amortized over the whole
+// micro-batch), keeps per-store counters + tail percentiles so hot/cold
+// store skew is visible, and captures the K slowest queries with their
+// full stage breakdown in a lock-free-gated trace ring. All of it is
+// behind ServeOptions::stage_tracing, a runtime toggle whose off cost is
+// one branch per batch.
 #ifndef NEUROSKETCH_SERVE_SERVE_ENGINE_H_
 #define NEUROSKETCH_SERVE_SERVE_ENGINE_H_
 
@@ -16,6 +25,7 @@
 #include <deque>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -23,7 +33,9 @@
 
 #include "serve/serve_stats.h"
 #include "serve/sketch_store.h"
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace_ring.h"
 
 namespace neurosketch {
 namespace serve {
@@ -50,6 +62,14 @@ struct ServeOptions {
   /// rate.
   double max_sketch_failure_rate = 0.1;
   size_t budget_min_samples = 64;
+  /// Per-stage pipeline tracing + slow-query capture. When off, the
+  /// engine skips the stage clock reads and histogram increments — the
+  /// residual cost is one branch per micro-batch; the aggregate counters
+  /// and submit->answer latency histogram are always maintained.
+  bool stage_tracing = true;
+  /// Capacity of the slowest-K query trace ring (0 disables capture;
+  /// only consulted when stage_tracing is on).
+  size_t slow_query_capacity = 32;
 };
 
 /// \brief One delivered answer.
@@ -87,8 +107,30 @@ class ServeEngine {
   ServeResult Answer(const std::string& dataset,
                      const QueryFunctionSpec& spec, QueryInstance q);
 
-  /// \brief Current counters; cheap enough to poll.
+  /// \brief Current counters; cheap enough to poll. Consistency contract
+  /// documented on ServeStats (relaxed reads, ~one batch stale).
   ServeStats Snapshot() const;
+
+  /// \brief Restart the stats window as one operation: zeroes every
+  /// counter and histogram (engine-wide, per-stage, and per-store),
+  /// empties the slow-query ring, and resets the elapsed-time clock,
+  /// all under the engine lock so no new batch lands between the counter
+  /// clear and the clock restart. Error-budget state (per-store failure
+  /// accounting and demotions) is control state, not stats, and is
+  /// preserved. See ServeStats for what in-flight answers may do.
+  void ResetStats();
+
+  /// \brief The K slowest queries observed since start (or ResetStats),
+  /// slowest first, with their stage breakdowns. Empty when tracing or
+  /// the ring is disabled.
+  std::vector<metrics::SlowQueryTrace> SlowQueries() const;
+
+  /// \brief Mirror the current counters and histograms into `registry`
+  /// under `prefix` (counters, stage + latency histograms, and labeled
+  /// per-store series), for text/JSON exposition alongside other
+  /// subsystems.
+  void ExportMetrics(metrics::MetricsRegistry* registry,
+                     const std::string& prefix = "nsketch_serve_") const;
 
   const ServeOptions& options() const { return options_; }
 
@@ -111,6 +153,20 @@ class ServeEngine {
     size_t wave_slot = 0;
   };
 
+  /// Per-store lock-free counters, updated on the fulfill path and read
+  /// by Snapshot. Owned via shared_ptr so ExecuteBatch can update them
+  /// after dropping the engine lock.
+  struct StoreCounters {
+    std::string display;  // "dataset/agg(col N)"
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> sketch_answers{0};
+    std::atomic<uint64_t> f32_sketch_answers{0};
+    std::atomic<uint64_t> int8_sketch_answers{0};
+    std::atomic<uint64_t> fallback_answers{0};
+    std::atomic<uint64_t> failed_answers{0};
+    LatencyHistogram latency;
+  };
+
   /// Per (dataset, query function) pending queue + error-budget health.
   struct KeyState {
     QueryFunctionSpec spec;  // canonical spec, set by the first Submit
@@ -118,15 +174,23 @@ class ServeEngine {
     uint64_t sketch_answers = 0;  // genuinely sketch-answered (non-NaN)
     uint64_t sketch_nans = 0;     // sketch NaNs (repaired or failed)
     bool demoted = false;  // error budget exceeded; serve exact only
+    std::shared_ptr<StoreCounters> counters;  // created on first Submit
   };
 
   void DispatchLoop();
+  /// `collected` is the instant the dispatcher picked the batch off the
+  /// queue — the queue-wait / batch-assembly stage boundary.
   void ExecuteBatch(const ServeKey& key, const QueryFunctionSpec& spec,
-                    bool allow_sketch, std::vector<Request>* batch);
+                    bool allow_sketch, std::vector<Request>* batch,
+                    Clock::time_point collected, StoreCounters* sc);
   /// `tier` is the precision the answer was served from; only meaningful
   /// when used_sketch is true (fallback/failed answers pass kF64).
-  void Fulfill(Request* r, double value, bool used_sketch,
-               PlanPrecision tier = PlanPrecision::kF64);
+  /// Returns the submit->answer latency in microseconds.
+  double Fulfill(Request* r, double value, bool used_sketch,
+                 PlanPrecision tier, StoreCounters* sc);
+  /// Locates (creating on demand) the KeyState for a submission; caller
+  /// must hold mu_.
+  KeyState& KeyStateLocked(const ServeKey& key, const QueryFunctionSpec& spec);
 
   const SketchStore* store_;
   const ServeOptions options_;
@@ -148,6 +212,12 @@ class ServeEngine {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> budget_trips_{0};
   LatencyHistogram latency_;
+  // Stage histograms (only written when options_.stage_tracing).
+  LatencyHistogram stage_queue_;
+  LatencyHistogram stage_assembly_;
+  LatencyHistogram stage_inference_;
+  LatencyHistogram stage_fulfill_;
+  metrics::SlowQueryRing slow_queries_;
   Timer uptime_;
 };
 

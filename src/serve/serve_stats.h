@@ -1,76 +1,70 @@
-// Serve-side metrics: a lock-free latency histogram plus the aggregate
-// counters (throughput, fallback rate, batch shape) a serving deployment
-// exports. Counters are atomics updated on the dispatch path; Snapshot()
-// materializes a consistent-enough view without stalling serving.
+// Serve-side metrics: the aggregate counters (throughput, fallback rate,
+// batch shape), per-pipeline-stage latency breakdowns, and per-store
+// accounting a serving deployment exports. Counters are relaxed atomics
+// updated on the dispatch path; ServeEngine::Snapshot() materializes a
+// consistent-enough view without stalling serving (see the contract on
+// ServeStats).
 #ifndef NEUROSKETCH_SERVE_SERVE_STATS_H_
 #define NEUROSKETCH_SERVE_SERVE_STATS_H_
 
-#include <array>
-#include <atomic>
-#include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
 
 namespace neurosketch {
 namespace serve {
 
-/// \brief Log-bucketed histogram of latencies in microseconds: 4 buckets
-/// per octave over [1us, ~16.7s]. Add() is a single relaxed atomic
-/// increment; percentiles interpolate the geometric bucket midpoint, so
-/// quantiles carry ~19% worst-case bucket error — plenty for p50/p95/p99
-/// dashboards.
-class LatencyHistogram {
- public:
-  static constexpr size_t kBucketsPerOctave = 4;
-  static constexpr size_t kNumBuckets = 96;  // 24 octaves
+/// \brief Log-bucketed latency histogram (4 buckets/octave over
+/// [1us, ~16.7s], lock-free Add, interpolated percentiles good to the
+/// sub-bucket range — see metrics::LogHistogram for the error bound).
+using LatencyHistogram = metrics::LogHistogram;
 
-  void Add(double us) {
-    buckets_[BucketIndex(us)].fetch_add(1, std::memory_order_relaxed);
-  }
+/// \brief Interpolated percentiles of one latency histogram.
+struct LatencyBreakdown {
+  uint64_t count = 0;
+  double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0, p999_us = 0.0;
 
-  uint64_t TotalCount() const {
-    uint64_t n = 0;
-    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
-    return n;
+  static LatencyBreakdown From(const LatencyHistogram& h) {
+    LatencyBreakdown b;
+    b.count = h.TotalCount();
+    b.p50_us = h.PercentileUs(50);
+    b.p95_us = h.PercentileUs(95);
+    b.p99_us = h.PercentileUs(99);
+    b.p999_us = h.PercentileUs(99.9);
+    return b;
   }
+};
 
-  /// \brief p in [0, 100]. Returns 0 when empty.
-  double PercentileUs(double p) const {
-    std::array<uint64_t, kNumBuckets> counts;
-    uint64_t total = 0;
-    for (size_t i = 0; i < kNumBuckets; ++i) {
-      counts[i] = buckets_[i].load(std::memory_order_relaxed);
-      total += counts[i];
-    }
-    if (total == 0) return 0.0;
-    const double rank = p / 100.0 * static_cast<double>(total);
-    uint64_t cum = 0;
-    for (size_t i = 0; i < kNumBuckets; ++i) {
-      cum += counts[i];
-      if (static_cast<double>(cum) >= rank) return BucketMidUs(i);
-    }
-    return BucketMidUs(kNumBuckets - 1);
-  }
-
-  void Reset() {
-    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  }
-
- private:
-  static size_t BucketIndex(double us) {
-    if (!(us > 1.0)) return 0;
-    const double idx = kBucketsPerOctave * std::log2(us);
-    if (idx >= static_cast<double>(kNumBuckets - 1)) return kNumBuckets - 1;
-    return static_cast<size_t>(idx);
-  }
-  static double BucketMidUs(size_t i) {
-    return std::exp2((static_cast<double>(i) + 0.5) / kBucketsPerOctave);
-  }
-
-  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+/// \brief Per-(dataset, query function) serving view: where the traffic
+/// went and what its tail looks like, so hot/cold store skew is visible.
+struct StoreStatsSnapshot {
+  std::string store;             ///< "dataset/agg(col N)" display key
+  uint64_t queries = 0;          ///< answers delivered for this key
+  uint64_t sketch_answers = 0;
+  uint64_t f32_sketch_answers = 0;
+  uint64_t int8_sketch_answers = 0;
+  uint64_t fallback_answers = 0;
+  uint64_t failed_answers = 0;
+  bool demoted = false;          ///< error budget tripped
+  double fallback_rate = 0.0;    ///< fallback_answers / queries
+  LatencyBreakdown latency;      ///< submit->answer for this key only
 };
 
 /// \brief Point-in-time view of a ServeEngine's counters.
+///
+/// Consistency contract (the one place it is documented): every field is
+/// read with a relaxed atomic load while dispatchers keep serving, so a
+/// snapshot is at most ~one in-flight micro-batch stale and cross-field
+/// invariants (queries == sketch + fallback + failed, per-store sums ==
+/// engine totals, histogram count == queries) may be off by the requests
+/// fulfilled mid-snapshot. Quiesce clients first when exact equalities
+/// are required. ResetStats() zeroes counters, histograms, per-store
+/// state and the elapsed clock as one operation under the engine lock;
+/// answers in flight during the reset may still land afterwards and
+/// count toward the new window.
 struct ServeStats {
   uint64_t queries = 0;          ///< answers delivered
   uint64_t sketch_answers = 0;   ///< answered by a sketch forward pass
@@ -88,7 +82,24 @@ struct ServeStats {
   double qps = 0.0;              ///< queries / elapsed_seconds
   double mean_batch_size = 0.0;
   double fallback_rate = 0.0;    ///< fallback_answers / queries
-  double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;  ///< submit->answer
+  /// Submit->answer percentiles (p999 carries the same sub-bucket
+  /// interpolation error bound as the rest).
+  double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0, p999_us = 0.0;
+
+  /// True when the engine was tracing pipeline stages (ServeOptions::
+  /// stage_tracing); the stage breakdowns below are all-zero otherwise.
+  bool stage_tracing = false;
+  /// Per-stage latency split of the serve pipeline. queue.count counts
+  /// requests (each waits individually); the other three count
+  /// micro-batches (the stage is shared by the whole batch).
+  LatencyBreakdown stage_queue;      ///< enqueue -> picked into a batch
+  LatencyBreakdown stage_assembly;   ///< batch collection -> inference
+  LatencyBreakdown stage_inference;  ///< forward pass / exact batch
+  LatencyBreakdown stage_fulfill;    ///< answer delivery
+
+  /// One entry per (dataset, query function) key that has served
+  /// traffic, sorted by display key.
+  std::vector<StoreStatsSnapshot> per_store;
 };
 
 }  // namespace serve

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -249,6 +250,7 @@ TEST(ServeEngineTest, ConcurrentClientsBitIdenticalToSerial) {
   EXPECT_GT(stats.mean_batch_size, 1.0);  // batching actually happened
   EXPECT_GT(stats.p50_us, 0.0);
   EXPECT_LE(stats.p50_us, stats.p99_us);
+  EXPECT_LE(stats.p99_us, stats.p999_us);
 }
 
 // Fallback path: no sketch registered for the query function -> every
@@ -497,6 +499,234 @@ TEST(ServeEngineTest, Int8SketchAnswersAreCounted) {
   EXPECT_EQ(stats.int8_sketch_answers, sketch_answered);
   EXPECT_GT(stats.int8_sketch_answers, 0u);
   EXPECT_EQ(stats.f32_sketch_answers, 0u);
+}
+
+// Per-store accounting: traffic split across two datasets — one with a
+// sketch, one exact-only — must come back attributed per store, with the
+// per-store counters summing to the engine totals.
+TEST(ServeEngineTest, PerStoreStatsAttributeTrafficByKey) {
+  ServeFixture f = ServeFixture::Make(96);
+  ExactEngine engine(&f.table);
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("hot", &engine).ok());
+  ASSERT_TRUE(store.RegisterDataset("cold", &engine).ok());
+  ASSERT_TRUE(store.Register("hot", f.spec, std::move(f.sketch)).ok());
+  // No sketch for "cold": exact fallback only.
+
+  ServeOptions opts;
+  opts.max_batch = 16;
+  opts.batch_window_us = 100.0;
+  ServeEngine serve(&store, opts);
+  // Skewed load: 2/3 of the traffic on the hot store.
+  std::vector<QueryInstance> hot_q(f.queries.begin(), f.queries.begin() + 64);
+  std::vector<QueryInstance> cold_q(f.queries.begin() + 64, f.queries.end());
+  auto hot_fut = serve.SubmitMany("hot", f.spec, hot_q);
+  auto cold_fut = serve.SubmitMany("cold", f.spec, cold_q);
+  const auto hot_res = hot_fut.get();
+  const auto cold_res = cold_fut.get();
+  ASSERT_EQ(hot_res.size(), 64u);
+  ASSERT_EQ(cold_res.size(), 32u);
+
+  const auto stats = serve.Snapshot();
+  ASSERT_EQ(stats.per_store.size(), 2u);  // sorted by display key
+  const auto& cold = stats.per_store[0];
+  const auto& hot = stats.per_store[1];
+  EXPECT_EQ(cold.store.rfind("cold/", 0), 0u) << cold.store;
+  EXPECT_EQ(hot.store.rfind("hot/", 0), 0u) << hot.store;
+
+  EXPECT_EQ(hot.queries, 64u);
+  EXPECT_EQ(cold.queries, 32u);
+  EXPECT_EQ(cold.sketch_answers, 0u);
+  EXPECT_EQ(cold.fallback_answers, 32u);
+  EXPECT_DOUBLE_EQ(cold.fallback_rate, 1.0);
+  EXPECT_FALSE(cold.demoted);
+  size_t hot_sketch = 0;
+  for (const auto& r : hot_res) hot_sketch += r.used_sketch ? 1 : 0;
+  EXPECT_EQ(hot.sketch_answers, hot_sketch);
+  EXPECT_GT(hot.sketch_answers, 0u);
+
+  // Per-store counters must sum to the engine-wide totals (all futures
+  // resolved => all Fulfills landed).
+  EXPECT_EQ(hot.queries + cold.queries, stats.queries);
+  EXPECT_EQ(hot.sketch_answers + cold.sketch_answers, stats.sketch_answers);
+  EXPECT_EQ(hot.fallback_answers + cold.fallback_answers,
+            stats.fallback_answers);
+  EXPECT_EQ(hot.latency.count, hot.queries);
+  EXPECT_GT(hot.latency.p99_us, 0.0);
+  EXPECT_LE(hot.latency.p99_us, hot.latency.p999_us);
+}
+
+// ResetStats restarts the whole stats window as one operation: counters,
+// histograms (engine, stage, per-store), the slow-query ring, and the
+// elapsed clock all restart together.
+TEST(ServeEngineTest, ResetStatsRestartsTheWindowAtomically) {
+  ServeFixture f = ServeFixture::Make(64);
+  ExactEngine engine(&f.table);
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", &engine).ok());
+  ASSERT_TRUE(store.Register("gmm", f.spec, std::move(f.sketch)).ok());
+  ServeOptions opts;
+  opts.max_batch = 16;
+  opts.batch_window_us = 50.0;
+  ServeEngine serve(&store, opts);
+
+  (void)serve.SubmitMany("gmm", f.spec, f.queries).get();
+  const auto before = serve.Snapshot();
+  EXPECT_EQ(before.queries, f.queries.size());
+  EXPECT_GT(before.p50_us, 0.0);
+
+  serve.ResetStats();
+  const auto after = serve.Snapshot();
+  EXPECT_EQ(after.queries, 0u);
+  EXPECT_EQ(after.batches, 0u);
+  EXPECT_DOUBLE_EQ(after.p50_us, 0.0);
+  EXPECT_DOUBLE_EQ(after.p999_us, 0.0);
+  EXPECT_EQ(after.stage_queue.count, 0u);
+  EXPECT_EQ(after.stage_inference.count, 0u);
+  EXPECT_LT(after.elapsed_seconds, before.elapsed_seconds);
+  for (const auto& ss : after.per_store) {
+    EXPECT_EQ(ss.queries, 0u);
+    EXPECT_EQ(ss.latency.count, 0u);
+  }
+  EXPECT_TRUE(serve.SlowQueries().empty());
+
+  // The window is live again: new traffic counts from zero.
+  (void)serve.SubmitMany("gmm", f.spec, f.queries).get();
+  EXPECT_EQ(serve.Snapshot().queries, f.queries.size());
+}
+
+/// Polls Snapshot until the trailing stage-histogram adds of the final
+/// in-flight batch land (they happen after the last promise resolves).
+serve::ServeStats SettledSnapshot(const ServeEngine& serve) {
+  serve::ServeStats s = serve.Snapshot();
+  for (int spin = 0; spin < 2000; ++spin) {
+    if (s.batches > 0 && s.stage_fulfill.count >= s.batches &&
+        s.stage_queue.count >= s.queries) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    s = serve.Snapshot();
+  }
+  return s;
+}
+
+// Stage tracing splits submit->answer into queue / assembly / inference /
+// fulfill: queue counts requests, the other stages count micro-batches.
+TEST(ServeEngineTest, StageTracingRecordsPerStageHistograms) {
+  ServeFixture f = ServeFixture::Make(128);
+  ExactEngine engine(&f.table);
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", &engine).ok());
+  ASSERT_TRUE(store.Register("gmm", f.spec, std::move(f.sketch)).ok());
+  ServeOptions opts;
+  opts.max_batch = 32;
+  opts.batch_window_us = 100.0;
+  ASSERT_TRUE(opts.stage_tracing);  // tracing is the default
+  ServeEngine serve(&store, opts);
+  (void)serve.SubmitMany("gmm", f.spec, f.queries).get();
+
+  const auto stats = SettledSnapshot(serve);
+  EXPECT_TRUE(stats.stage_tracing);
+  EXPECT_EQ(stats.stage_queue.count, stats.queries);
+  EXPECT_EQ(stats.stage_assembly.count, stats.batches);
+  EXPECT_EQ(stats.stage_inference.count, stats.batches);
+  EXPECT_EQ(stats.stage_fulfill.count, stats.batches);
+  // Queue wait dominates under a 100us window; inference is live too.
+  EXPECT_GT(stats.stage_queue.p50_us, 0.0);
+  EXPECT_LE(stats.stage_queue.p50_us, stats.stage_queue.p999_us);
+}
+
+TEST(ServeEngineTest, TracingOffSkipsStagesAndRing) {
+  ServeFixture f = ServeFixture::Make(64);
+  ExactEngine engine(&f.table);
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", &engine).ok());
+  ASSERT_TRUE(store.Register("gmm", f.spec, std::move(f.sketch)).ok());
+  ServeOptions opts;
+  opts.max_batch = 16;
+  opts.batch_window_us = 50.0;
+  opts.stage_tracing = false;
+  ServeEngine serve(&store, opts);
+  (void)serve.SubmitMany("gmm", f.spec, f.queries).get();
+
+  const auto stats = serve.Snapshot();
+  EXPECT_FALSE(stats.stage_tracing);
+  EXPECT_EQ(stats.stage_queue.count, 0u);
+  EXPECT_EQ(stats.stage_inference.count, 0u);
+  EXPECT_TRUE(serve.SlowQueries().empty());
+  // The always-on aggregate view still works.
+  EXPECT_EQ(stats.queries, f.queries.size());
+  EXPECT_GT(stats.p50_us, 0.0);
+  ASSERT_EQ(stats.per_store.size(), 1u);
+  EXPECT_EQ(stats.per_store[0].queries, f.queries.size());
+}
+
+// The slow-query ring holds the K slowest answers with a stage breakdown
+// that sums back to the total.
+TEST(ServeEngineTest, SlowQueryRingCapturesStageBreakdown) {
+  ServeFixture f = ServeFixture::Make(256);
+  ExactEngine engine(&f.table);
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", &engine).ok());
+  ASSERT_TRUE(store.Register("gmm", f.spec, std::move(f.sketch)).ok());
+  ServeOptions opts;
+  opts.max_batch = 32;
+  opts.batch_window_us = 100.0;
+  opts.slow_query_capacity = 4;
+  ServeEngine serve(&store, opts);
+  (void)serve.SubmitMany("gmm", f.spec, f.queries).get();
+  (void)SettledSnapshot(serve);
+
+  const auto slow = serve.SlowQueries();
+  ASSERT_GE(slow.size(), 1u);
+  ASSERT_LE(slow.size(), 4u);
+  for (size_t i = 1; i < slow.size(); ++i) {
+    EXPECT_GE(slow[i - 1].total_us, slow[i].total_us);  // slowest first
+  }
+  for (const auto& t : slow) {
+    EXPECT_GT(t.total_us, 0.0);
+    EXPECT_GE(t.queue_us, 0.0);
+    EXPECT_GE(t.assembly_us, 0.0);
+    EXPECT_GE(t.inference_us, 0.0);
+    EXPECT_GE(t.fulfill_us, 0.0);
+    // Stages partition the total (fulfill is the clamped residual).
+    EXPECT_LE(t.queue_us + t.assembly_us + t.inference_us, t.total_us + 1e-6);
+    EXPECT_EQ(t.store, slow.front().store);
+    EXPECT_FALSE(t.tier.empty());
+    EXPECT_GT(t.batch_size, 0u);
+  }
+}
+
+// ExportMetrics mirrors serve counters + histograms into a registry whose
+// text exposition is then one uniform document.
+TEST(ServeEngineTest, ExportMetricsProducesExposition) {
+  ServeFixture f = ServeFixture::Make(64);
+  ExactEngine engine(&f.table);
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", &engine).ok());
+  ASSERT_TRUE(store.Register("gmm", f.spec, std::move(f.sketch)).ok());
+  ServeOptions opts;
+  opts.max_batch = 16;
+  opts.batch_window_us = 50.0;
+  ServeEngine serve(&store, opts);
+  (void)serve.SubmitMany("gmm", f.spec, f.queries).get();
+
+  metrics::MetricsRegistry reg;
+  serve.ExportMetrics(&reg);
+  const std::string text = reg.TextExposition();
+  EXPECT_NE(text.find("# TYPE nsketch_serve_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("nsketch_serve_queries_total " +
+                      std::to_string(f.queries.size())),
+            std::string::npos);
+  EXPECT_NE(text.find("nsketch_serve_latency_us_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(text.find("nsketch_serve_stage_us_bucket{stage=\"queue\",le=\""),
+            std::string::npos);
+  EXPECT_NE(text.find("nsketch_serve_store_queries_total{store=\"gmm/"),
+            std::string::npos);
+  const std::string json = reg.Json();
+  EXPECT_NE(json.find("\"nsketch_serve_queries_total\": "), std::string::npos);
 }
 
 TEST(LatencyHistogramTest, PercentilesLandInBucketTolerance) {

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Gate on the stage-tracing overhead measured by bench_serving_throughput:
+# the "tracing_overhead" section of BENCH_serving.json compares the
+# single-query serve p50 with stage tracing on vs off in the same process
+# (min-of-2 per arm, arms alternated). The observability layer's budget is
+# < 2% on that path; negative values (noise in favor of tracing-on) pass.
+#
+# Usage: tools/check_serving_overhead.sh [path/to/BENCH_serving.json]
+set -euo pipefail
+
+json="${1:-BENCH_serving.json}"
+budget_pct="${OVERHEAD_BUDGET_PCT:-2.0}"
+
+if [[ ! -f "$json" ]]; then
+  echo "error: $json not found (run bench_serving_throughput first)" >&2
+  exit 1
+fi
+
+line=$(grep -o '"tracing_overhead": {[^}]*}' "$json" || true)
+if [[ -z "$line" ]]; then
+  echo "error: no tracing_overhead section in $json" >&2
+  exit 1
+fi
+
+overhead=$(echo "$line" | grep -o '"overhead_pct": *[-0-9.]*' |
+  grep -o '[-0-9.]*$')
+on_us=$(echo "$line" | grep -o '"single_query_p50_on_us": *[-0-9.]*' |
+  grep -o '[-0-9.]*$')
+off_us=$(echo "$line" | grep -o '"single_query_p50_off_us": *[-0-9.]*' |
+  grep -o '[-0-9.]*$')
+
+echo "tracing overhead: on ${on_us}us vs off ${off_us}us = ${overhead}%" \
+  "(budget ${budget_pct}%)"
+
+ok=$(awk -v o="$overhead" -v b="$budget_pct" 'BEGIN { print (o < b) ? 1 : 0 }')
+if [[ "$ok" != "1" ]]; then
+  echo "error: stage-tracing overhead ${overhead}% exceeds ${budget_pct}%" >&2
+  exit 1
+fi
+echo "OK"
