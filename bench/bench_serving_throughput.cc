@@ -12,12 +12,18 @@
 // commits; the snapshot also carries the observability sections — the
 // headline run's per-stage latency breakdown and per-store stats, the
 // stage-tracing on/off overhead on the single-query serve path (CI gates
-// it via tools/check_serving_overhead.sh), and the metrics-registry
-// document (nsketch_build_* + nsketch_serve_*) under "metrics".
+// it via tools/check_serving_overhead.sh), the metrics-registry document
+// (nsketch_build_* + nsketch_serve_*) under "metrics", a "multi_core"
+// shard-count sweep (same gate script sanity-checks 4-shard scaling on
+// >= 4-core machines), and a "zipfian" skewed-load arm (s = 0.99 over 16
+// stores) with tail percentiles, hottest-store share, and shard-load
+// imbalance.
 //
 // Usage: bench_serving_throughput [out.json]
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -43,6 +49,7 @@ struct RunResult {
   size_t clients = 0;
   double window_us = 0.0;
   size_t max_batch = 0;
+  size_t shards = 0;  // dispatcher shards the engine actually ran with
   double qps = 0.0;
   ServeStats stats;
 };
@@ -117,6 +124,7 @@ RunResult RunPerQuery(const SketchStore* store, const QueryFunctionSpec& spec,
   r.mode = "per_query";
   r.clients = clients;
   r.max_batch = 1;
+  r.shards = eng.num_shards();
   r.qps = static_cast<double>(clients * kPerClient) / t.ElapsedSeconds();
   r.stats = eng.Snapshot();
   return r;
@@ -155,43 +163,233 @@ RunResult RunBatched(const SketchStore* store, const QueryFunctionSpec& spec,
   r.clients = clients;
   r.window_us = window_us;
   r.max_batch = max_batch;
+  r.shards = eng.num_shards();
   r.qps = static_cast<double>(clients * kPerClient) / t.ElapsedSeconds();
   r.stats = eng.Snapshot();
   if (export_reg != nullptr) eng.ExportMetrics(export_reg);
   return r;
 }
 
+/// Multi-core scaling arm: 8 clients, each hammering its own store (the
+/// stores all share one sketch), at an explicit shard count. With one
+/// store per client the engine can spread the stores across shards, so
+/// this measures dispatcher scaling rather than single-key batching.
+RunResult RunMultiCore(const SketchStore* store,
+                       const QueryFunctionSpec& spec,
+                       const std::vector<std::string>& datasets,
+                       const std::vector<QueryInstance>& pool,
+                       size_t clients, size_t num_shards) {
+  ServeOptions opts;
+  opts.max_batch = 512;
+  opts.batch_window_us = 200.0;
+  opts.num_shards = num_shards;
+  ServeEngine eng(store, opts);
+  Timer t;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const std::string& dataset = datasets[c % datasets.size()];
+      size_t done = 0;
+      while (done < kPerClient) {
+        const size_t n = std::min(kBurst, kPerClient - done);
+        std::vector<QueryInstance> burst;
+        burst.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          burst.push_back(pool[(c * kPerClient + done + i) % pool.size()]);
+        }
+        eng.SubmitMany(dataset, spec, std::move(burst)).get();
+        done += n;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  RunResult r;
+  r.mode = "multi_core";
+  r.clients = clients;
+  r.window_us = opts.batch_window_us;
+  r.max_batch = opts.max_batch;
+  r.shards = eng.num_shards();
+  r.qps = static_cast<double>(clients * kPerClient) / t.ElapsedSeconds();
+  r.stats = eng.Snapshot();
+  return r;
+}
+
+/// Zipfian skewed-load arm: per-store traffic drawn Zipf(s) over
+/// `datasets` (store 0 hottest), every client sampling independently.
+/// Skew concentrates load on one store -> one shard, so this is the
+/// worst case for shard balance and the tail the per-shard metrics
+/// exist to explain.
+struct ZipfReport {
+  double s = 0.99;
+  size_t stores = 0;
+  size_t clients = 0;
+  double qps = 0.0;
+  double hottest_share = 0.0;    // fraction of traffic on store 0
+  double shard_imbalance = 0.0;  // hottest shard / mean shard load
+  ServeStats stats;
+};
+
+ZipfReport RunZipfian(const SketchStore* store, const QueryFunctionSpec& spec,
+                      const std::vector<std::string>& datasets,
+                      const std::vector<QueryInstance>& pool, size_t clients,
+                      double s) {
+  // Cumulative Zipf weights: w_i = 1/(i+1)^s.
+  std::vector<double> cum(datasets.size());
+  double total = 0.0;
+  for (size_t i = 0; i < datasets.size(); ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cum[i] = total;
+  }
+  for (double& c : cum) c /= total;
+
+  ServeOptions opts;
+  opts.max_batch = 512;
+  opts.batch_window_us = 200.0;
+  ServeEngine eng(store, opts);
+  constexpr size_t kZipfBurst = 32;  // store re-drawn per burst
+  Timer t;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      uint64_t rng = 0x9e3779b97f4a7c15ull * (c + 1);  // per-client LCG
+      size_t done = 0;
+      while (done < kPerClient) {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        const double u =
+            static_cast<double>(rng >> 11) * (1.0 / 9007199254740992.0);
+        const size_t pick =
+            std::lower_bound(cum.begin(), cum.end(), u) - cum.begin();
+        const size_t n = std::min(kZipfBurst, kPerClient - done);
+        std::vector<QueryInstance> burst;
+        burst.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          burst.push_back(pool[(c * kPerClient + done + i) % pool.size()]);
+        }
+        eng.SubmitMany(datasets[std::min(pick, datasets.size() - 1)], spec,
+                       std::move(burst))
+            .get();
+        done += n;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  ZipfReport z;
+  z.s = s;
+  z.stores = datasets.size();
+  z.clients = clients;
+  z.qps = static_cast<double>(clients * kPerClient) / t.ElapsedSeconds();
+  z.stats = eng.Snapshot();
+  const std::string hottest = datasets[0] + "/";
+  uint64_t hot_shard = 0;
+  for (const auto& sd : z.stats.per_shard) {
+    hot_shard = std::max(hot_shard, sd.queries);
+  }
+  const double mean_shard =
+      z.stats.per_shard.empty()
+          ? 0.0
+          : static_cast<double>(z.stats.queries) /
+                static_cast<double>(z.stats.per_shard.size());
+  z.shard_imbalance =
+      mean_shard > 0.0 ? static_cast<double>(hot_shard) / mean_shard : 0.0;
+  for (const auto& ss : z.stats.per_store) {
+    if (ss.store.compare(0, hottest.size(), hottest) == 0) {
+      z.hottest_share = z.stats.queries > 0
+                            ? static_cast<double>(ss.queries) /
+                                  static_cast<double>(z.stats.queries)
+                            : 0.0;
+    }
+  }
+  return z;
+}
+
 void PrintRow(const RunResult& r) {
-  std::printf("%-12s %8zu %10.0f %10zu %12.0f %9.0f %9.0f %9.0f %9.0f "
+  std::printf("%-12s %8zu %10.0f %10zu %7zu %12.0f %9.0f %9.0f %9.0f %9.0f "
               "%11.1f\n",
-              r.mode.c_str(), r.clients, r.window_us, r.max_batch, r.qps,
-              r.stats.p50_us, r.stats.p95_us, r.stats.p99_us,
+              r.mode.c_str(), r.clients, r.window_us, r.max_batch, r.shards,
+              r.qps, r.stats.p50_us, r.stats.p95_us, r.stats.p99_us,
               r.stats.p999_us, r.stats.mean_batch_size);
 }
 
-/// True single-query serve p50: one client, submit one, wait, repeat —
-/// no burst, so no queueing amplification (in a 128-deep burst the p50
-/// request waits behind ~64 predecessors and every nanosecond of
-/// per-request dispatcher work is paid ~64x in measured latency). Warmup
-/// runs first, then ResetStats opens a clean measurement window.
-double ServeSingleQueryP50(const SketchStore* store,
-                           const QueryFunctionSpec& spec,
-                           const std::vector<QueryInstance>& pool,
-                           bool stage_tracing) {
+/// Tracing on/off single-query serve p50s, measured as a paired design.
+///
+/// One client, submit one, wait, repeat — no burst, so no queueing
+/// amplification (in a 128-deep burst the p50 request waits behind ~64
+/// predecessors and every nanosecond of per-request dispatcher work is
+/// paid ~64x in measured latency).
+///
+/// Three defenses against noise drowning a sub-100ns true difference:
+///  - Both engines live for the whole measurement and small submission
+///    chunks alternate between them (order flipped every round), so
+///    slow machine-wide drift — frequency scaling, noisy neighbors —
+///    lands on both arms nearly equally instead of biasing whichever
+///    arm a drift window happened to cover.
+///  - Each round-trip is timed individually and the exact pooled-sample
+///    median is taken via nth_element rather than the engine's own p50:
+///    the engine histogram is log-bucketed (~19% bucket width) and this
+///    path's p50 sits right at a bucket edge (~2us), so a
+///    nanosecond-scale true shift can read as a whole-bucket jump in
+///    the interpolated value.
+///  - Timing the round-trip charges the client for dispatcher tail work
+///    it actually waits behind on saturated hosts, which the internal
+///    enqueue->fulfill window misses.
+struct TracingOverheadSample {
+  double on_p50_us = 0.0;
+  double off_p50_us = 0.0;
+  double overhead_pct() const {
+    return off_p50_us > 0.0 ? (on_p50_us - off_p50_us) / off_p50_us * 100.0
+                            : 0.0;
+  }
+};
+
+TracingOverheadSample MeasureTracingOverhead(
+    const SketchStore* store, const QueryFunctionSpec& spec,
+    const std::vector<QueryInstance>& pool) {
   ServeOptions opts;
   opts.max_batch = 1;
   opts.batch_window_us = 0.0;
-  opts.stage_tracing = stage_tracing;
-  ServeEngine eng(store, opts);
-  constexpr size_t kWarm = 500, kSamples = 4000;
+  opts.stage_tracing = true;
+  ServeEngine eng_on(store, opts);
+  opts.stage_tracing = false;
+  ServeEngine eng_off(store, opts);
+
+  using SteadyClock = std::chrono::steady_clock;
+  constexpr size_t kWarm = 500, kChunk = 250, kRounds = 40;
+  std::vector<double> on_us, off_us;
+  on_us.reserve(kChunk * kRounds);
+  off_us.reserve(kChunk * kRounds);
+  size_t qi = 0;
+  auto run_chunk = [&](ServeEngine* eng, std::vector<double>* out) {
+    for (size_t i = 0; i < kChunk; ++i) {
+      const QueryInstance& q = pool[qi++ % pool.size()];
+      const auto t0 = SteadyClock::now();
+      eng->Submit("bench", spec, q).get();
+      const auto t1 = SteadyClock::now();
+      out->push_back(std::chrono::duration<double, std::micro>(t1 - t0)
+                         .count());
+    }
+  };
   for (size_t i = 0; i < kWarm; ++i) {
-    eng.Submit("bench", spec, pool[i % pool.size()]).get();
+    eng_on.Submit("bench", spec, pool[i % pool.size()]).get();
+    eng_off.Submit("bench", spec, pool[i % pool.size()]).get();
   }
-  eng.ResetStats();
-  for (size_t i = 0; i < kSamples; ++i) {
-    eng.Submit("bench", spec, pool[i % pool.size()]).get();
+  for (size_t round = 0; round < kRounds; ++round) {
+    if (round % 2 == 0) {
+      run_chunk(&eng_on, &on_us);
+      run_chunk(&eng_off, &off_us);
+    } else {
+      run_chunk(&eng_off, &off_us);
+      run_chunk(&eng_on, &on_us);
+    }
   }
-  return eng.Snapshot().p50_us;
+  auto median = [](std::vector<double>* v) {
+    std::nth_element(v->begin(), v->begin() + v->size() / 2, v->end());
+    return (*v)[v->size() / 2];
+  };
+  TracingOverheadSample s;
+  s.on_p50_us = median(&on_us);
+  s.off_p50_us = median(&off_us);
+  return s;
 }
 
 /// Observability sections for the json snapshot: the headline run's stage
@@ -259,7 +457,9 @@ Status WriteJson(const std::string& path, const std::vector<RunResult>& rows,
                  const LatencyNs& scalar, const LatencyNs& compiled,
                  const TierReport& f32, const TierReport& i8,
                  const std::vector<BatchedRow>& batched,
-                 const ObservabilityReport& obs) {
+                 const ObservabilityReport& obs,
+                 const std::vector<RunResult>& multi_core,
+                 const ZipfReport& zipf) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   std::fprintf(f, "{\n  \"bench\": \"serving_throughput\",\n");
@@ -274,10 +474,12 @@ Status WriteJson(const std::string& path, const std::vector<RunResult>& rows,
     std::fprintf(f,
                  "    {\"mode\": \"%s\", \"clients\": %zu, "
                  "\"batch_window_us\": %.0f, \"max_batch\": %zu, "
+                 "\"shards\": %zu, "
                  "\"qps\": %.0f, \"p50_us\": %.1f, \"p95_us\": %.1f, "
                  "\"p99_us\": %.1f, \"p999_us\": %.1f, \"mean_batch\": %.1f, "
                  "\"fallback_rate\": %.4f}%s\n",
-                 r.mode.c_str(), r.clients, r.window_us, r.max_batch, r.qps,
+                 r.mode.c_str(), r.clients, r.window_us, r.max_batch,
+                 r.shards, r.qps,
                  r.stats.p50_us, r.stats.p95_us, r.stats.p99_us,
                  r.stats.p999_us, r.stats.mean_batch_size,
                  r.stats.fallback_rate, i + 1 < rows.size() ? "," : "");
@@ -356,6 +558,38 @@ Status WriteJson(const std::string& path, const std::vector<RunResult>& rows,
                obs.tracing_on_p50_us, obs.tracing_off_p50_us,
                obs.overhead_pct);
   std::fprintf(f, "  \"metrics\": %s,\n", obs.metrics_json.c_str());
+  // Shard scaling: micro-batch QPS with the same 8-client / 8-store load
+  // at increasing shard counts. speedup_4_shards only means anything on
+  // a >=4-core machine; check_serving_overhead.sh gates accordingly.
+  double qps1 = 0.0, qps4 = 0.0;
+  for (const RunResult& r : multi_core) {
+    if (r.shards == 1) qps1 = r.qps;
+    if (r.shards == 4) qps4 = r.qps;
+  }
+  std::fprintf(f, "  \"multi_core\": {\n");
+  std::fprintf(f, "    \"clients\": 8,\n    \"stores\": 8,\n");
+  std::fprintf(f, "    \"rows\": [\n");
+  for (size_t i = 0; i < multi_core.size(); ++i) {
+    const RunResult& r = multi_core[i];
+    std::fprintf(f,
+                 "      {\"shards\": %zu, \"qps\": %.0f, \"p50_us\": %.1f, "
+                 "\"p99_us\": %.1f, \"mean_batch\": %.1f}%s\n",
+                 r.shards, r.qps, r.stats.p50_us, r.stats.p99_us,
+                 r.stats.mean_batch_size,
+                 i + 1 < multi_core.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n");
+  std::fprintf(f, "    \"speedup_4_shards\": %.2f\n  },\n",
+               qps1 > 0.0 ? qps4 / qps1 : 0.0);
+  std::fprintf(f,
+               "  \"zipfian\": {\"s\": %.2f, \"stores\": %zu, "
+               "\"clients\": %zu, \"qps\": %.0f, \"p50_us\": %.1f, "
+               "\"p99_us\": %.1f, \"p999_us\": %.1f, "
+               "\"hottest_store_share\": %.3f, "
+               "\"shard_imbalance\": %.2f},\n",
+               zipf.s, zipf.stores, zipf.clients, zipf.qps,
+               zipf.stats.p50_us, zipf.stats.p99_us, zipf.stats.p999_us,
+               zipf.hottest_share, zipf.shard_imbalance);
   std::fprintf(f,
                "  \"headline\": {\"clients\": 8, \"per_query_qps\": %.0f, "
                "\"micro_batch_qps\": %.0f, \"speedup\": %.2f}\n}\n",
@@ -494,9 +728,9 @@ int Main(int argc, char** argv) {
   ns.ExportBuildMetrics(&registry);
   (void)store.Register("bench", wb.spec, std::move(sketch).value());
 
-  std::printf("%-12s %8s %10s %10s %12s %9s %9s %9s %9s %11s\n", "mode",
-              "clients", "window_us", "max_batch", "qps", "p50_us", "p95_us",
-              "p99_us", "p999_us", "mean_batch");
+  std::printf("%-12s %8s %10s %10s %7s %12s %9s %9s %9s %9s %11s\n", "mode",
+              "clients", "window_us", "max_batch", "shards", "qps", "p50_us",
+              "p95_us", "p99_us", "p999_us", "mean_batch");
 
   std::vector<RunResult> rows;
   ObservabilityReport obs;
@@ -539,25 +773,24 @@ int Main(int argc, char** argv) {
   }
 
   // Stage-tracing overhead on the single-query serve path: tracing on vs
-  // off in the same process, arms alternated to cancel drift. Each arm
-  // takes the min over 5 serial-submission runs — the p50 of this path is
-  // scheduler-jittery, and noise only ever inflates a run, so the min is
-  // a stable floor estimator.
-  obs.tracing_on_p50_us = 1e300;
-  obs.tracing_off_p50_us = 1e300;
+  // off in the same process as a chunk-alternating paired comparison
+  // (see MeasureTracingOverhead). The paired run repeats 5 times and the
+  // run with the median overhead is reported — a median across paired
+  // runs rejects the occasional run where a scheduling-regime flip lands
+  // between two chunks, without letting either tail define the result.
+  std::vector<TracingOverheadSample> overhead_reps;
   for (int rep = 0; rep < 5; ++rep) {
-    obs.tracing_on_p50_us =
-        std::min(obs.tracing_on_p50_us,
-                 ServeSingleQueryP50(&store, wb.spec, wb.test_q, true));
-    obs.tracing_off_p50_us =
-        std::min(obs.tracing_off_p50_us,
-                 ServeSingleQueryP50(&store, wb.spec, wb.test_q, false));
+    overhead_reps.push_back(MeasureTracingOverhead(&store, wb.spec,
+                                                   wb.test_q));
   }
-  obs.overhead_pct =
-      obs.tracing_off_p50_us > 0.0
-          ? (obs.tracing_on_p50_us - obs.tracing_off_p50_us) /
-                obs.tracing_off_p50_us * 100.0
-          : 0.0;
+  std::sort(overhead_reps.begin(), overhead_reps.end(),
+            [](const TracingOverheadSample& a, const TracingOverheadSample& b) {
+              return a.overhead_pct() < b.overhead_pct();
+            });
+  const TracingOverheadSample& mid = overhead_reps[overhead_reps.size() / 2];
+  obs.tracing_on_p50_us = mid.on_p50_us;
+  obs.tracing_off_p50_us = mid.off_p50_us;
+  obs.overhead_pct = mid.overhead_pct();
   std::printf("tracing overhead (single-query p50): on %.1f us vs off %.1f "
               "us = %.2f%%\n",
               obs.tracing_on_p50_us, obs.tracing_off_p50_us,
@@ -568,6 +801,53 @@ int Main(int argc, char** argv) {
   std::printf("\nheadline: 8 clients, micro-batch (window 200us) vs "
               "per-query: %.2fx QPS (%.0f vs %.0f)\n",
               speedup, batched_qps8, per_query_qps8);
+
+  // Shard scaling + skewed-load arms. Both need stores that can actually
+  // land on different shards, so the bench sketch serves under several
+  // dataset names (one registry entry each, all sharing the sketch).
+  std::shared_ptr<const NeuroSketch> shared =
+      store.Lookup(serve::ServeKey::From("bench", wb.spec));
+  std::vector<RunResult> multi_core;
+  ZipfReport zipf;
+  if (shared != nullptr) {
+    SketchStore fan_store;
+    std::vector<std::string> fan_names;
+    for (int i = 0; i < 8; ++i) {
+      fan_names.push_back("mc" + std::to_string(i));
+      (void)fan_store.RegisterDataset(fan_names.back(), &engine);
+      (void)fan_store.Register(fan_names.back(), wb.spec, shared);
+    }
+    const size_t hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    std::vector<size_t> shard_counts = {1, 2, 4};
+    if (std::find(shard_counts.begin(), shard_counts.end(), hw) ==
+        shard_counts.end()) {
+      shard_counts.push_back(hw);
+    }
+    std::printf("\nmulti-core scaling (8 clients x 8 stores, micro-batch "
+                "window 200us):\n");
+    for (size_t n : shard_counts) {
+      RunResult r =
+          RunMultiCore(&fan_store, wb.spec, fan_names, wb.test_q, 8, n);
+      PrintRow(r);
+      multi_core.push_back(std::move(r));
+    }
+
+    SketchStore zipf_store;
+    std::vector<std::string> zipf_names;
+    for (int i = 0; i < 16; ++i) {
+      zipf_names.push_back("z" + std::to_string(i));
+      (void)zipf_store.RegisterDataset(zipf_names.back(), &engine);
+      (void)zipf_store.Register(zipf_names.back(), wb.spec, shared);
+    }
+    zipf = RunZipfian(&zipf_store, wb.spec, zipf_names, wb.test_q, 8, 0.99);
+    std::printf("zipfian load (s=%.2f over %zu stores, 8 clients): %.0f qps, "
+                "p50 %.0f / p99 %.0f / p999 %.0f us, hottest store %.0f%%, "
+                "shard imbalance %.2fx\n",
+                zipf.s, zipf.stores, zipf.qps, zipf.stats.p50_us,
+                zipf.stats.p99_us, zipf.stats.p999_us,
+                zipf.hottest_share * 100.0, zipf.shard_imbalance);
+  }
 
   // Narrow-tier serving: reload each persisted sketch (precision survives
   // serialization) into a fresh store and run the headline micro-batch
@@ -603,7 +883,8 @@ int Main(int argc, char** argv) {
   }
 
   Status st = WriteJson(out_path, rows, per_query_qps8, batched_qps8,
-                        scalar_lat, plan_lat, f32, i8, batched, obs);
+                        scalar_lat, plan_lat, f32, i8, batched, obs,
+                        multi_core, zipf);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;

@@ -22,11 +22,13 @@
 //       of the template's parameters.
 //
 //   nsketch_cli serve <data.csv> "<sql template>" <out.sketch> [n_queries]
-//                     [n_clients] [metrics_interval_s]
+//                     [n_clients] [metrics_interval_s] [n_shards]
 //       Serves a random workload of the template's parameters through the
 //       concurrent micro-batching engine (serve/): n_clients threads
 //       submit bursts, answered by the sketch with exact-engine fallback;
 //       prints throughput, latency percentiles and the fallback rate.
+//       n_shards sets the dispatcher shard count (0 or omitted = one per
+//       hardware thread).
 //       When the sketch file cannot be loaded, serving runs exact-only —
 //       the fallback path end to end. A positive metrics_interval_s dumps
 //       the metrics registry (text exposition) every that-many seconds
@@ -270,6 +272,7 @@ int CmdServe(int argc, char** argv) {
   const size_t n_clients = argc > 6 ? std::strtoul(argv[6], nullptr, 10) : 4;
   const double metrics_interval_s =
       argc > 7 ? std::strtod(argv[7], nullptr) : 0.0;
+  const size_t n_shards = argc > 8 ? std::strtoul(argv[8], nullptr, 10) : 0;
   if (n_queries == 0 || n_clients == 0) {
     return Fail(Status::InvalidArgument(
         "n_queries and n_clients must be positive integers"));
@@ -305,7 +308,11 @@ int CmdServe(int argc, char** argv) {
   const auto pool = RandomWorkload(pq.value(), 4096, &rng);
   if (pool.empty()) return Fail(Status::InvalidArgument("empty workload"));
 
-  serve::ServeEngine serving(&store);
+  serve::ServeOptions serve_opts;
+  serve_opts.num_shards = n_shards;  // 0 = one shard per hardware thread
+  serve::ServeEngine serving(&store, serve_opts);
+  std::printf("serving with %zu dispatcher shard%s\n", serving.num_shards(),
+              serving.num_shards() == 1 ? "" : "s");
 
   // Optional periodic scrape: dump the registry every interval while the
   // clients run, the way a Prometheus scraper would poll /metrics.

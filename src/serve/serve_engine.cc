@@ -14,6 +14,11 @@ std::chrono::microseconds WindowDuration(double us) {
 
 ServeOptions Sanitize(ServeOptions o) {
   if (o.max_batch == 0) o.max_batch = 1;  // 0 would livelock the dispatcher
+  if (o.num_shards == 0) {
+    o.num_shards = std::thread::hardware_concurrency();
+    if (o.num_shards == 0) o.num_shards = 1;
+  }
+  if (o.submit_queue_capacity < 2) o.submit_queue_capacity = 2;
   return o;
 }
 
@@ -26,27 +31,39 @@ double MicrosBetween(std::chrono::steady_clock::time_point a,
 ServeEngine::ServeEngine(const SketchStore* store, ServeOptions options)
     : store_(store),
       options_(Sanitize(std::move(options))),
+      router_(options_.num_shards),
       slow_queries_(options_.stage_tracing ? options_.slow_query_capacity
                                            : 0) {
-  const size_t n = options_.num_dispatchers == 0 ? 1 : options_.num_dispatchers;
-  dispatchers_.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    dispatchers_.emplace_back([this] { DispatchLoop(); });
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(options_.submit_queue_capacity));
+  }
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->dispatcher = std::thread([this, s] { DispatchLoop(s); });
   }
 }
 
 ServeEngine::~ServeEngine() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
+  stop_.store(true, std::memory_order_seq_cst);
+  for (auto& shard : shards_) {
+    // The empty critical section fences against the sleep transition: a
+    // dispatcher that decided to wait either already waits (the notify
+    // lands) or still holds the lock and will re-check stop_ first.
+    { std::lock_guard<std::mutex> lock(shard->mu); }
+    shard->cv.notify_all();
   }
-  cv_.notify_all();
-  for (auto& d : dispatchers_) d.join();
+  for (auto& shard : shards_) shard->dispatcher.join();
+}
+
+size_t ServeEngine::ShardOf(const std::string& dataset,
+                            const QueryFunctionSpec& spec) const {
+  return ShardIndexOf(ServeKey::From(dataset, spec));
 }
 
 ServeEngine::KeyState& ServeEngine::KeyStateLocked(
-    const ServeKey& key, const QueryFunctionSpec& spec) {
-  KeyState& st = keys_[key];
+    Shard* shard, const ServeKey& key, const QueryFunctionSpec& spec) {
+  KeyState& st = shard->keys[key];
   if (st.spec.predicate == nullptr) st.spec = spec;
   if (st.counters == nullptr) {
     st.counters = std::make_shared<StoreCounters>();
@@ -56,28 +73,37 @@ ServeEngine::KeyState& ServeEngine::KeyStateLocked(
   return st;
 }
 
+void ServeEngine::Route(Submission s) {
+  Shard& shard = *shards_[ShardIndexOf(s.key)];
+  if (!shard.ring.Push(std::move(s))) {
+    shard.backpressure_waits.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Publish -> fence -> sleeping check pairs with the dispatcher's
+  // sleeping store -> fence -> ring check (a Dekker handshake): one side
+  // always observes the other, so a published submission can never strand
+  // while the dispatcher sleeps. In the hot case (dispatcher busy) this
+  // is one relaxed load and no lock.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (shard.sleeping.load(std::memory_order_relaxed)) {
+    // Locking (empty section) serializes with the sleep transition so the
+    // notify cannot fire in the window between the dispatcher's re-check
+    // and its cv.wait.
+    { std::lock_guard<std::mutex> lock(shard.mu); }
+    shard.cv.notify_one();
+  }
+}
+
 std::future<ServeResult> ServeEngine::Submit(const std::string& dataset,
                                              const QueryFunctionSpec& spec,
                                              QueryInstance q) {
-  Request r;
-  r.q = std::move(q);
-  r.enqueued = Clock::now();
-  r.promise = std::make_unique<std::promise<ServeResult>>();
-  std::future<ServeResult> fut = r.promise->get_future();
-  bool ready = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    KeyState& st = KeyStateLocked(ServeKey::From(dataset, spec), spec);
-    st.pending.push_back(std::move(r));
-    ++pending_count_;
-    // Wake a dispatcher when a batch became dispatchable, or when this
-    // request started a new queue (its deadline is unknown to sleeping
-    // dispatchers). Otherwise dispatchers sleep until the window expires
-    // rather than being woken per request.
-    ready = st.pending.size() >= options_.max_batch ||
-            options_.batch_window_us <= 0.0 || st.pending.size() == 1;
-  }
-  if (ready) cv_.notify_one();
+  Submission s;
+  s.key = ServeKey::From(dataset, spec);
+  s.spec = spec;
+  s.enqueued = Clock::now();
+  s.q = std::move(q);
+  s.promise = std::make_unique<std::promise<ServeResult>>();
+  std::future<ServeResult> fut = s.promise->get_future();
+  Route(std::move(s));
   return fut;
 }
 
@@ -93,25 +119,13 @@ std::future<std::vector<ServeResult>> ServeEngine::SubmitMany(
     wave->promise.set_value({});
     return fut;
   }
-  const auto now = Clock::now();
-  bool ready = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    KeyState& st = KeyStateLocked(ServeKey::From(dataset, spec), spec);
-    const bool was_empty = st.pending.empty();
-    for (size_t i = 0; i < n; ++i) {
-      Request r;
-      r.q = std::move(queries[i]);
-      r.enqueued = now;
-      r.wave = wave;
-      r.wave_slot = i;
-      st.pending.push_back(std::move(r));
-    }
-    pending_count_ += n;
-    ready = st.pending.size() >= options_.max_batch ||
-            options_.batch_window_us <= 0.0 || was_empty;
-  }
-  if (ready) cv_.notify_one();
+  Submission s;
+  s.key = ServeKey::From(dataset, spec);
+  s.spec = spec;
+  s.enqueued = Clock::now();
+  s.queries = std::move(queries);
+  s.wave = std::move(wave);
+  Route(std::move(s));
   return fut;
 }
 
@@ -121,26 +135,61 @@ ServeResult ServeEngine::Answer(const std::string& dataset,
   return Submit(dataset, spec, std::move(q)).get();
 }
 
-void ServeEngine::DispatchLoop() {
+size_t ServeEngine::DrainRingLocked(Shard* shard) {
+  size_t filed = 0;
+  Submission s;
+  while (shard->ring.TryPop(&s)) {
+    KeyState& st = KeyStateLocked(shard, s.key, s.spec);
+    if (s.wave != nullptr) {
+      const size_t n = s.queries.size();
+      for (size_t i = 0; i < n; ++i) {
+        Request r;
+        r.q = std::move(s.queries[i]);
+        r.enqueued = s.enqueued;
+        r.wave = s.wave;
+        r.wave_slot = i;
+        st.pending.push_back(std::move(r));
+      }
+      filed += n;
+      shard->pending_count += n;
+    } else {
+      Request r;
+      r.q = std::move(s.q);
+      r.enqueued = s.enqueued;
+      r.promise = std::move(s.promise);
+      st.pending.push_back(std::move(r));
+      ++filed;
+      ++shard->pending_count;
+    }
+  }
+  return filed;
+}
+
+void ServeEngine::DispatchLoop(Shard* shard) {
   const auto window = WindowDuration(options_.batch_window_us);
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(shard->mu);
   for (;;) {
+    // Batch assembly: everything clients published while the last
+    // forward pass ran is filed into per-key queues now — the ring IS the
+    // pipeline stage that decouples submission from inference.
+    DrainRingLocked(shard);
     // A key is dispatchable when its queue is full, its window has
     // expired, the window is zero, or we are stopping. Among dispatchable
     // keys, serve the one whose oldest request has waited longest — a
     // continuously-full hot key must not starve a colder key whose window
     // already expired.
     const auto now = Clock::now();
+    const bool stopping = stop_.load(std::memory_order_relaxed);
     KeyState* chosen = nullptr;
     ServeKey chosen_key;
     Clock::time_point chosen_deadline{};
     bool have_deadline = false;
     Clock::time_point earliest{};
-    for (auto& [key, st] : keys_) {
+    for (auto& [key, st] : shard->keys) {
       if (st.pending.empty()) continue;
       const auto deadline = st.pending.front().enqueued + window;
       if (st.pending.size() >= options_.max_batch || window.count() == 0 ||
-          stop_ || deadline <= now) {
+          stopping || deadline <= now) {
         if (chosen == nullptr || deadline < chosen_deadline) {
           chosen = &st;
           chosen_key = key;
@@ -154,12 +203,24 @@ void ServeEngine::DispatchLoop() {
       }
     }
     if (chosen == nullptr) {
-      if (stop_ && pending_count_ == 0) return;
-      if (have_deadline) {
-        cv_.wait_until(lock, earliest);
-      } else {
-        cv_.wait(lock);
+      if (stopping && shard->pending_count == 0 && shard->ring.Empty()) {
+        return;
       }
+      // Sleep/wake handshake: declare intent to sleep, fence, then
+      // re-check the ring — the Dekker counterpart of Route's
+      // publish/fence/check sequence.
+      shard->sleeping.store(true, std::memory_order_seq_cst);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (!shard->ring.Empty() || stop_.load(std::memory_order_relaxed)) {
+        shard->sleeping.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      if (have_deadline) {
+        shard->cv.wait_until(lock, earliest);
+      } else {
+        shard->cv.wait(lock);
+      }
+      shard->sleeping.store(false, std::memory_order_relaxed);
       continue;
     }
 
@@ -170,7 +231,7 @@ void ServeEngine::DispatchLoop() {
       batch.push_back(std::move(chosen->pending.front()));
       chosen->pending.pop_front();
     }
-    pending_count_ -= take;
+    shard->pending_count -= take;
     const bool allow_sketch = !chosen->demoted;
     const QueryFunctionSpec spec = chosen->spec;
     const std::shared_ptr<StoreCounters> counters = chosen->counters;
@@ -178,36 +239,39 @@ void ServeEngine::DispatchLoop() {
     lock.unlock();
     // The queue-wait / batch-assembly boundary: everything before this
     // instant is time spent waiting in the per-key queue.
-    ExecuteBatch(chosen_key, spec, allow_sketch, &batch, Clock::now(),
+    ExecuteBatch(shard, chosen_key, spec, allow_sketch, &batch, Clock::now(),
                  counters.get());
     lock.lock();
   }
 }
 
-double ServeEngine::Fulfill(Request* r, double value, bool used_sketch,
-                            PlanPrecision tier, StoreCounters* sc) {
-  const double us = MicrosBetween(r->enqueued, Clock::now());
-  latency_.Add(us);
+double ServeEngine::Fulfill(Shard* shard, Request* r, double value,
+                            bool used_sketch, PlanPrecision tier,
+                            StoreCounters* sc, Clock::time_point* now_out) {
+  const Clock::time_point now = Clock::now();
+  if (now_out != nullptr) *now_out = now;  // free timestamp for tracing
+  const double us = MicrosBetween(r->enqueued, now);
+  shard->latency.Add(us);
   sc->latency.Add(us);
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  shard->queries.fetch_add(1, std::memory_order_relaxed);
   sc->queries.fetch_add(1, std::memory_order_relaxed);
   if (used_sketch) {
-    sketch_answers_.fetch_add(1, std::memory_order_relaxed);
+    shard->sketch_answers.fetch_add(1, std::memory_order_relaxed);
     sc->sketch_answers.fetch_add(1, std::memory_order_relaxed);
-    // Ticked together with sketch_answers_ (and before the promise
+    // Ticked together with sketch_answers (and before the promise
     // resolves) so the per-tier counters are always a consistent subset.
     if (tier == PlanPrecision::kF32) {
-      f32_sketch_answers_.fetch_add(1, std::memory_order_relaxed);
+      shard->f32_sketch_answers.fetch_add(1, std::memory_order_relaxed);
       sc->f32_sketch_answers.fetch_add(1, std::memory_order_relaxed);
     } else if (tier == PlanPrecision::kInt8) {
-      int8_sketch_answers_.fetch_add(1, std::memory_order_relaxed);
+      shard->int8_sketch_answers.fetch_add(1, std::memory_order_relaxed);
       sc->int8_sketch_answers.fetch_add(1, std::memory_order_relaxed);
     }
   } else if (std::isnan(value)) {
-    failed_answers_.fetch_add(1, std::memory_order_relaxed);
+    shard->failed_answers.fetch_add(1, std::memory_order_relaxed);
     sc->failed_answers.fetch_add(1, std::memory_order_relaxed);
   } else {
-    fallback_answers_.fetch_add(1, std::memory_order_relaxed);
+    shard->fallback_answers.fetch_add(1, std::memory_order_relaxed);
     sc->fallback_answers.fetch_add(1, std::memory_order_relaxed);
   }
   if (r->wave != nullptr) {
@@ -221,21 +285,13 @@ double ServeEngine::Fulfill(Request* r, double value, bool used_sketch,
   return us;
 }
 
-void ServeEngine::ExecuteBatch(const ServeKey& key,
+void ServeEngine::ExecuteBatch(Shard* shard, const ServeKey& key,
                                const QueryFunctionSpec& spec,
-                               bool allow_sketch,
-                               std::vector<Request>* batch,
+                               bool allow_sketch, std::vector<Request>* batch,
                                Clock::time_point collected,
                                StoreCounters* sc) {
-  batches_.fetch_add(1, std::memory_order_relaxed);
+  shard->batches.fetch_add(1, std::memory_order_relaxed);
   const bool tracing = options_.stage_tracing;
-  if (tracing) {
-    // Queue-wait per request: each waited individually, but the whole
-    // batch shares the one `collected` clock read.
-    for (const auto& r : *batch) {
-      stage_queue_.Add(MicrosBetween(r.enqueued, collected));
-    }
-  }
   std::shared_ptr<const NeuroSketch> sketch =
       allow_sketch ? store_->Lookup(key) : nullptr;
   const ExactEngine* engine = store_->Engine(key.dataset);
@@ -247,21 +303,35 @@ void ServeEngine::ExecuteBatch(const ServeKey& key,
   for (auto& r : *batch) queries.push_back(std::move(r.q));
 
   // Stage boundaries: assembly = collection -> inference start (store
-  // lookup + query stealing), inference = the forward pass or exact
-  // batch, fulfill = everything after (budget accounting + answer
-  // delivery), measured per micro-batch.
+  // lookup + query stealing), inference = inference start -> the FIRST
+  // answer's delivery clock read (so it absorbs the NaN scan and budget
+  // accounting), fulfill = first -> last answer's delivery clock read,
+  // measured per micro-batch. Tracing latency discipline: on the
+  // latency-critical singleton-batch path, tracing adds ZERO clock reads
+  // — inference start reuses the collection stamp (assembly reads 0 and
+  // its sub-microsecond lookup cost is absorbed into inference) and both
+  // downstream boundaries reuse the clock reads Fulfill already pays
+  // for; multi-query batches, where per-request cost is amortized, pay
+  // one dedicated read to keep the full 4-way split. Every histogram
+  // update is deferred to after the final promise resolves. This keeps
+  // the tracing-on single-query p50 within the <2% budget that
+  // tools/check_serving_overhead.sh gates.
   Clock::time_point infer_start{};
   Clock::time_point infer_end{};
+  Clock::time_point fulfill_end{};
+  Clock::time_point* fulfill_now = tracing ? &fulfill_end : nullptr;
   const char* tier_name = "exact";
 
-  // Offers this request's trace to the slow-query ring; trace strings are
-  // only materialized past the lock-free threshold gate, so the common
-  // (fast-query) case costs one relaxed load and one compare.
-  auto maybe_trace = [&](double total_us, double queue_us, const char* tier) {
+  // Offers this request's trace to the slow-query ring; everything past
+  // the lock-free threshold gate is lazy (trace strings, the queue-wait
+  // split, the shard hash), so the common (fast-query) case costs one
+  // relaxed load and one compare.
+  auto maybe_trace = [&](double total_us, Clock::time_point enqueued,
+                         const char* tier) {
     if (total_us <= slow_queries_.min_kept_us()) return;
     metrics::SlowQueryTrace t;
     t.total_us = total_us;
-    t.queue_us = queue_us;
+    t.queue_us = MicrosBetween(enqueued, collected);
     t.assembly_us = MicrosBetween(collected, infer_start);
     t.inference_us = MicrosBetween(infer_start, infer_end);
     const double rest = total_us - t.queue_us - t.assembly_us - t.inference_us;
@@ -269,19 +339,34 @@ void ServeEngine::ExecuteBatch(const ServeKey& key,
     t.store = sc->display;
     t.tier = tier;
     t.batch_size = batch->size();
+    t.shard = ShardIndexOf(key);
     slow_queries_.Offer(std::move(t));
+  };
+
+  // Deferred stage bookkeeping: queue waits are recomputed from the
+  // requests' enqueue stamps (still valid after the query steal), so no
+  // per-request state needs buffering on the critical path.
+  auto record_stages = [&] {
+    if (!tracing) return;
+    for (const auto& r : *batch) {
+      shard->stage_queue.Add(MicrosBetween(r.enqueued, collected));
+    }
+    shard->stage_assembly.Add(MicrosBetween(collected, infer_start));
+    shard->stage_inference.Add(MicrosBetween(infer_start, infer_end));
+    shard->stage_fulfill.Add(MicrosBetween(infer_end, fulfill_end));
   };
 
   if (sketch != nullptr) {
     // Dispatcher-thread answer buffer: capacity is retained across
     // batches, so with AnswerBatchVectorizedTo staging its bucketing in
     // the workspace arena the whole sketch path is allocation-free once
-    // the thread is warm.
+    // the thread is warm. With keys pinned to shards, only this shard's
+    // thread ever warms this sketch's arena.
     thread_local std::vector<double> answers;
     answers.resize(queries.size());
-    if (tracing) infer_start = Clock::now();
+    if (tracing) infer_start = batch->size() == 1 ? collected : Clock::now();
     sketch->AnswerBatchVectorizedTo(queries, answers.data());
-    if (tracing) infer_end = Clock::now();
+    // infer_end is the first Fulfill's clock read, set in the loop below.
     size_t nans = 0;
     for (double a : answers) nans += std::isnan(a) ? 1 : 0;
     const size_t genuine = answers.size() - nans;
@@ -295,8 +380,10 @@ void ServeEngine::ExecuteBatch(const ServeKey& key,
       // sketch_answers counts only genuinely sketch-answered queries —
       // repaired (NaN) queries must not dilute the failure-rate
       // denominator, or a half-broken sketch is demoted late or never.
-      std::lock_guard<std::mutex> lock(mu_);
-      KeyState& st = keys_[key];
+      // The key lives on this shard, so the shard lock suffices (and is
+      // uncontended: only this dispatcher and rare Snapshots take it).
+      std::lock_guard<std::mutex> lock(shard->mu);
+      KeyState& st = shard->keys[key];
       st.sketch_answers += genuine;
       st.sketch_nans += nans;
       if (!st.demoted &&
@@ -305,7 +392,7 @@ void ServeEngine::ExecuteBatch(const ServeKey& key,
               options_.max_sketch_failure_rate *
                   static_cast<double>(st.sketch_answers)) {
         st.demoted = true;
-        budget_trips_.fetch_add(1, std::memory_order_relaxed);
+        shard->budget_trips.fetch_add(1, std::memory_order_relaxed);
       }
     }
 
@@ -315,77 +402,99 @@ void ServeEngine::ExecuteBatch(const ServeKey& key,
       if (std::isnan(answers[i]) && engine != nullptr) {
         // Per-query exact repair: the sketch could not route/answer this
         // instance (e.g. out-of-domain), but the batch as a whole stays
-        // on the fast path. Fulfill ticks fallback_answers_ (or
-        // failed_answers_ when the engine is also stumped).
-        total_us = Fulfill(&(*batch)[i], engine->Answer(spec, queries[i]),
-                           false, PlanPrecision::kF64, sc);
+        // on the fast path. Fulfill ticks fallback_answers (or
+        // failed_answers when the engine is also stumped).
+        total_us = Fulfill(shard, &(*batch)[i],
+                           engine->Answer(spec, queries[i]), false,
+                           PlanPrecision::kF64, sc, fulfill_now);
         served_as = "exact";
       } else {
         const bool genuine_answer = !std::isnan(answers[i]);
-        total_us = Fulfill(&(*batch)[i], answers[i], genuine_answer,
-                           genuine_answer ? tier : PlanPrecision::kF64, sc);
+        total_us = Fulfill(shard, &(*batch)[i], answers[i], genuine_answer,
+                           genuine_answer ? tier : PlanPrecision::kF64, sc,
+                           fulfill_now);
         served_as = genuine_answer ? tier_name : "failed";
       }
       if (tracing) {
-        maybe_trace(total_us, MicrosBetween((*batch)[i].enqueued, collected),
-                    served_as);
+        if (i == 0) infer_end = fulfill_end;
+        maybe_trace(total_us, (*batch)[i].enqueued, served_as);
       }
     }
-    if (tracing) {
-      stage_assembly_.Add(MicrosBetween(collected, infer_start));
-      stage_inference_.Add(MicrosBetween(infer_start, infer_end));
-      stage_fulfill_.Add(MicrosBetween(infer_end, Clock::now()));
-    }
+    record_stages();
     return;
   }
 
   if (engine != nullptr) {
-    if (tracing) infer_start = Clock::now();
+    if (tracing) infer_start = batch->size() == 1 ? collected : Clock::now();
     std::vector<double> answers =
         engine->AnswerBatch(spec, queries, options_.exact_batch_threads);
-    if (tracing) infer_end = Clock::now();
     for (size_t i = 0; i < answers.size(); ++i) {
-      const double total_us =
-          Fulfill(&(*batch)[i], answers[i], false, PlanPrecision::kF64, sc);
+      const double total_us = Fulfill(shard, &(*batch)[i], answers[i], false,
+                                      PlanPrecision::kF64, sc, fulfill_now);
       if (tracing) {
-        maybe_trace(total_us, MicrosBetween((*batch)[i].enqueued, collected),
+        if (i == 0) infer_end = fulfill_end;
+        maybe_trace(total_us, (*batch)[i].enqueued,
                     std::isnan(answers[i]) ? "failed" : "exact");
       }
     }
-    if (tracing) {
-      stage_assembly_.Add(MicrosBetween(collected, infer_start));
-      stage_inference_.Add(MicrosBetween(infer_start, infer_end));
-      stage_fulfill_.Add(MicrosBetween(infer_end, Clock::now()));
-    }
+    record_stages();
     return;
   }
 
-  // Neither a sketch nor an exact engine: answer NaN rather than hang.
-  if (tracing) infer_start = infer_end = Clock::now();
+  // Neither a sketch nor an exact engine: answer NaN rather than hang —
+  // no inference happens, so both boundaries reuse the collection stamp.
+  if (tracing) infer_start = infer_end = collected;
   for (auto& r : *batch) {
-    const double total_us =
-        Fulfill(&r, std::nan(""), false, PlanPrecision::kF64, sc);
-    if (tracing) {
-      maybe_trace(total_us, MicrosBetween(r.enqueued, collected), "failed");
-    }
+    const double total_us = Fulfill(shard, &r, std::nan(""), false,
+                                    PlanPrecision::kF64, sc, fulfill_now);
+    if (tracing) maybe_trace(total_us, r.enqueued, "failed");
   }
-  if (tracing) {
-    stage_assembly_.Add(MicrosBetween(collected, infer_start));
-    stage_inference_.Add(0.0);
-    stage_fulfill_.Add(MicrosBetween(infer_end, Clock::now()));
-  }
+  record_stages();
 }
 
 ServeStats ServeEngine::Snapshot() const {
   ServeStats s;
-  s.queries = queries_.load(std::memory_order_relaxed);
-  s.sketch_answers = sketch_answers_.load(std::memory_order_relaxed);
-  s.f32_sketch_answers = f32_sketch_answers_.load(std::memory_order_relaxed);
-  s.int8_sketch_answers = int8_sketch_answers_.load(std::memory_order_relaxed);
-  s.fallback_answers = fallback_answers_.load(std::memory_order_relaxed);
-  s.failed_answers = failed_answers_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.budget_trips = budget_trips_.load(std::memory_order_relaxed);
+  s.num_shards = shards_.size();
+  LatencyHistogram latency;
+  LatencyHistogram stage_queue, stage_assembly, stage_inference, stage_fulfill;
+  s.per_shard.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& sh = *shards_[i];
+    ShardStatsSnapshot sd;
+    sd.shard = i;
+    sd.queries = sh.queries.load(std::memory_order_relaxed);
+    sd.sketch_answers = sh.sketch_answers.load(std::memory_order_relaxed);
+    sd.fallback_answers = sh.fallback_answers.load(std::memory_order_relaxed);
+    sd.failed_answers = sh.failed_answers.load(std::memory_order_relaxed);
+    sd.batches = sh.batches.load(std::memory_order_relaxed);
+    sd.budget_trips = sh.budget_trips.load(std::memory_order_relaxed);
+    sd.backpressure_waits =
+        sh.backpressure_waits.load(std::memory_order_relaxed);
+    sd.mean_batch_size =
+        sd.batches > 0
+            ? static_cast<double>(sd.queries) / static_cast<double>(sd.batches)
+            : 0.0;
+    sd.latency = LatencyBreakdown::From(sh.latency);
+
+    s.queries += sd.queries;
+    s.sketch_answers += sd.sketch_answers;
+    s.f32_sketch_answers +=
+        sh.f32_sketch_answers.load(std::memory_order_relaxed);
+    s.int8_sketch_answers +=
+        sh.int8_sketch_answers.load(std::memory_order_relaxed);
+    s.fallback_answers += sd.fallback_answers;
+    s.failed_answers += sd.failed_answers;
+    s.batches += sd.batches;
+    s.budget_trips += sd.budget_trips;
+    latency.AddFrom(sh.latency);
+    if (options_.stage_tracing) {
+      stage_queue.AddFrom(sh.stage_queue);
+      stage_assembly.AddFrom(sh.stage_assembly);
+      stage_inference.AddFrom(sh.stage_inference);
+      stage_fulfill.AddFrom(sh.stage_fulfill);
+    }
+    s.per_shard.push_back(std::move(sd));
+  }
   s.elapsed_seconds = uptime_.ElapsedSeconds();
   s.qps = s.elapsed_seconds > 0.0
               ? static_cast<double>(s.queries) / s.elapsed_seconds
@@ -399,26 +508,28 @@ ServeStats ServeEngine::Snapshot() const {
           ? static_cast<double>(s.fallback_answers) /
                 static_cast<double>(s.queries)
           : 0.0;
-  s.p50_us = latency_.PercentileUs(50);
-  s.p95_us = latency_.PercentileUs(95);
-  s.p99_us = latency_.PercentileUs(99);
-  s.p999_us = latency_.PercentileUs(99.9);
+  s.p50_us = latency.PercentileUs(50);
+  s.p95_us = latency.PercentileUs(95);
+  s.p99_us = latency.PercentileUs(99);
+  s.p999_us = latency.PercentileUs(99.9);
 
   s.stage_tracing = options_.stage_tracing;
   if (s.stage_tracing) {
-    s.stage_queue = LatencyBreakdown::From(stage_queue_);
-    s.stage_assembly = LatencyBreakdown::From(stage_assembly_);
-    s.stage_inference = LatencyBreakdown::From(stage_inference_);
-    s.stage_fulfill = LatencyBreakdown::From(stage_fulfill_);
+    s.stage_queue = LatencyBreakdown::From(stage_queue);
+    s.stage_assembly = LatencyBreakdown::From(stage_assembly);
+    s.stage_inference = LatencyBreakdown::From(stage_inference);
+    s.stage_fulfill = LatencyBreakdown::From(stage_fulfill);
   }
 
-  // Per-store view: the key map is only touched long enough to copy the
-  // counter pointers; the counters themselves are read lock-free.
+  // Per-store view: each shard's key map is only touched long enough to
+  // copy the counter pointers; the counters themselves are read
+  // lock-free.
   std::vector<std::pair<std::shared_ptr<StoreCounters>, bool>> stores;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stores.reserve(keys_.size());
-    for (const auto& [key, st] : keys_) {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& sh = *shards_[i];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    s.per_shard[i].resident_keys = sh.keys.size();
+    for (const auto& [key, st] : sh.keys) {
       (void)key;
       if (st.counters != nullptr) stores.emplace_back(st.counters, st.demoted);
     }
@@ -451,32 +562,40 @@ ServeStats ServeEngine::Snapshot() const {
 }
 
 void ServeEngine::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  queries_.store(0, std::memory_order_relaxed);
-  sketch_answers_.store(0, std::memory_order_relaxed);
-  f32_sketch_answers_.store(0, std::memory_order_relaxed);
-  int8_sketch_answers_.store(0, std::memory_order_relaxed);
-  fallback_answers_.store(0, std::memory_order_relaxed);
-  failed_answers_.store(0, std::memory_order_relaxed);
-  batches_.store(0, std::memory_order_relaxed);
-  budget_trips_.store(0, std::memory_order_relaxed);
-  latency_.Reset();
-  stage_queue_.Reset();
-  stage_assembly_.Reset();
-  stage_inference_.Reset();
-  stage_fulfill_.Reset();
-  slow_queries_.Clear();
-  for (auto& [key, st] : keys_) {
-    (void)key;
-    if (st.counters == nullptr) continue;
-    st.counters->queries.store(0, std::memory_order_relaxed);
-    st.counters->sketch_answers.store(0, std::memory_order_relaxed);
-    st.counters->f32_sketch_answers.store(0, std::memory_order_relaxed);
-    st.counters->int8_sketch_answers.store(0, std::memory_order_relaxed);
-    st.counters->fallback_answers.store(0, std::memory_order_relaxed);
-    st.counters->failed_answers.store(0, std::memory_order_relaxed);
-    st.counters->latency.Reset();
+  // One window restart across every shard: take all shard locks first so
+  // no new batch lands between the counter clear and the clock restart.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& sh : shards_) locks.emplace_back(sh->mu);
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    sh.queries.store(0, std::memory_order_relaxed);
+    sh.sketch_answers.store(0, std::memory_order_relaxed);
+    sh.f32_sketch_answers.store(0, std::memory_order_relaxed);
+    sh.int8_sketch_answers.store(0, std::memory_order_relaxed);
+    sh.fallback_answers.store(0, std::memory_order_relaxed);
+    sh.failed_answers.store(0, std::memory_order_relaxed);
+    sh.batches.store(0, std::memory_order_relaxed);
+    sh.budget_trips.store(0, std::memory_order_relaxed);
+    sh.backpressure_waits.store(0, std::memory_order_relaxed);
+    sh.latency.Reset();
+    sh.stage_queue.Reset();
+    sh.stage_assembly.Reset();
+    sh.stage_inference.Reset();
+    sh.stage_fulfill.Reset();
+    for (auto& [key, st] : sh.keys) {
+      (void)key;
+      if (st.counters == nullptr) continue;
+      st.counters->queries.store(0, std::memory_order_relaxed);
+      st.counters->sketch_answers.store(0, std::memory_order_relaxed);
+      st.counters->f32_sketch_answers.store(0, std::memory_order_relaxed);
+      st.counters->int8_sketch_answers.store(0, std::memory_order_relaxed);
+      st.counters->fallback_answers.store(0, std::memory_order_relaxed);
+      st.counters->failed_answers.store(0, std::memory_order_relaxed);
+      st.counters->latency.Reset();
+    }
   }
+  slow_queries_.Clear();
   uptime_.Reset();
 }
 
@@ -506,20 +625,33 @@ void ServeEngine::ExportMetrics(metrics::MetricsRegistry* registry,
   registry->SetGauge(prefix + "elapsed_seconds", s.elapsed_seconds,
                      "Seconds since engine start or last ResetStats");
   registry->SetGauge(prefix + "mean_batch_size", s.mean_batch_size);
+  registry->SetGauge(prefix + "shards", static_cast<double>(s.num_shards),
+                     "Dispatcher shards (one dedicated thread each)");
 
   auto copy_hist = [&](const std::string& name, const LatencyHistogram& h,
                        const std::string& help) {
     LatencyHistogram* dst = registry->GetHistogram(name, help);
     if (dst != nullptr) dst->CopyFrom(h);
   };
-  copy_hist(prefix + "latency_us", latency_,
-            "Submit->answer latency, microseconds");
+  {
+    LatencyHistogram latency;
+    for (const auto& sh : shards_) latency.AddFrom(sh->latency);
+    copy_hist(prefix + "latency_us", latency,
+              "Submit->answer latency, microseconds");
+  }
   if (options_.stage_tracing) {
-    copy_hist(prefix + "stage_us{stage=\"queue\"}", stage_queue_,
+    LatencyHistogram q, a, inf, ful;
+    for (const auto& sh : shards_) {
+      q.AddFrom(sh->stage_queue);
+      a.AddFrom(sh->stage_assembly);
+      inf.AddFrom(sh->stage_inference);
+      ful.AddFrom(sh->stage_fulfill);
+    }
+    copy_hist(prefix + "stage_us{stage=\"queue\"}", q,
               "Per-stage serve pipeline latency, microseconds");
-    copy_hist(prefix + "stage_us{stage=\"assembly\"}", stage_assembly_, "");
-    copy_hist(prefix + "stage_us{stage=\"inference\"}", stage_inference_, "");
-    copy_hist(prefix + "stage_us{stage=\"fulfill\"}", stage_fulfill_, "");
+    copy_hist(prefix + "stage_us{stage=\"assembly\"}", a, "");
+    copy_hist(prefix + "stage_us{stage=\"inference\"}", inf, "");
+    copy_hist(prefix + "stage_us{stage=\"fulfill\"}", ful, "");
   }
   for (const auto& ss : s.per_store) {
     const std::string label = "{store=\"" + ss.store + "\"}";
@@ -536,6 +668,23 @@ void ServeEngine::ExportMetrics(metrics::MetricsRegistry* registry,
                        "1 when the error budget tripped for this store");
     registry->SetGauge(prefix + "store_p99_us" + label, ss.latency.p99_us,
                        "Per-store submit->answer p99, microseconds");
+  }
+  // Per-shard series: tail attribution can tell a hot shard (one
+  // dispatcher saturated) from a hot store (one key saturated).
+  for (const auto& sd : s.per_shard) {
+    const std::string label = "{shard=\"" + std::to_string(sd.shard) + "\"}";
+    registry->SetCounter(prefix + "shard_queries_total" + label, sd.queries,
+                         "Answers delivered per dispatcher shard");
+    registry->SetCounter(prefix + "shard_batches_total" + label, sd.batches,
+                         "Micro-batches dispatched per shard");
+    registry->SetCounter(prefix + "shard_backpressure_waits_total" + label,
+                         sd.backpressure_waits,
+                         "Submissions that blocked on a full shard ring");
+    registry->SetGauge(prefix + "shard_resident_keys" + label,
+                       static_cast<double>(sd.resident_keys),
+                       "Store keys routed to this shard");
+    registry->SetGauge(prefix + "shard_p99_us" + label, sd.latency.p99_us,
+                       "Per-shard submit->answer p99, microseconds");
   }
 }
 

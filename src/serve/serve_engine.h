@@ -1,25 +1,37 @@
 // ServeEngine: concurrent request front end over a SketchStore (paper
-// Sec. 4 / Alg. 5 turned into a serving system). Clients Submit() queries
-// from any number of threads; a dispatcher groups them into time/size
-// bounded micro-batches per (dataset, query function), answers each batch
-// with one vectorized forward pass over the sketch's compiled inference
-// plans (NeuroSketch::AnswerBatchVectorized: flat-buffer fused kernels +
-// thread-local workspace, so the model math performs zero heap allocations
-// per query), and falls back to the exact engine when no sketch is
-// registered or a per-store error budget has been exceeded. Answers are
-// bit-identical to serial NeuroSketch::AnswerBatch.
+// Sec. 4 / Alg. 5 turned into a serving system), rearchitected shard-per-
+// core. Stores are partitioned across N dispatcher shards by a stable
+// hash of their (dataset, query function) key; each shard owns a
+// dedicated dispatcher thread, its own wait-free MPSC submission ring,
+// its own per-key micro-batch queues, and its own counter/histogram
+// block, so dispatchers never contend with each other and a sketch's
+// thread-local workspace arena is only ever warmed by one core.
 //
-// Observability: the engine splits every answer's submit->answer latency
-// into queue-wait / batch-assembly / inference / fulfill stage histograms
-// (one steady_clock read per stage boundary, amortized over the whole
-// micro-batch), keeps per-store counters + tail percentiles so hot/cold
-// store skew is visible, and captures the K slowest queries with their
-// full stage breakdown in a lock-free-gated trace ring. All of it is
-// behind ServeOptions::stage_tracing, a runtime toggle whose off cost is
-// one branch per batch.
+// Client submission is wait-free: Submit/SubmitMany claim a ring slot
+// with one unconditional fetch_add (no engine-wide mutex, no CAS retry
+// loop) and block only when the target shard's ring is full — bounded-
+// queue backpressure, counted per shard. The answer pipeline is
+// decoupled from submission: while a shard's dispatcher runs inference
+// on batch k, clients keep publishing batch k+1 into the ring; the
+// dispatcher drains the ring into per-key queues (batch assembly) each
+// time it comes back from a forward pass.
+//
+// Batching semantics are unchanged from the single-queue engine: time/
+// size bounded micro-batches per (dataset, query function), one
+// vectorized forward pass per batch (NeuroSketch::AnswerBatchVectorized:
+// flat-buffer fused kernels + thread-local workspace, zero heap
+// allocations per query), exact-engine fallback and per-store error
+// budgets. Answers are bit-identical to serial NeuroSketch::AnswerBatch.
+//
+// Observability: every counter and stage histogram is kept per shard
+// (merged at Snapshot), so the export carries both per-store and
+// per-shard labeled series — a hot shard is distinguishable from a hot
+// store. The slow-query ring records the serving shard in each trace.
+// All stage tracing remains behind ServeOptions::stage_tracing.
 #ifndef NEUROSKETCH_SERVE_SERVE_ENGINE_H_
 #define NEUROSKETCH_SERVE_SERVE_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -34,6 +46,8 @@
 #include "serve/serve_stats.h"
 #include "serve/sketch_store.h"
 #include "util/metrics.h"
+#include "util/mpsc_queue.h"
+#include "util/shard_router.h"
 #include "util/timer.h"
 #include "util/trace_ring.h"
 
@@ -49,8 +63,15 @@ struct ServeOptions {
   /// oldest request has waited this long, full or not. 0 disables the
   /// wait (dispatch as soon as a dispatcher is free).
   double batch_window_us = 200.0;
-  /// Dispatcher threads draining the request queue.
-  size_t num_dispatchers = 1;
+  /// Dispatcher shards, each with a dedicated thread, submission ring and
+  /// per-key queues. 0 = hardware concurrency. Store keys are pinned to
+  /// shards by a stable hash, so one store's traffic is always served by
+  /// the same core.
+  size_t num_shards = 0;
+  /// Per-shard submission ring capacity in entries (one Submit or one
+  /// SubmitMany burst each), rounded up to a power of two. A full ring
+  /// blocks the submitting client until the shard catches up.
+  size_t submit_queue_capacity = 1024;
   /// Threads for exact-engine fallback batches (0 = hardware concurrency).
   size_t exact_batch_threads = 0;
   /// Error budget: once a store entry has attempted at least
@@ -78,7 +99,7 @@ struct ServeResult {
   bool used_sketch = false;
 };
 
-/// \brief Concurrent micro-batching query server.
+/// \brief Concurrent micro-batching query server, shard-per-core.
 class ServeEngine {
  public:
   explicit ServeEngine(const SketchStore* store, ServeOptions options = {});
@@ -90,15 +111,16 @@ class ServeEngine {
   ServeEngine& operator=(const ServeEngine&) = delete;
 
   /// \brief Enqueue one query; the future resolves when its micro-batch
-  /// has been answered. Thread-safe, non-blocking.
+  /// has been answered. Thread-safe; wait-free except when the target
+  /// shard's submission ring is full (backpressure).
   std::future<ServeResult> Submit(const std::string& dataset,
                                   const QueryFunctionSpec& spec,
                                   QueryInstance q);
 
   /// \brief Enqueue a burst of queries sharing one future; the results
   /// come back in submission order. Semantically identical to calling
-  /// Submit per query, but the burst pays one lock acquisition and one
-  /// promise instead of one per query — the client half of micro-batching.
+  /// Submit per query, but the burst occupies ONE ring slot and pays one
+  /// promise — the client half of micro-batching.
   std::future<std::vector<ServeResult>> SubmitMany(
       const std::string& dataset, const QueryFunctionSpec& spec,
       std::vector<QueryInstance> queries);
@@ -107,31 +129,39 @@ class ServeEngine {
   ServeResult Answer(const std::string& dataset,
                      const QueryFunctionSpec& spec, QueryInstance q);
 
-  /// \brief Current counters; cheap enough to poll. Consistency contract
-  /// documented on ServeStats (relaxed reads, ~one batch stale).
+  /// \brief Current counters; cheap enough to poll. Engine-wide values
+  /// are sums over the per-shard blocks. Consistency contract documented
+  /// on ServeStats (relaxed reads, ~one batch stale).
   ServeStats Snapshot() const;
 
   /// \brief Restart the stats window as one operation: zeroes every
-  /// counter and histogram (engine-wide, per-stage, and per-store),
+  /// counter and histogram (per-shard, per-stage, and per-store),
   /// empties the slow-query ring, and resets the elapsed-time clock,
-  /// all under the engine lock so no new batch lands between the counter
+  /// holding every shard lock so no new batch lands between the counter
   /// clear and the clock restart. Error-budget state (per-store failure
   /// accounting and demotions) is control state, not stats, and is
   /// preserved. See ServeStats for what in-flight answers may do.
   void ResetStats();
 
   /// \brief The K slowest queries observed since start (or ResetStats),
-  /// slowest first, with their stage breakdowns. Empty when tracing or
-  /// the ring is disabled.
+  /// slowest first, with their stage breakdowns and serving shard. Empty
+  /// when tracing or the ring is disabled.
   std::vector<metrics::SlowQueryTrace> SlowQueries() const;
 
   /// \brief Mirror the current counters and histograms into `registry`
-  /// under `prefix` (counters, stage + latency histograms, and labeled
-  /// per-store series), for text/JSON exposition alongside other
-  /// subsystems.
+  /// under `prefix` (counters, stage + latency histograms, labeled
+  /// per-store series, and labeled per-shard series), for text/JSON
+  /// exposition alongside other subsystems.
   void ExportMetrics(metrics::MetricsRegistry* registry,
                      const std::string& prefix = "nsketch_serve_") const;
 
+  /// \brief The shard a key's traffic is pinned to: a pure function of
+  /// the key and the shard count, stable across Register/Unregister of
+  /// any store (including this one).
+  size_t ShardOf(const std::string& dataset,
+                 const QueryFunctionSpec& spec) const;
+
+  size_t num_shards() const { return shards_.size(); }
   const ServeOptions& options() const { return options_; }
 
  private:
@@ -153,9 +183,24 @@ class ServeEngine {
     size_t wave_slot = 0;
   };
 
+  /// One ring entry: a single request or a whole SubmitMany burst, with
+  /// enough routing context (key + canonical spec) for the dispatcher to
+  /// file it into the right per-key queue.
+  struct Submission {
+    ServeKey key;
+    QueryFunctionSpec spec;
+    Clock::time_point enqueued;
+    // Single Submit:
+    QueryInstance q;
+    std::unique_ptr<std::promise<ServeResult>> promise;
+    // SubmitMany burst:
+    std::vector<QueryInstance> queries;
+    std::shared_ptr<Wave> wave;
+  };
+
   /// Per-store lock-free counters, updated on the fulfill path and read
   /// by Snapshot. Owned via shared_ptr so ExecuteBatch can update them
-  /// after dropping the engine lock.
+  /// after dropping the shard lock.
   struct StoreCounters {
     std::string display;  // "dataset/agg(col N)"
     std::atomic<uint64_t> queries{0};
@@ -168,6 +213,8 @@ class ServeEngine {
   };
 
   /// Per (dataset, query function) pending queue + error-budget health.
+  /// Owned by exactly one shard; mutated only by that shard's dispatcher
+  /// under the shard lock (Snapshot takes the same lock to read).
   struct KeyState {
     QueryFunctionSpec spec;  // canonical spec, set by the first Submit
     std::deque<Request> pending;
@@ -177,46 +224,82 @@ class ServeEngine {
     std::shared_ptr<StoreCounters> counters;  // created on first Submit
   };
 
-  void DispatchLoop();
+  /// One dispatcher shard: submission ring, dedicated thread, per-key
+  /// queues, and its own counter/histogram block. Cacheline-aligned so
+  /// neighboring shards' hot atomics never share a line.
+  struct alignas(64) Shard {
+    MpscRing<Submission> ring;
+    std::thread dispatcher;
+
+    /// Guards keys + pending_count (dispatcher vs Snapshot/ResetStats —
+    /// effectively uncontended at serving time) and backs the cv.
+    std::mutex mu;
+    std::condition_variable cv;
+    /// Sleep/wake handshake: set (seq_cst) by the dispatcher just before
+    /// it decides to wait; producers re-check it after publishing (with a
+    /// seq_cst fence between), so a submission can never be published
+    /// without either the dispatcher seeing it or the producer seeing
+    /// `sleeping` and ringing the cv.
+    std::atomic<bool> sleeping{false};
+    std::map<ServeKey, KeyState> keys;
+    size_t pending_count = 0;
+
+    // Shard-local metrics (relaxed atomics; Snapshot sums across shards).
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> sketch_answers{0};
+    std::atomic<uint64_t> f32_sketch_answers{0};
+    std::atomic<uint64_t> int8_sketch_answers{0};
+    std::atomic<uint64_t> fallback_answers{0};
+    std::atomic<uint64_t> failed_answers{0};
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> budget_trips{0};
+    std::atomic<uint64_t> backpressure_waits{0};
+    LatencyHistogram latency;
+    // Stage histograms (only written when options_.stage_tracing).
+    LatencyHistogram stage_queue;
+    LatencyHistogram stage_assembly;
+    LatencyHistogram stage_inference;
+    LatencyHistogram stage_fulfill;
+
+    explicit Shard(size_t ring_capacity) : ring(ring_capacity) {}
+  };
+
+  void DispatchLoop(Shard* shard);
+  /// Moves every published ring entry into the shard's per-key queues.
+  /// Caller holds shard->mu. Returns the number of requests filed.
+  size_t DrainRingLocked(Shard* shard);
+  /// Routes a submission to its shard: one ring Push (wait-free claim)
+  /// plus the sleep/wake handshake.
+  void Route(Submission s);
   /// `collected` is the instant the dispatcher picked the batch off the
   /// queue — the queue-wait / batch-assembly stage boundary.
-  void ExecuteBatch(const ServeKey& key, const QueryFunctionSpec& spec,
-                    bool allow_sketch, std::vector<Request>* batch,
-                    Clock::time_point collected, StoreCounters* sc);
+  void ExecuteBatch(Shard* shard, const ServeKey& key,
+                    const QueryFunctionSpec& spec, bool allow_sketch,
+                    std::vector<Request>* batch, Clock::time_point collected,
+                    StoreCounters* sc);
   /// `tier` is the precision the answer was served from; only meaningful
   /// when used_sketch is true (fallback/failed answers pass kF64).
-  /// Returns the submit->answer latency in microseconds.
-  double Fulfill(Request* r, double value, bool used_sketch,
-                 PlanPrecision tier, StoreCounters* sc);
+  /// Returns the submit->answer latency in microseconds. When `now_out`
+  /// is non-null it receives the clock read Fulfill pays for anyway, so
+  /// tracing can bound the fulfill stage without an extra Clock::now().
+  double Fulfill(Shard* shard, Request* r, double value, bool used_sketch,
+                 PlanPrecision tier, StoreCounters* sc,
+                 Clock::time_point* now_out = nullptr);
   /// Locates (creating on demand) the KeyState for a submission; caller
-  /// must hold mu_.
-  KeyState& KeyStateLocked(const ServeKey& key, const QueryFunctionSpec& spec);
+  /// must hold the shard's lock. Only the owning dispatcher calls this.
+  KeyState& KeyStateLocked(Shard* shard, const ServeKey& key,
+                           const QueryFunctionSpec& spec);
+
+  size_t ShardIndexOf(const ServeKey& key) const {
+    return router_.ShardOf(key.Hash());
+  }
 
   const SketchStore* store_;
   const ServeOptions options_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> stop_{false};
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<ServeKey, KeyState> keys_;
-  size_t pending_count_ = 0;
-  bool stop_ = false;
-  std::vector<std::thread> dispatchers_;
-
-  // Metrics (relaxed atomics; snapshot may be ~a batch stale).
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> sketch_answers_{0};
-  std::atomic<uint64_t> f32_sketch_answers_{0};
-  std::atomic<uint64_t> int8_sketch_answers_{0};
-  std::atomic<uint64_t> fallback_answers_{0};
-  std::atomic<uint64_t> failed_answers_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> budget_trips_{0};
-  LatencyHistogram latency_;
-  // Stage histograms (only written when options_.stage_tracing).
-  LatencyHistogram stage_queue_;
-  LatencyHistogram stage_assembly_;
-  LatencyHistogram stage_inference_;
-  LatencyHistogram stage_fulfill_;
   metrics::SlowQueryRing slow_queries_;
   Timer uptime_;
 };

@@ -53,6 +53,27 @@ struct StoreStatsSnapshot {
   LatencyBreakdown latency;      ///< submit->answer for this key only
 };
 
+/// \brief Per-dispatcher-shard serving view: each (dataset, query
+/// function) key is pinned to exactly one shard, so shard rows expose
+/// load imbalance (a hot shard) independently of store skew (a hot
+/// store). Counters follow the same relaxed scrape contract as the rest
+/// of ServeStats.
+struct ShardStatsSnapshot {
+  size_t shard = 0;              ///< shard index, 0-based
+  uint64_t queries = 0;          ///< answers delivered by this shard
+  uint64_t sketch_answers = 0;
+  uint64_t fallback_answers = 0;
+  uint64_t failed_answers = 0;
+  uint64_t batches = 0;          ///< micro-batches this shard dispatched
+  uint64_t budget_trips = 0;     ///< demotions decided on this shard
+  /// Submissions that found this shard's ring full and had to wait for
+  /// backpressure (counted per Submit/SubmitMany call, not per query).
+  uint64_t backpressure_waits = 0;
+  size_t resident_keys = 0;      ///< store keys routed to this shard
+  double mean_batch_size = 0.0;
+  LatencyBreakdown latency;      ///< submit->answer for this shard only
+};
+
 /// \brief Point-in-time view of a ServeEngine's counters.
 ///
 /// Consistency contract (the one place it is documented): every field is
@@ -94,12 +115,23 @@ struct ServeStats {
   /// micro-batches (the stage is shared by the whole batch).
   LatencyBreakdown stage_queue;      ///< enqueue -> picked into a batch
   LatencyBreakdown stage_assembly;   ///< batch collection -> inference
-  LatencyBreakdown stage_inference;  ///< forward pass / exact batch
-  LatencyBreakdown stage_fulfill;    ///< answer delivery
+  /// Inference start -> first answer's delivery clock read: the forward
+  /// pass (or exact batch) plus the NaN scan and error-budget accounting.
+  LatencyBreakdown stage_inference;
+  /// First -> last answer's delivery clock read (0 for batches of one).
+  /// Boundaries reuse the clock reads fulfillment already pays, so stage
+  /// tracing adds only one extra clock read to the critical path.
+  LatencyBreakdown stage_fulfill;
 
   /// One entry per (dataset, query function) key that has served
   /// traffic, sorted by display key.
   std::vector<StoreStatsSnapshot> per_store;
+
+  /// One entry per dispatcher shard, indexed 0..num_shards-1. The
+  /// engine-wide counters above are the sums of these rows (up to the
+  /// usual in-flight staleness).
+  size_t num_shards = 0;
+  std::vector<ShardStatsSnapshot> per_shard;
 };
 
 }  // namespace serve

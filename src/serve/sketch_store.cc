@@ -2,8 +2,18 @@
 
 #include <mutex>
 
+#include "util/shard_router.h"
+
 namespace neurosketch {
 namespace serve {
+
+uint64_t ServeKey::Hash() const {
+  uint64_t h = Fnv1a64(dataset);
+  h = Fnv1a64(fn.predicate_name, h);
+  h = Fnv1a64(static_cast<uint64_t>(fn.agg), h);
+  h = Fnv1a64(static_cast<uint64_t>(fn.measure_col), h);
+  return h;
+}
 
 Status SketchStore::RegisterDataset(const std::string& dataset,
                                     const ExactEngine* engine) {

@@ -36,6 +36,12 @@ struct ServeKey {
     return !(*this < other) && !(other < *this);
   }
 
+  /// \brief Stable 64-bit identity hash over every key field. This is
+  /// what the serving engine routes shards by, so it is a pure function
+  /// of the key — independent of registration order, store contents, or
+  /// process lifetime.
+  uint64_t Hash() const;
+
   static ServeKey From(const std::string& dataset,
                        const QueryFunctionSpec& spec) {
     return ServeKey{dataset, QueryFunctionKey::From(spec)};

@@ -1,0 +1,100 @@
+// Bounded multi-producer single-consumer ring with wait-free submission:
+// a producer claims its slot with ONE unconditional fetch_add (no CAS
+// loop, so a producer can never be forced to retry by other producers)
+// and blocks only when the ring is genuinely full — the backpressure
+// contract the serving engine wants: submission cost is constant under
+// contention, and an overloaded shard pushes back instead of growing an
+// unbounded queue. Slot hand-off follows the Vyukov sequence protocol:
+// each slot carries a ticket counter; a producer with ticket t waits for
+// seq == t (its lap is free), publishes with seq = t + 1, and the single
+// consumer frees the slot for the next lap with seq = t + capacity.
+// Because tickets are handed out by fetch_add, backpressure is FIFO: the
+// oldest blocked producer is released first.
+#ifndef NEUROSKETCH_UTIL_MPSC_QUEUE_H_
+#define NEUROSKETCH_UTIL_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+
+namespace neurosketch {
+
+/// \brief Bounded MPSC ring. Push is callable from any thread; TryPop /
+/// Empty are single-consumer only. T must be default-constructible and
+/// movable.
+template <typename T>
+class MpscRing {
+ public:
+  /// \brief Capacity is rounded up to a power of two (minimum 2).
+  explicit MpscRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// \brief Enqueue `v`. The slot claim is one fetch_add (wait-free); the
+  /// call blocks (spin + yield) only while the ring is full. Returns true
+  /// when the slot was free immediately, false when the producer had to
+  /// wait for backpressure — callers can count the latter as a saturation
+  /// signal without timing anything.
+  bool Push(T v) {
+    const uint64_t pos = tail_.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots_[pos & mask_];
+    bool immediate = true;
+    // Full: our lap of this slot has not been freed by the consumer yet.
+    while (s.seq.load(std::memory_order_acquire) != pos) {
+      immediate = false;
+      std::this_thread::yield();
+    }
+    s.value = std::move(v);
+    s.seq.store(pos + 1, std::memory_order_release);
+    return immediate;
+  }
+
+  /// \brief Single-consumer pop. Returns false when no published entry is
+  /// ready at the head (the ring is empty, or the head producer is still
+  /// mid-publish — in which case a later retry will see it).
+  bool TryPop(T* out) {
+    Slot& s = slots_[head_ & mask_];
+    if (s.seq.load(std::memory_order_acquire) != head_ + 1) return false;
+    *out = std::move(s.value);
+    s.value = T();  // drop payload refs eagerly (promises, shared_ptrs)
+    s.seq.store(head_ + capacity_, std::memory_order_release);
+    ++head_;
+    return true;
+  }
+
+  /// \brief Single-consumer emptiness check: true when the head slot has
+  /// no published entry. Pair with a seq_cst fence for sleep/wake
+  /// protocols (see ServeEngine::DispatchLoop).
+  bool Empty() const {
+    return slots_[head_ & mask_].seq.load(std::memory_order_acquire) !=
+           head_ + 1;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    T value{};
+  };
+
+  size_t capacity_ = 0;
+  uint64_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(64) std::atomic<uint64_t> tail_{0};  // producers
+  alignas(64) uint64_t head_ = 0;              // consumer-owned
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_UTIL_MPSC_QUEUE_H_

@@ -1,0 +1,60 @@
+// Shard routing: a stable hash -> shard assignment used by the serving
+// engine to pin every (dataset, query function) key to exactly one
+// dispatcher shard. The assignment is a pure function of the key and the
+// shard count — registering or removing OTHER stores can never move a
+// key between shards, so a sketch's workspace arena stays warm on one
+// core for the store's whole lifetime.
+#ifndef NEUROSKETCH_UTIL_SHARD_ROUTER_H_
+#define NEUROSKETCH_UTIL_SHARD_ROUTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace neurosketch {
+
+/// \brief FNV-1a over a byte range; the canonical incremental form so
+/// heterogeneous key fields can be folded into one running hash.
+inline uint64_t Fnv1a64(const void* data, size_t len,
+                        uint64_t seed = 0xcbf29ce484222325ull) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(const std::string& s,
+                        uint64_t seed = 0xcbf29ce484222325ull) {
+  return Fnv1a64(s.data(), s.size(), seed);
+}
+
+inline uint64_t Fnv1a64(uint64_t v, uint64_t seed = 0xcbf29ce484222325ull) {
+  return Fnv1a64(&v, sizeof(v), seed);
+}
+
+/// \brief Maps 64-bit key hashes onto [0, num_shards). A fixmul spread
+/// (multiply-shift by a golden-ratio constant) decorrelates the modulo
+/// from low hash bits.
+class ShardRouter {
+ public:
+  explicit ShardRouter(size_t num_shards)
+      : num_shards_(num_shards == 0 ? 1 : num_shards) {}
+
+  size_t num_shards() const { return num_shards_; }
+
+  size_t ShardOf(uint64_t key_hash) const {
+    key_hash *= 0x9e3779b97f4a7c15ull;  // golden-ratio mix
+    key_hash ^= key_hash >> 32;
+    return static_cast<size_t>(key_hash % num_shards_);
+  }
+
+ private:
+  size_t num_shards_;
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_UTIL_SHARD_ROUTER_H_

@@ -34,6 +34,9 @@ struct SlowQueryTrace {
   std::string store;          ///< serve key, e.g. "taxi/avg(col 2)"
   std::string tier;           ///< precision tier or "exact" / "failed"
   size_t batch_size = 0;      ///< micro-batch this query rode in
+  size_t shard = 0;           ///< dispatcher shard that served it — lets
+                              ///< tail attribution separate a hot shard
+                              ///< from a hot store
 };
 
 /// \brief Concurrent keep-the-K-slowest buffer. See file comment for the

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -152,6 +153,42 @@ TEST(LogHistogramTest, EmptyAndSingleSample) {
     const double v = h.PercentileUs(p);
     EXPECT_GE(v, LogHistogram::BucketLoUs(22));  // floor(4*log2(50)) = 22
     EXPECT_LE(v, LogHistogram::BucketHiUs(22));
+  }
+}
+
+// Pins the branch-free exponent/mantissa bucketing to the formula it
+// replaces: floor(kBucketsPerOctave * log2(us)), clamped to the last
+// bucket, with everything <= 1 in bucket 0. Sweeps log-spaced values
+// across the full range plus the sub-1 / overflow / non-finite edges
+// (exact 2^(k/4) edge doubles are skipped — there the two forms may
+// legitimately differ by the 1-ulp rounding of the edge constants).
+TEST(LogHistogramTest, BucketIndexMatchesLog2Reference) {
+  auto reference = [](double us) -> size_t {
+    if (!(us > 1.0)) return 0;
+    const double idx = LogHistogram::kBucketsPerOctave * std::log2(us);
+    if (idx >= static_cast<double>(LogHistogram::kNumBuckets - 1)) {
+      return LogHistogram::kNumBuckets - 1;
+    }
+    return static_cast<size_t>(idx);
+  };
+  auto bucket_of = [](double us) -> size_t {
+    LogHistogram h;
+    h.Add(us);
+    for (size_t i = 0; i < LogHistogram::kNumBuckets; ++i) {
+      if (h.BucketCount(i) == 1) return i;
+    }
+    return LogHistogram::kNumBuckets;  // unreachable: Add always lands
+  };
+  std::vector<double> probes = {0.0,   -3.0,  0.5,    1.0,   1.0000001,
+                                1.5,   2.0,   50.0,   1e6,   1.67e7,
+                                1.7e7, 1e9,   1e300,  std::nan(""),
+                                std::numeric_limits<double>::infinity()};
+  // 40 log-spaced probes per octave sit well clear of the 2^(k/4) edges.
+  for (double exp = 0.0125; exp < 25.0; exp += 0.6125) {
+    probes.push_back(std::exp2(exp));
+  }
+  for (double us : probes) {
+    EXPECT_EQ(bucket_of(us), reference(us)) << "us = " << us;
   }
 }
 

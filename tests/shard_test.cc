@@ -1,0 +1,442 @@
+// Tests for the shard-per-core serving engine: the wait-free MPSC
+// submission ring, the stable key->shard router, and the cross-shard
+// behavior of ServeEngine (burst routing, stats resets under traffic,
+// and a multi-threaded hammer that doubles as the TSan workload).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/neurosketch.h"
+#include "data/datasets.h"
+#include "data/normalizer.h"
+#include "query/engine.h"
+#include "query/predicate.h"
+#include "query/workload.h"
+#include "serve/serve_engine.h"
+#include "serve/sketch_store.h"
+#include "util/mpsc_queue.h"
+#include "util/shard_router.h"
+
+namespace neurosketch {
+namespace {
+
+using serve::ServeEngine;
+using serve::ServeKey;
+using serve::ServeOptions;
+using serve::ServeResult;
+using serve::SketchStore;
+
+// ---------------------------------------------------------------------
+// MpscRing
+// ---------------------------------------------------------------------
+
+TEST(MpscRingTest, FifoSingleThread) {
+  MpscRing<int> ring(8);
+  EXPECT_TRUE(ring.Empty());
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.Push(i));
+  EXPECT_FALSE(ring.Empty());
+  int v = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.TryPop(&v));
+    EXPECT_EQ(v, i);  // strict FIFO
+  }
+  EXPECT_TRUE(ring.Empty());
+  EXPECT_FALSE(ring.TryPop(&v));
+}
+
+TEST(MpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpscRing<int>(0).capacity(), 2u);
+  EXPECT_EQ(MpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(MpscRing<int>(64).capacity(), 64u);
+}
+
+TEST(MpscRingTest, ConcurrentProducersDeliverEveryItemExactlyOnce) {
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 2000;
+  MpscRing<int> ring(64);  // smaller than the traffic: exercises wrap
+  std::vector<int> seen;
+  seen.reserve(kProducers * kPerProducer);
+  std::thread consumer([&] {
+    int v;
+    while (seen.size() < kProducers * kPerProducer) {
+      if (ring.TryPop(&v)) {
+        seen.push_back(v);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ring.Push(p * kPerProducer + i);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  consumer.join();
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    ASSERT_EQ(seen[i], i);  // every item exactly once, none invented
+  }
+}
+
+TEST(MpscRingTest, FullRingSignalsBackpressureAndLosesNothing) {
+  constexpr int kItems = 64;
+  MpscRing<int> ring(4);
+  std::atomic<int> backpressured{0};
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      if (!ring.Push(i)) backpressured.fetch_add(1);
+    }
+  });
+  // Let the producer hit the full ring before draining.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::vector<int> seen;
+  int v;
+  while (seen.size() < kItems) {
+    if (ring.TryPop(&v)) seen.push_back(v);
+  }
+  producer.join();
+  EXPECT_GT(backpressured.load(), 0);  // the ring really filled up
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(seen[i], i);  // single producer: order also survives
+  }
+}
+
+// ---------------------------------------------------------------------
+// ShardRouter / ServeKey::Hash
+// ---------------------------------------------------------------------
+
+TEST(ShardRouterTest, RoutesAreStableInRangeAndSpread) {
+  ShardRouter router(4);
+  std::set<size_t> used;
+  for (uint64_t k = 0; k < 256; ++k) {
+    const uint64_t h = Fnv1a64(k);
+    const size_t s = router.ShardOf(h);
+    ASSERT_LT(s, 4u);
+    EXPECT_EQ(s, router.ShardOf(h));  // pure function
+    used.insert(s);
+  }
+  // 256 distinct hashes over 4 shards: every shard gets traffic.
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(ShardRouterTest, ZeroOrOneShardAlwaysRoutesToZero) {
+  ShardRouter one(1), zero(0);
+  for (uint64_t k = 0; k < 32; ++k) {
+    EXPECT_EQ(one.ShardOf(Fnv1a64(k)), 0u);
+    EXPECT_EQ(zero.ShardOf(Fnv1a64(k)), 0u);
+  }
+}
+
+TEST(ServeKeyHashTest, PureFunctionOfKeyFields) {
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = Aggregate::kAvg;
+  spec.measure_col = 2;
+  const ServeKey a = ServeKey::From("ds", spec);
+  const ServeKey b = ServeKey::From("ds", spec);
+  EXPECT_EQ(a.Hash(), b.Hash());
+
+  EXPECT_NE(ServeKey::From("ds2", spec).Hash(), a.Hash());
+  QueryFunctionSpec other_col = spec;
+  other_col.measure_col = 3;
+  EXPECT_NE(ServeKey::From("ds", other_col).Hash(), a.Hash());
+  QueryFunctionSpec other_agg = spec;
+  other_agg.agg = Aggregate::kSum;
+  EXPECT_NE(ServeKey::From("ds", other_agg).Hash(), a.Hash());
+}
+
+// ---------------------------------------------------------------------
+// ServeEngine cross-shard behavior
+// ---------------------------------------------------------------------
+
+QueryFunctionSpec AvgSpec(size_t measure_col) {
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = Aggregate::kAvg;
+  spec.measure_col = measure_col;
+  return spec;
+}
+
+/// Shared fixture: a normalized GMM table, its query spec, a workload,
+/// and a quickly trained sketch (held by shared_ptr so several dataset
+/// names can serve the same sketch from different shards).
+struct ShardFixture {
+  Table table;
+  QueryFunctionSpec spec;
+  std::vector<QueryInstance> queries;
+  std::shared_ptr<const NeuroSketch> sketch;
+  std::vector<double> expected;  // serial sketch answers for `queries`
+
+  static ShardFixture Make(size_t n_queries) {
+    ShardFixture f;
+    Dataset ds = MakeGmmDataset(2000, 3, 3, /*seed=*/5);
+    f.table = Normalizer::Fit(ds.table).Transform(ds.table);
+    f.spec = AvgSpec(ds.measure_col);
+    ExactEngine engine(&f.table);
+    WorkloadConfig wc;
+    wc.seed = 99;
+    WorkloadGenerator gen(f.table.num_columns(), wc);
+    f.queries = gen.GenerateMany(n_queries, &engine, &f.spec);
+
+    WorkloadConfig train_wc;
+    train_wc.seed = 7;
+    WorkloadGenerator train_gen(f.table.num_columns(), train_wc);
+    auto train_q = train_gen.GenerateMany(400, &engine, &f.spec);
+    auto train_a = engine.AnswerBatch(f.spec, train_q);
+    NeuroSketchConfig cfg;
+    cfg.tree_height = 2;
+    cfg.target_partitions = 2;
+    cfg.n_layers = 3;
+    cfg.l_first = 16;
+    cfg.l_rest = 8;
+    cfg.train.epochs = 25;
+    auto sk = NeuroSketch::Train(train_q, train_a, cfg);
+    EXPECT_TRUE(sk.ok()) << sk.status().ToString();
+    f.sketch = std::make_shared<const NeuroSketch>(std::move(sk).value());
+    f.expected = f.sketch->AnswerBatch(f.queries);
+    return f;
+  }
+};
+
+TEST(ShardEngineTest, KeyToShardPinningStableAcrossStoreChurn) {
+  ShardFixture f = ShardFixture::Make(32);
+  ExactEngine engine(&f.table);
+  SketchStore store;
+  ServeOptions opts;
+  opts.num_shards = 4;
+  ServeEngine serve(&store, opts);
+  ASSERT_EQ(serve.num_shards(), 4u);
+
+  // Record where every key routes while the store is still empty.
+  std::vector<std::string> names;
+  std::vector<size_t> before;
+  for (int i = 0; i < 16; ++i) {
+    names.push_back("ds" + std::to_string(i));
+    before.push_back(serve.ShardOf(names.back(), f.spec));
+    EXPECT_LT(before.back(), 4u);
+  }
+
+  // Churn the store: register everything, then unregister half of it.
+  for (const auto& name : names) {
+    ASSERT_TRUE(store.RegisterDataset(name, &engine).ok());
+    ASSERT_TRUE(store.Register(name, f.spec, f.sketch).ok());
+  }
+  for (size_t i = 0; i < names.size(); i += 2) {
+    EXPECT_GT(store.Unregister(ServeKey::From(names[i], f.spec)), 0u);
+  }
+
+  // Routing is a pure function of the key: churn must not move anything
+  // (AddStore/RemoveStore never reshuffles another store's queues).
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(serve.ShardOf(names[i], f.spec), before[i]) << names[i];
+  }
+
+  // And traffic really lands on the advertised shard.
+  const std::string target = names[1];  // still registered
+  const size_t shard = serve.ShardOf(target, f.spec);
+  auto r = serve.SubmitMany(target, f.spec, f.queries).get();
+  ASSERT_EQ(r.size(), f.queries.size());
+  const auto stats = serve.Snapshot();
+  ASSERT_EQ(stats.per_shard.size(), 4u);
+  EXPECT_EQ(stats.per_shard[shard].queries, f.queries.size());
+  EXPECT_EQ(stats.queries, f.queries.size());
+}
+
+TEST(ShardEngineTest, CrossShardBurstsBitIdenticalAndSummable) {
+  constexpr size_t kDatasets = 6;
+  ShardFixture f = ShardFixture::Make(128);
+  ExactEngine engine(&f.table);
+  SketchStore store;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < kDatasets; ++i) {
+    names.push_back("ds" + std::to_string(i));
+    ASSERT_TRUE(store.RegisterDataset(names.back(), &engine).ok());
+    ASSERT_TRUE(store.Register(names.back(), f.spec, f.sketch).ok());
+  }
+
+  ServeOptions opts;
+  opts.num_shards = 4;
+  opts.max_batch = 32;
+  ServeEngine serve(&store, opts);
+
+  // One concurrent burst per dataset, each from its own client thread.
+  std::vector<std::future<std::vector<ServeResult>>> futs(kDatasets);
+  std::vector<std::thread> clients;
+  for (size_t d = 0; d < kDatasets; ++d) {
+    clients.emplace_back([&, d] {
+      futs[d] = serve.SubmitMany(names[d], f.spec, f.queries);
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (size_t d = 0; d < kDatasets; ++d) {
+    const auto results = futs[d].get();
+    ASSERT_EQ(results.size(), f.queries.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      EXPECT_TRUE(results[i].used_sketch);
+      // Bit-identical regardless of which shard served the burst.
+      EXPECT_EQ(results[i].value, f.expected[i]) << names[d] << " q" << i;
+    }
+  }
+
+  const auto stats = serve.Snapshot();
+  const size_t total = kDatasets * f.queries.size();
+  EXPECT_EQ(stats.queries, total);
+  ASSERT_EQ(stats.per_shard.size(), 4u);
+  uint64_t shard_queries = 0, shard_batches = 0;
+  size_t resident = 0;
+  for (const auto& sd : stats.per_shard) {
+    shard_queries += sd.queries;
+    shard_batches += sd.batches;
+    resident += sd.resident_keys;
+    // Each dataset's traffic lands wholly on its advertised shard.
+    uint64_t want = 0;
+    for (size_t d = 0; d < kDatasets; ++d) {
+      if (serve.ShardOf(names[d], f.spec) == sd.shard) {
+        want += f.queries.size();
+      }
+    }
+    EXPECT_EQ(sd.queries, want) << "shard " << sd.shard;
+  }
+  EXPECT_EQ(shard_queries, total);  // engine totals == sum of shards
+  EXPECT_EQ(shard_batches, stats.batches);
+  EXPECT_EQ(resident, kDatasets);
+}
+
+TEST(ShardEngineTest, ResetStatsDuringTrafficKeepsAWellFormedWindow) {
+  constexpr size_t kClients = 4;
+  constexpr size_t kPerClient = 300;
+  ShardFixture f = ShardFixture::Make(kClients * kPerClient);
+  ExactEngine engine(&f.table);
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", &engine).ok());
+  ASSERT_TRUE(store.Register("gmm", f.spec, f.sketch).ok());
+
+  ServeOptions opts;
+  opts.num_shards = 3;
+  opts.max_batch = 16;
+  opts.batch_window_us = 50.0;
+  ServeEngine serve(&store, opts);
+
+  // Hammer the engine while the main thread restarts the stats window:
+  // answers must stay bit-identical and nothing may deadlock or tear.
+  std::vector<std::thread> clients;
+  std::atomic<bool> done{false};
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = 0; i < kPerClient; ++i) {
+        const size_t qi = c * kPerClient + i;
+        const ServeResult r = serve.Answer("gmm", f.spec, f.queries[qi]);
+        EXPECT_TRUE(r.used_sketch);
+        EXPECT_EQ(r.value, f.expected[qi]);
+      }
+    });
+  }
+  std::thread resetter([&] {
+    while (!done.load()) {
+      serve.ResetStats();
+      (void)serve.Snapshot();  // concurrent reads must also be safe
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (auto& t : clients) t.join();
+  done.store(true);
+  resetter.join();
+
+  // A clean window after the storm: exact accounting must hold again.
+  serve.ResetStats();
+  auto results = serve.SubmitMany("gmm", f.spec, f.queries).get();
+  ASSERT_EQ(results.size(), f.queries.size());
+  const auto stats = serve.Snapshot();
+  EXPECT_EQ(stats.queries, f.queries.size());
+  EXPECT_EQ(stats.queries,
+            stats.sketch_answers + stats.fallback_answers +
+                stats.failed_answers);
+  uint64_t shard_sum = 0;
+  for (const auto& sd : stats.per_shard) shard_sum += sd.queries;
+  EXPECT_EQ(shard_sum, stats.queries);
+}
+
+// The TSan workload: 8 client threads mixing Submit and SubmitMany
+// across sketch-backed and fallback-only stores, through a deliberately
+// tiny submission ring so the wait-free claim path, the backpressure
+// path, and the sleep/wake handshake all run under contention.
+TEST(ShardEngineTest, EightThreadHammerAcrossShardsAndPaths) {
+  constexpr size_t kClients = 8;
+  constexpr size_t kPerClient = 150;
+  ShardFixture f = ShardFixture::Make(kClients * kPerClient);
+  ExactEngine engine(&f.table);
+  const std::vector<double> exact =
+      engine.AnswerBatch(f.spec, f.queries);
+
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("fast", &engine).ok());
+  ASSERT_TRUE(store.Register("fast", f.spec, f.sketch).ok());
+  ASSERT_TRUE(store.RegisterDataset("slow", &engine).ok());
+  // "slow" has no sketch: every query is an exact-engine fallback.
+
+  ServeOptions opts;
+  opts.num_shards = 4;
+  opts.max_batch = 16;
+  opts.batch_window_us = 100.0;
+  opts.submit_queue_capacity = 8;  // force ring-full backpressure
+  ServeEngine serve(&store, opts);
+
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = 0; i < kPerClient; ++i) {
+        const size_t qi = c * kPerClient + i;
+        if (i % 3 == 0) {
+          // Burst of 3 to the sketch-backed store.
+          const size_t n = std::min<size_t>(3, kPerClient - i);
+          std::vector<QueryInstance> burst(f.queries.begin() + qi,
+                                           f.queries.begin() + qi + n);
+          auto results = serve.SubmitMany("fast", f.spec, burst).get();
+          ASSERT_EQ(results.size(), n);
+          for (size_t j = 0; j < n; ++j) {
+            EXPECT_TRUE(results[j].used_sketch);
+            EXPECT_EQ(results[j].value, f.expected[qi + j]);
+          }
+        } else if (i % 3 == 1) {
+          const ServeResult r = serve.Answer("fast", f.spec, f.queries[qi]);
+          EXPECT_TRUE(r.used_sketch);
+          EXPECT_EQ(r.value, f.expected[qi]);
+        } else {
+          const ServeResult r = serve.Answer("slow", f.spec, f.queries[qi]);
+          EXPECT_FALSE(r.used_sketch);
+          EXPECT_EQ(r.value, exact[qi]);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  const auto stats = serve.Snapshot();
+  EXPECT_EQ(stats.queries,
+            stats.sketch_answers + stats.fallback_answers +
+                stats.failed_answers);
+  EXPECT_EQ(stats.failed_answers, 0u);
+  EXPECT_GT(stats.fallback_answers, 0u);
+  uint64_t shard_sum = 0;
+  for (const auto& sd : stats.per_shard) shard_sum += sd.queries;
+  EXPECT_EQ(shard_sum, stats.queries);
+}
+
+}  // namespace
+}  // namespace neurosketch

@@ -5,11 +5,18 @@
 # (min-of-2 per arm, arms alternated). The observability layer's budget is
 # < 2% on that path; negative values (noise in favor of tracing-on) pass.
 #
+# Also gates multi-core scaling sanity from the "multi_core" section:
+# with >= 4 hardware threads, the 8-client / 8-store micro-batch QPS at
+# 4 shards must be at least SCALING_MIN_X (default 2.0) times the
+# 1-shard QPS. Below 4 hardware threads the scaling check is skipped —
+# the shards just time-slice one core and the ratio is meaningless.
+#
 # Usage: tools/check_serving_overhead.sh [path/to/BENCH_serving.json]
 set -euo pipefail
 
 json="${1:-BENCH_serving.json}"
 budget_pct="${OVERHEAD_BUDGET_PCT:-2.0}"
+scaling_min_x="${SCALING_MIN_X:-2.0}"
 
 if [[ ! -f "$json" ]]; then
   echo "error: $json not found (run bench_serving_throughput first)" >&2
@@ -36,5 +43,38 @@ ok=$(awk -v o="$overhead" -v b="$budget_pct" 'BEGIN { print (o < b) ? 1 : 0 }')
 if [[ "$ok" != "1" ]]; then
   echo "error: stage-tracing overhead ${overhead}% exceeds ${budget_pct}%" >&2
   exit 1
+fi
+
+# --- multi-core scaling sanity -----------------------------------------
+hw=$(grep -o '"hardware_threads": *[0-9]*' "$json" | head -1 |
+  grep -o '[0-9]*$')
+if [[ -z "$hw" ]]; then
+  echo "error: no hardware_threads field in $json" >&2
+  exit 1
+fi
+
+if [[ "$hw" -lt 4 ]]; then
+  echo "scaling check: skipped (${hw} hardware thread(s) < 4)"
+else
+  # Pull per-shard QPS rows out of the multi_core section.
+  qps1=$(grep -o '{"shards": 1, "qps": *[0-9.]*' "$json" | head -1 |
+    grep -o '[0-9.]*$' || true)
+  qps4=$(grep -o '{"shards": 4, "qps": *[0-9.]*' "$json" | head -1 |
+    grep -o '[0-9.]*$' || true)
+  if [[ -z "$qps1" || -z "$qps4" ]]; then
+    echo "error: no multi_core shard rows in $json" >&2
+    exit 1
+  fi
+  speedup=$(awk -v a="$qps1" -v b="$qps4" \
+    'BEGIN { printf "%.2f", (a > 0) ? b / a : 0 }')
+  echo "scaling check: 4 shards ${qps4} qps vs 1 shard ${qps1} qps =" \
+    "${speedup}x (min ${scaling_min_x}x on ${hw} hardware threads)"
+  ok=$(awk -v s="$speedup" -v m="$scaling_min_x" \
+    'BEGIN { print (s >= m) ? 1 : 0 }')
+  if [[ "$ok" != "1" ]]; then
+    echo "error: 4-shard micro-batch QPS only ${speedup}x the 1-shard" \
+      "QPS (need >= ${scaling_min_x}x)" >&2
+    exit 1
+  fi
 fi
 echo "OK"
