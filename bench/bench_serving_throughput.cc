@@ -15,23 +15,34 @@
 // it via tools/check_serving_overhead.sh), the metrics-registry document
 // (nsketch_build_* + nsketch_serve_*) under "metrics", a "multi_core"
 // shard-count sweep (same gate script sanity-checks 4-shard scaling on
-// >= 4-core machines), and a "zipfian" skewed-load arm (s = 0.99 over 16
+// >= 4-core machines), a "zipfian" skewed-load arm (s = 0.99 over 16
 // stores) with tail percentiles, hottest-store share, and shard-load
-// imbalance.
+// imbalance, and a "paged_catalog" arm: 256 cold sketches packed into
+// one catalog file served under a 25% / 50% / 100% resident-byte budget
+// vs a fully-resident baseline, with fault-in p50/p99, pool churn, and a
+// bit-identity check of every served answer (CI gates answers_match and
+// peak <= budget via tools/check_resident_budget.sh).
 //
 // Usage: bench_serving_throughput [out.json]
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
+#include "core/catalog.h"
+#include "data/generators.h"
 #include "serve/serve_engine.h"
 #include "serve/sketch_store.h"
+#include "util/buffer_pool.h"
 #include "util/metrics.h"
 
 namespace neurosketch {
@@ -303,6 +314,214 @@ ZipfReport RunZipfian(const SketchStore* store, const QueryFunctionSpec& spec,
   return z;
 }
 
+// ---------------------------------------------------------------------------
+// Paged-catalog arm: disk-resident cold sketches under a resident budget.
+//
+// 256 copies of one small trained sketch are packed into a single paged
+// catalog file under distinct query-function keys, then served through
+// the engine at 25% / 50% / 100% of the fully-resident footprint and
+// compared against a baseline store holding all 256 in memory. Every
+// answer in every run is compared bit-for-bit against the sketch's own
+// fully-resident output — the paging layer must never perturb a bit —
+// and the pool's peak residency must stay within budget. Both properties
+// land in the json for tools/check_resident_budget.sh to gate.
+
+constexpr size_t kPagedSketches = 256;
+
+struct PagedBudgetRow {
+  double budget_fraction = 0.0;
+  size_t budget_bytes = 0;
+  double qps = 0.0;
+  double faultin_p50_us = 0.0;
+  double faultin_p99_us = 0.0;
+  BufferPoolStats pool;
+  bool answers_match = false;
+};
+
+struct PagedCatalogReport {
+  bool ran = false;
+  size_t sketches = 0;
+  size_t image_bytes_per_sketch = 0;     // on-disk (serialized) size
+  size_t resident_bytes_per_sketch = 0;  // warm (faulted-in) footprint
+  double fully_resident_qps = 0.0;
+  bool baseline_answers_match = false;
+  std::vector<PagedBudgetRow> rows;
+};
+
+PagedCatalogReport RunPagedCatalog(const std::string& out_path) {
+  PagedCatalogReport rep;
+
+  // A small COUNT sketch on a synthetic table: fault-ins stay cheap
+  // enough that the 25%-budget run (every pass mostly cold) finishes in
+  // seconds, while the evict -> reload -> recompile path is exercised
+  // exactly as it would be for a production-size sketch.
+  Table table = MakeUniformTable(4000, 2, 909);
+  ExactEngine engine(&table);
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = Aggregate::kCount;
+  spec.measure_col = 0;
+  WorkloadConfig wc;
+  wc.num_active = 1;
+  wc.seed = 910;
+  WorkloadGenerator gen(2, wc);
+  const std::vector<QueryInstance> train_q =
+      gen.GenerateMany(500, &engine, &spec);
+  const std::vector<double> train_a = engine.AnswerBatch(spec, train_q);
+  WorkloadConfig pc = wc;
+  pc.seed = 913;
+  WorkloadGenerator pgen(2, pc);
+  const std::vector<QueryInstance> raw_probes =
+      pgen.GenerateMany(160, &engine, &spec);
+
+  NeuroSketchConfig cfg;
+  cfg.tree_height = 1;
+  cfg.target_partitions = 1;
+  cfg.n_layers = 2;
+  cfg.l_first = 8;
+  cfg.l_rest = 8;
+  cfg.train.epochs = 10;
+  cfg.seed = 911;
+  auto sk = NeuroSketch::Train(train_q, train_a, cfg);
+  if (!sk.ok()) {
+    std::fprintf(stderr, "paged_catalog train: %s\n",
+                 sk.status().ToString().c_str());
+    return rep;
+  }
+  auto shared = std::make_shared<const NeuroSketch>(std::move(sk).value());
+
+  // Keep only probes the sketch genuinely answers: a NaN answer would be
+  // repaired by the exact engine on the serve path, which would make the
+  // bit-identity comparison test the fallback rather than the pager.
+  std::vector<QueryInstance> probes;
+  std::vector<double> reference;
+  const std::vector<double> all = shared->AnswerBatch(raw_probes);
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (std::isnan(all[i])) continue;
+    probes.push_back(raw_probes[i]);
+    reference.push_back(all[i]);
+  }
+  if (probes.size() < 32) {
+    std::fprintf(stderr, "paged_catalog: only %zu usable probes\n",
+                 probes.size());
+    return rep;
+  }
+
+  auto key_for = [](size_t i) {
+    QueryFunctionKey key;
+    key.predicate_name = AxisRangePredicate::Make()->name();
+    key.agg = Aggregate::kCount;
+    key.measure_col = i;  // distinct measure columns make distinct keys
+    return key;
+  };
+  std::vector<std::pair<QueryFunctionKey, std::shared_ptr<const NeuroSketch>>>
+      entries;
+  for (size_t i = 0; i < kPagedSketches; ++i) {
+    entries.emplace_back(key_for(i), shared);
+  }
+  const std::string cat_path = out_path + ".paged.cat";
+  Status pack = WritePagedCatalog(cat_path, entries);
+  if (!pack.ok()) {
+    std::fprintf(stderr, "paged_catalog pack: %s\n", pack.ToString().c_str());
+    return rep;
+  }
+
+  // Budget in units of what a faulted-in sketch ACTUALLY occupies (the
+  // warm footprint), probed by loading one entry back.
+  auto probe_reader = PagedCatalogReader::Open(cat_path);
+  if (!probe_reader.ok()) return rep;
+  auto probe =
+      probe_reader.value().LoadEntry(probe_reader.value().entries().front());
+  if (!probe.ok()) return rep;
+  rep.sketches = kPagedSketches;
+  rep.image_bytes_per_sketch = shared->SizeBytes();
+  rep.resident_bytes_per_sketch = probe.value().ResidentBytes();
+
+  // Steady-state drive: 4 clients sweep all keys in 16-query bursts,
+  // staggered so their working sets overlap but do not march in
+  // lockstep, each comparing every answer against the reference bits.
+  constexpr size_t kClients = 4, kPasses = 2, kBurstQ = 16;
+  auto drive = [&](SketchStore* store, std::atomic<size_t>* mismatches) {
+    ServeOptions opts;
+    opts.max_batch = 512;
+    opts.batch_window_us = 0.0;
+    ServeEngine eng(store, opts);
+    Timer t;
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        for (size_t pass = 0; pass < kPasses; ++pass) {
+          for (size_t k = 0; k < kPagedSketches; ++k) {
+            const size_t key_i = (k + c * 64) % kPagedSketches;
+            QueryFunctionSpec key_spec = spec;
+            key_spec.measure_col = key_i;
+            const size_t off = (pass * 31 + k) % (probes.size() - kBurstQ);
+            std::vector<QueryInstance> burst(
+                probes.begin() + off, probes.begin() + off + kBurstQ);
+            auto results =
+                eng.SubmitMany("paged", key_spec, std::move(burst)).get();
+            for (size_t j = 0; j < results.size(); ++j) {
+              if (std::memcmp(&results[j].value, &reference[off + j],
+                              sizeof(double)) != 0) {
+                mismatches->fetch_add(1);
+              }
+            }
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    return static_cast<double>(kClients * kPasses * kPagedSketches * kBurstQ) /
+           t.ElapsedSeconds();
+  };
+
+  // Fully-resident baseline: all 256 registered in memory, no pool.
+  {
+    SketchStore store;
+    (void)store.RegisterDataset("paged", &engine);
+    for (size_t i = 0; i < kPagedSketches; ++i) {
+      QueryFunctionSpec key_spec = spec;
+      key_spec.measure_col = i;
+      (void)store.Register("paged", key_spec, shared);
+    }
+    std::atomic<size_t> mismatches{0};
+    rep.fully_resident_qps = drive(&store, &mismatches);
+    rep.baseline_answers_match = mismatches.load() == 0;
+  }
+
+  // Paged runs: same catalog, same drive, shrinking resident budget.
+  for (double frac : {1.0, 0.5, 0.25}) {
+    SketchStore store;
+    (void)store.RegisterDataset("paged", &engine);
+    serve::PagedCatalogOptions opts;
+    opts.max_resident_bytes = static_cast<size_t>(
+        frac *
+        static_cast<double>(rep.resident_bytes_per_sketch * kPagedSketches));
+    auto attached = store.AttachPagedCatalog("paged", cat_path, opts);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "paged_catalog attach: %s\n",
+                   attached.status().ToString().c_str());
+      std::remove(cat_path.c_str());
+      return rep;
+    }
+    PagedBudgetRow row;
+    row.budget_fraction = frac;
+    row.budget_bytes = opts.max_resident_bytes;
+    std::atomic<size_t> mismatches{0};
+    row.qps = drive(&store, &mismatches);
+    row.answers_match = mismatches.load() == 0;
+    row.pool = store.PagedStats();
+    if (const metrics::LogHistogram* h = store.FaultinLatency()) {
+      row.faultin_p50_us = h->PercentileUs(50);
+      row.faultin_p99_us = h->PercentileUs(99);
+    }
+    rep.rows.push_back(row);
+  }
+  std::remove(cat_path.c_str());
+  rep.ran = true;
+  return rep;
+}
+
 void PrintRow(const RunResult& r) {
   std::printf("%-12s %8zu %10.0f %10zu %7zu %12.0f %9.0f %9.0f %9.0f %9.0f "
               "%11.1f\n",
@@ -459,7 +678,7 @@ Status WriteJson(const std::string& path, const std::vector<RunResult>& rows,
                  const std::vector<BatchedRow>& batched,
                  const ObservabilityReport& obs,
                  const std::vector<RunResult>& multi_core,
-                 const ZipfReport& zipf) {
+                 const ZipfReport& zipf, const PagedCatalogReport& paged) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   std::fprintf(f, "{\n  \"bench\": \"serving_throughput\",\n");
@@ -590,6 +809,39 @@ Status WriteJson(const std::string& path, const std::vector<RunResult>& rows,
                zipf.s, zipf.stores, zipf.clients, zipf.qps,
                zipf.stats.p50_us, zipf.stats.p99_us, zipf.stats.p999_us,
                zipf.hottest_share, zipf.shard_imbalance);
+  // Paged-catalog arm: every row carries the two invariants the budget
+  // gate script reads back — answers_match and peak <= budget.
+  std::fprintf(f, "  \"paged_catalog\": {\n");
+  std::fprintf(f,
+               "    \"sketches\": %zu,\n"
+               "    \"image_bytes_per_sketch\": %zu,\n"
+               "    \"resident_bytes_per_sketch\": %zu,\n"
+               "    \"fully_resident_qps\": %.0f,\n"
+               "    \"baseline_answers_match\": %s,\n",
+               paged.sketches, paged.image_bytes_per_sketch,
+               paged.resident_bytes_per_sketch, paged.fully_resident_qps,
+               paged.baseline_answers_match ? "true" : "false");
+  std::fprintf(f, "    \"rows\": [\n");
+  for (size_t i = 0; i < paged.rows.size(); ++i) {
+    const PagedBudgetRow& r = paged.rows[i];
+    std::fprintf(
+        f,
+        "      {\"budget_fraction\": %.2f, \"budget_bytes\": %zu, "
+        "\"qps\": %.0f, \"qps_vs_resident\": %.3f, "
+        "\"faultin_p50_us\": %.1f, \"faultin_p99_us\": %.1f, "
+        "\"faultins\": %llu, \"hits\": %llu, \"evictions\": %llu, "
+        "\"peak_resident_bytes\": %zu, \"answers_match\": %s}%s\n",
+        r.budget_fraction, r.budget_bytes, r.qps,
+        paged.fully_resident_qps > 0.0 ? r.qps / paged.fully_resident_qps
+                                       : 0.0,
+        r.faultin_p50_us, r.faultin_p99_us,
+        static_cast<unsigned long long>(r.pool.faultins),
+        static_cast<unsigned long long>(r.pool.hits),
+        static_cast<unsigned long long>(r.pool.evictions),
+        r.pool.peak_resident_bytes, r.answers_match ? "true" : "false",
+        i + 1 < paged.rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n");
   std::fprintf(f,
                "  \"headline\": {\"clients\": 8, \"per_query_qps\": %.0f, "
                "\"micro_batch_qps\": %.0f, \"speedup\": %.2f}\n}\n",
@@ -882,9 +1134,36 @@ int Main(int argc, char** argv) {
     serve_tier("int8", i8_path, &i8, &ServeStats::int8_sketch_answers);
   }
 
+  // Paged-catalog arm: 256 cold sketches under a shrinking resident
+  // budget vs the fully-resident baseline, with bit-identity checking.
+  std::printf("\npaged catalog (%zu sketches, 4 clients):\n", kPagedSketches);
+  const PagedCatalogReport paged = RunPagedCatalog(out_path);
+  if (!paged.ran) {
+    std::fprintf(stderr, "paged_catalog arm failed\n");
+    return 1;
+  }
+  std::printf("  fully resident: %.0f qps (answers %s)\n",
+              paged.fully_resident_qps,
+              paged.baseline_answers_match ? "match" : "MISMATCH");
+  for (const PagedBudgetRow& r : paged.rows) {
+    std::printf("  budget %3.0f%% (%6.1f KB): %8.0f qps (%.2fx resident) | "
+                "fault-in p50/p99 %.0f/%.0f us | %llu fault-ins, %llu "
+                "evictions, peak %.1f KB | answers %s\n",
+                r.budget_fraction * 100.0,
+                static_cast<double>(r.budget_bytes) / 1024.0, r.qps,
+                paged.fully_resident_qps > 0.0
+                    ? r.qps / paged.fully_resident_qps
+                    : 0.0,
+                r.faultin_p50_us, r.faultin_p99_us,
+                static_cast<unsigned long long>(r.pool.faultins),
+                static_cast<unsigned long long>(r.pool.evictions),
+                static_cast<double>(r.pool.peak_resident_bytes) / 1024.0,
+                r.answers_match ? "match" : "MISMATCH");
+  }
+
   Status st = WriteJson(out_path, rows, per_query_qps8, batched_qps8,
                         scalar_lat, plan_lat, f32, i8, batched, obs,
-                        multi_core, zipf);
+                        multi_core, zipf, paged);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;

@@ -34,6 +34,21 @@
 //       the metrics registry (text exposition) every that-many seconds
 //       while serving, and once more at the end.
 //
+//   nsketch_cli catalog pack <data.csv> <out.cat> "<sql>" <file.sketch>
+//                            ["<sql>" <file.sketch> ...]
+//       Packs previously-trained sketches into one paged catalog file
+//       (core/WritePagedCatalog): an offset index followed by the
+//       serialized images, keyed by each template's query-function
+//       identity. The CSV is read only for its schema header.
+//
+//   nsketch_cli catalog serve <data.csv> <catalog.cat> "<sql template>"
+//                             [n_queries] [n_clients] [max_resident_mb]
+//       Serves a workload of the template's parameters from a paged
+//       catalog: sketches start cold (disk-resident) and fault in through
+//       the store's buffer pool under the given resident budget
+//       (0 or omitted = unbounded). Prints throughput plus the pool's
+//       residency, fault-in and eviction stats.
+//
 //   nsketch_cli metrics <data.csv> "<sql template>" [n_train] [n_queries]
 //       One-shot observability dump: trains a small sketch in-process,
 //       serves a workload through the micro-batching engine, then prints
@@ -395,6 +410,129 @@ void PrintSlowQueries(const serve::ServeEngine& serving) {
   }
 }
 
+int CmdCatalogPack(int argc, char** argv) {
+  // argv: catalog pack <data.csv> <out.cat> "<sql>" <file> [...]
+  if (argc < 7 || (argc - 5) % 2 != 0) {
+    return Fail(Status::InvalidArgument(
+        "catalog pack needs <data.csv> <out.cat> and (template, sketch) "
+        "pairs"));
+  }
+  const std::string csv_path = argv[3], out_path = argv[4];
+  auto table_r = Table::FromCsvFile(csv_path);
+  if (!table_r.ok()) return Fail(table_r.status());
+
+  std::vector<std::pair<QueryFunctionKey, std::shared_ptr<const NeuroSketch>>>
+      sketches;
+  for (int i = 5; i + 1 < argc; i += 2) {
+    auto pq = ParametricQuery::Parse(argv[i], table_r.value().schema());
+    if (!pq.ok()) return Fail(pq.status());
+    auto sketch = NeuroSketch::Load(argv[i + 1]);
+    if (!sketch.ok()) return Fail(sketch.status());
+    sketches.emplace_back(
+        QueryFunctionKey::From(pq.value().spec()),
+        std::make_shared<const NeuroSketch>(std::move(sketch).value()));
+  }
+  Status st = WritePagedCatalog(out_path, sketches);
+  if (!st.ok()) return Fail(st);
+  size_t total = 0;
+  for (const auto& [key, sk] : sketches) total += sk->SizeBytes();
+  std::printf("packed %zu sketches (%.1f KB of images) into %s\n",
+              sketches.size(), total / 1024.0, out_path.c_str());
+  return 0;
+}
+
+int CmdCatalogServe(int argc, char** argv) {
+  // argv: catalog serve <data.csv> <catalog.cat> "<sql>" [nq] [nc] [mb]
+  if (argc < 6) {
+    return Fail(Status::InvalidArgument(
+        "catalog serve needs <data.csv> <catalog.cat> and a template"));
+  }
+  const std::string csv_path = argv[3], cat_path = argv[4], sql = argv[5];
+  const size_t n_queries =
+      argc > 6 ? std::strtoul(argv[6], nullptr, 10) : 20000;
+  const size_t n_clients = argc > 7 ? std::strtoul(argv[7], nullptr, 10) : 4;
+  const double budget_mb = argc > 8 ? std::strtod(argv[8], nullptr) : 0.0;
+  if (n_queries == 0 || n_clients == 0) {
+    return Fail(Status::InvalidArgument(
+        "n_queries and n_clients must be positive integers"));
+  }
+
+  auto table_r = Table::FromCsvFile(csv_path);
+  if (!table_r.ok()) return Fail(table_r.status());
+  Normalizer norm = Normalizer::Fit(table_r.value());
+  auto pq = ParametricQuery::Parse(sql, table_r.value().schema());
+  if (!pq.ok()) return Fail(pq.status());
+  Table table = PrepareQueryTable(table_r.value(), norm, pq.value());
+  const QueryFunctionSpec& spec = pq.value().spec();
+
+  ExactEngine engine(&table);
+  serve::SketchStore store;
+  Status st = store.RegisterDataset("cli", &engine);
+  if (!st.ok()) return Fail(st);
+  serve::PagedCatalogOptions opts;
+  opts.max_resident_bytes = static_cast<size_t>(budget_mb * 1024.0 * 1024.0);
+  auto attached = store.AttachPagedCatalog("cli", cat_path, opts);
+  if (!attached.ok()) return Fail(attached.status());
+  std::printf("attached %zu cold sketches from %s (budget: %s)\n",
+              attached.value(), cat_path.c_str(),
+              opts.max_resident_bytes == 0
+                  ? "unbounded"
+                  : (std::to_string(opts.max_resident_bytes / 1024) + " KB")
+                        .c_str());
+
+  Rng rng(2026);
+  const auto pool = RandomWorkload(pq.value(), 4096, &rng);
+  if (pool.empty()) return Fail(Status::InvalidArgument("empty workload"));
+
+  serve::ServeEngine serving(&store);
+  Timer t;
+  std::vector<std::thread> clients;
+  const size_t per_client = (n_queries + n_clients - 1) / n_clients;
+  for (size_t c = 0; c < n_clients; ++c) {
+    clients.emplace_back([&, c] {
+      constexpr size_t kBurst = 128;
+      size_t done = 0;
+      while (done < per_client) {
+        const size_t n = std::min(kBurst, per_client - done);
+        std::vector<QueryInstance> burst;
+        burst.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          burst.push_back(pool[(c * per_client + done + i) % pool.size()]);
+        }
+        serving.SubmitMany("cli", spec, std::move(burst)).get();
+        done += n;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double seconds = t.ElapsedSeconds();
+
+  const auto stats = serving.Snapshot();
+  const auto ps = store.PagedStats();
+  std::printf("served %llu queries from %zu clients in %.2fs (%.0f qps)\n",
+              static_cast<unsigned long long>(stats.queries), n_clients,
+              seconds, static_cast<double>(stats.queries) / seconds);
+  std::printf("  latency p50/p99: %.0f / %.0f us | fallback rate: %.2f%%\n",
+              stats.p50_us, stats.p99_us, 100.0 * stats.fallback_rate);
+  std::printf("  pool: %.1f KB resident (peak %.1f KB, budget %s) | "
+              "%llu fault-ins | %llu hits | %llu evictions\n",
+              ps.resident_bytes / 1024.0, ps.peak_resident_bytes / 1024.0,
+              ps.max_bytes == 0
+                  ? "unbounded"
+                  : (std::to_string(ps.max_bytes / 1024) + " KB").c_str(),
+              static_cast<unsigned long long>(ps.faultins),
+              static_cast<unsigned long long>(ps.hits),
+              static_cast<unsigned long long>(ps.evictions));
+  return 0;
+}
+
+int CmdCatalog(int argc, char** argv) {
+  const std::string sub = argc > 2 ? argv[2] : "";
+  if (sub == "pack") return CmdCatalogPack(argc, argv);
+  if (sub == "serve") return CmdCatalogServe(argc, argv);
+  return Fail(Status::InvalidArgument("catalog needs pack or serve"));
+}
+
 int CmdMetrics(int argc, char** argv) {
   if (argc < 4) return Fail(Status::InvalidArgument("metrics needs 2+ args"));
   const std::string csv_path = argv[2], sql = argv[3];
@@ -488,9 +626,22 @@ void SelfDemo() {
                                 "4"};
     CmdServe(7, const_cast<char**>(argv_serve));
   }
+  {
+    const char* argv_pack[] = {"nsketch_cli", "catalog",     "pack",
+                               csv_path.c_str(), "demo.cat", sql,
+                               "demo.sketch"};
+    CmdCatalog(7, const_cast<char**>(argv_pack));
+  }
+  {
+    const char* argv_cserve[] = {"nsketch_cli", "catalog",  "serve",
+                                 csv_path.c_str(), "demo.cat", sql,
+                                 "8000",        "2"};
+    CmdCatalog(8, const_cast<char**>(argv_cserve));
+  }
   std::remove(csv_path.c_str());
   std::remove("demo.sketch");
   std::remove("demo.sketch.norm");
+  std::remove("demo.cat");
 }
 
 }  // namespace
@@ -505,10 +656,11 @@ int main(int argc, char** argv) {
   if (cmd == "query") return CmdQuery(argc, argv);
   if (cmd == "eval") return CmdEval(argc, argv);
   if (cmd == "serve") return CmdServe(argc, argv);
+  if (cmd == "catalog") return CmdCatalog(argc, argv);
   if (cmd == "metrics") return CmdMetrics(argc, argv);
   std::fprintf(stderr,
-               "usage: %s train|query|eval|serve|metrics ... (run with no "
-               "args for a demo)\n",
+               "usage: %s train|query|eval|serve|catalog|metrics ... (run "
+               "with no args for a demo)\n",
                argv[0]);
   return 1;
 }

@@ -1,10 +1,39 @@
 #include "core/catalog.h"
 
 #include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <utility>
 
 #include "query/predicate.h"
 
 namespace neurosketch {
+
+namespace {
+
+// "NSPCAT01" little-endian; bumped if the index layout ever changes.
+constexpr uint64_t kPagedCatalogMagic = 0x313054414350534eULL;
+
+template <typename T>
+void WriteRaw(std::ostream* out, const T& v) {
+  out->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool ReadRaw(std::istream* in, T* v) {
+  in->read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in->good();
+}
+
+// One index slot's serialized footprint: name_len + name + agg + measure
+// + offset + size. Needed up front so blob offsets can be precomputed.
+size_t IndexEntryBytes(const QueryFunctionKey& key) {
+  return sizeof(uint64_t) + key.predicate_name.size() + sizeof(uint32_t) +
+         3 * sizeof(uint64_t);
+}
+
+}  // namespace
 
 QueryFunctionKey QueryFunctionKey::From(const QueryFunctionSpec& spec) {
   QueryFunctionKey key;
@@ -89,6 +118,117 @@ size_t SketchCatalog::TotalSizeBytes() const {
   size_t bytes = 0;
   for (const auto& [key, sketch] : sketches_) bytes += sketch->SizeBytes();
   return bytes;
+}
+
+Status WritePagedCatalog(
+    const std::string& path,
+    const std::vector<std::pair<QueryFunctionKey,
+                                std::shared_ptr<const NeuroSketch>>>&
+        sketches) {
+  for (const auto& [key, sketch] : sketches) {
+    (void)key;
+    if (sketch == nullptr) {
+      return Status::InvalidArgument("paged catalog: null sketch");
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  // Precompute the blob offsets: header + full index, then the images
+  // back to back. SizeBytes() is pinned (by serialization_test) to equal
+  // Save()'s byte count exactly, which is what makes this single-pass.
+  size_t cursor = 2 * sizeof(uint64_t);
+  for (const auto& [key, sketch] : sketches) {
+    (void)sketch;
+    cursor += IndexEntryBytes(key);
+  }
+  WriteRaw(&out, kPagedCatalogMagic);
+  WriteRaw(&out, static_cast<uint64_t>(sketches.size()));
+  for (const auto& [key, sketch] : sketches) {
+    const uint64_t name_len = key.predicate_name.size();
+    WriteRaw(&out, name_len);
+    out.write(key.predicate_name.data(),
+              static_cast<std::streamsize>(name_len));
+    WriteRaw(&out, static_cast<uint32_t>(key.agg));
+    WriteRaw(&out, static_cast<uint64_t>(key.measure_col));
+    WriteRaw(&out, static_cast<uint64_t>(cursor));
+    const uint64_t size = sketch->SizeBytes();
+    WriteRaw(&out, size);
+    cursor += size;
+  }
+  for (const auto& [key, sketch] : sketches) {
+    const auto before = out.tellp();
+    NS_RETURN_NOT_OK(sketch->SaveTo(&out));
+    const auto written = out.tellp() - before;
+    if (written != static_cast<std::streamoff>(sketch->SizeBytes())) {
+      return Status::Unknown(
+          "paged catalog: SizeBytes drifted from Save for predicate '" +
+          key.predicate_name + "' (" + std::to_string(written) + " vs " +
+          std::to_string(sketch->SizeBytes()) + " bytes)");
+    }
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<PagedCatalogReader> PagedCatalogReader::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  uint64_t magic = 0;
+  uint64_t count = 0;
+  if (!ReadRaw(&in, &magic) || magic != kPagedCatalogMagic) {
+    return Status::InvalidArgument("not a paged catalog: " + path);
+  }
+  if (!ReadRaw(&in, &count)) {
+    return Status::IOError("truncated paged catalog index: " + path);
+  }
+  PagedCatalogReader reader;
+  reader.path_ = path;
+  reader.entries_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PagedCatalogEntry entry;
+    uint64_t name_len = 0;
+    if (!ReadRaw(&in, &name_len)) {
+      return Status::IOError("truncated paged catalog index: " + path);
+    }
+    entry.key.predicate_name.resize(name_len);
+    in.read(entry.key.predicate_name.data(),
+            static_cast<std::streamsize>(name_len));
+    uint32_t agg = 0;
+    uint64_t measure_col = 0;
+    if (!in.good() || !ReadRaw(&in, &agg) || !ReadRaw(&in, &measure_col) ||
+        !ReadRaw(&in, &entry.offset) || !ReadRaw(&in, &entry.size_bytes)) {
+      return Status::IOError("truncated paged catalog index: " + path);
+    }
+    entry.key.agg = static_cast<Aggregate>(agg);
+    entry.key.measure_col = measure_col;
+    reader.entries_.push_back(std::move(entry));
+  }
+  return reader;
+}
+
+Result<NeuroSketch> PagedCatalogReader::LoadEntry(
+    const PagedCatalogEntry& entry) const {
+  // Per-call stream: LoadEntry must be safe from concurrent pool loaders.
+  std::ifstream in(path_, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for read: " + path_);
+  }
+  in.seekg(static_cast<std::streamoff>(entry.offset));
+  std::string blob(entry.size_bytes, '\0');
+  in.read(blob.data(), static_cast<std::streamsize>(entry.size_bytes));
+  if (!in.good() || static_cast<uint64_t>(in.gcount()) != entry.size_bytes) {
+    return Status::IOError("truncated sketch image at offset " +
+                           std::to_string(entry.offset) + " in " + path_);
+  }
+  // An istringstream over the exact image preserves the standalone-file
+  // semantics LoadFrom expects (trailer probe may hit clean EOF).
+  std::istringstream image(std::move(blob));
+  return NeuroSketch::LoadFrom(&image);
 }
 
 }  // namespace neurosketch

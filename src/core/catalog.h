@@ -33,6 +33,51 @@ struct QueryFunctionKey {
   static QueryFunctionKey From(const QueryFunctionSpec& spec);
 };
 
+/// \brief One sketch's slot in a paged catalog file: its query-function
+/// identity plus where its serialized image lives in the file.
+struct PagedCatalogEntry {
+  QueryFunctionKey key;
+  uint64_t offset = 0;      // byte offset of the sketch image
+  uint64_t size_bytes = 0;  // exact image length (== NeuroSketch::SizeBytes)
+};
+
+/// \brief Pack N sketches into one paged catalog file: a magic + count
+/// header, an offset index (one entry per key), then the concatenated
+/// NeuroSketch::Save images. The paged serving path
+/// (serve/SketchStore::AttachPagedCatalog) memory-maps nothing and keeps
+/// nothing resident — cold sketches fault in through a buffer pool by
+/// seeking to their offset. Offsets are computed from SizeBytes(), which
+/// is pinned to equal Save()'s byte count exactly; the writer verifies
+/// this per entry and fails loudly on drift.
+Status WritePagedCatalog(
+    const std::string& path,
+    const std::vector<std::pair<QueryFunctionKey,
+                                std::shared_ptr<const NeuroSketch>>>&
+        sketches);
+
+/// \brief Read side of the paged catalog format: parses the index on
+/// Open, loads individual sketches on demand. LoadEntry is const and
+/// thread-safe (each call opens its own stream), so many pool loaders
+/// can fault in concurrently.
+class PagedCatalogReader {
+ public:
+  PagedCatalogReader() = default;
+
+  static Result<PagedCatalogReader> Open(const std::string& path);
+
+  const std::vector<PagedCatalogEntry>& entries() const { return entries_; }
+  const std::string& path() const { return path_; }
+
+  /// \brief Deserialize one sketch image (seek + bounded read +
+  /// NeuroSketch::LoadFrom). The loaded sketch is warm-and-lean: active
+  /// tier materialized, trainer and inactive tiers cold.
+  Result<NeuroSketch> LoadEntry(const PagedCatalogEntry& entry) const;
+
+ private:
+  std::string path_;
+  std::vector<PagedCatalogEntry> entries_;
+};
+
 /// \brief Outcome of a maintenance pass for one query function.
 struct CatalogEntryInfo {
   QueryFunctionKey key;
@@ -76,6 +121,12 @@ class SketchCatalog {
   /// store (serve/SketchStore::ImportFromCatalog).
   std::vector<std::pair<QueryFunctionKey, std::shared_ptr<const NeuroSketch>>>
   Sketches() const;
+
+  /// \brief Pack every built sketch into a paged catalog file at `path`
+  /// (WritePagedCatalog over Sketches()).
+  Status PackTo(const std::string& path) const {
+    return WritePagedCatalog(path, Sketches());
+  }
 
   size_t num_sketches() const { return sketches_.size(); }
   size_t TotalSizeBytes() const;

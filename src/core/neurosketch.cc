@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
+#include <ostream>
 
 #include "nn/serialize.h"
 #include "util/stats.h"
@@ -30,6 +32,12 @@ bool EnvFlagSet(const char* name) {
   const char* v = std::getenv(name);
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
+
+// Serializes lazy trainer rebuilds (EnsureTrainer on a const sketch).
+// Process-wide rather than per-sketch so NeuroSketch keeps its implicit
+// copy/move operations; the rebuild is a cold path (once per sketch after
+// Load/ReleaseTrainer), so cross-sketch serialization is harmless.
+std::mutex g_trainer_rebuild_mu;
 
 // Result of a validation replay: worst divergence seen and how many
 // queries actually contributed a measurement.
@@ -132,6 +140,7 @@ Result<NeuroSketch> NeuroSketch::Train(
   pc.num_threads = config.train_threads;
   PartitionResult partition = PartitionQuerySpace(q_ok, a_ok, pc);
   sketch.tree_ = std::move(partition.tree);
+  sketch.routing_doubles_ = sketch.tree_.EncodeRouting().size();
   sketch.stats_.leaf_aqc = std::move(partition.leaf_aqc);
   sketch.stats_.partition_seconds = part_timer.ElapsedSeconds();
 
@@ -184,6 +193,7 @@ Result<NeuroSketch> NeuroSketch::Train(
   };
   ThreadPool::Shared().ParallelFor(leaves.size(), config.train_threads,
                                    train_leaf);
+  sketch.trainer_ready_.store(true);
   sketch.stats_.train_seconds = train_timer.ElapsedSeconds();
 
   PlanPrecision requested = config.plan_precision;
@@ -261,9 +271,11 @@ bool NeuroSketch::EnableF32(const std::vector<QueryInstance>& validation,
     // Blown bound, NaN divergence, or no validation coverage at all: f32
     // is never served blind — drop the tier, keep serving f64.
     plans_f32_.clear();
+    f32_available_ = false;
     precision_ = PlanPrecision::kF64;
     return false;
   }
+  f32_available_ = true;
   precision_ = PlanPrecision::kF32;
   return true;
 }
@@ -350,26 +362,128 @@ bool NeuroSketch::EnableInt8(const std::vector<QueryInstance>& validation,
     // Blown bound, NaN divergence, or no validation coverage at all:
     // drop the tier; never serve unvalidated int8.
     plans_i8_.clear();
+    int8_absmax_.clear();
+    int8_available_ = false;
     if (precision_ == PlanPrecision::kInt8) precision_ = PlanPrecision::kF64;
     return false;
   }
+  // Retain the calibration record as the canonical copy: Save persists it
+  // and EnsureTier re-quantizes from it after a ReleaseTier. Uncovered
+  // leaves keep an empty record, mirroring their empty plan.
+  int8_absmax_.assign(plans_.size(), {});
+  for (size_t i = 0; i < plans_.size(); ++i) {
+    if (covered[i] > 0) int8_absmax_[i] = std::move(absmax[i]);
+  }
+  int8_available_ = true;
   precision_ = PlanPrecision::kInt8;
   return true;
 }
 
 Status NeuroSketch::SelectPrecision(PlanPrecision precision) {
-  if (precision == PlanPrecision::kF32 && plans_f32_.empty()) {
-    return Status::InvalidArgument(
-        "no f32 plans compiled: train with plan_precision = kF32 or call "
-        "EnableF32");
-  }
-  if (precision == PlanPrecision::kInt8 && plans_i8_.empty()) {
-    return Status::InvalidArgument(
-        "no int8 plans compiled: train with plan_precision = kInt8 or call "
-        "EnableInt8");
-  }
+  // Materializes the tier if it is carried but released (lazy Load /
+  // ReleaseTier); fails when the sketch does not carry it at all.
+  NS_RETURN_NOT_OK(EnsureTier(precision));
   precision_ = precision;
   return Status::OK();
+}
+
+Status NeuroSketch::EnsureTier(PlanPrecision precision) {
+  if (precision == PlanPrecision::kF32) {
+    if (!f32_available_) {
+      return Status::InvalidArgument(
+          "no f32 plans compiled: train with plan_precision = kF32 or call "
+          "EnableF32");
+    }
+    if (plans_f32_.empty()) {
+      // Deterministic narrowing of the resident f64 parameters — the
+      // exact rebuild Load performs, so the plans match the validated
+      // ones bit-for-bit.
+      plans_f32_.resize(plans_.size());
+      for (size_t i = 0; i < plans_.size(); ++i) {
+        plans_f32_[i] = nn::CompiledMlpF32::FromPlan(plans_[i]);
+      }
+    }
+    return Status::OK();
+  }
+  if (precision == PlanPrecision::kInt8) {
+    if (!int8_available_) {
+      return Status::InvalidArgument(
+          "no int8 plans compiled: train with plan_precision = kInt8 or call "
+          "EnableInt8");
+    }
+    if (plans_i8_.empty()) {
+      // Deterministic re-quantization from the f64 parameters with the
+      // canonical calibration record; uncovered leaves stay empty and
+      // keep serving their f64 plan.
+      plans_i8_.assign(plans_.size(), nn::CompiledMlpI8());
+      for (size_t i = 0; i < plans_.size(); ++i) {
+        if (!int8_absmax_[i].empty()) {
+          plans_i8_[i] = nn::CompiledMlpI8::FromPlan(plans_[i], int8_absmax_[i]);
+        }
+      }
+    }
+    return Status::OK();
+  }
+  // kF64: the canonical parameter store, always resident on a warm sketch.
+  return Status::OK();
+}
+
+size_t NeuroSketch::ReleaseTier(PlanPrecision precision) {
+  // The active tier and the f64 parameter store are not releasable: the
+  // former would break Answer's invariant that the active tier is
+  // materialized, the latter is what every rebuild derives from (shedding
+  // it means going cold — dropping the whole sketch object).
+  if (precision == precision_ || precision == PlanPrecision::kF64) return 0;
+  const size_t freed = PlanBytes(precision);
+  if (precision == PlanPrecision::kF32) {
+    std::vector<nn::CompiledMlpF32>().swap(plans_f32_);
+  } else {
+    std::vector<nn::CompiledMlpI8>().swap(plans_i8_);
+  }
+  return freed;
+}
+
+void NeuroSketch::EnsureTrainer() const {
+  if (trainer_ready_.load()) return;
+  std::lock_guard<std::mutex> lock(g_trainer_rebuild_mu);
+  if (trainer_ready_.load()) return;
+  // ToMlp round-trips the f64 parameters bit-exactly, so the rebuilt
+  // reference models answer identically to the originally trained ones.
+  std::vector<nn::Mlp> rebuilt;
+  rebuilt.reserve(plans_.size());
+  for (const auto& p : plans_) rebuilt.push_back(p.ToMlp());
+  models_ = std::move(rebuilt);
+  trainer_ready_.store(true);
+}
+
+size_t NeuroSketch::ReleaseTrainer() {
+  const size_t freed = TrainerBytes();
+  std::vector<nn::Mlp>().swap(models_);
+  trainer_ready_.store(false);
+  return freed;
+}
+
+size_t NeuroSketch::TrainerBytes() const {
+  if (!trainer_ready_.load()) return 0;
+  // Each trainable layer holds its parameters plus same-shaped gradient
+  // buffers; the cached forward activations are batch-sized transients
+  // (empty outside a training step) and are not counted.
+  size_t bytes = 0;
+  for (const auto& m : models_) {
+    bytes += 2 * m.num_params() * sizeof(double);
+  }
+  return bytes;
+}
+
+size_t NeuroSketch::ResidentBytes() const {
+  size_t bytes = routing_doubles_ * sizeof(double);
+  bytes += 2 * plans_.size() * sizeof(double);  // per-leaf mean + scale
+  bytes += PlanBytes(PlanPrecision::kF64);
+  bytes += PlanBytes(PlanPrecision::kF32);
+  bytes += PlanBytes(PlanPrecision::kInt8);
+  for (const auto& a : int8_absmax_) bytes += a.size() * sizeof(double);
+  bytes += TrainerBytes();
+  return bytes;
 }
 
 double NeuroSketch::Answer(const QueryInstance& q) const {
@@ -394,6 +508,9 @@ double NeuroSketch::Answer(const QueryInstance& q) const {
 }
 
 double NeuroSketch::AnswerScalar(const QueryInstance& q) const {
+  // The reference models rebuild lazily after Load/ReleaseTrainer —
+  // bit-exact, so callers cannot tell whether they were kept resident.
+  EnsureTrainer();
   const auto* leaf = tree_.Route(q);
   if (leaf == nullptr || leaf->leaf_id < 0 ||
       static_cast<size_t>(leaf->leaf_id) >= models_.size()) {
@@ -510,6 +627,10 @@ void NeuroSketch::ExportBuildMetrics(metrics::MetricsRegistry* registry,
                      "Training-set size after NaN drops");
   registry->SetGauge(prefix + "size_bytes", static_cast<double>(SizeBytes()),
                      "Serialized sketch size (the paper's storage metric)");
+  registry->SetGauge(prefix + "resident_bytes",
+                     static_cast<double>(ResidentBytes()),
+                     "In-memory sketch footprint: materialized tiers + "
+                     "trainer (moves with EnsureTier/ReleaseTier)");
   double aqc_max = 0.0, aqc_sum = 0.0;
   for (double a : stats_.leaf_aqc) {
     aqc_sum += a;
@@ -542,8 +663,8 @@ void NeuroSketch::ExportBuildMetrics(metrics::MetricsRegistry* registry,
                      "standardized units");
   registry->SetGauge(prefix + "int8_error_bound", int8_error_bound_);
   size_t uncalibrated = 0;
-  for (const auto& p : plans_i8_) {
-    uncalibrated += p.empty() ? 1 : 0;
+  if (int8_available_) {
+    for (const auto& a : int8_absmax_) uncalibrated += a.empty() ? 1 : 0;
   }
   registry->SetGauge(prefix + "int8_uncalibrated_leaves",
                      static_cast<double>(uncalibrated),
@@ -560,10 +681,10 @@ size_t NeuroSketch::SizeBytes() const {
   bytes += 2 * plans_.size() * sizeof(double);  // per-leaf mean + scale
   for (const auto& p : plans_) bytes += nn::SerializedModelBytes(p);
   bytes += kPrecisionTrailerBytes;
-  if (!plans_i8_.empty()) {
+  if (int8_available_) {
     bytes += 2 * sizeof(double);  // int8 bound + measured divergence
-    for (const auto& p : plans_i8_) {
-      bytes += sizeof(uint64_t) + p.layer_absmax().size() * sizeof(double);
+    for (const auto& a : int8_absmax_) {
+      bytes += sizeof(uint64_t) + a.size() * sizeof(double);
     }
   }
   return bytes;
@@ -572,6 +693,13 @@ size_t NeuroSketch::SizeBytes() const {
 Status NeuroSketch::Save(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open " + path);
+  NS_RETURN_NOT_OK(SaveTo(&out));
+  if (!out.good()) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Status NeuroSketch::SaveTo(std::ostream* out_stream) const {
+  std::ostream& out = *out_stream;
   const uint64_t qdim = tree_.query_dim();
   out.write(reinterpret_cast<const char*>(&qdim), sizeof(qdim));
   const std::vector<double> routing = tree_.EncodeRouting();
@@ -596,44 +724,54 @@ Status NeuroSketch::Save(const std::string& path) const {
     NS_RETURN_NOT_OK(nn::SaveCompiledMlp(p, &out));
   }
   const uint32_t magic = kPrecisionMagic;
-  // Bit 0: f32 is the active serving tier. Bit 1: f32 plans are compiled
-  // (they may exist while f64 is temporarily selected; the tier must
-  // survive the round-trip either way). Bit 2: int8 active. Bit 3: int8
-  // plans compiled — the calibration block below follows.
+  // Bit 0: f32 is the active serving tier. Bit 1: the sketch carries the
+  // f32 tier (it may be carried while f64 is temporarily selected, or
+  // released from memory; the tier must survive the round-trip either
+  // way). Bit 2: int8 active. Bit 3: the sketch carries the int8 tier —
+  // the calibration block below follows. Carried, not materialized: a
+  // released tier serializes identically because the rebuild is a pure
+  // function of the f64 parameters (+ the absmax block for int8).
   const uint32_t precision =
       (precision_ == PlanPrecision::kF32 ? 1u : 0u) |
-      (plans_f32_.empty() ? 0u : 2u) |
+      (f32_available_ ? 2u : 0u) |
       (precision_ == PlanPrecision::kInt8 ? 4u : 0u) |
-      (plans_i8_.empty() ? 0u : 8u);
+      (int8_available_ ? 8u : 0u);
   out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
   out.write(reinterpret_cast<const char*>(&precision), sizeof(precision));
   out.write(reinterpret_cast<const char*>(&f32_error_bound_),
             sizeof(f32_error_bound_));
   out.write(reinterpret_cast<const char*>(&f32_max_divergence_),
             sizeof(f32_max_divergence_));
-  if (!plans_i8_.empty()) {
+  if (int8_available_) {
     // Int8 calibration block: validation record + per-leaf per-layer
-    // input absmax. Parameters stay f64 above; Load re-quantizes from
-    // them with these scales, reproducing the identical int8 plans. An
-    // uncovered (never-calibrated) leaf writes zero layers.
+    // input absmax (from the canonical record, so a released tier
+    // serializes the same bytes as a materialized one). Parameters stay
+    // f64 above; Load re-quantizes from them with these scales,
+    // reproducing the identical int8 plans. An uncovered
+    // (never-calibrated) leaf writes zero layers.
     out.write(reinterpret_cast<const char*>(&int8_error_bound_),
               sizeof(int8_error_bound_));
     out.write(reinterpret_cast<const char*>(&int8_max_divergence_),
               sizeof(int8_max_divergence_));
-    for (const auto& p : plans_i8_) {
-      const uint64_t nl = p.layer_absmax().size();
+    for (const auto& a : int8_absmax_) {
+      const uint64_t nl = a.size();
       out.write(reinterpret_cast<const char*>(&nl), sizeof(nl));
-      out.write(reinterpret_cast<const char*>(p.layer_absmax().data()),
+      out.write(reinterpret_cast<const char*>(a.data()),
                 static_cast<std::streamsize>(nl * sizeof(double)));
     }
   }
-  if (!out.good()) return Status::IOError("write failed for " + path);
+  if (!out.good()) return Status::IOError("sketch write failed");
   return Status::OK();
 }
 
 Result<NeuroSketch> NeuroSketch::Load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
+  return LoadFrom(&in);
+}
+
+Result<NeuroSketch> NeuroSketch::LoadFrom(std::istream* in_stream) {
+  std::istream& in = *in_stream;
   uint64_t qdim = 0, rsize = 0, nmodels = 0;
   in.read(reinterpret_cast<char*>(&qdim), sizeof(qdim));
   in.read(reinterpret_cast<char*>(&rsize), sizeof(rsize));
@@ -647,6 +785,7 @@ Result<NeuroSketch> NeuroSketch::Load(const std::string& path) {
   NeuroSketch sketch;
   NS_ASSIGN_OR_RETURN(sketch.tree_,
                       QuerySpaceKdTree::DecodeRouting(routing, qdim));
+  sketch.routing_doubles_ = routing.size();
   sketch.target_mean_.resize(nmodels);
   sketch.target_scale_.resize(nmodels);
   in.read(reinterpret_cast<char*>(sketch.target_mean_.data()),
@@ -654,14 +793,13 @@ Result<NeuroSketch> NeuroSketch::Load(const std::string& path) {
   in.read(reinterpret_cast<char*>(sketch.target_scale_.data()),
           static_cast<std::streamsize>(nmodels * sizeof(double)));
   if (!in.good()) return Status::IOError("truncated sketch scales");
-  sketch.models_.reserve(nmodels);
   sketch.plans_.reserve(nmodels);
   for (uint64_t i = 0; i < nmodels; ++i) {
     // Compile-on-load: the plan is the deserialization target (one
-    // contiguous parameter read); the trainable form is rehydrated from it
-    // so the scalar reference path stays available.
+    // contiguous parameter read). The trainable form is NOT rehydrated
+    // here — it rebuilds lazily (bit-exactly) on the first AnswerScalar,
+    // so a loaded sketch comes up at its lean serving footprint.
     NS_ASSIGN_OR_RETURN(nn::CompiledMlp plan, nn::LoadCompiledMlp(&in));
-    sketch.models_.push_back(plan.ToMlp());
     sketch.plans_.push_back(std::move(plan));
   }
   sketch.stats_.num_partitions = nmodels;
@@ -692,25 +830,19 @@ Result<NeuroSketch> NeuroSketch::Load(const std::string& path) {
     const bool has_f32 = (precision & 2u) != 0 || active_f32;
     const bool active_i8 = (precision & 4u) != 0;
     const bool has_i8 = (precision & 8u) != 0 || active_i8;
-    if (has_f32) {
-      // Rebuild the f32 tier from the f64 parameters: narrowing is
-      // deterministic, so the loaded sketch serves the same f32 bits the
-      // saved one did. The train-time validation record rides along, and
-      // a validated-but-inactive tier stays selectable after Load.
-      sketch.plans_f32_.resize(sketch.plans_.size());
-      for (size_t i = 0; i < sketch.plans_.size(); ++i) {
-        sketch.plans_f32_[i] = nn::CompiledMlpF32::FromPlan(sketch.plans_[i]);
-      }
-    }
+    // Carried tiers are recorded but NOT materialized here — only the
+    // active tier's plans are rebuilt below, so a loaded sketch starts
+    // at its lean serving footprint. EnsureTier/SelectPrecision rebuild
+    // an inactive carried tier on demand, bit-identically (f32 by
+    // narrowing, int8 by re-quantizing with the calibration record read
+    // next).
+    sketch.f32_available_ = has_f32;
     if (has_i8) {
-      // Rebuild the int8 tier by re-quantizing the f64 parameters with
-      // the saved calibration scales — quantization is deterministic, so
-      // the loaded sketch serves the same int8 bits the saved one did.
       in.read(reinterpret_cast<char*>(&sketch.int8_error_bound_),
               sizeof(sketch.int8_error_bound_));
       in.read(reinterpret_cast<char*>(&sketch.int8_max_divergence_),
               sizeof(sketch.int8_max_divergence_));
-      sketch.plans_i8_.resize(sketch.plans_.size());
+      sketch.int8_absmax_.assign(sketch.plans_.size(), {});
       for (size_t i = 0; i < sketch.plans_.size(); ++i) {
         uint64_t nl = 0;
         in.read(reinterpret_cast<char*>(&nl), sizeof(nl));
@@ -720,13 +852,12 @@ Result<NeuroSketch> NeuroSketch::Load(const std::string& path) {
           return Status::InvalidArgument(
               "int8 calibration does not match model architecture");
         }
-        std::vector<double> absmax(nl);
-        in.read(reinterpret_cast<char*>(absmax.data()),
+        sketch.int8_absmax_[i].resize(nl);
+        in.read(reinterpret_cast<char*>(sketch.int8_absmax_[i].data()),
                 static_cast<std::streamsize>(nl * sizeof(double)));
         if (!in.good()) return Status::IOError("truncated int8 calibration");
-        sketch.plans_i8_[i] =
-            nn::CompiledMlpI8::FromPlan(sketch.plans_[i], absmax);
       }
+      sketch.int8_available_ = true;
     }
     if (active_i8) {
       sketch.precision_ = PlanPrecision::kInt8;
@@ -735,6 +866,9 @@ Result<NeuroSketch> NeuroSketch::Load(const std::string& path) {
     } else {
       sketch.precision_ = PlanPrecision::kF64;
     }
+    // Uphold the serving invariant: the ACTIVE tier is always
+    // materialized (Answer never checks).
+    NS_RETURN_NOT_OK(sketch.EnsureTier(sketch.precision_));
   }
   return sketch;
 }

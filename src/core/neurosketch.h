@@ -8,6 +8,8 @@
 #ifndef NEUROSKETCH_CORE_NEUROSKETCH_H_
 #define NEUROSKETCH_CORE_NEUROSKETCH_H_
 
+#include <atomic>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,30 @@
 #include "util/status.h"
 
 namespace neurosketch {
+namespace internal {
+
+/// \brief An atomic<bool> that is copyable/movable by value so classes
+/// holding one keep their implicit copy and move operations. Copies
+/// transfer the value, not any in-flight synchronization — fine for
+/// "already materialized" latches whose protected state is copied along
+/// with the flag in the same (externally synchronized) operation.
+class MovableFlag {
+ public:
+  MovableFlag() = default;
+  explicit MovableFlag(bool v) : v_(v) {}
+  MovableFlag(const MovableFlag& o) : v_(o.load()) {}
+  MovableFlag& operator=(const MovableFlag& o) {
+    store(o.load());
+    return *this;
+  }
+  bool load() const { return v_.load(std::memory_order_acquire); }
+  void store(bool v) { v_.store(v, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> v_{false};
+};
+
+}  // namespace internal
 
 /// \brief Numeric tier the compiled inference plans execute in. kF64 is
 /// the accuracy reference (bit-identical to the scalar Mlp path); kF32 is
@@ -166,10 +192,21 @@ class NeuroSketch {
                                double* out) const;
 
   /// \brief Serialized model size in bytes — the paper's storage metric.
-  /// Exactly the number of bytes Save() writes.
+  /// Exactly the number of bytes Save() writes. Independent of which
+  /// tiers happen to be materialized in memory (ResidentBytes() tracks
+  /// that): parameters serialize in f64 with tier metadata either way.
   size_t SizeBytes() const;
 
-  size_t num_partitions() const { return models_.size(); }
+  /// \brief Bytes this sketch currently holds in memory: the routing
+  /// block, per-leaf scales, every *materialized* plan tier, the int8
+  /// calibration record, and (when resident) the trainable Mlp forms
+  /// (parameters + gradient buffers; training activation caches are
+  /// transient and excluded). Unlike SizeBytes() this moves with
+  /// EnsureTier/ReleaseTier/ReleaseTrainer — it is the admission unit of
+  /// the serving buffer pool.
+  size_t ResidentBytes() const;
+
+  size_t num_partitions() const { return plans_.size(); }
   const BuildStats& stats() const { return stats_; }
   size_t query_dim() const { return tree_.query_dim(); }
   /// \brief The routing kd-tree (read-only). Lets tests and tools compare
@@ -178,14 +215,38 @@ class NeuroSketch {
 
   /// \brief True once every leaf model has a compiled inference plan
   /// (always the case after Train or Load).
-  bool compiled() const {
-    return !plans_.empty() && plans_.size() == models_.size();
-  }
+  bool compiled() const { return !plans_.empty(); }
 
   /// \brief The precision tier Answer / AnswerBatch* currently serve from.
   PlanPrecision plan_precision() const { return precision_; }
-  bool has_f32_plans() const { return !plans_f32_.empty(); }
-  bool has_int8_plans() const { return !plans_i8_.empty(); }
+  /// \brief True when the sketch *carries* the tier: validated at train
+  /// time and deterministically rebuildable from the f64 parameters (f32
+  /// by narrowing, int8 by re-quantizing with the saved calibration
+  /// scales). Carrying a tier does not imply it is materialized — see
+  /// TierResident / EnsureTier / ReleaseTier.
+  bool has_f32_plans() const { return f32_available_; }
+  bool has_int8_plans() const { return int8_available_; }
+
+  /// \brief True when the tier's compiled plans are resident right now.
+  /// kF64 plans are the canonical in-memory parameter store and are
+  /// always resident on a warm sketch.
+  bool TierResident(PlanPrecision precision) const {
+    switch (precision) {
+      case PlanPrecision::kF32:
+        return !plans_f32_.empty();
+      case PlanPrecision::kInt8:
+        return !plans_i8_.empty();
+      case PlanPrecision::kF64:
+        break;
+    }
+    return !plans_.empty();
+  }
+
+  /// \brief True when the trainable Mlp forms (the scalar reference path)
+  /// are resident. Train leaves them resident; Load does not — they
+  /// rebuild lazily (bit-exactly, via CompiledMlp::ToMlp) on the first
+  /// AnswerScalar, or explicitly via EnsureTrainer.
+  bool trainer_resident() const { return trainer_ready_.load(); }
   /// \brief Max |f32 - f64| divergence measured by the last f32
   /// validation pass, in standardized units (0 when never validated).
   double f32_max_divergence() const { return f32_max_divergence_; }
@@ -196,19 +257,50 @@ class NeuroSketch {
   double int8_error_bound() const { return int8_error_bound_; }
 
   /// \brief Per-leaf int8 calibration records (per-layer input absmax).
-  /// Empty when the int8 tier is not compiled; a leaf with no calibration
-  /// coverage contributes an empty inner vector. Exposed so tests can pin
-  /// the calibration scales bit-for-bit across thread counts.
-  std::vector<std::vector<double>> Int8CalibrationScales() const {
-    std::vector<std::vector<double>> out;
-    out.reserve(plans_i8_.size());
-    for (const auto& p : plans_i8_) out.push_back(p.layer_absmax());
-    return out;
+  /// Empty when the sketch does not carry the int8 tier; a leaf with no
+  /// calibration coverage contributes an empty inner vector. This is the
+  /// canonical record — it stays resident (it is tiny) even when the int8
+  /// plans themselves are released, so EnsureTier can re-quantize without
+  /// touching disk. Exposed so tests can pin the calibration scales
+  /// bit-for-bit across thread counts.
+  const std::vector<std::vector<double>>& Int8CalibrationScales() const {
+    return int8_absmax_;
   }
 
   /// \brief Resident bytes of a tier's compiled flat buffers (0 when that
-  /// tier is not compiled). The f32 tier is half the f64 tier.
+  /// tier is not materialized). The f32 tier is half the f64 tier.
   size_t PlanBytes(PlanPrecision precision) const;
+
+  /// \brief Materialize a carried tier's compiled plans if they are not
+  /// resident: f32 narrows the f64 parameters, int8 re-quantizes them
+  /// with the saved calibration scales — both deterministic, so the
+  /// rebuilt plans are bit-identical to the ones Train validated.
+  /// InvalidArgument when the sketch does not carry the tier (never
+  /// validated, or validation dropped it). kF64 is always resident on a
+  /// warm sketch and returns OK. NOT thread-safe: like SelectPrecision,
+  /// tier mutation must happen-before concurrent Answer calls (the serve
+  /// path materializes before publishing a faulted-in sketch).
+  Status EnsureTier(PlanPrecision precision);
+
+  /// \brief Drop a materialized tier's compiled plans, returning the
+  /// bytes freed (ResidentBytes() shrinks by exactly that much). The
+  /// tier stays carried — EnsureTier rebuilds it bit-identically on
+  /// demand. Refuses (returns 0) for kF64 — the canonical parameter
+  /// store; shedding it means going cold, i.e. dropping the whole sketch
+  /// and re-Loading later — and for the currently active tier. Same
+  /// thread-safety contract as EnsureTier.
+  size_t ReleaseTier(PlanPrecision precision);
+
+  /// \brief Materialize the trainable Mlp forms from the compiled f64
+  /// plans (bit-exact; parameters round-trip through ToMlp). Safe to
+  /// call concurrently with const use — AnswerScalar calls it lazily.
+  void EnsureTrainer() const;
+
+  /// \brief Drop the trainable Mlp forms, returning the bytes freed.
+  /// AnswerScalar transparently rebuilds them later; Answer and the
+  /// batched paths never need them. Same thread-safety contract as
+  /// EnsureTier.
+  size_t ReleaseTrainer();
 
   /// \brief Compile the f32 plan tier and validate it against the f64
   /// reference on `validation` queries. Activates f32 serving and returns
@@ -255,16 +347,39 @@ class NeuroSketch {
   /// Parameters are always stored in f64 — the accuracy reference — and
   /// narrow tiers deterministically rebuild from them on Load (f32 by
   /// narrowing, int8 by re-quantizing with the saved calibration
-  /// absmax), so round-trips are bit-exact in every tier.
+  /// absmax), so round-trips are bit-exact in every tier. Load comes up
+  /// warm-and-lean: only the active tier's plans are materialized
+  /// (carried inactive tiers rebuild through EnsureTier) and the
+  /// trainable Mlp forms rebuild lazily on first AnswerScalar. The
+  /// stream variants serve the paged catalog format, which concatenates
+  /// many sketch images into one file.
   Status Save(const std::string& path) const;
+  Status SaveTo(std::ostream* out) const;
   static Result<NeuroSketch> Load(const std::string& path);
+  static Result<NeuroSketch> LoadFrom(std::istream* in);
 
  private:
+  size_t TrainerBytes() const;
+
   QuerySpaceKdTree tree_;
-  std::vector<nn::Mlp> models_;  // indexed by leaf_id; training/reference
+  /// Trainable/reference forms, indexed by leaf_id. Mutable + latch:
+  /// rebuilt lazily (and bit-exactly) from plans_ under a rebuild mutex
+  /// when a const caller needs the scalar reference path after Load or
+  /// ReleaseTrainer.
+  mutable std::vector<nn::Mlp> models_;
+  mutable internal::MovableFlag trainer_ready_;
   std::vector<nn::CompiledMlp> plans_;  // serving form, same indexing
   std::vector<nn::CompiledMlpF32> plans_f32_;  // opt-in fast tier
   std::vector<nn::CompiledMlpI8> plans_i8_;    // opt-in quantized tier
+  /// Tier availability (carried, validated, rebuildable) — survives
+  /// ReleaseTier, which only drops the materialized plans.
+  bool f32_available_ = false;
+  bool int8_available_ = false;
+  /// Canonical int8 calibration record (per leaf, per layer input
+  /// absmax; empty inner vector = uncovered leaf). Source of truth for
+  /// Save and for EnsureTier(kInt8) re-quantization.
+  std::vector<std::vector<double>> int8_absmax_;
+  size_t routing_doubles_ = 0;  // EncodeRouting().size(), cached
   std::vector<double> target_mean_;     // per-leaf target standardization
   std::vector<double> target_scale_;
   PlanPrecision precision_ = PlanPrecision::kF64;

@@ -373,6 +373,7 @@ void ServeEngine::ExecuteBatch(Shard* shard, const ServeKey& key,
     const PlanPrecision tier = sketch->plan_precision();
     tier_name = PlanPrecisionName(tier);
 
+    bool tripped = false;
     {
       // Error-budget accounting BEFORE any request is fulfilled: the
       // moment the last Fulfill resolves a client future, that client may
@@ -392,9 +393,16 @@ void ServeEngine::ExecuteBatch(Shard* shard, const ServeKey& key,
               options_.max_sketch_failure_rate *
                   static_cast<double>(st.sketch_answers)) {
         st.demoted = true;
+        tripped = true;
         shard->budget_trips.fetch_add(1, std::memory_order_relaxed);
       }
     }
+    // Eviction-policy signals for the paged catalog (no-ops for fully
+    // resident stores): genuine answers are this store's heat; a budget
+    // trip zeroes it, so a demoted sketch — whose traffic now bypasses it
+    // anyway — is the first thing the pool reclaims under pressure.
+    if (genuine > 0) store_->NoteServed(key, genuine);
+    if (tripped) store_->NotePenalized(key);
 
     for (size_t i = 0; i < answers.size(); ++i) {
       double total_us;
@@ -628,6 +636,26 @@ void ServeEngine::ExportMetrics(metrics::MetricsRegistry* registry,
   registry->SetGauge(prefix + "shards", static_cast<double>(s.num_shards),
                      "Dispatcher shards (one dedicated thread each)");
 
+  // Paged-catalog residency: all-zero series when the store has no paged
+  // catalog attached (the pool is the single source of truth, snapshotted
+  // exactly under its mutex — budget dashboards must not see torn reads).
+  const BufferPoolStats pool = store_->PagedStats();
+  registry->SetGauge(prefix + "resident_bytes",
+                     static_cast<double>(pool.resident_bytes),
+                     "Bytes of paged sketches currently faulted in");
+  registry->SetGauge(prefix + "resident_bytes_peak",
+                     static_cast<double>(pool.peak_resident_bytes),
+                     "High-water mark of nsketch_serve_resident_bytes");
+  registry->SetGauge(prefix + "resident_budget_bytes",
+                     static_cast<double>(pool.max_bytes),
+                     "max_resident_bytes budget (0 = unbounded)");
+  registry->SetCounter(prefix + "faultins_total", pool.faultins,
+                       "Cold sketches loaded from the paged catalog");
+  registry->SetCounter(prefix + "faultin_hits_total", pool.hits,
+                       "Paged lookups served without touching disk");
+  registry->SetCounter(prefix + "evictions_total", pool.evictions,
+                       "Resident sketches dropped back to cold");
+
   auto copy_hist = [&](const std::string& name, const LatencyHistogram& h,
                        const std::string& help) {
     LatencyHistogram* dst = registry->GetHistogram(name, help);
@@ -638,6 +666,10 @@ void ServeEngine::ExportMetrics(metrics::MetricsRegistry* registry,
     for (const auto& sh : shards_) latency.AddFrom(sh->latency);
     copy_hist(prefix + "latency_us", latency,
               "Submit->answer latency, microseconds");
+  }
+  if (const metrics::LogHistogram* faultin = store_->FaultinLatency()) {
+    copy_hist(prefix + "faultin_latency_us", *faultin,
+              "Paged-catalog fault-in (disk load) latency, microseconds");
   }
   if (options_.stage_tracing) {
     LatencyHistogram q, a, inf, ful;

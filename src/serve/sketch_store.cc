@@ -74,21 +74,103 @@ size_t SketchStore::ImportFromCatalog(const std::string& dataset,
   return imported;
 }
 
+Result<size_t> SketchStore::AttachPagedCatalog(const std::string& dataset,
+                                               const std::string& path,
+                                               PagedCatalogOptions opts) {
+  NS_ASSIGN_OR_RETURN(PagedCatalogReader opened, PagedCatalogReader::Open(path));
+  auto reader =
+      std::make_shared<const PagedCatalogReader>(std::move(opened));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<BufferPool<ServeKey, NeuroSketch>>(
+        opts.max_resident_bytes);
+  }
+  size_t attached = 0;
+  for (const PagedCatalogEntry& entry : reader->entries()) {
+    paged_[ServeKey{dataset, entry.key}] = PagedEntry{entry, reader};
+    ++attached;
+  }
+  return attached;
+}
+
+std::shared_ptr<const NeuroSketch> SketchStore::FaultIn(
+    const ServeKey& key, const PagedEntry& pe) const {
+  Result<BufferPool<ServeKey, NeuroSketch>::Handle> pinned = pool_->Pin(
+      key, [&pe]() -> Result<BufferPoolLoaded<NeuroSketch>> {
+        NS_ASSIGN_OR_RETURN(NeuroSketch sketch, pe.reader->LoadEntry(pe.entry));
+        BufferPoolLoaded<NeuroSketch> out;
+        out.value = std::make_shared<const NeuroSketch>(std::move(sketch));
+        // Charge what the warm sketch actually occupies (active tier
+        // only — Load comes up lean), not its on-disk size.
+        out.bytes = out.value->ResidentBytes();
+        return out;
+      });
+  // A fault-in failure (unreadable file, value over the whole budget)
+  // serves as "no sketch": callers fall back to the exact engine.
+  if (!pinned.ok()) return nullptr;
+  return std::move(pinned).value();
+}
+
 std::shared_ptr<const NeuroSketch> SketchStore::Lookup(
     const ServeKey& key) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  auto it = sketches_.find(key);
-  if (it == sketches_.end() || it->second.empty()) return nullptr;
-  return it->second.rbegin()->second;
+  PagedEntry pe;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = sketches_.find(key);
+    if (it != sketches_.end() && !it->second.empty()) {
+      return it->second.rbegin()->second;
+    }
+    auto pit = paged_.find(key);
+    if (pit == paged_.end()) return nullptr;
+    pe = pit->second;
+  }
+  // Fault in without the store lock: disk I/O (and any admission wait)
+  // must not block registrations or unrelated lookups.
+  return FaultIn(key, pe);
 }
 
 std::shared_ptr<const NeuroSketch> SketchStore::Lookup(
     const ServeKey& key, uint64_t version) const {
+  PagedEntry pe;
+  bool paged = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = sketches_.find(key);
+    if (it != sketches_.end()) {
+      auto vit = it->second.find(version);
+      if (vit != it->second.end()) return vit->second;
+    }
+    if (version == 1) {
+      auto pit = paged_.find(key);
+      if (pit != paged_.end()) {
+        pe = pit->second;
+        paged = true;
+      }
+    }
+  }
+  return paged ? FaultIn(key, pe) : nullptr;
+}
+
+void SketchStore::NoteServed(const ServeKey& key, size_t answers) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  auto it = sketches_.find(key);
-  if (it == sketches_.end()) return nullptr;
-  auto vit = it->second.find(version);
-  return vit == it->second.end() ? nullptr : vit->second;
+  if (pool_ != nullptr && paged_.count(key) > 0) {
+    pool_->Touch(key, static_cast<double>(answers));
+  }
+}
+
+void SketchStore::NotePenalized(const ServeKey& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (pool_ != nullptr && paged_.count(key) > 0) pool_->Penalize(key);
+}
+
+BufferPoolStats SketchStore::PagedStats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return pool_ == nullptr ? BufferPoolStats{} : pool_->Stats();
+}
+
+const metrics::LogHistogram* SketchStore::FaultinLatency() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return pool_ == nullptr ? nullptr : &pool_->faultin_latency();
 }
 
 size_t SketchStore::Unregister(const ServeKey& key) {
@@ -115,11 +197,31 @@ std::vector<SketchListing> SketchStore::List() const {
       l.key = key;
       l.version = vit->first;
       l.size_bytes = vit->second->SizeBytes();
+      l.resident_bytes = vit->second->ResidentBytes();
       l.num_partitions = vit->second->num_partitions();
       l.compiled = vit->second->compiled();
       l.precision = vit->second->plan_precision();
       out.push_back(std::move(l));
     }
+  }
+  for (const auto& [key, pe] : paged_) {
+    // A registered version shadows the cold copy entirely.
+    auto it = sketches_.find(key);
+    if (it != sketches_.end() && !it->second.empty()) continue;
+    SketchListing l;
+    l.key = key;
+    l.version = 1;
+    l.size_bytes = pe.entry.size_bytes;
+    l.paged = true;
+    // Peek (no pin, no fault-in): a resident entry reports its live
+    // structure; a cold one reports only its on-disk size.
+    if (auto resident = pool_ ? pool_->Peek(key) : nullptr) {
+      l.resident_bytes = resident->ResidentBytes();
+      l.num_partitions = resident->num_partitions();
+      l.compiled = resident->compiled();
+      l.precision = resident->plan_precision();
+    }
+    out.push_back(std::move(l));
   }
   return out;
 }
@@ -129,6 +231,11 @@ size_t SketchStore::num_sketches() const {
   size_t n = 0;
   for (const auto& [key, versions] : sketches_) n += versions.size();
   return n;
+}
+
+size_t SketchStore::num_paged() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return paged_.size();
 }
 
 }  // namespace serve

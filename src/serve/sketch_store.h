@@ -19,6 +19,7 @@
 #include "core/neurosketch.h"
 #include "query/engine.h"
 #include "query/query.h"
+#include "util/buffer_pool.h"
 #include "util/status.h"
 
 namespace neurosketch {
@@ -48,16 +49,34 @@ struct ServeKey {
   }
 };
 
-/// \brief One registered sketch version, for listings.
+/// \brief One registered sketch version, for listings. `size_bytes` is
+/// the serialized (on-disk) footprint; `resident_bytes` is what the
+/// version actually occupies in memory right now — 0 for a cold paged
+/// entry. The two were conflated before the paged catalog existed; they
+/// differ by design now (a warm sketch drops its trainer and inactive
+/// tiers, a cold one drops everything).
 struct SketchListing {
   ServeKey key;
   uint64_t version = 0;
-  size_t size_bytes = 0;
+  size_t size_bytes = 0;      // serialized footprint (NeuroSketch::SizeBytes)
+  size_t resident_bytes = 0;  // current in-memory footprint (0 when cold)
   size_t num_partitions = 0;
   bool compiled = false;  // serving from compiled inference plans
   /// Precision tier this version serves from (per-store selection: each
   /// registered sketch carries its own validated tier).
   PlanPrecision precision = PlanPrecision::kF64;
+  /// True when the listing is a paged-catalog entry (cold listings report
+  /// num_partitions/compiled/precision as defaults — inspecting structure
+  /// would mean faulting the sketch in).
+  bool paged = false;
+};
+
+/// \brief Knobs for attaching a paged catalog to a store.
+struct PagedCatalogOptions {
+  /// Resident-byte budget shared by every paged sketch in this store
+  /// (ResidentBytes accounting). 0 = unbounded. Fixed by the first
+  /// AttachPagedCatalog call; later attaches share the same pool.
+  size_t max_resident_bytes = 0;
 };
 
 /// \brief Thread-safe registry of (dataset, query function) -> versioned
@@ -92,11 +111,42 @@ class SketchStore {
   size_t ImportFromCatalog(const std::string& dataset,
                            const SketchCatalog& catalog);
 
+  /// \brief Attach a paged catalog file (WritePagedCatalog format): every
+  /// entry becomes a cold, disk-resident sketch under (dataset, key) that
+  /// faults in through the store's buffer pool on first Lookup. Paged
+  /// entries act as version 1; an explicit Register of the same key
+  /// shadows the cold copy (that shadowing — and the pool's own eviction
+  /// — is the "atomic swap to the cold handle": in-flight batches keep
+  /// their pinned shared_ptr, new lookups see the new state). The first
+  /// attach fixes the pool budget from `opts`. Returns the number of
+  /// entries attached.
+  Result<size_t> AttachPagedCatalog(const std::string& dataset,
+                                    const std::string& path,
+                                    PagedCatalogOptions opts = {});
+
   /// \brief Latest version for the key, or nullptr when none registered.
+  /// For a paged entry this may fault the sketch in from disk (admission
+  /// may evict colder stores first); a fault-in failure serves as
+  /// "no sketch" so traffic falls back to the exact engine.
   std::shared_ptr<const NeuroSketch> Lookup(const ServeKey& key) const;
-  /// \brief A specific version, or nullptr.
+  /// \brief A specific version, or nullptr. Version 1 reaches the paged
+  /// entry when no registered version shadows it.
   std::shared_ptr<const NeuroSketch> Lookup(const ServeKey& key,
                                             uint64_t version) const;
+
+  /// \brief Serving heat for the eviction policy: credit `answers`
+  /// delivered from this key's sketch. No-op for non-paged keys.
+  void NoteServed(const ServeKey& key, size_t answers) const;
+  /// \brief Error-budget demotion signal: zero the key's heat so it
+  /// becomes the preferred eviction victim. No-op for non-paged keys.
+  void NotePenalized(const ServeKey& key) const;
+
+  /// \brief Pool residency/faultin/eviction snapshot; zero-value struct
+  /// when no paged catalog is attached.
+  BufferPoolStats PagedStats() const;
+  /// \brief Fault-in latency histogram (microseconds), or nullptr when no
+  /// paged catalog is attached. Stable address once attached.
+  const metrics::LogHistogram* FaultinLatency() const;
 
   /// \brief Drop all versions for a key. Returns how many were removed.
   size_t Unregister(const ServeKey& key);
@@ -108,12 +158,27 @@ class SketchStore {
   std::vector<SketchListing> List() const;
 
   size_t num_sketches() const;
+  /// \brief Cold (paged) entries attached, independent of residency.
+  size_t num_paged() const;
 
  private:
+  struct PagedEntry {
+    PagedCatalogEntry entry;
+    std::shared_ptr<const PagedCatalogReader> reader;
+  };
+
+  std::shared_ptr<const NeuroSketch> FaultIn(const ServeKey& key,
+                                             const PagedEntry& pe) const;
+
   mutable std::shared_mutex mu_;
   std::map<ServeKey, std::map<uint64_t, std::shared_ptr<const NeuroSketch>>>
       sketches_;
   std::map<std::string, const ExactEngine*> engines_;
+  std::map<ServeKey, PagedEntry> paged_;
+  // Created by the first AttachPagedCatalog, never destroyed after —
+  // Lookup reads the raw pointer under mu_ then faults in without it.
+  // mutable: faulting in is logically const (read-side of the store).
+  mutable std::unique_ptr<BufferPool<ServeKey, NeuroSketch>> pool_;
 };
 
 }  // namespace serve

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Gate on the paged-catalog arm of bench_serving_throughput: the
+# "paged_catalog" section of BENCH_serving.json serves a catalog of cold
+# sketches at 25% / 50% / 100% resident-byte budgets and records, per
+# budget row, whether every served answer was bit-identical to the
+# fully-resident reference (answers_match) and the pool's peak residency.
+# This script fails if any row mismatched, if any row's peak exceeded its
+# budget, if the catalog is smaller than MIN_SKETCHES (default 256), or
+# if fewer than 3 budget rows ran.
+#
+# Usage: tools/check_resident_budget.sh [path/to/BENCH_serving.json]
+set -euo pipefail
+
+json="${1:-BENCH_serving.json}"
+min_sketches="${MIN_SKETCHES:-256}"
+
+if [[ ! -f "$json" ]]; then
+  echo "error: $json not found (run bench_serving_throughput first)" >&2
+  exit 1
+fi
+
+sketches=$(grep -o '"sketches": *[0-9]*' "$json" | head -1 |
+  grep -o '[0-9]*$' || true)
+if [[ -z "$sketches" ]]; then
+  echo "error: no paged_catalog section in $json" >&2
+  exit 1
+fi
+if [[ "$sketches" -lt "$min_sketches" ]]; then
+  echo "error: paged catalog holds ${sketches} sketches" \
+    "(need >= ${min_sketches})" >&2
+  exit 1
+fi
+
+baseline=$(grep -o '"baseline_answers_match": *[a-z]*' "$json" |
+  grep -o '[a-z]*$' || true)
+if [[ "$baseline" != "true" ]]; then
+  echo "error: fully-resident baseline answers mismatched" >&2
+  exit 1
+fi
+
+# One object per budget row; each must hold both invariants.
+rows=$(grep -o '{"budget_fraction"[^}]*}' "$json" || true)
+if [[ -z "$rows" ]]; then
+  echo "error: no paged_catalog budget rows in $json" >&2
+  exit 1
+fi
+
+nrows=0
+while IFS= read -r row; do
+  nrows=$((nrows + 1))
+  frac=$(echo "$row" | grep -o '"budget_fraction": *[0-9.]*' |
+    grep -o '[0-9.]*$')
+  budget=$(echo "$row" | grep -o '"budget_bytes": *[0-9]*' |
+    grep -o '[0-9]*$')
+  peak=$(echo "$row" | grep -o '"peak_resident_bytes": *[0-9]*' |
+    grep -o '[0-9]*$')
+  match=$(echo "$row" | grep -o '"answers_match": *[a-z]*' |
+    grep -o '[a-z]*$')
+  echo "budget ${frac}: peak ${peak} of ${budget} bytes," \
+    "answers_match ${match}"
+  if [[ "$match" != "true" ]]; then
+    echo "error: answers diverged from the fully-resident reference at" \
+      "budget fraction ${frac}" >&2
+    exit 1
+  fi
+  ok=$(awk -v p="$peak" -v b="$budget" 'BEGIN { print (p <= b) ? 1 : 0 }')
+  if [[ "$ok" != "1" ]]; then
+    echo "error: peak residency ${peak} bytes exceeds the ${budget}-byte" \
+      "budget at fraction ${frac}" >&2
+    exit 1
+  fi
+done <<< "$rows"
+
+if [[ "$nrows" -lt 3 ]]; then
+  echo "error: only ${nrows} budget row(s) ran (need >= 3)" >&2
+  exit 1
+fi
+echo "OK (${sketches} sketches, ${nrows} budget rows)"
