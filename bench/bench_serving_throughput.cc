@@ -21,7 +21,12 @@
 // one catalog file served under a 25% / 50% / 100% resident-byte budget
 // vs a fully-resident baseline, with fault-in p50/p99, pool churn, and a
 // bit-identity check of every served answer (CI gates answers_match and
-// peak <= budget via tools/check_resident_budget.sh).
+// peak <= budget via tools/check_resident_budget.sh), and a "streaming"
+// arm: serving under live appends with drift-driven refresh off vs on —
+// QPS, stale-sketch vs post-refresh probe MAE against the drift policy
+// bound, refresh lag, partial-retrain accounting, and a quiescent
+// bit-identity check of the delta-composition contract (CI gates
+// freshness + answers_match via tools/check_streaming_freshness.sh).
 //
 // Usage: bench_serving_throughput [out.json]
 #include <algorithm>
@@ -31,6 +36,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -39,17 +45,28 @@
 
 #include "bench_common.h"
 #include "core/catalog.h"
+#include "core/drift.h"
+#include "data/datasets.h"
 #include "data/generators.h"
+#include "data/normalizer.h"
+#include "serve/refresh.h"
 #include "serve/serve_engine.h"
 #include "serve/sketch_store.h"
 #include "util/buffer_pool.h"
 #include "util/metrics.h"
+#include "util/random.h"
 
 namespace neurosketch {
 namespace bench {
 namespace {
 
+using serve::DeltaBuffer;
+using serve::RefreshController;
+using serve::RefreshOptions;
+using serve::RefreshStats;
+using serve::RefreshTarget;
 using serve::ServeEngine;
+using serve::ServeKey;
 using serve::ServeOptions;
 using serve::ServeResult;
 using serve::ServeStats;
@@ -522,6 +539,339 @@ PagedCatalogReport RunPagedCatalog(const std::string& out_path) {
   return rep;
 }
 
+// ---------------------------------------------------------------------
+// Streaming arm: serving under live appends + drift-driven refresh.
+
+struct StreamingReport {
+  bool ran = false;
+  size_t total_leaves = 0;
+  size_t delta_rows = 0;            // drift rows appended during the run
+  double policy_max_normalized_mae = 0.0;
+  double baseline_normalized_mae = 0.0;  // fresh sketch vs base table
+  /// Refresh OFF endpoint: the stale sketch probed against the appended
+  /// (base + delta) truth — the error refresh exists to repair. Note the
+  /// SERVED answers stay exact throughout (delta composition); this is
+  /// the raw model drift.
+  double drifted_normalized_mae = 0.0;
+  /// Refresh ON endpoint: probe MAE once the controller has converged.
+  double post_refresh_normalized_mae = 0.0;
+  double refresh_lag_ms = 0.0;  // load end -> drift back within bound
+  double qps_refresh_off = 0.0;
+  double qps_refresh_on = 0.0;
+  double p50_off_us = 0.0, p99_off_us = 0.0;
+  double p50_on_us = 0.0, p99_on_us = 0.0;
+  bool answers_match_off = false;
+  bool answers_match_on = false;
+  bool full_rebuild = true;  // did any swap retrain every leaf?
+  RefreshStats refresh;
+  uint64_t delta_corrected_on = 0;  // sketch+correction answers, ON arm
+  uint64_t delta_exact_on = 0;
+};
+
+constexpr size_t kStreamClients = 4;
+constexpr size_t kStreamPerClient = 4000;
+
+/// Mirrors the drift scenario proven in tests/streaming_test.cc: a GMM
+/// base table, a COUNT sketch, and a smooth Gaussian drift cloud confined
+/// to ONE kd-tree leaf (reject-sampled against the other leaves' probe
+/// boxes, sized so the added match mass is 3x the baseline truth mass —
+/// post-drift probe MAE >= 0.75 against the 0.5 policy bound by
+/// construction). Two serving runs under live appends of that cloud:
+/// refresh OFF (drift accumulates; answers stay exact via delta
+/// composition) and refresh ON (the controller flags the drifted leaf,
+/// retrains only it, and swaps). Both runs end with a quiescent
+/// bit-identity check of every served answer against the composition
+/// contract recomputed from the store's own served view.
+StreamingReport RunStreaming() {
+  StreamingReport rep;
+
+  Dataset ds = MakeGmmDataset(1500, 3, 3, /*seed=*/91);
+  Table base = Normalizer::Fit(ds.table).Transform(ds.table);
+  ExactEngine engine(&base);
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = Aggregate::kCount;
+  spec.measure_col = ds.measure_col;
+
+  NeuroSketchConfig cfg;
+  cfg.tree_height = 2;
+  cfg.target_partitions = 4;
+  cfg.n_layers = 4;
+  cfg.l_first = 32;
+  cfg.l_rest = 16;
+  cfg.train.epochs = 150;
+
+  WorkloadConfig wc;
+  wc.num_active = 3;
+  wc.range_frac_lo = 0.3;
+  wc.range_frac_hi = 0.6;
+  wc.seed = 17;
+  WorkloadGenerator gen(base.num_columns(), wc);
+  const std::vector<QueryInstance> train_q =
+      gen.GenerateMany(800, &engine, &spec);
+  auto trained =
+      NeuroSketch::Train(train_q, engine.AnswerBatch(spec, train_q), cfg);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "streaming train: %s\n",
+                 trained.status().ToString().c_str());
+    return rep;
+  }
+  auto shared =
+      std::make_shared<const NeuroSketch>(std::move(trained).value());
+  rep.total_leaves = shared->num_partitions();
+
+  WorkloadConfig pc = wc;
+  pc.seed = 29;
+  WorkloadGenerator pgen(base.num_columns(), pc);
+  const std::vector<QueryInstance> probes =
+      pgen.GenerateMany(120, &engine, &spec);
+
+  // Route the probes; the best-covered leaf is the drift target.
+  std::map<int, std::vector<size_t>> by_leaf;
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const auto* leaf = shared->tree().Route(probes[i]);
+    if (leaf != nullptr) by_leaf[leaf->leaf_id].push_back(i);
+  }
+  int target_leaf = -1;
+  for (const auto& [id, members] : by_leaf) {
+    if (target_leaf < 0 || members.size() > by_leaf[target_leaf].size()) {
+      target_leaf = id;
+    }
+  }
+  if (target_leaf < 0 || by_leaf[target_leaf].size() < 3) {
+    std::fprintf(stderr, "streaming: no probe-covered leaf to drift\n");
+    return rep;
+  }
+
+  DriftPolicy policy;
+  policy.max_normalized_mae = 0.5;
+  policy.min_probes = 10;
+  policy.min_leaf_probes = 3;
+  rep.policy_max_normalized_mae = policy.max_normalized_mae;
+  const std::vector<double> base_truth = engine.AnswerBatch(spec, probes);
+  rep.baseline_normalized_mae = DriftMonitor(spec, probes, policy)
+                                    .CheckAgainst(*shared, base_truth)
+                                    .normalized_mae;
+
+  // Drift cloud (see tests/streaming_test.cc for the derivation).
+  double truth_mass = 0.0;
+  for (double t : base_truth) {
+    if (!std::isnan(t)) truth_mass += std::abs(t);
+  }
+  const size_t d = base.num_columns();
+  auto clean_of_other_leaves = [&](const std::vector<double>& row) {
+    for (const auto& [id, members] : by_leaf) {
+      if (id == target_leaf) continue;
+      for (const size_t oi : members) {
+        if (spec.predicate->Matches(probes[oi], row.data(), d)) return false;
+      }
+    }
+    return true;
+  };
+  std::vector<std::vector<double>> centers;
+  for (const size_t pi : by_leaf[target_leaf]) {
+    const QueryInstance& p = probes[pi];
+    std::vector<double> row(d);
+    for (size_t c = 0; c < d; ++c) {
+      row[c] = std::clamp(p.q[c] + 0.5 * p.q[d + c], 0.0, 1.0);
+    }
+    if (clean_of_other_leaves(row)) centers.push_back(std::move(row));
+    if (centers.size() >= 3) break;
+  }
+  if (centers.empty()) {
+    std::fprintf(stderr, "streaming: no isolatable drift center\n");
+    return rep;
+  }
+  std::vector<std::vector<double>> drift_rows;
+  Rng noise(777);
+  double added_mass = 0.0;
+  const double goal = 3.0 * std::max(truth_mass, 1.0);
+  for (size_t iter = 0; added_mass < goal && iter < 2000000; ++iter) {
+    const std::vector<double>& center = centers[iter % centers.size()];
+    std::vector<double> row(d);
+    for (size_t c = 0; c < d; ++c) {
+      row[c] = std::clamp(center[c] + noise.Normal(0.0, 0.08), 0.0, 1.0);
+    }
+    if (!clean_of_other_leaves(row)) continue;
+    size_t matched = 0;
+    for (const size_t pi : by_leaf[target_leaf]) {
+      if (spec.predicate->Matches(probes[pi], row.data(), d)) ++matched;
+    }
+    if (matched == 0) continue;
+    added_mass += static_cast<double>(matched);
+    drift_rows.push_back(std::move(row));
+  }
+  if (added_mass < goal) {
+    std::fprintf(stderr, "streaming: drift cloud under-massed\n");
+    return rep;
+  }
+  rep.delta_rows = drift_rows.size();
+
+  // The appended ground truth both arms are measured against.
+  Table merged = base;
+  for (const auto& r : drift_rows) (void)merged.AppendRow(r);
+  const ExactEngine merged_engine(&merged);
+  const std::vector<double> merged_truth =
+      merged_engine.AnswerBatch(spec, probes, 0);
+
+  // Load: kStreamClients clients hammer the store while one appender
+  // streams the drift cloud in, 256 rows per append call.
+  auto load = [&](ServeEngine* eng, SketchStore* st) {
+    Timer t;
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kStreamClients; ++c) {
+      clients.emplace_back([&, c] {
+        size_t done = 0;
+        while (done < kStreamPerClient) {
+          const size_t n = std::min(kBurst, kStreamPerClient - done);
+          std::vector<QueryInstance> burst;
+          burst.reserve(n);
+          for (size_t i = 0; i < n; ++i) {
+            burst.push_back(
+                probes[(c * kStreamPerClient + done + i) % probes.size()]);
+          }
+          eng->SubmitMany("stream", spec, std::move(burst)).get();
+          done += n;
+        }
+      });
+    }
+    std::thread appender([&] {
+      for (size_t i = 0; i < drift_rows.size(); i += 256) {
+        const size_t n = std::min<size_t>(256, drift_rows.size() - i);
+        std::vector<std::vector<double>> chunk(drift_rows.begin() + i,
+                                               drift_rows.begin() + i + n);
+        (void)st->AppendRows("stream", chunk);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    for (auto& th : clients) th.join();
+    appender.join();
+    return static_cast<double>(kStreamClients * kStreamPerClient) /
+           t.ElapsedSeconds();
+  };
+
+  // Quiescent bit-identity check: every served answer must equal the
+  // composition contract recomputed from the store's own served view —
+  // sketch answer + exact count of UNFOLDED delta rows (those at or past
+  // the answering leaf's fold watermark), or the merged exact answer
+  // where the sketch returns NaN (the repaired path).
+  auto answers_match = [&](ServeEngine* eng, SketchStore* st) {
+    const serve::ServedView view =
+        st->LookupServed(ServeKey::From("stream", spec));
+    if (view.sketch == nullptr || view.delta == nullptr) return false;
+    DeltaBuffer::Snapshot snap = view.delta->Snap();
+    size_t mismatches = 0;
+    for (const QueryInstance& q : probes) {
+      const double sk = view.sketch->Answer(q);
+      double expected;
+      if (std::isnan(sk)) {
+        expected = merged_engine.Answer(spec, q);
+      } else {
+        uint64_t wm = 0;
+        const auto* leaf = view.sketch->tree().Route(q);
+        if (leaf != nullptr && view.leaf_folded != nullptr &&
+            static_cast<size_t>(leaf->leaf_id) < view.leaf_folded->size()) {
+          wm = (*view.leaf_folded)[static_cast<size_t>(leaf->leaf_id)];
+        }
+        size_t matched = 0;
+        snap.ForEachRow(std::max<size_t>(wm, snap.begin()), snap.end(),
+                        [&](const double* r) {
+                          if (spec.predicate->Matches(q, r, d)) ++matched;
+                        });
+        expected = sk + static_cast<double>(matched);
+      }
+      const double got = eng->Submit("stream", spec, q).get().value;
+      if (std::memcmp(&got, &expected, sizeof(double)) != 0) ++mismatches;
+    }
+    return mismatches == 0;
+  };
+
+  ServeOptions sopts;
+  sopts.max_batch = 512;
+  sopts.batch_window_us = 100.0;
+
+  // Refresh OFF: drift accumulates in the sketch; serving stays exact
+  // only because the delta composition corrects every answer.
+  {
+    SketchStore st;
+    (void)st.RegisterDataset("stream", &engine);
+    (void)st.Register("stream", spec, shared);
+    Status en = st.EnableStreaming("stream", base.num_columns());
+    if (!en.ok()) {
+      std::fprintf(stderr, "streaming: %s\n", en.ToString().c_str());
+      return rep;
+    }
+    ServeEngine eng(&st, sopts);
+    rep.qps_refresh_off = load(&eng, &st);
+    const ServeStats ss = eng.Snapshot();
+    rep.p50_off_us = ss.p50_us;
+    rep.p99_off_us = ss.p99_us;
+    rep.answers_match_off = answers_match(&eng, &st);
+    const auto stale = st.Lookup(ServeKey::From("stream", spec));
+    if (stale != nullptr) {
+      rep.drifted_normalized_mae = DriftMonitor(spec, probes, policy)
+                                       .CheckAgainst(*stale, merged_truth)
+                                       .normalized_mae;
+    }
+  }
+
+  // Refresh ON: same load, with the controller probing every 25ms and
+  // swapping a partially-retrained sketch when the target leaf drifts
+  // out of bound.
+  {
+    SketchStore st;
+    (void)st.RegisterDataset("stream", &engine);
+    (void)st.Register("stream", spec, shared);
+    if (!st.EnableStreaming("stream", base.num_columns()).ok()) return rep;
+    RefreshOptions ro;
+    ro.interval_ms = 25;
+    ro.probe_threads = 0;  // hardware concurrency
+    ro.max_failures_before_demote = 0;
+    RefreshController ctrl(&st, nullptr, ro);
+    std::vector<QueryInstance> retrain_q = train_q;
+    retrain_q.insert(retrain_q.end(), probes.begin(), probes.end());
+    ctrl.AddTarget(RefreshTarget{
+        "stream", DriftMonitor(spec, probes, policy), cfg, retrain_q});
+    ctrl.Start();
+    ServeEngine eng(&st, sopts);
+    rep.qps_refresh_on = load(&eng, &st);
+    {
+      const ServeStats ss = eng.Snapshot();
+      rep.p50_on_us = ss.p50_us;
+      rep.p99_on_us = ss.p99_us;
+    }
+
+    // Convergence lag: from load end until a refresh pass finds (or
+    // restores) drift within the policy bound.
+    Timer lag;
+    double final_mae = policy.max_normalized_mae + 1.0;
+    for (int i = 0; i < 8; ++i) {
+      auto out = ctrl.RefreshNow("stream", spec);
+      if (!out.ok()) break;
+      final_mae =
+          out.value().retrained ? out.value().post_mae : out.value().pre_mae;
+      if (!out.value().failed && final_mae <= policy.max_normalized_mae) {
+        break;
+      }
+    }
+    rep.refresh_lag_ms = lag.ElapsedSeconds() * 1e3;
+    ctrl.Stop();
+    rep.post_refresh_normalized_mae = final_mae;
+    rep.refresh = ctrl.Stats();
+    // Every swap partial <=> cumulative retrained leaves < swaps * total.
+    rep.full_rebuild =
+        rep.refresh.swaps > 0 &&
+        rep.refresh.retrained_leaves >= rep.refresh.swaps * rep.total_leaves;
+    rep.answers_match_on = answers_match(&eng, &st);
+    const ServeStats ss = eng.Snapshot();
+    rep.delta_corrected_on = ss.delta_corrected_answers;
+    rep.delta_exact_on = ss.delta_exact_answers;
+  }
+
+  rep.ran = true;
+  return rep;
+}
+
 void PrintRow(const RunResult& r) {
   std::printf("%-12s %8zu %10.0f %10zu %7zu %12.0f %9.0f %9.0f %9.0f %9.0f "
               "%11.1f\n",
@@ -678,7 +1028,8 @@ Status WriteJson(const std::string& path, const std::vector<RunResult>& rows,
                  const std::vector<BatchedRow>& batched,
                  const ObservabilityReport& obs,
                  const std::vector<RunResult>& multi_core,
-                 const ZipfReport& zipf, const PagedCatalogReport& paged) {
+                 const ZipfReport& zipf, const PagedCatalogReport& paged,
+                 const StreamingReport& streaming) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   std::fprintf(f, "{\n  \"bench\": \"serving_throughput\",\n");
@@ -842,6 +1193,47 @@ Status WriteJson(const std::string& path, const std::vector<RunResult>& rows,
         i + 1 < paged.rows.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n  },\n");
+  // Streaming arm: the freshness gate script reads post-refresh MAE vs
+  // the policy bound, both answers_match flags, and full_rebuild.
+  std::fprintf(
+      f,
+      "  \"streaming\": {\n"
+      "    \"clients\": %zu,\n"
+      "    \"delta_rows\": %zu,\n"
+      "    \"total_leaves\": %zu,\n"
+      "    \"policy_max_normalized_mae\": %.4f,\n"
+      "    \"baseline_normalized_mae\": %.4f,\n"
+      "    \"drifted_normalized_mae\": %.4f,\n"
+      "    \"post_refresh_normalized_mae\": %.4f,\n"
+      "    \"refresh_lag_ms\": %.1f,\n"
+      "    \"refresh_runs\": %llu,\n"
+      "    \"refresh_swaps\": %llu,\n"
+      "    \"refresh_failures\": %llu,\n"
+      "    \"retrained_leaves\": %llu,\n"
+      "    \"full_rebuild\": %s,\n"
+      "    \"delta_corrected_answers\": %llu,\n"
+      "    \"delta_exact_answers\": %llu,\n"
+      "    \"rows\": [\n"
+      "      {\"mode\": \"refresh_off\", \"qps\": %.0f, \"p50_us\": %.1f, "
+      "\"p99_us\": %.1f, \"answers_match\": %s},\n"
+      "      {\"mode\": \"refresh_on\", \"qps\": %.0f, \"p50_us\": %.1f, "
+      "\"p99_us\": %.1f, \"answers_match\": %s}\n"
+      "    ]\n  },\n",
+      kStreamClients, streaming.delta_rows, streaming.total_leaves,
+      streaming.policy_max_normalized_mae, streaming.baseline_normalized_mae,
+      streaming.drifted_normalized_mae,
+      streaming.post_refresh_normalized_mae, streaming.refresh_lag_ms,
+      static_cast<unsigned long long>(streaming.refresh.runs),
+      static_cast<unsigned long long>(streaming.refresh.swaps),
+      static_cast<unsigned long long>(streaming.refresh.failures),
+      static_cast<unsigned long long>(streaming.refresh.retrained_leaves),
+      streaming.full_rebuild ? "true" : "false",
+      static_cast<unsigned long long>(streaming.delta_corrected_on),
+      static_cast<unsigned long long>(streaming.delta_exact_on),
+      streaming.qps_refresh_off, streaming.p50_off_us, streaming.p99_off_us,
+      streaming.answers_match_off ? "true" : "false",
+      streaming.qps_refresh_on, streaming.p50_on_us, streaming.p99_on_us,
+      streaming.answers_match_on ? "true" : "false");
   std::fprintf(f,
                "  \"headline\": {\"clients\": 8, \"per_query_qps\": %.0f, "
                "\"micro_batch_qps\": %.0f, \"speedup\": %.2f}\n}\n",
@@ -1161,9 +1553,44 @@ int Main(int argc, char** argv) {
                 r.answers_match ? "match" : "MISMATCH");
   }
 
+  // Streaming arm: serving under live appends, refresh off vs on.
+  std::printf("\nstreaming ingest + refresh (%zu clients, training drift "
+              "scenario)...\n",
+              kStreamClients);
+  const StreamingReport streaming = RunStreaming();
+  if (!streaming.ran) {
+    std::fprintf(stderr, "streaming arm failed\n");
+    return 1;
+  }
+  std::printf("  refresh OFF: %8.0f qps, p50/p99 %.0f/%.0f us | answers %s "
+              "| stale-sketch probe nmae %.3f (bound %.2f)\n",
+              streaming.qps_refresh_off, streaming.p50_off_us,
+              streaming.p99_off_us,
+              streaming.answers_match_off ? "match" : "MISMATCH",
+              streaming.drifted_normalized_mae,
+              streaming.policy_max_normalized_mae);
+  std::printf("  refresh ON:  %8.0f qps, p50/p99 %.0f/%.0f us | answers %s "
+              "| post-refresh nmae "
+              "%.3f | %llu swaps, %llu/%zu leaves retrained%s, lag %.0f ms\n",
+              streaming.qps_refresh_on, streaming.p50_on_us,
+              streaming.p99_on_us,
+              streaming.answers_match_on ? "match" : "MISMATCH",
+              streaming.post_refresh_normalized_mae,
+              static_cast<unsigned long long>(streaming.refresh.swaps),
+              static_cast<unsigned long long>(
+                  streaming.refresh.retrained_leaves),
+              streaming.total_leaves,
+              streaming.full_rebuild ? " (FULL REBUILD)" : "",
+              streaming.refresh_lag_ms);
+  std::printf("  %zu delta rows appended; %llu corrected / %llu "
+              "exact-recomputed answers on the ON arm\n",
+              streaming.delta_rows,
+              static_cast<unsigned long long>(streaming.delta_corrected_on),
+              static_cast<unsigned long long>(streaming.delta_exact_on));
+
   Status st = WriteJson(out_path, rows, per_query_qps8, batched_qps8,
                         scalar_lat, plan_lat, f32, i8, batched, obs,
-                        multi_core, zipf, paged);
+                        multi_core, zipf, paged, streaming);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;

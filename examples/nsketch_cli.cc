@@ -34,6 +34,21 @@
 //       the metrics registry (text exposition) every that-many seconds
 //       while serving, and once more at the end.
 //
+//   nsketch_cli stream <data.csv> "<sql template>" <out.sketch> [n_queries]
+//                      [n_clients] [append_frac] [refresh_interval_ms]
+//                      [max_nmae]
+//       Streaming-ingest serving: the last append_frac (default 0.2) of
+//       the CSV's rows are held back and appended live while n_clients
+//       serve the workload — answers stay exact at all times via the
+//       delta composition (sketch answer + exact correction over the
+//       unfolded delta rows). A background refresh loop (every
+//       refresh_interval_ms, default 100; 0 disables it) probes for
+//       drift against the appended data, retrains only the kd-tree
+//       leaves whose region drifted past max_nmae (default 0.2), and
+//       atomically swaps the new sketch version in; a failure streak
+//       demotes the store to exact serving. Prints serve stats, delta /
+//       refresh counters, and the metrics registry document.
+//
 //   nsketch_cli catalog pack <data.csv> <out.cat> "<sql>" <file.sketch>
 //                            ["<sql>" <file.sketch> ...]
 //       Packs previously-trained sketches into one paged catalog file
@@ -68,6 +83,7 @@
 #include "data/normalizer.h"
 #include "data/table.h"
 #include "query/parametric.h"
+#include "serve/refresh.h"
 #include "serve/serve_engine.h"
 #include "serve/sketch_store.h"
 #include "util/csv.h"
@@ -396,6 +412,172 @@ int CmdServe(int argc, char** argv) {
   return 0;
 }
 
+int CmdStream(int argc, char** argv) {
+  if (argc < 5) return Fail(Status::InvalidArgument("stream needs 3+ args"));
+  const std::string csv_path = argv[2], sql = argv[3], sketch_path = argv[4];
+  const size_t n_queries =
+      argc > 5 ? std::strtoul(argv[5], nullptr, 10) : 20000;
+  const size_t n_clients = argc > 6 ? std::strtoul(argv[6], nullptr, 10) : 4;
+  const double append_frac = argc > 7 ? std::strtod(argv[7], nullptr) : 0.2;
+  const int64_t refresh_interval_ms =
+      argc > 8 ? std::strtol(argv[8], nullptr, 10) : 100;
+  const double max_nmae = argc > 9 ? std::strtod(argv[9], nullptr) : 0.2;
+  if (n_queries == 0 || n_clients == 0 || append_frac <= 0.0 ||
+      append_frac >= 1.0) {
+    return Fail(Status::InvalidArgument(
+        "n_queries/n_clients must be positive and append_frac in (0,1)"));
+  }
+
+  auto table_r = Table::FromCsvFile(csv_path);
+  if (!table_r.ok()) return Fail(table_r.status());
+  Normalizer norm = Normalizer::Fit(table_r.value());
+  auto pq = ParametricQuery::Parse(sql, table_r.value().schema());
+  if (!pq.ok()) return Fail(pq.status());
+  Table table = PrepareQueryTable(table_r.value(), norm, pq.value());
+  const QueryFunctionSpec& spec = pq.value().spec();
+
+  // Hold back the last append_frac of the rows: they arrive as live
+  // appends while the workload is being served, so the sketch (trained
+  // on the full CSV or not) is queried against a table that grows under
+  // it — the delta composition keeps answers exact, and the refresh
+  // loop folds the growth into the model.
+  const size_t total_rows = table.num_rows();
+  const size_t base_rows = total_rows -
+                           static_cast<size_t>(append_frac *
+                                               static_cast<double>(total_rows));
+  if (base_rows == 0 || base_rows == total_rows) {
+    return Fail(Status::InvalidArgument("append split leaves no rows"));
+  }
+  const size_t cols = table.num_columns();
+  Table base(table.schema());
+  std::vector<std::vector<double>> tail;
+  {
+    std::vector<double> row(cols);
+    for (size_t i = 0; i < total_rows; ++i) {
+      for (size_t c = 0; c < cols; ++c) row[c] = table.column(c)[i];
+      if (i < base_rows) {
+        Status st = base.AppendRow(row);
+        if (!st.ok()) return Fail(st);
+      } else {
+        tail.push_back(row);
+      }
+    }
+  }
+
+  ExactEngine engine(&base);
+  serve::SketchStore store;
+  Status st = store.RegisterDataset("cli", &engine);
+  if (!st.ok()) return Fail(st);
+  st = store.EnableStreaming("cli", cols);
+  if (!st.ok()) return Fail(st);
+  auto version = store.RegisterFromFile("cli", spec, sketch_path);
+  if (version.ok()) {
+    std::printf("registered %s as version %llu\n", sketch_path.c_str(),
+                static_cast<unsigned long long>(version.value()));
+  } else {
+    std::printf("no sketch (%s); serving exact-only\n",
+                version.status().ToString().c_str());
+  }
+  std::printf("base %zu rows, streaming in %zu rows while serving\n",
+              base_rows, tail.size());
+
+  Rng rng(2026);
+  const auto pool = RandomWorkload(pq.value(), 4096, &rng);
+  if (pool.size() < 512) {
+    return Fail(Status::InvalidArgument("template workload too small"));
+  }
+
+  serve::ServeEngine serving(&store, serve::ServeOptions{});
+
+  // Drift-driven refresh: probes and retrain queries are disjoint slices
+  // of the same random workload; the policy bound is the knob.
+  serve::RefreshOptions ropts;
+  ropts.interval_ms = refresh_interval_ms > 0 ? refresh_interval_ms : 100;
+  ropts.probe_threads = 0;  // hardware concurrency
+  serve::RefreshController refresher(&store, &serving, ropts);
+  if (version.ok() && refresh_interval_ms > 0) {
+    DriftPolicy policy;
+    policy.max_normalized_mae = max_nmae;
+    std::vector<QueryInstance> probes(pool.begin(), pool.begin() + 256);
+    std::vector<QueryInstance> retrain_q(pool.begin() + 256, pool.end());
+    NeuroSketchConfig cfg;  // CmdTrain's schedule, for the partial retrain
+    cfg.train.epochs = 150;
+    refresher.AddTarget(serve::RefreshTarget{
+        "cli", DriftMonitor(spec, std::move(probes), policy), cfg,
+        std::move(retrain_q)});
+    refresher.Start();
+    std::printf("refresh loop: every %lld ms, drift bound %.3f\n",
+                static_cast<long long>(ropts.interval_ms), max_nmae);
+  }
+
+  Timer t;
+  std::thread appender([&] {
+    // Spread the appends across the serving window in 256-row batches.
+    for (size_t i = 0; i < tail.size(); i += 256) {
+      const size_t n = std::min<size_t>(256, tail.size() - i);
+      std::vector<std::vector<double>> chunk(tail.begin() + i,
+                                             tail.begin() + i + n);
+      (void)store.AppendRows("cli", chunk);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  std::vector<std::thread> clients;
+  const size_t per_client = (n_queries + n_clients - 1) / n_clients;
+  for (size_t c = 0; c < n_clients; ++c) {
+    clients.emplace_back([&, c] {
+      constexpr size_t kBurst = 128;
+      size_t done = 0;
+      while (done < per_client) {
+        const size_t n = std::min(kBurst, per_client - done);
+        std::vector<QueryInstance> burst;
+        burst.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          burst.push_back(pool[(c * per_client + done + i) % pool.size()]);
+        }
+        serving.SubmitMany("cli", spec, std::move(burst)).get();
+        done += n;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  appender.join();
+  const double seconds = t.ElapsedSeconds();
+  refresher.Stop();
+
+  const auto stats = serving.Snapshot();
+  std::printf("served %llu queries in %.2fs (%.0f qps), p50/p99 %.0f/%.0f "
+              "us\n",
+              static_cast<unsigned long long>(stats.queries), seconds,
+              static_cast<double>(stats.queries) / seconds, stats.p50_us,
+              stats.p99_us);
+  std::printf("  delta-corrected answers: %llu | exact recomputes: %llu | "
+              "fallback rate: %.2f%%\n",
+              static_cast<unsigned long long>(stats.delta_corrected_answers),
+              static_cast<unsigned long long>(stats.delta_exact_answers),
+              100.0 * stats.fallback_rate);
+  for (const auto& [name, dstats] : store.DeltaStats()) {
+    std::printf("  delta %s: %zu live rows (%llu append calls, %llu rows "
+                "trimmed)\n",
+                name.c_str(), dstats.rows,
+                static_cast<unsigned long long>(dstats.appends),
+                static_cast<unsigned long long>(dstats.trimmed_rows));
+  }
+  const auto rstats = refresher.Stats();
+  std::printf("  refresh: %llu runs, %llu swaps, %llu leaves retrained, "
+              "%llu failures, %llu demotions, %llu in-bound skips\n",
+              static_cast<unsigned long long>(rstats.runs),
+              static_cast<unsigned long long>(rstats.swaps),
+              static_cast<unsigned long long>(rstats.retrained_leaves),
+              static_cast<unsigned long long>(rstats.failures),
+              static_cast<unsigned long long>(rstats.demotions),
+              static_cast<unsigned long long>(rstats.skipped));
+  metrics::MetricsRegistry reg;
+  serving.ExportMetrics(&reg);  // includes the nsketch_serve_delta_* series
+  refresher.ExportMetrics(&reg);
+  std::printf("-- final metrics --\n%s", reg.TextExposition().c_str());
+  return 0;
+}
+
 /// Prints the slowest captured queries with their stage attribution —
 /// where did each tail-latency microsecond go?
 void PrintSlowQueries(const serve::ServeEngine& serving) {
@@ -656,11 +838,12 @@ int main(int argc, char** argv) {
   if (cmd == "query") return CmdQuery(argc, argv);
   if (cmd == "eval") return CmdEval(argc, argv);
   if (cmd == "serve") return CmdServe(argc, argv);
+  if (cmd == "stream") return CmdStream(argc, argv);
   if (cmd == "catalog") return CmdCatalog(argc, argv);
   if (cmd == "metrics") return CmdMetrics(argc, argv);
   std::fprintf(stderr,
-               "usage: %s train|query|eval|serve|catalog|metrics ... (run "
-               "with no args for a demo)\n",
+               "usage: %s train|query|eval|serve|stream|catalog|metrics ... "
+               "(run with no args for a demo)\n",
                argv[0]);
   return 1;
 }

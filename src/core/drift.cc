@@ -1,10 +1,32 @@
 #include "core/drift.h"
 
+#include <algorithm>
 #include <cmath>
+#include <map>
 
 #include "util/stats.h"
 
 namespace neurosketch {
+
+std::vector<int> DriftReport::StaleLeaves() const {
+  std::vector<int> stale;
+  for (const LeafDrift& ld : per_leaf) {
+    if (ld.stale) stale.push_back(ld.leaf_id);
+  }
+  if (stale.empty() && retrain_recommended) {
+    // Overall drift is conclusive but attribution is too thin to flag any
+    // single leaf — fall back to the worst measured leaf so the caller
+    // always has a non-empty retrain set to act on.
+    const LeafDrift* worst = nullptr;
+    for (const LeafDrift& ld : per_leaf) {
+      if (worst == nullptr || ld.normalized_mae > worst->normalized_mae) {
+        worst = &ld;
+      }
+    }
+    if (worst != nullptr) stale.push_back(worst->leaf_id);
+  }
+  return stale;
+}
 
 DriftMonitor::DriftMonitor(QueryFunctionSpec spec,
                            std::vector<QueryInstance> probes,
@@ -13,21 +35,59 @@ DriftMonitor::DriftMonitor(QueryFunctionSpec spec,
 
 DriftReport DriftMonitor::Check(const NeuroSketch& sketch,
                                 const ExactEngine& engine) const {
-  DriftReport report;
-  std::vector<double> truth, pred;
-  for (const auto& q : probes_) {
-    const double exact = engine.Answer(spec_, q);
-    if (std::isnan(exact)) continue;
-    const double approx = sketch.Answer(q);
-    if (std::isnan(approx)) continue;
-    truth.push_back(exact);
-    pred.push_back(approx);
+  std::vector<double> truth(probes_.size());
+  for (size_t i = 0; i < probes_.size(); ++i) {
+    truth[i] = engine.Answer(spec_, probes_[i]);
   }
-  report.probes_used = truth.size();
-  report.normalized_mae = stats::NormalizedMae(truth, pred);
+  return CheckAgainst(sketch, truth);
+}
+
+DriftReport DriftMonitor::CheckAgainst(const NeuroSketch& sketch,
+                                       const std::vector<double>& truth) const {
+  DriftReport report;
+  struct LeafAcc {
+    std::vector<double> truth, pred;
+  };
+  std::map<int, LeafAcc> by_leaf;
+  std::vector<double> all_truth, all_pred;
+  const size_t n = std::min(probes_.size(), truth.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double exact = truth[i];
+    if (std::isnan(exact)) {
+      ++report.probes_skipped;
+      continue;
+    }
+    const double approx = sketch.Answer(probes_[i]);
+    if (std::isnan(approx)) {
+      ++report.probes_skipped;
+      continue;
+    }
+    all_truth.push_back(exact);
+    all_pred.push_back(approx);
+    // Attribute the probe to the leaf that answered it; Answer succeeded,
+    // so the route cannot fail here.
+    const auto* leaf = sketch.tree().Route(probes_[i]);
+    if (leaf != nullptr && leaf->leaf_id >= 0) {
+      LeafAcc& acc = by_leaf[leaf->leaf_id];
+      acc.truth.push_back(exact);
+      acc.pred.push_back(approx);
+    }
+  }
+  report.probes_used = all_truth.size();
+  report.normalized_mae = stats::NormalizedMae(all_truth, all_pred);
+  report.conclusive = report.probes_used >= policy_.min_probes;
   report.retrain_recommended =
-      report.probes_used >= policy_.min_probes &&
-      report.normalized_mae > policy_.max_normalized_mae;
+      report.conclusive && report.normalized_mae > policy_.max_normalized_mae;
+  report.per_leaf.reserve(by_leaf.size());
+  for (auto& [leaf_id, acc] : by_leaf) {
+    LeafDrift ld;
+    ld.leaf_id = leaf_id;
+    ld.probes = acc.truth.size();
+    ld.normalized_mae = stats::NormalizedMae(acc.truth, acc.pred);
+    ld.stale = ld.probes >= policy_.min_leaf_probes &&
+               ld.normalized_mae > policy_.max_normalized_mae;
+    report.per_leaf.push_back(ld);
+  }
   return report;
 }
 

@@ -2,8 +2,10 @@
 // NeuroSketch, and re-train the neural networks whose accuracy fall below
 // a certain threshold." DriftMonitor holds a probe query set, periodically
 // re-answers it against the (possibly updated) database, and reports the
-// sketch's current normalized error; RetrainPolicy turns that into a
-// build/keep decision.
+// sketch's current normalized error; DriftPolicy turns that into a
+// build/keep decision. Reports attribute drift per kd-tree leaf (each
+// probe routes through the sketch's own tree), so the refresh path can
+// retrain only the leaves whose region actually drifted.
 #ifndef NEUROSKETCH_CORE_DRIFT_H_
 #define NEUROSKETCH_CORE_DRIFT_H_
 
@@ -15,10 +17,39 @@
 
 namespace neurosketch {
 
+/// \brief Drift attribution for one kd-tree leaf: the normalized error of
+/// the probes that routed to it.
+struct LeafDrift {
+  int leaf_id = -1;
+  size_t probes = 0;
+  double normalized_mae = 0.0;
+  /// True when this leaf's own probe error exceeds the policy bound with
+  /// at least `DriftPolicy::min_leaf_probes` contributing probes.
+  bool stale = false;
+};
+
 struct DriftReport {
   double normalized_mae = 0.0;
   size_t probes_used = 0;
+  /// Probes that contributed nothing: the exact engine answered NaN
+  /// (undefined aggregate on current data) or the sketch could not route/
+  /// answer the instance. Before this field existed, skipped probes were
+  /// silently dropped — a mostly-NaN probe set could report
+  /// retrain_recommended=false while measuring almost nothing.
+  size_t probes_skipped = 0;
+  /// True when probes_used reached DriftPolicy::min_probes; a report with
+  /// conclusive=false says "could not measure", not "no drift".
+  bool conclusive = false;
   bool retrain_recommended = false;
+  /// One row per leaf that received at least one usable probe, ascending
+  /// by leaf_id.
+  std::vector<LeafDrift> per_leaf;
+
+  /// \brief Leaf ids flagged stale, ascending — the retrain set for
+  /// NeuroSketch::RetrainLeaves. When drift is conclusive overall but no
+  /// individual leaf cleared min_leaf_probes, the worst measured leaf is
+  /// returned so a recommended retrain is never an empty set.
+  std::vector<int> StaleLeaves() const;
 };
 
 struct DriftPolicy {
@@ -26,6 +57,10 @@ struct DriftPolicy {
   double max_normalized_mae = 0.1;
   /// Minimum probes with defined answers for a meaningful report.
   size_t min_probes = 10;
+  /// Minimum usable probes routed to a leaf before that leaf can be
+  /// flagged stale on its own error (below it, a single noisy probe
+  /// would mark the leaf).
+  size_t min_leaf_probes = 3;
 };
 
 /// \brief Accuracy watchdog for a deployed sketch.
@@ -36,8 +71,17 @@ class DriftMonitor {
 
   /// \brief Re-answer the probes on `engine` (reflecting current data) and
   /// compare with the sketch. The engine scan is the "frequent test" cost.
+  /// Routes every usable probe through the sketch's kd-tree to fill the
+  /// per-leaf attribution rows.
   DriftReport Check(const NeuroSketch& sketch, const ExactEngine& engine) const;
 
+  /// \brief Check against precomputed exact answers (`truth[i]` answers
+  /// `probes()[i]` on current data) — lets the refresh path reuse one
+  /// engine batch for both the drift probe and retrain-target generation.
+  DriftReport CheckAgainst(const NeuroSketch& sketch,
+                           const std::vector<double>& truth) const;
+
+  const QueryFunctionSpec& spec() const { return spec_; }
   const std::vector<QueryInstance>& probes() const { return probes_; }
   const DriftPolicy& policy() const { return policy_; }
 

@@ -224,6 +224,134 @@ Result<NeuroSketch> NeuroSketch::Train(
   return sketch;
 }
 
+Status NeuroSketch::RetrainLeaves(const std::vector<int>& leaf_ids,
+                                  const std::vector<QueryInstance>& queries,
+                                  const std::vector<double>& answers,
+                                  const NeuroSketchConfig& config) {
+  if (!compiled()) {
+    return Status::InvalidArgument("RetrainLeaves on an untrained sketch");
+  }
+  if (queries.size() != answers.size()) {
+    return Status::InvalidArgument("queries/answers size mismatch");
+  }
+  std::vector<char> wanted(plans_.size(), 0);
+  std::vector<int> ids;
+  for (int id : leaf_ids) {
+    if (id < 0 || static_cast<size_t>(id) >= plans_.size()) {
+      return Status::InvalidArgument("leaf id out of range");
+    }
+    if (!wanted[id]) {
+      wanted[id] = 1;
+      ids.push_back(id);
+    }
+  }
+  if (ids.empty()) return Status::OK();
+
+  const size_t qdim = tree_.query_dim();
+  std::vector<QueryInstance> q_ok;
+  std::vector<double> a_ok;
+  q_ok.reserve(queries.size());
+  a_ok.reserve(answers.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (std::isnan(answers[i])) continue;
+    if (queries[i].dim() != qdim) {
+      return Status::InvalidArgument("inconsistent query dimensionality");
+    }
+    q_ok.push_back(queries[i]);
+    a_ok.push_back(answers[i]);
+  }
+  if (q_ok.size() < 2) {
+    return Status::InvalidArgument("need at least 2 defined training answers");
+  }
+
+  // Re-gather each retrained leaf's training set by routing through the
+  // FIXED tree — the partition is untouched, which is the whole point of
+  // a leaf-granular refresh (readers keep routing identically; only the
+  // flagged leaves' parameters move).
+  std::vector<std::vector<size_t>> members(plans_.size());
+  for (size_t i = 0; i < q_ok.size(); ++i) {
+    const auto* leaf = tree_.Route(q_ok[i]);
+    if (leaf == nullptr || leaf->leaf_id < 0 ||
+        static_cast<size_t>(leaf->leaf_id) >= plans_.size()) {
+      continue;
+    }
+    if (wanted[leaf->leaf_id]) members[leaf->leaf_id].push_back(i);
+  }
+
+  // The untouched leaves' trainable forms must survive the partial
+  // rebuild (Save and AnswerScalar read them all); materialize them
+  // before overwriting the retrained slots.
+  EnsureTrainer();
+
+  // Identical per-leaf training to Train's train_leaf: same init seed,
+  // same standardization (stddev floored to 1), same shuffle-seed
+  // derivation — retraining a leaf here is bit-identical to a clean
+  // rebuild of that leaf over the same partition and training set.
+  auto retrain_leaf = [&](size_t k) {
+    const int id = ids[k];
+    const auto& idxs = members[id];
+    nn::Mlp& model = models_[id];
+    model = nn::Mlp(nn::MlpConfig::Paper(qdim, config.n_layers, config.l_first,
+                                         config.l_rest),
+                    config.seed + id);
+    target_mean_[id] = 0.0;
+    target_scale_[id] = 1.0;
+    if (!idxs.empty()) {
+      std::vector<double> targets;
+      targets.reserve(idxs.size());
+      for (size_t i : idxs) targets.push_back(a_ok[i]);
+      const double mean = stats::Mean(targets);
+      double scale = stats::Stddev(targets);
+      if (scale <= 1e-12) scale = 1.0;
+      target_mean_[id] = mean;
+      target_scale_[id] = scale;
+
+      Matrix inputs(idxs.size(), qdim);
+      Matrix outputs(idxs.size(), 1);
+      for (size_t i = 0; i < idxs.size(); ++i) {
+        const auto& q = q_ok[idxs[i]];
+        for (size_t jj = 0; jj < qdim; ++jj) inputs(i, jj) = q.q[jj];
+        outputs(i, 0) = (a_ok[idxs[i]] - mean) / scale;
+      }
+      nn::TrainConfig tc = config.train;
+      tc.seed = config.train.seed + static_cast<uint64_t>(id) * 1000003ULL;
+      nn::TrainRegressor(&model, inputs, outputs, tc);
+    }
+    plans_[id] = nn::CompiledMlp::FromMlp(model);
+  };
+  ThreadPool::Shared().ParallelFor(ids.size(), config.train_threads,
+                                   retrain_leaf);
+  trainer_ready_.store(true);
+
+  // The narrow tiers were calibrated/validated against the OLD leaf
+  // parameters; serving them over the new ones would be unvalidated.
+  // Drop them and re-run the same validate-or-fallback chain as Train —
+  // the divergence/calibration records are whole-sketch state, so the
+  // replay covers every leaf, not just the retrained ones.
+  std::vector<nn::CompiledMlpF32>().swap(plans_f32_);
+  std::vector<nn::CompiledMlpI8>().swap(plans_i8_);
+  int8_absmax_.clear();
+  f32_available_ = false;
+  int8_available_ = false;
+  precision_ = PlanPrecision::kF64;
+  PlanPrecision requested = config.plan_precision;
+  if (requested == PlanPrecision::kF64) {
+    if (ForceInt8PlansFromEnv()) {
+      requested = PlanPrecision::kInt8;
+    } else if (ForceF32PlansFromEnv()) {
+      requested = PlanPrecision::kF32;
+    }
+  }
+  if (requested == PlanPrecision::kInt8) {
+    if (!EnableInt8(q_ok, config.int8_error_bound, config.train_threads)) {
+      EnableF32(q_ok, config.f32_error_bound, config.train_threads);
+    }
+  } else if (requested == PlanPrecision::kF32) {
+    EnableF32(q_ok, config.f32_error_bound, config.train_threads);
+  }
+  return Status::OK();
+}
+
 Result<NeuroSketch> NeuroSketch::TrainFromEngine(
     const ExactEngine& engine, const QueryFunctionSpec& spec,
     WorkloadGenerator* workload, size_t num_train,

@@ -164,6 +164,28 @@ class NeuroSketch {
                                              size_t num_train,
                                              const NeuroSketchConfig& config);
 
+  /// \brief Partial rebuild for the streaming refresh path: retrain only
+  /// `leaf_ids` on the FIXED kd-tree partition, leaving every other
+  /// leaf's parameters untouched bit-for-bit. `answers[i]` must be
+  /// f_D(queries[i]) on the *current* data (base + delta); queries route
+  /// through the existing tree to re-gather each leaf's training set, the
+  /// leaf's target standardization is recomputed, and its model retrains
+  /// with the identical seed derivation Train uses (init seed
+  /// `config.seed + leaf_id`, shuffle seed `config.train.seed +
+  /// leaf_id * 1000003`), so retraining leaf L here is bit-identical to
+  /// what a clean rebuild over the same partition would produce for L.
+  /// Runs per-leaf training in parallel on the shared pool under
+  /// `config.train_threads`. The narrow plan tiers were validated against
+  /// the old leaf models, so they are dropped and rebuilt through the
+  /// same validate-or-fallback chain as Train (int8 -> f32 -> f64) over
+  /// `queries`; SizeBytes()==Save() stays pinned throughout. NOT
+  /// thread-safe with concurrent Answer calls — the serving path retrains
+  /// a copy and atomically swaps it into the store.
+  Status RetrainLeaves(const std::vector<int>& leaf_ids,
+                       const std::vector<QueryInstance>& queries,
+                       const std::vector<double>& answers,
+                       const NeuroSketchConfig& config);
+
   /// \brief Alg. 5: answer one query with a kd-tree route + forward pass.
   /// Runs on the compiled plan of the active precision tier: zero heap
   /// allocations once the calling thread's workspace is warm.

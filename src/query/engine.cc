@@ -19,17 +19,23 @@ ExactEngine::ExactEngine(const Table* table) : table_(table) {}
 
 double ExactEngine::Answer(const QueryFunctionSpec& spec,
                            const QueryInstance& q) const {
+  AggregateAccumulator acc(spec.agg);
+  Accumulate(spec, q, &acc);
+  return acc.Finalize();
+}
+
+void ExactEngine::Accumulate(const QueryFunctionSpec& spec,
+                             const QueryInstance& q,
+                             AggregateAccumulator* acc) const {
   const size_t dim = table_->num_columns();
   const size_t n = table_->num_rows();
   const auto cols = ColumnPointers(*table_);
   const double* measure = cols[spec.measure_col];
-  AggregateAccumulator acc(spec.agg);
   std::vector<double> row(dim);
   for (size_t i = 0; i < n; ++i) {
     for (size_t c = 0; c < dim; ++c) row[c] = cols[c][i];
-    if (spec.predicate->Matches(q, row.data(), dim)) acc.Add(measure[i]);
+    if (spec.predicate->Matches(q, row.data(), dim)) acc->Add(measure[i]);
   }
-  return acc.Finalize();
 }
 
 size_t ExactEngine::CountMatches(const QueryFunctionSpec& spec,

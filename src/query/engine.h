@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "data/table.h"
+#include "query/aggregate.h"
 #include "query/predicate.h"
 #include "query/query.h"
 
@@ -24,6 +25,17 @@ class ExactEngine {
   /// \brief Exact answer to one query. NaN for undefined answers
   /// (AVG-like aggregate over an empty range).
   double Answer(const QueryFunctionSpec& spec, const QueryInstance& q) const;
+
+  /// \brief Feed every matching row's measure into `acc` without
+  /// finalizing, in table row order. Answer(spec, q) is exactly
+  /// `{ AggregateAccumulator a(spec.agg); Accumulate(spec, q, &a);
+  /// a.Finalize(); }` — exposed so a caller can continue the same
+  /// accumulation over rows the table does not hold (the streaming delta
+  /// buffer): base-then-delta accumulation is bit-identical to a single
+  /// scan of the appended table for every aggregate, including the
+  /// order-dependent ones (Welford STD, MEDIAN's buffer).
+  void Accumulate(const QueryFunctionSpec& spec, const QueryInstance& q,
+                  AggregateAccumulator* acc) const;
 
   /// \brief Number of rows matching the predicate.
   size_t CountMatches(const QueryFunctionSpec& spec,

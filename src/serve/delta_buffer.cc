@@ -1,0 +1,105 @@
+#include "serve/delta_buffer.h"
+
+namespace neurosketch {
+namespace serve {
+
+DeltaBuffer::DeltaBuffer(size_t num_columns, size_t chunk_rows)
+    : num_columns_(num_columns == 0 ? 1 : num_columns),
+      chunk_rows_(chunk_rows == 0 ? 1 : chunk_rows) {}
+
+size_t DeltaBuffer::Append(const std::vector<double>& row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = size_.load(std::memory_order_relaxed);
+  const size_t slot = n - chunk_base_;
+  if (slot / chunk_rows_ >= chunks_.size()) {
+    auto chunk = std::make_shared<Chunk>();
+    chunk->data.resize(chunk_rows_ * num_columns_);
+    chunks_.push_back(std::move(chunk));
+  }
+  double* dst = chunks_[slot / chunk_rows_]->data.data() +
+                (slot % chunk_rows_) * num_columns_;
+  for (size_t c = 0; c < num_columns_; ++c) {
+    dst[c] = c < row.size() ? row[c] : 0.0;
+  }
+  ++appends_;
+  // Publish after the row data is fully written: a reader that observes
+  // the new size (acquire) also observes the row's bytes.
+  size_.store(n + 1, std::memory_order_release);
+  return n + 1;
+}
+
+size_t DeltaBuffer::AppendRows(const std::vector<std::vector<double>>& rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = size_.load(std::memory_order_relaxed);
+  for (const auto& row : rows) {
+    const size_t slot = n - chunk_base_;
+    if (slot / chunk_rows_ >= chunks_.size()) {
+      auto chunk = std::make_shared<Chunk>();
+      chunk->data.resize(chunk_rows_ * num_columns_);
+      chunks_.push_back(std::move(chunk));
+    }
+    double* dst = chunks_[slot / chunk_rows_]->data.data() +
+                  (slot % chunk_rows_) * num_columns_;
+    for (size_t c = 0; c < num_columns_; ++c) {
+      dst[c] = c < row.size() ? row[c] : 0.0;
+    }
+    ++n;
+  }
+  appends_ += rows.empty() ? 0 : 1;
+  size_.store(n, std::memory_order_release);
+  return n;
+}
+
+size_t DeltaBuffer::trimmed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trimmed_;
+}
+
+DeltaBufferStats DeltaBuffer::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DeltaBufferStats s;
+  s.rows = size_.load(std::memory_order_relaxed) - trimmed_;
+  s.bytes = chunks_.size() * chunk_rows_ * num_columns_ * sizeof(double);
+  s.appends = appends_;
+  s.trimmed_rows = trimmed_;
+  return s;
+}
+
+DeltaBuffer::Snapshot DeltaBuffer::Snap() const {
+  // Read the published size FIRST (acquire): every row below it is fully
+  // written, and the chunk list copied under the lock afterwards can only
+  // be a superset of the chunks those rows live in.
+  const size_t end = size_.load(std::memory_order_acquire);
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.chunks_.assign(chunks_.begin(), chunks_.end());
+    snap.chunk_base_ = chunk_base_;
+    snap.begin_ = trimmed_;
+  }
+  snap.chunk_rows_ = chunk_rows_;
+  snap.num_columns_ = num_columns_;
+  // A concurrent Trim between the size read and the lock can only raise
+  // begin_; end stays valid because the snapshot owns its chunks.
+  snap.end_ = end < snap.begin_ ? snap.begin_ : end;
+  return snap;
+}
+
+size_t DeltaBuffer::Trim(size_t min_keep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t published = size_.load(std::memory_order_relaxed);
+  if (min_keep > published) min_keep = published;
+  size_t dropped = 0;
+  while (!chunks_.empty() && chunk_base_ + chunk_rows_ <= min_keep) {
+    chunks_.erase(chunks_.begin());
+    chunk_base_ += chunk_rows_;
+    dropped += chunk_rows_;
+  }
+  if (chunk_base_ > trimmed_) {
+    trimmed_ = chunk_base_;
+  }
+  return dropped;
+}
+
+}  // namespace serve
+}  // namespace neurosketch

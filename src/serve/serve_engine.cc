@@ -26,6 +26,65 @@ double MicrosBetween(std::chrono::steady_clock::time_point a,
                      std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double, std::micro>(b - a).count();
 }
+
+/// Exact match statistics of one query over a delta row range — the
+/// ingredients of the decomposable-aggregate composition.
+struct DeltaMatch {
+  size_t matched = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+DeltaMatch ScanDelta(const DeltaBuffer::Snapshot& snap, size_t from,
+                     const QueryFunctionSpec& spec, const QueryInstance& q) {
+  DeltaMatch m;
+  const size_t dim = snap.num_columns();
+  snap.ForEachRow(from, snap.end(), [&](const double* row) {
+    if (!spec.predicate->Matches(q, row, dim)) return;
+    const double v = row[spec.measure_col];
+    if (m.matched == 0) {
+      m.min = m.max = v;
+    } else {
+      if (v < m.min) m.min = v;
+      if (v > m.max) m.max = v;
+    }
+    ++m.matched;
+    m.sum += v;
+  });
+  return m;
+}
+
+/// True when appended rows fold into the base answer by a scalar
+/// correction; AVG/STD/MEDIAN need the base row population and recompute
+/// exactly instead.
+bool Decomposable(Aggregate agg) {
+  switch (agg) {
+    case Aggregate::kCount:
+    case Aggregate::kSum:
+    case Aggregate::kMin:
+    case Aggregate::kMax:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The streaming exact path: one accumulation fed the base table first,
+/// then every live delta row in append order — bit-identical to a
+/// from-scratch scan of the appended table for every aggregate
+/// (including Welford STD and MEDIAN's order-sensitive buffer).
+double ExactWithDelta(const ExactEngine& engine, const QueryFunctionSpec& spec,
+                      const QueryInstance& q,
+                      const DeltaBuffer::Snapshot& snap) {
+  AggregateAccumulator acc(spec.agg);
+  engine.Accumulate(spec, q, &acc);
+  const size_t dim = snap.num_columns();
+  snap.ForEachRow(snap.begin(), snap.end(), [&](const double* row) {
+    if (spec.predicate->Matches(q, row, dim)) acc.Add(row[spec.measure_col]);
+  });
+  return acc.Finalize();
+}
 }  // namespace
 
 ServeEngine::ServeEngine(const SketchStore* store, ServeOptions options)
@@ -292,9 +351,27 @@ void ServeEngine::ExecuteBatch(Shard* shard, const ServeKey& key,
                                StoreCounters* sc) {
   shard->batches.fetch_add(1, std::memory_order_relaxed);
   const bool tracing = options_.stage_tracing;
-  std::shared_ptr<const NeuroSketch> sketch =
-      allow_sketch ? store_->Lookup(key) : nullptr;
+  // One consistent read of (sketch, fold watermarks, delta buffer): the
+  // refresh path swaps sketch + watermarks atomically in the store, so a
+  // batch either corrects against the old version's watermarks or the
+  // new version's — never a mix. A demoted key skips the sketch but
+  // still needs the delta for exact composition.
+  ServedView view;
+  if (allow_sketch) {
+    view = store_->LookupServed(key);
+  } else {
+    view.delta = store_->Delta(key.dataset);
+  }
+  const std::shared_ptr<const NeuroSketch>& sketch = view.sketch;
   const ExactEngine* engine = store_->Engine(key.dataset);
+  // The delta snapshot is taken once per batch: every query in the batch
+  // composes against the same appended-row prefix.
+  DeltaBuffer::Snapshot dsnap;
+  bool has_delta = false;
+  if (view.delta != nullptr) {
+    dsnap = view.delta->Snap();
+    has_delta = !dsnap.empty();
+  }
 
   // Requests own their queries and never read them again; steal the
   // buffers instead of cloning one heap allocation per query.
@@ -366,6 +443,56 @@ void ServeEngine::ExecuteBatch(Shard* shard, const ServeKey& key,
     answers.resize(queries.size());
     if (tracing) infer_start = batch->size() == 1 ? collected : Clock::now();
     sketch->AnswerBatchVectorizedTo(queries, answers.data());
+    // Streaming composition: correct each sketch answer with the exact
+    // contribution of the delta rows its leaf has not folded yet. Per
+    // answer: 0 = pure sketch, 1 = sketch + scalar delta correction
+    // (still a sketch answer), 2 = recomputed exactly over base + delta
+    // (non-decomposable aggregate with matching unfolded rows; counted
+    // as a fallback answer). Composition never changes NaN-ness, so the
+    // NaN scan and budget accounting below read post-composition values
+    // and see exactly the sketch's own answerability.
+    thread_local std::vector<uint8_t> modes;
+    modes.assign(answers.size(), 0);
+    if (has_delta) {
+      const std::vector<uint64_t>* folded = view.leaf_folded.get();
+      for (size_t i = 0; i < answers.size(); ++i) {
+        if (std::isnan(answers[i])) continue;
+        // Route once more to find this query's fold watermark: rows the
+        // leaf's model already reflects must not be corrected twice.
+        const auto* leaf = sketch->tree().Route(queries[i]);
+        size_t from = dsnap.begin();
+        if (folded != nullptr && leaf != nullptr && leaf->leaf_id >= 0 &&
+            static_cast<size_t>(leaf->leaf_id) < folded->size()) {
+          const size_t w = (*folded)[leaf->leaf_id];
+          if (w > from) from = w;
+        }
+        if (from >= dsnap.end()) continue;  // leaf fully folded
+        const DeltaMatch m = ScanDelta(dsnap, from, spec, queries[i]);
+        if (m.matched == 0) continue;  // appends do not touch this query
+        if (Decomposable(spec.agg)) {
+          switch (spec.agg) {
+            case Aggregate::kCount:
+              answers[i] += static_cast<double>(m.matched);
+              break;
+            case Aggregate::kSum:
+              answers[i] += m.sum;
+              break;
+            case Aggregate::kMin:
+              answers[i] = std::min(answers[i], m.min);
+              break;
+            default:  // kMax
+              answers[i] = std::max(answers[i], m.max);
+              break;
+          }
+          modes[i] = 1;
+        } else if (engine != nullptr) {
+          answers[i] = ExactWithDelta(*engine, spec, queries[i], dsnap);
+          modes[i] = 2;
+        }
+        // Non-decomposable with no exact engine: serve the (stale)
+        // sketch answer — there is nothing better to compose from.
+      }
+    }
     // infer_end is the first Fulfill's clock read, set in the loop below.
     size_t nans = 0;
     for (double a : answers) nans += std::isnan(a) ? 1 : 0;
@@ -411,12 +538,30 @@ void ServeEngine::ExecuteBatch(Shard* shard, const ServeKey& key,
         // Per-query exact repair: the sketch could not route/answer this
         // instance (e.g. out-of-domain), but the batch as a whole stays
         // on the fast path. Fulfill ticks fallback_answers (or
-        // failed_answers when the engine is also stumped).
-        total_us = Fulfill(shard, &(*batch)[i],
-                           engine->Answer(spec, queries[i]), false,
+        // failed_answers when the engine is also stumped). With a live
+        // delta the repair composes over base + appended rows, so the
+        // repaired answer honors the same freshness contract.
+        const double repaired =
+            has_delta ? ExactWithDelta(*engine, spec, queries[i], dsnap)
+                      : engine->Answer(spec, queries[i]);
+        total_us = Fulfill(shard, &(*batch)[i], repaired, false,
+                           PlanPrecision::kF64, sc, fulfill_now);
+        served_as = "exact";
+      } else if (modes[i] == 2) {
+        // Non-decomposable aggregate recomputed exactly over base+delta:
+        // counted as a fallback answer (used_sketch=false) plus the
+        // delta_exact sub-counter.
+        shard->delta_exact_answers.fetch_add(1, std::memory_order_relaxed);
+        sc->delta_exact_answers.fetch_add(1, std::memory_order_relaxed);
+        total_us = Fulfill(shard, &(*batch)[i], answers[i], false,
                            PlanPrecision::kF64, sc, fulfill_now);
         served_as = "exact";
       } else {
+        if (modes[i] == 1) {
+          shard->delta_corrected_answers.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          sc->delta_corrected_answers.fetch_add(1, std::memory_order_relaxed);
+        }
         const bool genuine_answer = !std::isnan(answers[i]);
         total_us = Fulfill(shard, &(*batch)[i], answers[i], genuine_answer,
                            genuine_answer ? tier : PlanPrecision::kF64, sc,
@@ -434,8 +579,19 @@ void ServeEngine::ExecuteBatch(Shard* shard, const ServeKey& key,
 
   if (engine != nullptr) {
     if (tracing) infer_start = batch->size() == 1 ? collected : Clock::now();
-    std::vector<double> answers =
-        engine->AnswerBatch(spec, queries, options_.exact_batch_threads);
+    std::vector<double> answers;
+    if (has_delta) {
+      // Exact path with a live delta (demoted key, or no sketch yet):
+      // every answer is the base accumulation continued over the full
+      // delta snapshot — bit-identical to scanning the appended table
+      // from scratch, for every aggregate.
+      answers.resize(queries.size());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        answers[i] = ExactWithDelta(*engine, spec, queries[i], dsnap);
+      }
+    } else {
+      answers = engine->AnswerBatch(spec, queries, options_.exact_batch_threads);
+    }
     for (size_t i = 0; i < answers.size(); ++i) {
       const double total_us = Fulfill(shard, &(*batch)[i], answers[i], false,
                                       PlanPrecision::kF64, sc, fulfill_now);
@@ -458,6 +614,28 @@ void ServeEngine::ExecuteBatch(Shard* shard, const ServeKey& key,
     if (tracing) maybe_trace(total_us, r.enqueued, "failed");
   }
   record_stages();
+}
+
+void ServeEngine::DemoteStore(const std::string& dataset,
+                              const QueryFunctionSpec& spec) {
+  const ServeKey key = ServeKey::From(dataset, spec);
+  Shard* shard = shards_[ShardIndexOf(key)].get();
+  bool tripped = false;
+  {
+    // Same lock discipline as the NaN error budget: the owning shard's
+    // lock makes the decision visible before any later batch reads
+    // `demoted` in its dispatch.
+    std::lock_guard<std::mutex> lock(shard->mu);
+    KeyState& st = KeyStateLocked(shard, key, spec);
+    if (!st.demoted) {
+      st.demoted = true;
+      tripped = true;
+      shard->budget_trips.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // Demotion zeroes serving heat: a store whose drift outruns refresh is
+  // the preferred eviction victim, exactly like a NaN-budget trip.
+  if (tripped) store_->NotePenalized(key);
 }
 
 ServeStats ServeEngine::Snapshot() const {
@@ -492,6 +670,10 @@ ServeStats ServeEngine::Snapshot() const {
         sh.int8_sketch_answers.load(std::memory_order_relaxed);
     s.fallback_answers += sd.fallback_answers;
     s.failed_answers += sd.failed_answers;
+    s.delta_corrected_answers +=
+        sh.delta_corrected_answers.load(std::memory_order_relaxed);
+    s.delta_exact_answers +=
+        sh.delta_exact_answers.load(std::memory_order_relaxed);
     s.batches += sd.batches;
     s.budget_trips += sd.budget_trips;
     latency.AddFrom(sh.latency);
@@ -554,6 +736,10 @@ ServeStats ServeEngine::Snapshot() const {
         sc->int8_sketch_answers.load(std::memory_order_relaxed);
     ss.fallback_answers = sc->fallback_answers.load(std::memory_order_relaxed);
     ss.failed_answers = sc->failed_answers.load(std::memory_order_relaxed);
+    ss.delta_corrected_answers =
+        sc->delta_corrected_answers.load(std::memory_order_relaxed);
+    ss.delta_exact_answers =
+        sc->delta_exact_answers.load(std::memory_order_relaxed);
     ss.demoted = demoted;
     ss.fallback_rate = ss.queries > 0
                            ? static_cast<double>(ss.fallback_answers) /
@@ -583,6 +769,8 @@ void ServeEngine::ResetStats() {
     sh.int8_sketch_answers.store(0, std::memory_order_relaxed);
     sh.fallback_answers.store(0, std::memory_order_relaxed);
     sh.failed_answers.store(0, std::memory_order_relaxed);
+    sh.delta_corrected_answers.store(0, std::memory_order_relaxed);
+    sh.delta_exact_answers.store(0, std::memory_order_relaxed);
     sh.batches.store(0, std::memory_order_relaxed);
     sh.budget_trips.store(0, std::memory_order_relaxed);
     sh.backpressure_waits.store(0, std::memory_order_relaxed);
@@ -600,6 +788,8 @@ void ServeEngine::ResetStats() {
       st.counters->int8_sketch_answers.store(0, std::memory_order_relaxed);
       st.counters->fallback_answers.store(0, std::memory_order_relaxed);
       st.counters->failed_answers.store(0, std::memory_order_relaxed);
+      st.counters->delta_corrected_answers.store(0, std::memory_order_relaxed);
+      st.counters->delta_exact_answers.store(0, std::memory_order_relaxed);
       st.counters->latency.Reset();
     }
   }
@@ -626,6 +816,12 @@ void ServeEngine::ExportMetrics(metrics::MetricsRegistry* registry,
                        "Answered by the exact engine");
   registry->SetCounter(prefix + "failed_answers_total", s.failed_answers,
                        "NaN with no fallback available");
+  registry->SetCounter(prefix + "delta_corrected_answers_total",
+                       s.delta_corrected_answers,
+                       "Sketch answers corrected with unfolded delta rows");
+  registry->SetCounter(prefix + "delta_exact_answers_total",
+                       s.delta_exact_answers,
+                       "Non-decomposable answers recomputed over base+delta");
   registry->SetCounter(prefix + "batches_total", s.batches,
                        "Micro-batches dispatched");
   registry->SetCounter(prefix + "budget_trips_total", s.budget_trips,
@@ -655,6 +851,22 @@ void ServeEngine::ExportMetrics(metrics::MetricsRegistry* registry,
                        "Paged lookups served without touching disk");
   registry->SetCounter(prefix + "evictions_total", pool.evictions,
                        "Resident sketches dropped back to cold");
+
+  // Streaming-delta residency, one series set per streaming dataset.
+  for (const auto& [dataset, ds] : store_->DeltaStats()) {
+    const std::string label = "{dataset=\"" + dataset + "\"}";
+    registry->SetGauge(prefix + "delta_rows" + label,
+                       static_cast<double>(ds.rows),
+                       "Live (untrimmed) delta rows per streaming dataset");
+    registry->SetGauge(prefix + "delta_bytes" + label,
+                       static_cast<double>(ds.bytes),
+                       "Bytes held by live delta rows");
+    registry->SetCounter(prefix + "delta_appends_total" + label, ds.appends,
+                         "Append calls accepted into the delta buffer");
+    registry->SetCounter(prefix + "delta_trimmed_rows_total" + label,
+                         ds.trimmed_rows,
+                         "Delta rows dropped by Trim after base compaction");
+  }
 
   auto copy_hist = [&](const std::string& name, const LatencyHistogram& h,
                        const std::string& help) {

@@ -155,6 +155,15 @@ class ServeEngine {
   void ExportMetrics(metrics::MetricsRegistry* registry,
                      const std::string& prefix = "nsketch_serve_") const;
 
+  /// \brief Demote a store key as if its error budget tripped: all later
+  /// traffic for (dataset, spec) goes to the exact engine (still with
+  /// exact delta composition), and the key's paged-catalog heat is
+  /// zeroed (NotePenalized). The refresh controller calls this when a
+  /// store's drift outruns refresh — repeated refresh failures must not
+  /// leave a known-stale sketch serving. Idempotent; counted under
+  /// budget_trips on the first call.
+  void DemoteStore(const std::string& dataset, const QueryFunctionSpec& spec);
+
   /// \brief The shard a key's traffic is pinned to: a pure function of
   /// the key and the shard count, stable across Register/Unregister of
   /// any store (including this one).
@@ -209,6 +218,8 @@ class ServeEngine {
     std::atomic<uint64_t> int8_sketch_answers{0};
     std::atomic<uint64_t> fallback_answers{0};
     std::atomic<uint64_t> failed_answers{0};
+    std::atomic<uint64_t> delta_corrected_answers{0};
+    std::atomic<uint64_t> delta_exact_answers{0};
     LatencyHistogram latency;
   };
 
@@ -251,6 +262,8 @@ class ServeEngine {
     std::atomic<uint64_t> int8_sketch_answers{0};
     std::atomic<uint64_t> fallback_answers{0};
     std::atomic<uint64_t> failed_answers{0};
+    std::atomic<uint64_t> delta_corrected_answers{0};
+    std::atomic<uint64_t> delta_exact_answers{0};
     std::atomic<uint64_t> batches{0};
     std::atomic<uint64_t> budget_trips{0};
     std::atomic<uint64_t> backpressure_waits{0};

@@ -48,6 +48,13 @@ struct StoreStatsSnapshot {
   uint64_t int8_sketch_answers = 0;
   uint64_t fallback_answers = 0;
   uint64_t failed_answers = 0;
+  /// Streaming composition counters: sketch answers adjusted with an
+  /// exact correction over unfolded delta rows (decomposable aggregates)
+  /// vs answers recomputed exactly over base+delta because the aggregate
+  /// does not decompose (AVG/STD/MEDIAN with matching unfolded rows —
+  /// these also count under fallback_answers).
+  uint64_t delta_corrected_answers = 0;
+  uint64_t delta_exact_answers = 0;
   bool demoted = false;          ///< error budget tripped
   double fallback_rate = 0.0;    ///< fallback_answers / queries
   LatencyBreakdown latency;      ///< submit->answer for this key only
@@ -97,6 +104,14 @@ struct ServeStats {
   uint64_t int8_sketch_answers = 0;
   uint64_t fallback_answers = 0; ///< answered by the exact engine
   uint64_t failed_answers = 0;   ///< NaN with no fallback available
+  /// Sketch answers composed with an exact correction over unfolded
+  /// delta rows (COUNT/SUM/MIN/MAX — the answer stayed on the sketch
+  /// path and still counts under sketch_answers).
+  uint64_t delta_corrected_answers = 0;
+  /// Answers recomputed exactly over base + delta because the aggregate
+  /// does not decompose (AVG/STD/MEDIAN with matching unfolded delta
+  /// rows); a subset of fallback_answers.
+  uint64_t delta_exact_answers = 0;
   uint64_t batches = 0;          ///< micro-batches dispatched
   uint64_t budget_trips = 0;     ///< stores demoted by the error budget
   double elapsed_seconds = 0.0;  ///< since engine start (or last reset)

@@ -27,12 +27,17 @@ Status SketchStore::RegisterDataset(const std::string& dataset,
 
 Result<uint64_t> SketchStore::Register(
     const std::string& dataset, const QueryFunctionSpec& spec,
-    std::shared_ptr<const NeuroSketch> sketch, uint64_t version) {
+    std::shared_ptr<const NeuroSketch> sketch, uint64_t version,
+    std::shared_ptr<const std::vector<uint64_t>> leaf_folded) {
   if (sketch == nullptr) {
     return Status::InvalidArgument("null sketch for dataset " + dataset);
   }
   if (spec.predicate == nullptr) {
     return Status::InvalidArgument("spec has no predicate");
+  }
+  if (leaf_folded != nullptr &&
+      leaf_folded->size() != sketch->num_partitions()) {
+    return Status::InvalidArgument("leaf_folded size != num_partitions");
   }
   const ServeKey key = ServeKey::From(dataset, spec);
   std::unique_lock<std::shared_mutex> lock(mu_);
@@ -40,7 +45,7 @@ Result<uint64_t> SketchStore::Register(
   if (version == 0) {
     version = versions.empty() ? 1 : versions.rbegin()->first + 1;
   }
-  versions[version] = std::move(sketch);
+  versions[version] = VersionEntry{std::move(sketch), std::move(leaf_folded)};
   return version;
 }
 
@@ -68,7 +73,7 @@ size_t SketchStore::ImportFromCatalog(const std::string& dataset,
     auto& versions = sketches_[ServeKey{dataset, fn_key}];
     const uint64_t version =
         versions.empty() ? 1 : versions.rbegin()->first + 1;
-    versions[version] = sketch;
+    versions[version] = VersionEntry{sketch, nullptr};
     ++imported;
   }
   return imported;
@@ -118,7 +123,7 @@ std::shared_ptr<const NeuroSketch> SketchStore::Lookup(
     std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = sketches_.find(key);
     if (it != sketches_.end() && !it->second.empty()) {
-      return it->second.rbegin()->second;
+      return it->second.rbegin()->second.sketch;
     }
     auto pit = paged_.find(key);
     if (pit == paged_.end()) return nullptr;
@@ -138,7 +143,7 @@ std::shared_ptr<const NeuroSketch> SketchStore::Lookup(
     auto it = sketches_.find(key);
     if (it != sketches_.end()) {
       auto vit = it->second.find(version);
-      if (vit != it->second.end()) return vit->second;
+      if (vit != it->second.end()) return vit->second.sketch;
     }
     if (version == 1) {
       auto pit = paged_.find(key);
@@ -149,6 +154,100 @@ std::shared_ptr<const NeuroSketch> SketchStore::Lookup(
     }
   }
   return paged ? FaultIn(key, pe) : nullptr;
+}
+
+ServedView SketchStore::LookupServed(const ServeKey& key) const {
+  ServedView view;
+  PagedEntry pe;
+  bool paged = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto dit = deltas_.find(key.dataset);
+    if (dit != deltas_.end()) view.delta = dit->second;
+    auto it = sketches_.find(key);
+    if (it != sketches_.end() && !it->second.empty()) {
+      // One slot read: the (sketch, leaf_folded) pair can never be
+      // observed mid-swap.
+      const VersionEntry& entry = it->second.rbegin()->second;
+      view.sketch = entry.sketch;
+      view.leaf_folded = entry.leaf_folded;
+      return view;
+    }
+    auto pit = paged_.find(key);
+    if (pit != paged_.end()) {
+      pe = pit->second;
+      paged = true;
+    }
+  }
+  if (paged) view.sketch = FaultIn(key, pe);
+  return view;
+}
+
+Status SketchStore::EnableStreaming(const std::string& dataset,
+                                    size_t num_columns, size_t chunk_rows) {
+  if (num_columns == 0) {
+    return Status::InvalidArgument("streaming needs at least one column");
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = deltas_.find(dataset);
+  if (it != deltas_.end()) {
+    if (it->second->num_columns() != num_columns) {
+      return Status::InvalidArgument(
+          "streaming already enabled with a different column count for " +
+          dataset);
+    }
+    return Status::OK();
+  }
+  deltas_[dataset] = std::make_shared<DeltaBuffer>(num_columns, chunk_rows);
+  return Status::OK();
+}
+
+Status SketchStore::Append(const std::string& dataset,
+                           const std::vector<double>& row) {
+  std::shared_ptr<DeltaBuffer> delta;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = deltas_.find(dataset);
+    if (it == deltas_.end()) {
+      return Status::FailedPrecondition("streaming not enabled for " + dataset);
+    }
+    delta = it->second;
+  }
+  delta->Append(row);
+  return Status::OK();
+}
+
+Status SketchStore::AppendRows(const std::string& dataset,
+                               const std::vector<std::vector<double>>& rows) {
+  std::shared_ptr<DeltaBuffer> delta;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = deltas_.find(dataset);
+    if (it == deltas_.end()) {
+      return Status::FailedPrecondition("streaming not enabled for " + dataset);
+    }
+    delta = it->second;
+  }
+  delta->AppendRows(rows);
+  return Status::OK();
+}
+
+std::shared_ptr<const DeltaBuffer> SketchStore::Delta(
+    const std::string& dataset) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = deltas_.find(dataset);
+  return it == deltas_.end() ? nullptr : it->second;
+}
+
+std::vector<std::pair<std::string, DeltaBufferStats>> SketchStore::DeltaStats()
+    const {
+  std::vector<std::pair<std::string, DeltaBufferStats>> out;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  out.reserve(deltas_.size());
+  for (const auto& [dataset, delta] : deltas_) {
+    out.emplace_back(dataset, delta->Stats());
+  }
+  return out;
 }
 
 void SketchStore::NoteServed(const ServeKey& key, size_t answers) const {
@@ -193,14 +292,15 @@ std::vector<SketchListing> SketchStore::List() const {
   std::vector<SketchListing> out;
   for (const auto& [key, versions] : sketches_) {
     for (auto vit = versions.rbegin(); vit != versions.rend(); ++vit) {
+      const NeuroSketch& sk = *vit->second.sketch;
       SketchListing l;
       l.key = key;
       l.version = vit->first;
-      l.size_bytes = vit->second->SizeBytes();
-      l.resident_bytes = vit->second->ResidentBytes();
-      l.num_partitions = vit->second->num_partitions();
-      l.compiled = vit->second->compiled();
-      l.precision = vit->second->plan_precision();
+      l.size_bytes = sk.SizeBytes();
+      l.resident_bytes = sk.ResidentBytes();
+      l.num_partitions = sk.num_partitions();
+      l.compiled = sk.compiled();
+      l.precision = sk.plan_precision();
       out.push_back(std::move(l));
     }
   }

@@ -19,6 +19,7 @@
 #include "core/neurosketch.h"
 #include "query/engine.h"
 #include "query/query.h"
+#include "serve/delta_buffer.h"
 #include "util/buffer_pool.h"
 #include "util/status.h"
 
@@ -71,6 +72,23 @@ struct SketchListing {
   bool paged = false;
 };
 
+/// \brief What the serving path needs for one answer, resolved in one
+/// lookup: the latest sketch version, that version's per-leaf delta fold
+/// watermarks, and the dataset's delta buffer. The (sketch, leaf_folded)
+/// pair is copied from one map slot under the store lock, so the two can
+/// never be observed mid-swap: a refresh registers them together and a
+/// reader sees either the old pair or the new pair.
+struct ServedView {
+  std::shared_ptr<const NeuroSketch> sketch;
+  /// Per-leaf fold watermark: delta rows below leaf_folded[leaf_id] are
+  /// already baked into this version's leaf model and must NOT be
+  /// corrected again. nullptr = nothing folded (watermark 0 everywhere).
+  std::shared_ptr<const std::vector<uint64_t>> leaf_folded;
+  /// The dataset's streaming delta, nullptr when streaming is not
+  /// enabled for the dataset.
+  std::shared_ptr<const DeltaBuffer> delta;
+};
+
 /// \brief Knobs for attaching a paged catalog to a store.
 struct PagedCatalogOptions {
   /// Resident-byte budget shared by every paged sketch in this store
@@ -90,11 +108,13 @@ class SketchStore {
 
   /// \brief Register a sketch under (dataset, spec) with an explicit
   /// version; version 0 means "one past the current latest". Re-registering
-  /// an existing version replaces it. Returns the version actually used.
-  Result<uint64_t> Register(const std::string& dataset,
-                            const QueryFunctionSpec& spec,
-                            std::shared_ptr<const NeuroSketch> sketch,
-                            uint64_t version = 0);
+  /// an existing version replaces it. `leaf_folded` records how many delta
+  /// rows each leaf's model already reflects (see ServedView); it swaps in
+  /// atomically with the sketch. Returns the version actually used.
+  Result<uint64_t> Register(
+      const std::string& dataset, const QueryFunctionSpec& spec,
+      std::shared_ptr<const NeuroSketch> sketch, uint64_t version = 0,
+      std::shared_ptr<const std::vector<uint64_t>> leaf_folded = nullptr);
   Result<uint64_t> Register(const std::string& dataset,
                             const QueryFunctionSpec& spec,
                             NeuroSketch sketch, uint64_t version = 0);
@@ -134,6 +154,34 @@ class SketchStore {
   std::shared_ptr<const NeuroSketch> Lookup(const ServeKey& key,
                                             uint64_t version) const;
 
+  /// \brief The streaming serving view: latest sketch + its fold
+  /// watermarks + the dataset's delta buffer, read consistently under one
+  /// shared lock (paged fault-in happens off-lock as in Lookup). The
+  /// sketch is nullptr when none is registered; the delta is nullptr when
+  /// streaming is not enabled for the dataset.
+  ServedView LookupServed(const ServeKey& key) const;
+
+  /// \brief Turn on streaming ingest for a dataset: creates its (empty)
+  /// delta buffer with `num_columns` matching the base table. Idempotent;
+  /// InvalidArgument when already enabled with a different column count.
+  Status EnableStreaming(const std::string& dataset, size_t num_columns,
+                         size_t chunk_rows = 1024);
+
+  /// \brief Append one row / a batch of rows to a dataset's delta buffer.
+  /// FailedPrecondition when streaming was not enabled. Thread-safe;
+  /// appended rows become visible to in-flight serving exactly (readers
+  /// pick them up on their next delta snapshot).
+  Status Append(const std::string& dataset, const std::vector<double>& row);
+  Status AppendRows(const std::string& dataset,
+                    const std::vector<std::vector<double>>& rows);
+
+  /// \brief A dataset's delta buffer, or nullptr when streaming is off.
+  std::shared_ptr<const DeltaBuffer> Delta(const std::string& dataset) const;
+
+  /// \brief Per-dataset delta counters for the metric export, sorted by
+  /// dataset name. Empty when no dataset streams.
+  std::vector<std::pair<std::string, DeltaBufferStats>> DeltaStats() const;
+
   /// \brief Serving heat for the eviction policy: credit `answers`
   /// delivered from this key's sketch. No-op for non-paged keys.
   void NoteServed(const ServeKey& key, size_t answers) const;
@@ -167,13 +215,23 @@ class SketchStore {
     std::shared_ptr<const PagedCatalogReader> reader;
   };
 
+  /// One registered version: the sketch plus the delta fold watermarks it
+  /// was registered with. Living in one map slot is what makes the
+  /// refresh swap atomic for readers.
+  struct VersionEntry {
+    std::shared_ptr<const NeuroSketch> sketch;
+    std::shared_ptr<const std::vector<uint64_t>> leaf_folded;
+  };
+
   std::shared_ptr<const NeuroSketch> FaultIn(const ServeKey& key,
                                              const PagedEntry& pe) const;
 
   mutable std::shared_mutex mu_;
-  std::map<ServeKey, std::map<uint64_t, std::shared_ptr<const NeuroSketch>>>
-      sketches_;
+  std::map<ServeKey, std::map<uint64_t, VersionEntry>> sketches_;
   std::map<std::string, const ExactEngine*> engines_;
+  /// Per-dataset streaming delta buffers (DeltaBuffer is internally
+  /// thread-safe; the store lock only guards the map itself).
+  std::map<std::string, std::shared_ptr<DeltaBuffer>> deltas_;
   std::map<ServeKey, PagedEntry> paged_;
   // Created by the first AttachPagedCatalog, never destroyed after —
   // Lookup reads the raw pointer under mu_ then faults in without it.

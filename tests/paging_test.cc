@@ -251,6 +251,7 @@ TEST(ResidentBytesTest, ReleaseTrainerFreesExactlyTheDelta) {
   NeuroSketch& ns = sk.value();
 
   const std::vector<double> before = ns.AnswerBatch(b.probes);
+  const double scalar_before = ns.AnswerScalar(b.probes.front());
   ASSERT_TRUE(ns.trainer_resident());
   const size_t full = ns.ResidentBytes();
   const size_t disk = ns.SizeBytes();
@@ -265,7 +266,10 @@ TEST(ResidentBytesTest, ReleaseTrainerFreesExactlyTheDelta) {
   ExpectBitIdentical(before, ns.AnswerBatch(b.probes));
   const double scalar = ns.AnswerScalar(b.probes.front());
   EXPECT_TRUE(ns.trainer_resident());  // lazy rebuild happened
-  EXPECT_EQ(std::memcmp(&scalar, &before.front(), sizeof(double)), 0);
+  // The rebuilt trainer reproduces the pre-release scalar answer
+  // bit-exactly in every tier (scalar == compiled only holds for f64,
+  // where inference_plan_test already pins it).
+  EXPECT_EQ(std::memcmp(&scalar, &scalar_before, sizeof(double)), 0);
 }
 
 TEST(ResidentBytesTest, ReleaseAndEnsureTierRoundTrip) {

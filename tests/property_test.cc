@@ -2,18 +2,27 @@
 // wide parameter ranges rather than single hand-picked cases.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
+#include <sstream>
 #include <tuple>
 
 #include "baselines/spn.h"
 #include "baselines/tree_agg.h"
+#include "core/drift.h"
 #include "core/neurosketch.h"
 #include "data/datasets.h"
 #include "data/generators.h"
+#include "data/normalizer.h"
 #include "index/kdtree.h"
 #include "query/engine.h"
 #include "query/predicate.h"
 #include "query/workload.h"
+#include "serve/delta_buffer.h"
+#include "serve/refresh.h"
+#include "serve/serve_engine.h"
+#include "serve/sketch_store.h"
 #include "util/stats.h"
 
 namespace neurosketch {
@@ -308,6 +317,184 @@ TEST(RangeMonotonicityTest, CountGrowsWithRange) {
     }
   }
 }
+
+// ---------------------------------------------------------------------
+// Randomized streaming trial: over seeded random append batches and
+// refresh points, every served answer must equal the composition contract
+// recomputed independently from the store's own served view — COUNT is
+// the sketch answer plus the exact match count of the UNFOLDED delta rows
+// (per-leaf fold watermarks honored), AVG is the exact merged answer when
+// any unfolded row matches and the untouched sketch answer otherwise.
+// After each refresh pass the served sketch must keep SizeBytes() equal
+// to its serialized size (partial retrains don't break the accounting).
+class StreamingTrialSweep : public testing::TestWithParam<int> {};
+
+TEST_P(StreamingTrialSweep, ServeMatchesRecomputedComposition) {
+  const int trial = GetParam();
+  Rng rng(4000 + trial);
+  Dataset ds = MakeGmmDataset(900 + rng.Index(600), 3, 3, 4100 + trial);
+  Table base = Normalizer::Fit(ds.table).Transform(ds.table);
+  const size_t d = base.num_columns();
+  ExactEngine engine(&base);
+  const QueryFunctionSpec count = AxisSpec(Aggregate::kCount, ds.measure_col);
+  const QueryFunctionSpec avg = AxisSpec(Aggregate::kAvg, ds.measure_col);
+
+  WorkloadConfig wc;
+  wc.num_active = 2;
+  wc.range_frac_lo = 0.2;
+  wc.range_frac_hi = 0.5;
+  wc.seed = 4200 + trial;
+  WorkloadGenerator gen(d, wc);
+  const auto train_q = gen.GenerateMany(400, &engine, &count);
+  NeuroSketchConfig cfg;
+  cfg.tree_height = 2;
+  cfg.target_partitions = 4;
+  cfg.n_layers = 4;
+  cfg.l_first = 32;
+  cfg.l_rest = 16;
+  cfg.train.epochs = 120;
+  auto count_sk =
+      NeuroSketch::Train(train_q, engine.AnswerBatch(count, train_q), cfg);
+  auto avg_sk =
+      NeuroSketch::Train(train_q, engine.AnswerBatch(avg, train_q), cfg);
+  ASSERT_TRUE(count_sk.ok() && avg_sk.ok());
+
+  serve::SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", &engine).ok());
+  ASSERT_TRUE(store
+                  .Register("gmm", count,
+                            std::make_shared<const NeuroSketch>(
+                                std::move(count_sk).value()))
+                  .ok());
+  ASSERT_TRUE(store
+                  .Register("gmm", avg,
+                            std::make_shared<const NeuroSketch>(
+                                std::move(avg_sk).value()))
+                  .ok());
+  ASSERT_TRUE(store.EnableStreaming("gmm", d).ok());
+
+  serve::ServeOptions so;
+  so.num_shards = 2;
+  so.batch_window_us = 0.0;
+  serve::ServeEngine serve(&store, so);
+
+  // Refresh managed for the COUNT store only; no serve engine attached so
+  // a failure streak never demotes (serving state stays sketch-backed and
+  // the expected composition below is well-defined all trial long).
+  WorkloadConfig pc = wc;
+  pc.seed = 4300 + trial;
+  WorkloadGenerator pgen(d, pc);
+  DriftPolicy policy;
+  policy.max_normalized_mae = 0.3;
+  serve::RefreshController ctrl(&store, nullptr);
+  const auto probes = pgen.GenerateMany(60, &engine, &count);
+  // Retrain on the train set plus the probes: the validation gate
+  // re-checks the probes, and a retrained leaf must be able to fit them.
+  std::vector<QueryInstance> retrain_q = train_q;
+  retrain_q.insert(retrain_q.end(), probes.begin(), probes.end());
+  ctrl.AddTarget({"gmm", DriftMonitor(count, probes, policy), cfg,
+                  std::move(retrain_q)});
+
+  // Mirror of everything appended, in order: the independent ground truth.
+  Table merged = base;
+  const serve::ServeKey count_key = serve::ServeKey::From("gmm", count);
+  const serve::ServeKey avg_key = serve::ServeKey::From("gmm", avg);
+
+  // Unfolded exact match count for `q` against the served view of `key`.
+  const auto unfolded_matches = [&](const serve::ServeKey& key,
+                                    const QueryInstance& q) {
+    const serve::ServedView view = store.LookupServed(key);
+    const serve::DeltaBuffer::Snapshot snap = view.delta->Snap();
+    size_t from = snap.begin();
+    const auto* leaf = view.sketch->tree().Route(q);
+    if (view.leaf_folded != nullptr && leaf != nullptr && leaf->leaf_id >= 0 &&
+        static_cast<size_t>(leaf->leaf_id) < view.leaf_folded->size()) {
+      from = std::max(from,
+                      static_cast<size_t>((*view.leaf_folded)[leaf->leaf_id]));
+    }
+    size_t matched = 0;
+    snap.ForEachRow(from, snap.end(), [&](const double* row) {
+      if (count.predicate->Matches(q, row, d)) ++matched;
+    });
+    return matched;
+  };
+
+  WorkloadConfig qc = wc;
+  qc.seed = 4400 + trial;
+  WorkloadGenerator qgen(d, qc);
+  size_t swaps_seen = 0;
+  for (int round = 0; round < 5; ++round) {
+    // Random append batch: a concentrated cluster (real drift, so refresh
+    // passes genuinely swap) mixed with jittered copies of base rows.
+    const size_t batch = 100 + rng.Index(200);
+    for (size_t i = 0; i < batch; ++i) {
+      std::vector<double> row(d);
+      if (rng.Bernoulli(0.7)) {
+        for (size_t c = 0; c < d; ++c) row[c] = rng.Uniform(0.25, 0.75);
+      } else {
+        const size_t src = rng.Index(base.num_rows());
+        for (size_t c = 0; c < d; ++c) {
+          row[c] = std::min(
+              1.0, std::max(0.0, base.at(src, c) + rng.Uniform(-0.15, 0.15)));
+        }
+      }
+      ASSERT_TRUE(store.Append("gmm", row).ok());
+      ASSERT_TRUE(merged.AppendRow(row).ok());
+    }
+
+    // Random refresh point: the pass may skip, swap, or fail validation —
+    // the serve contract must hold identically in every case.
+    if (rng.Bernoulli(0.6)) {
+      auto out = ctrl.RefreshNow("gmm", count);
+      ASSERT_TRUE(out.ok()) << out.status().ToString();
+      if (out.value().swapped) ++swaps_seen;
+      GTEST_LOG_(INFO) << "trial " << trial << " round " << round
+                       << " refresh: pre=" << out.value().pre_mae
+                       << " post=" << out.value().post_mae
+                       << " retrained=" << out.value().retrained
+                       << " swapped=" << out.value().swapped
+                       << " failed=" << out.value().failed << " "
+                       << out.value().message;
+    }
+
+    ExactEngine merged_engine(&merged);
+    for (const auto& q : qgen.GenerateMany(10, &engine, &count)) {
+      const serve::ServedView cview = store.LookupServed(count_key);
+      const size_t cm = unfolded_matches(count_key, q);
+      const double count_got = serve.Answer("gmm", count, q).value;
+      EXPECT_EQ(count_got,
+                cview.sketch->Answer(q) + static_cast<double>(cm))
+          << "trial " << trial << " round " << round;
+      const serve::ServedView aview = store.LookupServed(avg_key);
+      const size_t am = unfolded_matches(avg_key, q);
+      const serve::ServeResult avg_got = serve.Answer("gmm", avg, q);
+      if (am > 0) {
+        EXPECT_FALSE(avg_got.used_sketch);
+        EXPECT_EQ(avg_got.value, merged_engine.Answer(avg, q))
+            << "trial " << trial << " round " << round;
+      } else {
+        EXPECT_TRUE(avg_got.used_sketch);
+        EXPECT_EQ(avg_got.value, aview.sketch->Answer(q))
+            << "trial " << trial << " round " << round;
+      }
+    }
+
+    // The served sketch's storage accounting survives partial retrains.
+    const auto served = store.Lookup(count_key);
+    ASSERT_NE(served, nullptr);
+    std::stringstream buf;
+    ASSERT_TRUE(served->SaveTo(&buf).ok());
+    EXPECT_EQ(buf.str().size(), served->SizeBytes())
+        << "trial " << trial << " round " << round;
+  }
+  // Not asserted (drift is random), but useful when a sweep goes quiet.
+  if (swaps_seen == 0) {
+    GTEST_LOG_(INFO) << "trial " << trial << ": no refresh pass swapped";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, StreamingTrialSweep,
+                         testing::Values(0, 1, 2));
 
 // COUNT of a range equals the sum of COUNTs of a partition of that range.
 TEST(RangeAdditivityTest, CountIsAdditiveOverSplits) {

@@ -1,0 +1,1052 @@
+// Streaming ingest + drift-driven online refresh: the concurrency/fault
+// battery. Covers the DeltaBuffer publish/snapshot/trim contract, exact
+// delta composition against a from-scratch scan for every aggregate, the
+// RetrainLeaves bit-identity contract, leaf-granular drift attribution,
+// fault-injected refreshes (exception and out-of-bound validation), the
+// int8->f32->f64 tier chain during retrain, NaN-probe accounting in
+// DriftMonitor, and an 8-thread serve+append+refresh race (run under TSan
+// in CI next to shard_test/paging_test).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/drift.h"
+#include "core/neurosketch.h"
+#include "data/datasets.h"
+#include "data/normalizer.h"
+#include "query/engine.h"
+#include "query/predicate.h"
+#include "query/workload.h"
+#include "serve/delta_buffer.h"
+#include "serve/refresh.h"
+#include "serve/serve_engine.h"
+#include "serve/sketch_store.h"
+#include "util/random.h"
+
+namespace neurosketch {
+namespace {
+
+using serve::DeltaBuffer;
+using serve::RefreshController;
+using serve::RefreshOptions;
+using serve::RefreshOutcome;
+using serve::RefreshTarget;
+using serve::ServeEngine;
+using serve::ServeKey;
+using serve::ServeOptions;
+using serve::ServeResult;
+using serve::SketchStore;
+
+QueryFunctionSpec AxisSpec(Aggregate agg, size_t measure) {
+  QueryFunctionSpec spec;
+  spec.predicate = AxisRangePredicate::Make();
+  spec.agg = agg;
+  spec.measure_col = measure;
+  return spec;
+}
+
+NeuroSketchConfig SmallConfig() {
+  NeuroSketchConfig cfg;
+  cfg.tree_height = 2;
+  cfg.target_partitions = 4;
+  cfg.n_layers = 3;
+  cfg.l_first = 16;
+  cfg.l_rest = 8;
+  cfg.train.epochs = 30;
+  return cfg;
+}
+
+/// Bit-exact clone through the serialization round-trip (NeuroSketch is
+/// move-only).
+NeuroSketch CloneSketch(const NeuroSketch& s) {
+  std::stringstream buf;
+  Status st = s.SaveTo(&buf);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  auto loaded = NeuroSketch::LoadFrom(&buf);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  return std::move(loaded).value();
+}
+
+/// Count of `rows` matching (spec, q) — the reference delta correction.
+size_t MatchCount(const std::vector<std::vector<double>>& rows,
+                  const QueryFunctionSpec& spec, const QueryInstance& q) {
+  size_t n = 0;
+  for (const auto& r : rows) {
+    if (spec.predicate->Matches(q, r.data(), r.size())) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------
+// DeltaBuffer unit contract.
+
+TEST(DeltaBufferTest, AppendSnapshotTrimKeepLogicalIndicesStable) {
+  DeltaBuffer buf(2, /*chunk_rows=*/4);
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_TRUE(buf.Snap().empty());
+  for (int i = 0; i < 10; ++i) {
+    buf.Append({static_cast<double>(i), 0.5 * i});
+  }
+  EXPECT_EQ(buf.size(), 10u);
+
+  DeltaBuffer::Snapshot snap = buf.Snap();
+  EXPECT_EQ(snap.begin(), 0u);
+  EXPECT_EQ(snap.end(), 10u);
+  size_t seen = 0;
+  snap.ForEachRow(0, 100, [&](const double* row) {
+    EXPECT_DOUBLE_EQ(row[0], static_cast<double>(seen));
+    EXPECT_DOUBLE_EQ(row[1], 0.5 * seen);
+    ++seen;
+  });
+  EXPECT_EQ(seen, 10u);
+
+  // Trim drops whole chunks only (chunk_rows=4): asking for min_keep=6
+  // drops exactly rows [0,4).
+  EXPECT_EQ(buf.Trim(6), 4u);
+  EXPECT_EQ(buf.trimmed(), 4u);
+  EXPECT_EQ(buf.size(), 10u);  // logical count is monotone
+  DeltaBuffer::Snapshot after = buf.Snap();
+  EXPECT_EQ(after.begin(), 4u);
+  size_t idx = 4;
+  after.ForEachRow(0, 100, [&](const double* row) {
+    EXPECT_DOUBLE_EQ(row[0], static_cast<double>(idx));
+    ++idx;
+  });
+  EXPECT_EQ(idx, 10u);
+
+  // The pre-trim snapshot pins its chunks: trimmed rows stay readable.
+  seen = 0;
+  snap.ForEachRow(0, 10, [&](const double*) { ++seen; });
+  EXPECT_EQ(seen, 10u);
+
+  const auto stats = buf.Stats();
+  EXPECT_EQ(stats.rows, 6u);
+  EXPECT_EQ(stats.trimmed_rows, 4u);
+  EXPECT_EQ(stats.appends, 10u);
+}
+
+TEST(DeltaBufferTest, ConcurrentAppendersPublishOnlyWholeRows) {
+  DeltaBuffer buf(3, /*chunk_rows=*/8);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&buf, w] {
+      for (int i = 0; i < 400; ++i) {
+        const double v = 1.0 + w * 1000 + i;
+        buf.Append({v, 2.0 * v, 3.0 * v});
+      }
+    });
+  }
+  // Readers must never observe a half-written row: every published row is
+  // internally consistent (release/acquire on the size).
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      DeltaBuffer::Snapshot snap = buf.Snap();
+      snap.ForEachRow(snap.begin(), snap.end(), [](const double* row) {
+        ASSERT_GT(row[0], 0.0);
+        ASSERT_DOUBLE_EQ(row[1], 2.0 * row[0]);
+        ASSERT_DOUBLE_EQ(row[2], 3.0 * row[0]);
+      });
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(buf.size(), 1200u);
+}
+
+// ---------------------------------------------------------------------
+// Composition exactness, exact path: with no sketch registered, every
+// served answer over a streaming dataset must be BIT-IDENTICAL to a
+// from-scratch exact scan of the appended table, for every aggregate —
+// including the order-dependent ones (Welford STD, MEDIAN).
+
+class StreamingExactSweep : public testing::TestWithParam<Aggregate> {};
+
+TEST_P(StreamingExactSweep, ServeEqualsFromScratchScanOfAppendedTable) {
+  const Aggregate agg = GetParam();
+  Dataset ds = MakeGmmDataset(1200, 3, 3, /*seed=*/41);
+  Table base = Normalizer::Fit(ds.table).Transform(ds.table);
+  const QueryFunctionSpec spec = AxisSpec(agg, ds.measure_col);
+  ExactEngine engine(&base);
+
+  WorkloadConfig wc;
+  wc.num_active = 2;
+  wc.range_frac_lo = 0.1;
+  wc.range_frac_hi = 0.4;
+  wc.seed = 611 + static_cast<uint64_t>(agg);
+  WorkloadGenerator gen(base.num_columns(), wc);
+  const auto queries = gen.GenerateMany(30, &engine, &spec);
+
+  // Appended rows: jittered copies of base rows, so predicates match a
+  // healthy share of them.
+  Rng rng(77);
+  std::vector<std::vector<double>> appended;
+  for (int i = 0; i < 250; ++i) {
+    std::vector<double> row(base.num_columns());
+    const size_t src = rng.Index(base.num_rows());
+    for (size_t c = 0; c < base.num_columns(); ++c) {
+      row[c] = std::clamp(base.at(src, c) + rng.Uniform(-0.05, 0.05), 0.0, 1.0);
+    }
+    appended.push_back(std::move(row));
+  }
+
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", &engine).ok());
+  ASSERT_TRUE(store.EnableStreaming("gmm", base.num_columns()).ok());
+  ASSERT_TRUE(store.AppendRows("gmm", appended).ok());
+
+  Table merged = base;
+  for (const auto& r : appended) ASSERT_TRUE(merged.AppendRow(r).ok());
+  ExactEngine merged_engine(&merged);
+
+  ServeOptions so;
+  so.num_shards = 2;
+  so.batch_window_us = 0.0;
+  ServeEngine serve(&store, so);
+  size_t with_delta_effect = 0;
+  for (const auto& q : queries) {
+    const ServeResult got = serve.Answer("gmm", spec, q);
+    const double want = merged_engine.Answer(spec, q);
+    EXPECT_FALSE(got.used_sketch);
+    if (std::isnan(want)) {
+      EXPECT_TRUE(std::isnan(got.value));
+    } else {
+      EXPECT_EQ(got.value, want) << AggregateName(agg);
+    }
+    if (want != engine.Answer(spec, q)) ++with_delta_effect;
+  }
+  // The sweep must actually exercise the delta, not vacuously pass.
+  EXPECT_GT(with_delta_effect, 0u) << AggregateName(agg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAggregates, StreamingExactSweep,
+    testing::Values(Aggregate::kCount, Aggregate::kSum, Aggregate::kAvg,
+                    Aggregate::kStd, Aggregate::kMedian, Aggregate::kMin,
+                    Aggregate::kMax),
+    [](const testing::TestParamInfo<Aggregate>& info) {
+      return AggregateName(info.param);
+    });
+
+// ---------------------------------------------------------------------
+// Composition on the sketch path: decomposable aggregates stay on the
+// sketch and gain an exact scalar correction; non-decomposable aggregates
+// with matching unfolded rows are recomputed exactly; queries the delta
+// does not touch serve the untouched sketch answer bit-for-bit.
+
+TEST(StreamingSketchPathTest, DecomposableCorrectedNonDecomposableExact) {
+  Dataset ds = MakeGmmDataset(1500, 3, 3, /*seed=*/52);
+  Table base = Normalizer::Fit(ds.table).Transform(ds.table);
+  ExactEngine engine(&base);
+  const QueryFunctionSpec count_spec = AxisSpec(Aggregate::kCount, ds.measure_col);
+  const QueryFunctionSpec avg_spec = AxisSpec(Aggregate::kAvg, ds.measure_col);
+
+  NeuroSketchConfig cfg = SmallConfig();
+  WorkloadConfig wc;
+  wc.num_active = 2;
+  wc.seed = 7;
+  WorkloadGenerator gen(base.num_columns(), wc);
+  const auto train_q = gen.GenerateMany(400, &engine, &count_spec);
+
+  auto count_sketch = NeuroSketch::Train(
+      train_q, engine.AnswerBatch(count_spec, train_q), cfg);
+  ASSERT_TRUE(count_sketch.ok()) << count_sketch.status().ToString();
+  auto avg_sketch =
+      NeuroSketch::Train(train_q, engine.AnswerBatch(avg_spec, train_q), cfg);
+  ASSERT_TRUE(avg_sketch.ok()) << avg_sketch.status().ToString();
+
+  auto count_sp = std::make_shared<const NeuroSketch>(
+      std::move(count_sketch).value());
+  auto avg_sp =
+      std::make_shared<const NeuroSketch>(std::move(avg_sketch).value());
+
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", &engine).ok());
+  ASSERT_TRUE(store.Register("gmm", count_spec, count_sp).ok());
+  ASSERT_TRUE(store.Register("gmm", avg_spec, avg_sp).ok());
+  ASSERT_TRUE(store.EnableStreaming("gmm", base.num_columns()).ok());
+
+  // Appends clustered in the middle of the domain so some queries match
+  // delta rows and others provably match none.
+  Rng rng(88);
+  std::vector<std::vector<double>> appended;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> row(base.num_columns());
+    for (size_t c = 0; c < base.num_columns(); ++c) {
+      row[c] = rng.Uniform(0.45, 0.55);
+    }
+    appended.push_back(std::move(row));
+  }
+  ASSERT_TRUE(store.AppendRows("gmm", appended).ok());
+
+  Table merged = base;
+  for (const auto& r : appended) ASSERT_TRUE(merged.AppendRow(r).ok());
+  ExactEngine merged_engine(&merged);
+
+  WorkloadConfig qc = wc;
+  qc.seed = 901;
+  WorkloadGenerator qgen(base.num_columns(), qc);
+  const auto queries = qgen.GenerateMany(40, &engine, &count_spec);
+
+  ServeOptions so;
+  so.num_shards = 2;
+  so.batch_window_us = 0.0;
+  ServeEngine serve(&store, so);
+
+  size_t corrected = 0, exact_recomputed = 0, untouched = 0;
+  for (const auto& q : queries) {
+    const size_t matched = MatchCount(appended, count_spec, q);
+    // COUNT (decomposable): serve answer == sketch answer + exact delta
+    // match count, bit-for-bit, and the answer stays a sketch answer.
+    const ServeResult c = serve.Answer("gmm", count_spec, q);
+    EXPECT_TRUE(c.used_sketch);
+    EXPECT_EQ(c.value,
+              count_sp->Answer(q) + static_cast<double>(matched));
+    // AVG (non-decomposable): with matching delta rows the serve answer
+    // is recomputed exactly over base+delta; with none it is the sketch
+    // answer untouched.
+    const ServeResult a = serve.Answer("gmm", avg_spec, q);
+    if (matched > 0) {
+      EXPECT_FALSE(a.used_sketch);
+      EXPECT_EQ(a.value, merged_engine.Answer(avg_spec, q));
+      ++exact_recomputed;
+      ++corrected;
+    } else {
+      EXPECT_TRUE(a.used_sketch);
+      EXPECT_EQ(a.value, avg_sp->Answer(q));
+      ++untouched;
+    }
+  }
+  EXPECT_GT(corrected, 0u);
+  EXPECT_GT(exact_recomputed, 0u);
+  EXPECT_GT(untouched, 0u);
+
+  const auto stats = serve.Snapshot();
+  EXPECT_GT(stats.delta_corrected_answers, 0u);
+  EXPECT_EQ(stats.delta_exact_answers, exact_recomputed);
+}
+
+// Tier coverage: the composition contract holds regardless of the active
+// precision tier — the correction applies to whatever the tier answered.
+TEST(StreamingSketchPathTest, CompositionHoldsOnNarrowTiers) {
+  Dataset ds = MakeGmmDataset(1200, 3, 3, /*seed=*/53);
+  Table base = Normalizer::Fit(ds.table).Transform(ds.table);
+  ExactEngine engine(&base);
+  const QueryFunctionSpec spec = AxisSpec(Aggregate::kCount, ds.measure_col);
+
+  WorkloadConfig wc;
+  wc.num_active = 2;
+  wc.seed = 8;
+  WorkloadGenerator gen(base.num_columns(), wc);
+  const auto train_q = gen.GenerateMany(400, &engine, &spec);
+  const auto train_a = engine.AnswerBatch(spec, train_q);
+
+  for (PlanPrecision req : {PlanPrecision::kF32, PlanPrecision::kInt8}) {
+    NeuroSketchConfig cfg = SmallConfig();
+    cfg.plan_precision = req;
+    auto sk = NeuroSketch::Train(train_q, train_a, cfg);
+    ASSERT_TRUE(sk.ok()) << sk.status().ToString();
+    auto sp = std::make_shared<const NeuroSketch>(std::move(sk).value());
+
+    SketchStore store;
+    ASSERT_TRUE(store.RegisterDataset("gmm", &engine).ok());
+    ASSERT_TRUE(store.Register("gmm", spec, sp).ok());
+    ASSERT_TRUE(store.EnableStreaming("gmm", base.num_columns()).ok());
+    std::vector<std::vector<double>> appended;
+    Rng rng(99);
+    for (int i = 0; i < 120; ++i) {
+      std::vector<double> row(base.num_columns());
+      for (size_t c = 0; c < base.num_columns(); ++c) {
+        row[c] = rng.Uniform(0.4, 0.6);
+      }
+      appended.push_back(std::move(row));
+    }
+    ASSERT_TRUE(store.AppendRows("gmm", appended).ok());
+
+    ServeOptions so;
+    so.num_shards = 1;
+    so.batch_window_us = 0.0;
+    ServeEngine serve(&store, so);
+    WorkloadConfig qc = wc;
+    qc.seed = 902;
+    WorkloadGenerator qgen(base.num_columns(), qc);
+    for (const auto& q : qgen.GenerateMany(20, &engine, &spec)) {
+      const ServeResult got = serve.Answer("gmm", spec, q);
+      EXPECT_TRUE(got.used_sketch);
+      EXPECT_EQ(got.value,
+                sp->Answer(q) + static_cast<double>(
+                                    MatchCount(appended, spec, q)))
+          << "tier=" << PlanPrecisionName(sp->plan_precision());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// RetrainLeaves bit-identity: retraining leaf L alone must produce exactly
+// the parameters a retrain of ALL leaves (same fixed partition, same data)
+// produces for L, and must leave every other leaf's answers untouched
+// bit-for-bit. SizeBytes() == Save() stays pinned.
+
+TEST(RetrainLeavesTest, PartialRetrainBitIdenticalAndPreservesUntouched) {
+  Dataset ds = MakeGmmDataset(1500, 3, 3, /*seed=*/61);
+  Table base = Normalizer::Fit(ds.table).Transform(ds.table);
+  ExactEngine engine(&base);
+  const QueryFunctionSpec spec = AxisSpec(Aggregate::kAvg, ds.measure_col);
+  NeuroSketchConfig cfg = SmallConfig();
+
+  WorkloadConfig wc;
+  wc.num_active = 2;
+  wc.seed = 9;
+  WorkloadGenerator gen(base.num_columns(), wc);
+  const auto train_q = gen.GenerateMany(400, &engine, &spec);
+  auto trained =
+      NeuroSketch::Train(train_q, engine.AnswerBatch(spec, train_q), cfg);
+  ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+  NeuroSketch original = std::move(trained).value();
+  ASSERT_GE(original.num_partitions(), 2u);
+
+  // New data: append shifted rows, rebuild the training answers.
+  Table merged = base;
+  Rng rng(62);
+  for (int i = 0; i < 400; ++i) {
+    std::vector<double> row(base.num_columns());
+    for (size_t c = 0; c < base.num_columns(); ++c) row[c] = rng.Uniform();
+    ASSERT_TRUE(merged.AppendRow(row).ok());
+  }
+  ExactEngine merged_engine(&merged);
+  const auto new_a = merged_engine.AnswerBatch(spec, train_q);
+
+  NeuroSketch partial = CloneSketch(original);
+  NeuroSketch full = CloneSketch(original);
+  std::vector<int> all_leaves;
+  for (size_t i = 0; i < original.num_partitions(); ++i) {
+    all_leaves.push_back(static_cast<int>(i));
+  }
+  const std::vector<int> subset = {all_leaves.front()};
+  ASSERT_TRUE(partial.RetrainLeaves(subset, train_q, new_a, cfg).ok());
+  ASSERT_TRUE(full.RetrainLeaves(all_leaves, train_q, new_a, cfg).ok());
+
+  WorkloadConfig pc = wc;
+  pc.seed = 63;
+  WorkloadGenerator pgen(base.num_columns(), pc);
+  size_t on_subset = 0, off_subset = 0;
+  for (const auto& q : pgen.GenerateMany(200, &engine, &spec)) {
+    const auto* leaf = original.tree().Route(q);
+    ASSERT_NE(leaf, nullptr);
+    if (leaf->leaf_id == subset.front()) {
+      // Retrained leaf: bit-identical to the all-leaves retrain (per-leaf
+      // training is independent given the fixed partition).
+      EXPECT_EQ(partial.Answer(q), full.Answer(q));
+      ++on_subset;
+    } else {
+      // Untouched leaf: bit-identical to the original.
+      EXPECT_EQ(partial.Answer(q), original.Answer(q));
+      ++off_subset;
+    }
+  }
+  EXPECT_GT(on_subset, 0u);
+  EXPECT_GT(off_subset, 0u);
+
+  // Storage-accounting invariant survives the partial retrain.
+  const std::string path = "streaming_retrain_size_check.nsk";
+  ASSERT_TRUE(partial.Save(path).ok());
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  ASSERT_TRUE(in.good());
+  EXPECT_EQ(static_cast<size_t>(in.tellg()), partial.SizeBytes());
+  in.close();
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Drift scenario shared by the attribution and fault-injection tests: a
+// trained COUNT sketch plus appended rows constructed to match probes of
+// exactly ONE kd-tree leaf.
+
+struct DriftScenario {
+  Table base;
+  std::unique_ptr<ExactEngine> engine;
+  QueryFunctionSpec spec;
+  NeuroSketchConfig cfg;
+  std::vector<QueryInstance> train_q;
+  std::vector<QueryInstance> probes;
+  std::shared_ptr<const NeuroSketch> sketch;
+  DriftPolicy policy;
+  int target_leaf = -1;
+  std::vector<std::vector<double>> drift_rows;  // expanded (with copies)
+
+  /// Built once and shared read-only: training the sketch is the
+  /// expensive step and five tests consume the same scenario (each builds
+  /// its own store / serve engine / controller on top).
+  static const DriftScenario& Shared() {
+    static std::unique_ptr<DriftScenario> s = Make();
+    return *s;
+  }
+
+  static std::unique_ptr<DriftScenario> Make() {
+    auto s = std::make_unique<DriftScenario>();
+    Dataset ds = MakeGmmDataset(1500, 3, 3, /*seed=*/91);
+    s->base = Normalizer::Fit(ds.table).Transform(ds.table);
+    s->engine = std::make_unique<ExactEngine>(&s->base);
+    s->spec = AxisSpec(Aggregate::kCount, ds.measure_col);
+    s->cfg = SmallConfig();
+    s->cfg.n_layers = 4;
+    s->cfg.l_first = 32;
+    s->cfg.l_rest = 16;
+    s->cfg.train.epochs = 150;
+
+    WorkloadConfig wc;
+    wc.num_active = 3;  // every attribute active: probe boxes are compact
+    wc.range_frac_lo = 0.3;
+    wc.range_frac_hi = 0.6;
+    wc.seed = 17;
+    WorkloadGenerator gen(s->base.num_columns(), wc);
+    s->train_q = gen.GenerateMany(800, s->engine.get(), &s->spec);
+    auto trained = NeuroSketch::Train(
+        s->train_q, s->engine->AnswerBatch(s->spec, s->train_q), s->cfg);
+    EXPECT_TRUE(trained.ok()) << trained.status().ToString();
+    s->sketch =
+        std::make_shared<const NeuroSketch>(std::move(trained).value());
+    EXPECT_GE(s->sketch->num_partitions(), 2u);
+
+    WorkloadConfig pc = wc;
+    pc.seed = 29;
+    WorkloadGenerator pgen(s->base.num_columns(), pc);
+    s->probes = pgen.GenerateMany(120, s->engine.get(), &s->spec);
+
+    // Route the probes; pick the best-covered leaf as the drift target.
+    std::map<int, std::vector<size_t>> by_leaf;
+    for (size_t i = 0; i < s->probes.size(); ++i) {
+      const auto* leaf = s->sketch->tree().Route(s->probes[i]);
+      if (leaf != nullptr) by_leaf[leaf->leaf_id].push_back(i);
+    }
+    for (const auto& [id, members] : by_leaf) {
+      if (s->target_leaf < 0 ||
+          members.size() > by_leaf[s->target_leaf].size()) {
+        s->target_leaf = id;
+      }
+    }
+    EXPECT_GE(by_leaf[s->target_leaf].size(), 3u);
+
+    // Policy: bound well above the trained baseline, well below the
+    // injected drift. The scenario is only valid if the fresh sketch
+    // clears the bound with margin on every leaf — assert it loudly so a
+    // training regression fails here, not in a downstream refresh test.
+    s->policy.max_normalized_mae = 0.5;
+    s->policy.min_probes = 10;
+    s->policy.min_leaf_probes = 3;
+    const std::vector<double> base_truth =
+        s->engine->AnswerBatch(s->spec, s->probes);
+    const DriftReport baseline =
+        DriftMonitor(s->spec, s->probes, s->policy)
+            .CheckAgainst(*s->sketch, base_truth);
+    EXPECT_LT(baseline.normalized_mae, 0.3)
+        << "fresh sketch too inaccurate for a drift scenario";
+    for (const LeafDrift& l : baseline.per_leaf) {
+      EXPECT_LT(l.normalized_mae, 0.4) << "leaf " << l.leaf_id;
+    }
+
+    // Drift rows: a smooth distribution shift confined to ONE leaf. Seed
+    // points are centers of target-leaf probe boxes; the appended cloud is
+    // Gaussian noise around them, reject-sampled so no row matches a probe
+    // routed to any other leaf — drift attribution has a unique ground
+    // truth, and the drifted count surface stays smooth enough for the
+    // partial retrain to fit back inside the policy bound. The cloud is
+    // sized by accumulated match mass: when the added matches reach 3x the
+    // baseline truth mass S, the post-drift normalized MAE is at least
+    // 3S / (S + 3S) = 0.75 against the 0.5 bound, by construction.
+    double truth_mass = 0.0;
+    for (double t : base_truth) {
+      if (!std::isnan(t)) truth_mass += std::abs(t);
+    }
+    const size_t d = s->base.num_columns();
+    std::vector<std::vector<double>> centers;
+    for (const size_t pi : by_leaf[s->target_leaf]) {
+      const QueryInstance& p = s->probes[pi];
+      std::vector<double> row(d);
+      for (size_t c = 0; c < d; ++c) {
+        row[c] = std::clamp(p.q[c] + 0.5 * p.q[d + c], 0.0, 1.0);
+      }
+      bool clean = true;
+      for (const auto& [id, members] : by_leaf) {
+        if (id == s->target_leaf) continue;
+        for (const size_t oi : members) {
+          if (s->spec.predicate->Matches(s->probes[oi], row.data(), d)) {
+            clean = false;
+            break;
+          }
+        }
+        if (!clean) break;
+      }
+      if (clean) centers.push_back(std::move(row));
+      if (centers.size() >= 3) break;
+    }
+    EXPECT_FALSE(centers.empty()) << "no isolatable drift row found";
+    if (centers.empty()) return s;
+    const std::vector<size_t>& target_probes = by_leaf[s->target_leaf];
+    Rng noise(777);
+    double added_mass = 0.0;
+    const double goal = 3.0 * std::max(truth_mass, 1.0);
+    for (size_t iter = 0; added_mass < goal && iter < 2000000; ++iter) {
+      const std::vector<double>& center = centers[iter % centers.size()];
+      std::vector<double> row(d);
+      for (size_t c = 0; c < d; ++c) {
+        row[c] = std::clamp(center[c] + noise.Normal(0.0, 0.08), 0.0, 1.0);
+      }
+      bool clean = true;
+      for (const auto& [id, members] : by_leaf) {
+        if (id == s->target_leaf) continue;
+        for (const size_t oi : members) {
+          if (s->spec.predicate->Matches(s->probes[oi], row.data(), d)) {
+            clean = false;
+            break;
+          }
+        }
+        if (!clean) break;
+      }
+      if (!clean) continue;
+      size_t matched = 0;
+      for (const size_t pi : target_probes) {
+        if (s->spec.predicate->Matches(s->probes[pi], row.data(), d)) {
+          ++matched;
+        }
+      }
+      if (matched == 0) continue;  // harmless but useless: skip
+      added_mass += static_cast<double>(matched);
+      s->drift_rows.push_back(std::move(row));
+    }
+    EXPECT_GE(added_mass, goal) << "drift cloud could not reach the "
+                                   "target match mass";
+    return s;
+  }
+
+  RefreshTarget Target() const {
+    // Train queries include the probes so a retrained leaf can actually
+    // fit the drifted targets the validation gate re-checks.
+    std::vector<QueryInstance> tq = train_q;
+    tq.insert(tq.end(), probes.begin(), probes.end());
+    return RefreshTarget{"gmm", DriftMonitor(spec, probes, policy), cfg,
+                         std::move(tq)};
+  }
+};
+
+TEST(DriftAttributionTest, InjectedShiftFlagsOnlyTheTouchedLeaf) {
+  const DriftScenario* s = &DriftScenario::Shared();
+  ASSERT_FALSE(s->drift_rows.empty());
+
+  // Baseline: no drift recommended on the unchanged data.
+  DriftMonitor monitor(s->spec, s->probes, s->policy);
+  const DriftReport before = monitor.Check(*s->sketch, *s->engine);
+  EXPECT_TRUE(before.conclusive);
+  EXPECT_FALSE(before.retrain_recommended)
+      << "baseline normalized MAE " << before.normalized_mae;
+
+  Table merged = s->base;
+  for (const auto& r : s->drift_rows) ASSERT_TRUE(merged.AppendRow(r).ok());
+  ExactEngine merged_engine(&merged);
+  const DriftReport after = monitor.Check(*s->sketch, merged_engine);
+  EXPECT_TRUE(after.conclusive);
+  EXPECT_TRUE(after.retrain_recommended);
+  EXPECT_GT(after.normalized_mae, s->policy.max_normalized_mae);
+  const std::vector<int> stale = after.StaleLeaves();
+  ASSERT_EQ(stale.size(), 1u) << "drift bled outside the injected leaf";
+  EXPECT_EQ(stale.front(), s->target_leaf);
+}
+
+TEST(RefreshTest, RefreshRetrainsOnlyFlaggedLeafAndSwapsAtomically) {
+  const DriftScenario* s = &DriftScenario::Shared();
+  ASSERT_FALSE(s->drift_rows.empty());
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", s->engine.get()).ok());
+  ASSERT_TRUE(store.Register("gmm", s->spec, s->sketch).ok());
+  ASSERT_TRUE(store.EnableStreaming("gmm", s->base.num_columns()).ok());
+  ASSERT_TRUE(store.AppendRows("gmm", s->drift_rows).ok());
+
+  RefreshOptions ro;
+  ro.probe_threads = 0;  // hardware concurrency; batch results are thread-count invariant
+  RefreshController ctrl(&store, nullptr, ro);
+  ctrl.AddTarget(s->Target());
+
+  const ServeKey key = ServeKey::From("gmm", s->spec);
+  const auto old_sketch = store.Lookup(key);
+  auto res = ctrl.RefreshNow("gmm", s->spec);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  const RefreshOutcome out = res.value();
+  EXPECT_TRUE(out.probed);
+  EXPECT_TRUE(out.retrained);
+  EXPECT_TRUE(out.swapped) << out.message;
+  EXPECT_FALSE(out.failed);
+  ASSERT_EQ(out.stale_leaves.size(), 1u);
+  EXPECT_EQ(out.stale_leaves.front(), s->target_leaf);
+  EXPECT_EQ(out.retrained_leaves, 1u);
+  EXPECT_GT(out.pre_mae, s->policy.max_normalized_mae);
+  EXPECT_LE(out.post_mae, s->policy.max_normalized_mae);
+
+  // The swap landed: a new version serves, the old one is still pinned
+  // and usable by in-flight readers.
+  const auto view = store.LookupServed(key);
+  ASSERT_NE(view.sketch, nullptr);
+  EXPECT_NE(view.sketch.get(), old_sketch.get());
+  ASSERT_NE(view.leaf_folded, nullptr);
+  ASSERT_EQ(view.leaf_folded->size(), view.sketch->num_partitions());
+  for (size_t i = 0; i < view.leaf_folded->size(); ++i) {
+    if (static_cast<int>(i) == s->target_leaf) {
+      EXPECT_EQ((*view.leaf_folded)[i], s->drift_rows.size());
+    } else {
+      EXPECT_EQ((*view.leaf_folded)[i], 0u);
+    }
+  }
+
+  // Only the flagged leaf changed: probes routed elsewhere answer
+  // bit-identically on old and new versions.
+  size_t checked = 0;
+  for (const auto& p : s->probes) {
+    const auto* leaf = old_sketch->tree().Route(p);
+    ASSERT_NE(leaf, nullptr);
+    if (leaf->leaf_id == s->target_leaf) continue;
+    if (view.sketch->plan_precision() == PlanPrecision::kF64) {
+      EXPECT_EQ(view.sketch->Answer(p), old_sketch->Answer(p));
+    } else {
+      // Env-forced narrow tiers re-calibrate/re-validate the whole
+      // sketch over the refresh workload, so compiled narrow answers
+      // may shift on every leaf; the untouched leaves' trainable f64
+      // parameters must not — the scalar path pins that.
+      EXPECT_EQ(view.sketch->AnswerScalar(p), old_sketch->AnswerScalar(p));
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+
+  const auto stats = ctrl.Stats();
+  EXPECT_EQ(stats.runs, 1u);
+  EXPECT_EQ(stats.swaps, 1u);
+  EXPECT_EQ(stats.retrained_leaves, 1u);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection: a refresh that throws must leave the old version
+// serving and count a failure; a streak demotes the store to exact.
+
+TEST(RefreshTest, ThrowingRefreshLeavesOldVersionServingThenDemotes) {
+  const DriftScenario* s = &DriftScenario::Shared();
+  ASSERT_FALSE(s->drift_rows.empty());
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", s->engine.get()).ok());
+  ASSERT_TRUE(store.Register("gmm", s->spec, s->sketch).ok());
+  ASSERT_TRUE(store.EnableStreaming("gmm", s->base.num_columns()).ok());
+  ASSERT_TRUE(store.AppendRows("gmm", s->drift_rows).ok());
+
+  ServeOptions so;
+  so.num_shards = 2;
+  so.batch_window_us = 0.0;
+  ServeEngine serve(&store, so);
+
+  RefreshOptions ro;
+  ro.probe_threads = 0;  // hardware concurrency; batch results are thread-count invariant
+  ro.max_failures_before_demote = 2;
+  RefreshController ctrl(&store, &serve, ro);
+  ctrl.AddTarget(s->Target());
+  ctrl.SetFaultHook(
+      [](NeuroSketch*) { throw std::runtime_error("injected fault"); });
+
+  const ServeKey key = ServeKey::From("gmm", s->spec);
+  const auto old_sketch = store.Lookup(key);
+
+  auto r1 = ctrl.RefreshNow("gmm", s->spec);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_TRUE(r1.value().failed);
+  EXPECT_FALSE(r1.value().swapped);
+  EXPECT_FALSE(r1.value().demoted);
+  EXPECT_EQ(ctrl.Stats().failures, 1u);
+  // Old version still serving, answers unchanged.
+  EXPECT_EQ(store.Lookup(key).get(), old_sketch.get());
+  {
+    const ServeResult got = serve.Answer("gmm", s->spec, s->probes.front());
+    EXPECT_TRUE(got.used_sketch);
+    EXPECT_EQ(got.value,
+              old_sketch->Answer(s->probes.front()) +
+                  static_cast<double>(MatchCount(s->drift_rows, s->spec,
+                                                 s->probes.front())));
+  }
+
+  // Second failure crosses the streak: the store demotes to exact.
+  auto r2 = ctrl.RefreshNow("gmm", s->spec);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_TRUE(r2.value().failed);
+  EXPECT_TRUE(r2.value().demoted);
+  EXPECT_EQ(ctrl.Stats().failures, 2u);
+  EXPECT_EQ(ctrl.Stats().demotions, 1u);
+
+  // Demoted serving is exact over base+delta (fresh answers, no sketch).
+  Table merged = s->base;
+  for (const auto& r : s->drift_rows) ASSERT_TRUE(merged.AppendRow(r).ok());
+  ExactEngine merged_engine(&merged);
+  for (size_t i = 0; i < 5; ++i) {
+    const ServeResult got = serve.Answer("gmm", s->spec, s->probes[i]);
+    EXPECT_FALSE(got.used_sketch);
+    EXPECT_EQ(got.value, merged_engine.Answer(s->spec, s->probes[i]));
+  }
+  const auto stats = serve.Snapshot();
+  EXPECT_GE(stats.budget_trips, 1u);
+  bool found = false;
+  for (const auto& ss : stats.per_store) {
+    if (ss.store.rfind("gmm/", 0) == 0) {
+      EXPECT_TRUE(ss.demoted);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RefreshTest, OutOfBoundRetrainIsRejectedNotSwapped) {
+  const DriftScenario* s = &DriftScenario::Shared();
+  ASSERT_FALSE(s->drift_rows.empty());
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", s->engine.get()).ok());
+  ASSERT_TRUE(store.Register("gmm", s->spec, s->sketch).ok());
+  ASSERT_TRUE(store.EnableStreaming("gmm", s->base.num_columns()).ok());
+  ASSERT_TRUE(store.AppendRows("gmm", s->drift_rows).ok());
+
+  RefreshOptions ro;
+  ro.probe_threads = 0;  // hardware concurrency; batch results are thread-count invariant
+  RefreshController ctrl(&store, nullptr, ro);
+  ctrl.AddTarget(s->Target());
+  // The hook corrupts the retrained copy: every leaf re-fit against
+  // garbage targets, so the validation gate must reject the swap.
+  ctrl.SetFaultHook([s](NeuroSketch* sk) {
+    std::vector<int> all;
+    for (size_t i = 0; i < sk->num_partitions(); ++i) {
+      all.push_back(static_cast<int>(i));
+    }
+    std::vector<double> garbage(s->train_q.size(), 1e9);
+    const Status st = sk->RetrainLeaves(all, s->train_q, garbage, s->cfg);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  });
+
+  const ServeKey key = ServeKey::From("gmm", s->spec);
+  const auto old_sketch = store.Lookup(key);
+  auto res = ctrl.RefreshNow("gmm", s->spec);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res.value().retrained);
+  EXPECT_TRUE(res.value().failed);
+  EXPECT_FALSE(res.value().swapped);
+  EXPECT_GT(res.value().post_mae, s->policy.max_normalized_mae);
+  EXPECT_NE(res.value().message.find("out of bound"), std::string::npos)
+      << res.value().message;
+  EXPECT_EQ(store.Lookup(key).get(), old_sketch.get());
+  EXPECT_EQ(ctrl.Stats().failures, 1u);
+  EXPECT_EQ(ctrl.Stats().swaps, 0u);
+}
+
+// The int8 -> f32 -> f64 validation chain during retrain: impossible
+// narrow-tier bounds must fall back down the chain, not fail the refresh.
+TEST(RefreshTest, RetrainTierChainFallsBackWithoutFailing) {
+  const DriftScenario* s = &DriftScenario::Shared();
+  ASSERT_FALSE(s->drift_rows.empty());
+
+  // Rebuild the deployed sketch with an int8 request so it carries a
+  // narrow tier into the refresh.
+  NeuroSketchConfig cfg = s->cfg;
+  cfg.plan_precision = PlanPrecision::kInt8;
+  auto trained = NeuroSketch::Train(
+      s->train_q, s->engine->AnswerBatch(s->spec, s->train_q), cfg);
+  ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+  auto sp = std::make_shared<const NeuroSketch>(std::move(trained).value());
+
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", s->engine.get()).ok());
+  ASSERT_TRUE(store.Register("gmm", s->spec, sp).ok());
+  ASSERT_TRUE(store.EnableStreaming("gmm", s->base.num_columns()).ok());
+  ASSERT_TRUE(store.AppendRows("gmm", s->drift_rows).ok());
+
+  RefreshOptions ro;
+  ro.probe_threads = 0;  // hardware concurrency; batch results are thread-count invariant
+  RefreshController ctrl(&store, nullptr, ro);
+  RefreshTarget target = s->Target();
+  // Unachievable narrow-tier bounds: the retrain's re-validation must
+  // chain int8 -> f32 -> f64 and still swap successfully.
+  target.config.plan_precision = PlanPrecision::kInt8;
+  target.config.int8_error_bound = 0.0;
+  target.config.f32_error_bound = 0.0;
+  ctrl.AddTarget(std::move(target));
+
+  auto res = ctrl.RefreshNow("gmm", s->spec);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res.value().swapped) << res.value().message;
+  EXPECT_FALSE(res.value().failed);
+  const auto view = store.LookupServed(ServeKey::From("gmm", s->spec));
+  ASSERT_NE(view.sketch, nullptr);
+  EXPECT_EQ(view.sketch->plan_precision(), PlanPrecision::kF64);
+  EXPECT_FALSE(view.sketch->has_f32_plans());
+  EXPECT_FALSE(view.sketch->has_int8_plans());
+}
+
+// ---------------------------------------------------------------------
+// DriftMonitor NaN accounting: probes whose exact answer is undefined are
+// counted, not silently dropped, and an all-NaN probe set must yield an
+// inconclusive report with no retrain recommendation.
+
+TEST(DriftMonitorTest, AllNaNProbesAreCountedAndInconclusive) {
+  const DriftScenario* s = &DriftScenario::Shared();
+  DriftMonitor monitor(s->spec, s->probes, s->policy);
+
+  // Degenerate truth: every probe undefined.
+  const std::vector<double> all_nan(s->probes.size(),
+                                    std::nan(""));
+  const DriftReport r = monitor.CheckAgainst(*s->sketch, all_nan);
+  EXPECT_EQ(r.probes_used, 0u);
+  EXPECT_EQ(r.probes_skipped, s->probes.size());
+  EXPECT_FALSE(r.conclusive);
+  EXPECT_FALSE(r.retrain_recommended);
+  EXPECT_TRUE(r.per_leaf.empty());
+  EXPECT_TRUE(r.StaleLeaves().empty());
+
+  // Same through the engine path: AVG over an empty table is NaN for
+  // every probe.
+  Table empty(s->base.schema());
+  ExactEngine empty_engine(&empty);
+  const QueryFunctionSpec avg = AxisSpec(Aggregate::kAvg, s->spec.measure_col);
+  DriftMonitor avg_monitor(avg, s->probes, s->policy);
+  const DriftReport re = avg_monitor.Check(*s->sketch, empty_engine);
+  EXPECT_EQ(re.probes_used, 0u);
+  EXPECT_EQ(re.probes_skipped, s->probes.size());
+  EXPECT_FALSE(re.conclusive);
+  EXPECT_FALSE(re.retrain_recommended);
+}
+
+// ---------------------------------------------------------------------
+// The 8-thread race: concurrent submitters, appenders, a background
+// refresh loop, and a stats scraper. Run under TSan in CI. Correctness
+// here is absence of data races plus conservation of the counters.
+
+TEST(StreamingRaceTest, ServeAppendRefreshSnapshotConcurrently) {
+  const DriftScenario* s = &DriftScenario::Shared();
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", s->engine.get()).ok());
+  ASSERT_TRUE(store.Register("gmm", s->spec, s->sketch).ok());
+  ASSERT_TRUE(store.EnableStreaming("gmm", s->base.num_columns()).ok());
+  const QueryFunctionSpec avg = AxisSpec(Aggregate::kAvg, s->spec.measure_col);
+  WorkloadConfig wc;
+  wc.num_active = 2;
+  wc.seed = 404;
+  WorkloadGenerator gen(s->base.num_columns(), wc);
+  const auto avg_train = gen.GenerateMany(300, s->engine.get(), &avg);
+  auto avg_trained = NeuroSketch::Train(
+      avg_train, s->engine->AnswerBatch(avg, avg_train), s->cfg);
+  ASSERT_TRUE(avg_trained.ok());
+  ASSERT_TRUE(store
+                  .Register("gmm", avg,
+                            std::make_shared<const NeuroSketch>(
+                                std::move(avg_trained).value()))
+                  .ok());
+
+  ServeOptions so;
+  so.num_shards = 2;
+  so.batch_window_us = 20.0;
+  ServeEngine serve(&store, so);
+
+  RefreshOptions ro;
+  ro.interval_ms = 5;
+  ro.probe_threads = 0;  // hardware concurrency; batch results are thread-count invariant
+  RefreshController ctrl(&store, &serve, ro);
+  ctrl.AddTarget(s->Target());
+  ctrl.Start();
+
+  constexpr int kQueriesPerThread = 150;
+  std::atomic<size_t> submitted{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  // 4 submitters (2 per spec): answers must always be finite — the delta
+  // path composes exactly, so no NaN can appear for COUNT, and AVG
+  // queries were generated with min_matches >= 1 on the base table.
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      const QueryFunctionSpec& spec = (t % 2 == 0) ? s->spec : avg;
+      WorkloadConfig qc;
+      qc.num_active = 2;
+      qc.seed = 500 + t;
+      WorkloadGenerator qgen(s->base.num_columns(), qc);
+      auto qs = qgen.GenerateMany(kQueriesPerThread, s->engine.get(), &spec);
+      for (auto& q : qs) {
+        const ServeResult r = serve.Answer("gmm", spec, std::move(q));
+        ASSERT_TRUE(std::isfinite(r.value));
+        submitted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // 2 appenders: drift rows plus benign jittered rows.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(600 + t);
+      for (int i = 0; i < 400; ++i) {
+        if (t == 0 && !s->drift_rows.empty()) {
+          ASSERT_TRUE(
+              store.Append("gmm", s->drift_rows[i % s->drift_rows.size()])
+                  .ok());
+        } else {
+          std::vector<double> row(s->base.num_columns());
+          for (auto& v : row) v = rng.Uniform();
+          ASSERT_TRUE(store.Append("gmm", row).ok());
+        }
+      }
+    });
+  }
+  // 1 old-version pinner: holds the original shared_ptr across swaps and
+  // keeps answering on it — refresh must never invalidate it.
+  threads.emplace_back([&] {
+    const auto pinned = s->sketch;
+    size_t i = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const double v = pinned->Answer(s->probes[i % s->probes.size()]);
+      ASSERT_TRUE(std::isfinite(v));
+      ++i;
+    }
+  });
+  // 1 scraper: snapshots, delta stats, refresh stats, metric export.
+  threads.emplace_back([&] {
+    metrics::MetricsRegistry registry;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = serve.Snapshot();
+      ASSERT_LE(snap.fallback_answers + snap.sketch_answers +
+                    snap.failed_answers,
+                snap.queries + so.num_shards * so.max_batch);
+      (void)store.DeltaStats();
+      (void)ctrl.Stats();
+      serve.ExportMetrics(&registry);
+      ctrl.ExportMetrics(&registry);
+      std::this_thread::yield();
+    }
+  });
+
+  for (size_t t = 0; t < 6; ++t) threads[t].join();  // submitters+appenders
+  done.store(true, std::memory_order_release);
+  threads[6].join();
+  threads[7].join();
+  ctrl.Stop();
+
+  EXPECT_EQ(submitted.load(), 4u * kQueriesPerThread);
+  const auto stats = serve.Snapshot();
+  EXPECT_EQ(stats.queries, 4u * kQueriesPerThread);
+  EXPECT_EQ(stats.queries,
+            stats.sketch_answers + stats.fallback_answers +
+                stats.failed_answers);
+  EXPECT_EQ(stats.failed_answers, 0u);
+  const auto dstats = store.DeltaStats();
+  ASSERT_EQ(dstats.size(), 1u);
+  EXPECT_EQ(dstats[0].second.rows, 800u);
+  EXPECT_GE(ctrl.Stats().runs, 1u);
+}
+
+}  // namespace
+}  // namespace neurosketch

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Gate on the streaming arm of bench_serving_throughput: the "streaming"
+# section of BENCH_serving.json serves a drifting dataset under live
+# appends twice — refresh off and refresh on — and records, per mode,
+# whether every quiescent served answer was bit-identical to the
+# delta-composition contract (answers_match), plus the drift-probe
+# normalized MAE before and after the refresh controller ran. This
+# script fails if either mode's answers mismatched, if the post-refresh
+# MAE is not back within the drift-policy bound, if the refresh was a
+# full rebuild (the controller exists to retrain ONLY flagged leaves),
+# or if no swap happened at all (the arm is then vacuous: the injected
+# drift never crossed the bound).
+#
+# Usage: tools/check_streaming_freshness.sh [path/to/BENCH_serving.json]
+set -euo pipefail
+
+json="${1:-BENCH_serving.json}"
+
+if [[ ! -f "$json" ]]; then
+  echo "error: $json not found (run bench_serving_throughput first)" >&2
+  exit 1
+fi
+
+# Slice the streaming section so field names shared with other arms
+# (rows, answers_match) cannot cross-contaminate.
+section=$(sed -n '/"streaming": {/,/^  }/p' "$json")
+if [[ -z "$section" ]]; then
+  echo "error: no streaming section in $json" >&2
+  exit 1
+fi
+
+field() {
+  echo "$section" | grep -o "\"$1\": *[0-9.truefalse-]*" | head -1 |
+    sed 's/.*: *//'
+}
+
+bound=$(field policy_max_normalized_mae)
+drifted=$(field drifted_normalized_mae)
+post=$(field post_refresh_normalized_mae)
+swaps=$(field refresh_swaps)
+retrained=$(field retrained_leaves)
+total=$(field total_leaves)
+rebuild=$(field full_rebuild)
+lag=$(field refresh_lag_ms)
+if [[ -z "$bound" || -z "$post" || -z "$swaps" ]]; then
+  echo "error: streaming section in $json is missing fields" >&2
+  exit 1
+fi
+
+echo "drift bound ${bound}: stale ${drifted}, post-refresh ${post}," \
+  "${swaps} swap(s), ${retrained}/${total} leaves retrained," \
+  "lag ${lag} ms"
+
+rows=$(echo "$section" | grep -o '{"mode"[^}]*}')
+nrows=0
+while IFS= read -r row; do
+  nrows=$((nrows + 1))
+  mode=$(echo "$row" | grep -o '"mode": *"[a-z_]*"' | sed 's/.*"\([a-z_]*\)"$/\1/')
+  match=$(echo "$row" | grep -o '"answers_match": *[a-z]*' |
+    grep -o '[a-z]*$')
+  echo "mode ${mode}: answers_match ${match}"
+  if [[ "$match" != "true" ]]; then
+    echo "error: served answers diverged from the delta-composition" \
+      "contract in mode ${mode}" >&2
+    exit 1
+  fi
+done <<< "$rows"
+if [[ "$nrows" -lt 2 ]]; then
+  echo "error: only ${nrows} streaming mode row(s) ran (need 2)" >&2
+  exit 1
+fi
+
+if [[ "$swaps" -lt 1 ]]; then
+  echo "error: refresh never swapped a new version in — the injected" \
+    "drift did not exercise the controller" >&2
+  exit 1
+fi
+if [[ "$rebuild" != "false" ]]; then
+  echo "error: refresh retrained every leaf (${retrained} over ${swaps}" \
+    "swap(s) of ${total} leaves) — expected a partial retrain" >&2
+  exit 1
+fi
+
+# The stale sketch must actually have drifted out of bound (otherwise
+# the post-refresh check proves nothing), and the refreshed one must be
+# back inside it.
+ok=$(awk -v d="$drifted" -v b="$bound" 'BEGIN { print (d > b) ? 1 : 0 }')
+if [[ "$ok" != "1" ]]; then
+  echo "error: stale-sketch MAE ${drifted} never crossed the bound" \
+    "${bound}; the drift injection is broken" >&2
+  exit 1
+fi
+ok=$(awk -v p="$post" -v b="$bound" 'BEGIN { print (p <= b) ? 1 : 0 }')
+if [[ "$ok" != "1" ]]; then
+  echo "error: post-refresh MAE ${post} still above the drift-policy" \
+    "bound ${bound}" >&2
+  exit 1
+fi
+echo "OK (stale ${drifted} -> post-refresh ${post} <= ${bound}," \
+  "partial retrain ${retrained}/${total})"
