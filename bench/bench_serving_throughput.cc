@@ -25,8 +25,13 @@
 // arm: serving under live appends with drift-driven refresh off vs on —
 // QPS, stale-sketch vs post-refresh probe MAE against the drift policy
 // bound, refresh lag, partial-retrain accounting, and a quiescent
-// bit-identity check of the delta-composition contract (CI gates
-// freshness + answers_match via tools/check_streaming_freshness.sh).
+// bit-identity check of the delta-composition contract, and a
+// "compaction" arm: sustained appends against a swappable base table
+// with the delta folded in (explicit Compact calls vs the refresh
+// controller's threshold sweep), reporting fold/trim accounting, the
+// bounded resident delta, and mid-run bit-identity against from-scratch
+// scans (CI gates freshness + answers_match + bounded compaction via
+// tools/check_streaming_freshness.sh).
 //
 // Usage: bench_serving_throughput [out.json]
 #include <algorithm>
@@ -49,6 +54,7 @@
 #include "data/datasets.h"
 #include "data/generators.h"
 #include "data/normalizer.h"
+#include "data/streaming_table.h"
 #include "serve/refresh.h"
 #include "serve/serve_engine.h"
 #include "serve/sketch_store.h"
@@ -872,6 +878,211 @@ StreamingReport RunStreaming() {
   return rep;
 }
 
+// ---------------------------------------------------------------------------
+// Compaction arm: sustained appends with the delta folded into a swappable
+// base table. Two modes over an exact-only streaming dataset (no sketch
+// registered, so the safe fold watermark is the full delta): refresh OFF
+// calls SketchStore::Compact explicitly whenever the resident delta crosses
+// the row threshold; refresh ON leaves folding to the RefreshController's
+// sweep (compact_min_rows policy, no targets). Both modes sample served
+// answers mid-run for all seven aggregates and require them bit-identical
+// to a from-scratch scan of base + every row appended so far — across
+// however many base-table swaps compaction performed. The CI gate
+// (tools/check_streaming_freshness.sh) requires >= 1 compaction,
+// trimmed_rows > 0, answers_match, and the resident delta bounded by the
+// policy threshold instead of growing with the append history.
+
+struct CompactionModeReport {
+  uint64_t compactions = 0;   // store counter: Compact calls that folded
+  uint64_t folded_rows = 0;   // store counter: rows folded into the table
+  uint64_t trimmed_rows = 0;  // delta counter: rows dropped after folding
+  size_t peak_delta_rows = 0;   // max resident rows observed during the run
+  size_t final_delta_rows = 0;  // resident rows once the run quiesced
+  size_t final_delta_bytes = 0;
+  uint64_t table_folded = 0;  // streaming-table fold watermark at the end
+  bool delta_bounded = false;
+  bool answers_match = false;
+  size_t sampled_answers = 0;
+  double wall_seconds = 0.0;
+};
+
+struct CompactionReport {
+  bool ran = false;
+  size_t chunk_rows = 0;
+  size_t compact_min_rows = 0;
+  size_t append_rows = 0;
+  CompactionModeReport off, on;
+};
+
+CompactionReport RunCompaction() {
+  CompactionReport rep;
+  rep.chunk_rows = 64;
+  rep.compact_min_rows = 512;
+  constexpr size_t kAppendRows = 6000;
+  constexpr size_t kBatchRows = 128;
+  rep.append_rows = kAppendRows;
+
+  Dataset ds = MakeGmmDataset(1200, 3, 3, /*seed=*/51);
+  Table base = Normalizer::Fit(ds.table).Transform(ds.table);
+  const size_t d = base.num_columns();
+
+  // Append stream: jittered copies of base rows, clamped to the unit cube.
+  Rng rng(4242);
+  std::vector<std::vector<double>> stream_rows;
+  stream_rows.reserve(kAppendRows);
+  for (size_t i = 0; i < kAppendRows; ++i) {
+    const size_t src = rng.Index(base.num_rows());
+    std::vector<double> row(d);
+    for (size_t c = 0; c < d; ++c) {
+      row[c] = std::clamp(base.at(src, c) + rng.Uniform(-0.1, 0.1), 0.0, 1.0);
+    }
+    stream_rows.push_back(std::move(row));
+  }
+
+  // One spec per aggregate, all sharing the probe set below.
+  const Aggregate kAggs[] = {Aggregate::kCount, Aggregate::kSum,
+                             Aggregate::kAvg,   Aggregate::kMin,
+                             Aggregate::kMax,   Aggregate::kStd,
+                             Aggregate::kMedian};
+  std::vector<QueryFunctionSpec> specs;
+  for (const Aggregate agg : kAggs) {
+    QueryFunctionSpec s;
+    s.predicate = AxisRangePredicate::Make();
+    s.agg = agg;
+    s.measure_col = ds.measure_col;
+    specs.push_back(std::move(s));
+  }
+  ExactEngine base_engine(&base);
+  WorkloadConfig wc;
+  wc.num_active = 2;
+  wc.range_frac_lo = 0.3;
+  wc.range_frac_hi = 0.7;
+  wc.seed = 67;
+  WorkloadGenerator gen(d, wc);
+  const std::vector<QueryInstance> probes =
+      gen.GenerateMany(4, &base_engine, &specs[0]);
+  if (probes.empty()) {
+    std::fprintf(stderr, "compaction: no probe queries\n");
+    return rep;
+  }
+
+  ServeOptions sopts;
+  sopts.max_batch = 256;
+  sopts.batch_window_us = 50.0;
+
+  auto run_mode = [&](bool refresh_on, CompactionModeReport* m) {
+    StreamingTable table(base);
+    ExactEngine engine(&table);
+    SketchStore st;
+    (void)st.RegisterDataset("hot", &engine);
+    if (!st.EnableStreaming("hot", d, rep.chunk_rows).ok()) return false;
+    if (!st.AttachStreamingTable("hot", &table).ok()) return false;
+    ServeEngine serve(&st, sopts);
+    std::unique_ptr<RefreshController> ctrl;
+    if (refresh_on) {
+      RefreshOptions ro;
+      ro.interval_ms = 5;
+      ro.compact_min_rows = rep.compact_min_rows;
+      ctrl = std::make_unique<RefreshController>(&st, nullptr, ro);
+      ctrl->Start();
+    }
+
+    Table mirror = base;  // from-scratch oracle: base + all appended rows
+    size_t mismatches = 0;
+    auto sample = [&] {
+      const ExactEngine oracle(&mirror);
+      for (const QueryFunctionSpec& s : specs) {
+        for (const QueryInstance& q : probes) {
+          const double expected = oracle.Answer(s, q);
+          const double got = serve.Submit("hot", s, q).get().value;
+          if (std::memcmp(&got, &expected, sizeof(double)) != 0) {
+            ++mismatches;
+          }
+          ++m->sampled_answers;
+        }
+      }
+    };
+
+    Timer t;
+    size_t batch_no = 0;
+    for (size_t i = 0; i < kAppendRows; i += kBatchRows, ++batch_no) {
+      const size_t n = std::min(kBatchRows, kAppendRows - i);
+      std::vector<std::vector<double>> chunk(stream_rows.begin() + i,
+                                             stream_rows.begin() + i + n);
+      for (const auto& r : chunk) (void)mirror.AppendRow(r);
+      if (!st.AppendRows("hot", chunk).ok()) return false;
+      const auto dstats = st.DeltaStats();
+      if (!dstats.empty()) {
+        m->peak_delta_rows = std::max(m->peak_delta_rows,
+                                      dstats.front().second.rows);
+        if (!refresh_on &&
+            dstats.front().second.rows >= rep.compact_min_rows) {
+          if (!st.Compact("hot").ok()) return false;
+        }
+      }
+      if (refresh_on) {
+        // Pace the appends so the 5ms controller sweep interleaves with
+        // the load instead of seeing one giant post-hoc delta.
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+      if (batch_no % 8 == 0) sample();
+    }
+    if (refresh_on) {
+      // Quiesce: the controller owns folding — wait for its sweep to pull
+      // the resident delta back under the policy threshold.
+      for (int spin = 0; spin < 600; ++spin) {
+        const auto dstats = st.DeltaStats();
+        const auto cstats = st.CompactionStats();
+        const bool drained =
+            !dstats.empty() && dstats.front().second.rows < rep.compact_min_rows &&
+            !cstats.empty() && cstats.front().second.compactions > 0;
+        if (drained) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      ctrl->Stop();
+    } else {
+      // Fold the sub-threshold tail so both modes end quiesced.
+      if (!st.Compact("hot").ok()) return false;
+    }
+    sample();
+    m->wall_seconds = t.ElapsedSeconds();
+
+    const auto cstats = st.CompactionStats();
+    if (!cstats.empty()) {
+      m->compactions = cstats.front().second.compactions;
+      m->folded_rows = cstats.front().second.folded_rows;
+    }
+    const auto dstats = st.DeltaStats();
+    if (!dstats.empty()) {
+      m->trimmed_rows = dstats.front().second.trimmed_rows;
+      m->final_delta_rows = dstats.front().second.rows;
+      m->final_delta_bytes = dstats.front().second.bytes;
+      m->peak_delta_rows =
+          std::max(m->peak_delta_rows, dstats.front().second.rows);
+    }
+    m->table_folded = table.folded();
+    m->answers_match = mismatches == 0;
+    // Bounded: the quiesced delta sits under the policy threshold (plus one
+    // chunk of trim granularity) and the buffer never held the full append
+    // history at once.
+    m->delta_bounded =
+        m->final_delta_rows <= rep.compact_min_rows + rep.chunk_rows &&
+        m->peak_delta_rows < kAppendRows;
+    return true;
+  };
+
+  if (!run_mode(false, &rep.off)) {
+    std::fprintf(stderr, "compaction: refresh-off mode failed\n");
+    return rep;
+  }
+  if (!run_mode(true, &rep.on)) {
+    std::fprintf(stderr, "compaction: refresh-on mode failed\n");
+    return rep;
+  }
+  rep.ran = true;
+  return rep;
+}
+
 void PrintRow(const RunResult& r) {
   std::printf("%-12s %8zu %10.0f %10zu %7zu %12.0f %9.0f %9.0f %9.0f %9.0f "
               "%11.1f\n",
@@ -1029,7 +1240,8 @@ Status WriteJson(const std::string& path, const std::vector<RunResult>& rows,
                  const ObservabilityReport& obs,
                  const std::vector<RunResult>& multi_core,
                  const ZipfReport& zipf, const PagedCatalogReport& paged,
-                 const StreamingReport& streaming) {
+                 const StreamingReport& streaming,
+                 const CompactionReport& compaction) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   std::fprintf(f, "{\n  \"bench\": \"serving_throughput\",\n");
@@ -1234,6 +1446,38 @@ Status WriteJson(const std::string& path, const std::vector<RunResult>& rows,
       streaming.answers_match_off ? "true" : "false",
       streaming.qps_refresh_on, streaming.p50_on_us, streaming.p99_on_us,
       streaming.answers_match_on ? "true" : "false");
+  // Compaction arm: the freshness gate's sustained-append leg reads
+  // compactions, trimmed_rows, delta_bounded, and answers_match per mode.
+  auto compaction_row = [&](const char* mode, const CompactionModeReport& m,
+                            const char* trailer) {
+    std::fprintf(
+        f,
+        "      {\"mode\": \"%s\", \"compactions\": %llu, "
+        "\"folded_rows\": %llu, \"trimmed_rows\": %llu, "
+        "\"table_folded\": %llu, \"peak_delta_rows\": %zu, "
+        "\"final_delta_rows\": %zu, \"final_delta_bytes\": %zu, "
+        "\"delta_bounded\": %s, \"answers_match\": %s, "
+        "\"sampled_answers\": %zu, \"wall_seconds\": %.3f}%s\n",
+        mode, static_cast<unsigned long long>(m.compactions),
+        static_cast<unsigned long long>(m.folded_rows),
+        static_cast<unsigned long long>(m.trimmed_rows),
+        static_cast<unsigned long long>(m.table_folded), m.peak_delta_rows,
+        m.final_delta_rows, m.final_delta_bytes,
+        m.delta_bounded ? "true" : "false",
+        m.answers_match ? "true" : "false", m.sampled_answers, m.wall_seconds,
+        trailer);
+  };
+  std::fprintf(f,
+               "  \"compaction\": {\n"
+               "    \"chunk_rows\": %zu,\n"
+               "    \"compact_min_rows\": %zu,\n"
+               "    \"append_rows\": %zu,\n"
+               "    \"rows\": [\n",
+               compaction.chunk_rows, compaction.compact_min_rows,
+               compaction.append_rows);
+  compaction_row("refresh_off", compaction.off, ",");
+  compaction_row("refresh_on", compaction.on, "");
+  std::fprintf(f, "    ]\n  },\n");
   std::fprintf(f,
                "  \"headline\": {\"clients\": 8, \"per_query_qps\": %.0f, "
                "\"micro_batch_qps\": %.0f, \"speedup\": %.2f}\n}\n",
@@ -1588,9 +1832,32 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(streaming.delta_corrected_on),
               static_cast<unsigned long long>(streaming.delta_exact_on));
 
+  // Compaction arm: sustained appends with base-table folding.
+  std::printf("\nbase-table compaction under sustained appends...\n");
+  const CompactionReport compaction = RunCompaction();
+  if (!compaction.ran) {
+    std::fprintf(stderr, "compaction arm failed\n");
+    return 1;
+  }
+  auto print_compaction = [&](const char* mode,
+                              const CompactionModeReport& m) {
+    std::printf("  %-11s: %llu compactions, %llu rows folded / %llu "
+                "trimmed | delta peak %zu rows, final %zu rows (%.1f KB, "
+                "%s) | %zu answers %s\n",
+                mode, static_cast<unsigned long long>(m.compactions),
+                static_cast<unsigned long long>(m.folded_rows),
+                static_cast<unsigned long long>(m.trimmed_rows),
+                m.peak_delta_rows, m.final_delta_rows,
+                static_cast<double>(m.final_delta_bytes) / 1024.0,
+                m.delta_bounded ? "bounded" : "UNBOUNDED",
+                m.sampled_answers, m.answers_match ? "match" : "MISMATCH");
+  };
+  print_compaction("refresh OFF", compaction.off);
+  print_compaction("refresh ON", compaction.on);
+
   Status st = WriteJson(out_path, rows, per_query_qps8, batched_qps8,
                         scalar_lat, plan_lat, f32, i8, batched, obs,
-                        multi_core, zipf, paged, streaming);
+                        multi_core, zipf, paged, streaming, compaction);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;

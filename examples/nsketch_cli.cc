@@ -36,7 +36,7 @@
 //
 //   nsketch_cli stream <data.csv> "<sql template>" <out.sketch> [n_queries]
 //                      [n_clients] [append_frac] [refresh_interval_ms]
-//                      [max_nmae]
+//                      [max_nmae] [compact_min_rows]
 //       Streaming-ingest serving: the last append_frac (default 0.2) of
 //       the CSV's rows are held back and appended live while n_clients
 //       serve the workload — answers stay exact at all times via the
@@ -46,8 +46,13 @@
 //       drift against the appended data, retrains only the kd-tree
 //       leaves whose region drifted past max_nmae (default 0.2), and
 //       atomically swaps the new sketch version in; a failure streak
-//       demotes the store to exact serving. Prints serve stats, delta /
-//       refresh counters, and the metrics registry document.
+//       demotes the store to exact serving. The base lives in a
+//       swappable StreamingTable, and the refresh loop also compacts:
+//       once the resident delta crosses compact_min_rows (default 4096;
+//       0 disables), safely-folded rows move into the base table and
+//       their delta storage is trimmed, so the buffer stays bounded
+//       under sustained appends. Prints serve stats, delta / refresh /
+//       compaction counters, and the metrics registry document.
 //
 //   nsketch_cli catalog pack <data.csv> <out.cat> "<sql>" <file.sketch>
 //                            ["<sql>" <file.sketch> ...]
@@ -81,6 +86,7 @@
 
 #include "core/neurosketch.h"
 #include "data/normalizer.h"
+#include "data/streaming_table.h"
 #include "data/table.h"
 #include "query/parametric.h"
 #include "serve/refresh.h"
@@ -422,6 +428,8 @@ int CmdStream(int argc, char** argv) {
   const int64_t refresh_interval_ms =
       argc > 8 ? std::strtol(argv[8], nullptr, 10) : 100;
   const double max_nmae = argc > 9 ? std::strtod(argv[9], nullptr) : 0.2;
+  const size_t compact_min_rows =
+      argc > 10 ? std::strtoul(argv[10], nullptr, 10) : 4096;
   if (n_queries == 0 || n_clients == 0 || append_frac <= 0.0 ||
       append_frac >= 1.0) {
     return Fail(Status::InvalidArgument(
@@ -464,11 +472,16 @@ int CmdStream(int argc, char** argv) {
     }
   }
 
-  ExactEngine engine(&base);
+  // The base is swappable so compaction can fold delta rows into it
+  // while serving continues on pinned versions.
+  StreamingTable streaming_base(std::move(base));
+  ExactEngine engine(&streaming_base);
   serve::SketchStore store;
   Status st = store.RegisterDataset("cli", &engine);
   if (!st.ok()) return Fail(st);
   st = store.EnableStreaming("cli", cols);
+  if (!st.ok()) return Fail(st);
+  st = store.AttachStreamingTable("cli", &streaming_base);
   if (!st.ok()) return Fail(st);
   auto version = store.RegisterFromFile("cli", spec, sketch_path);
   if (version.ok()) {
@@ -494,6 +507,7 @@ int CmdStream(int argc, char** argv) {
   serve::RefreshOptions ropts;
   ropts.interval_ms = refresh_interval_ms > 0 ? refresh_interval_ms : 100;
   ropts.probe_threads = 0;  // hardware concurrency
+  ropts.compact_min_rows = compact_min_rows;
   serve::RefreshController refresher(&store, &serving, ropts);
   if (version.ok() && refresh_interval_ms > 0) {
     DriftPolicy policy;
@@ -505,9 +519,18 @@ int CmdStream(int argc, char** argv) {
     refresher.AddTarget(serve::RefreshTarget{
         "cli", DriftMonitor(spec, std::move(probes), policy), cfg,
         std::move(retrain_q)});
-    refresher.Start();
     std::printf("refresh loop: every %lld ms, drift bound %.3f\n",
                 static_cast<long long>(ropts.interval_ms), max_nmae);
+  }
+  if (refresh_interval_ms > 0) {
+    // Even with no sketch target (exact-only serving) the loop's sweep
+    // still compacts the delta into the base table at the threshold.
+    refresher.Start();
+    if (compact_min_rows > 0) {
+      std::printf("compaction: folding the delta into the base past %zu "
+                  "resident rows\n",
+                  compact_min_rows);
+    }
   }
 
   Timer t;
@@ -557,10 +580,20 @@ int CmdStream(int argc, char** argv) {
               100.0 * stats.fallback_rate);
   for (const auto& [name, dstats] : store.DeltaStats()) {
     std::printf("  delta %s: %zu live rows (%llu append calls, %llu rows "
-                "trimmed)\n",
+                "appended, %llu trimmed)\n",
                 name.c_str(), dstats.rows,
                 static_cast<unsigned long long>(dstats.appends),
+                static_cast<unsigned long long>(dstats.rows_appended),
                 static_cast<unsigned long long>(dstats.trimmed_rows));
+  }
+  for (const auto& [name, cstats] : store.CompactionStats()) {
+    std::printf("  compaction %s: %llu folds, %llu rows moved into the "
+                "base (table now %zu rows, fold watermark %llu)\n",
+                name.c_str(),
+                static_cast<unsigned long long>(cstats.compactions),
+                static_cast<unsigned long long>(cstats.folded_rows),
+                streaming_base.Pin()->table.num_rows(),
+                static_cast<unsigned long long>(streaming_base.folded()));
   }
   const auto rstats = refresher.Stats();
   std::printf("  refresh: %llu runs, %llu swaps, %llu leaves retrained, "

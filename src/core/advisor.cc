@@ -46,7 +46,7 @@ HybridExecutor::HybridExecutor(const NeuroSketch* sketch,
       engine_(engine),
       spec_(std::move(spec)),
       advisor_(advisor),
-      data_dim_(engine->table().num_columns()) {}
+      data_dim_(engine->num_columns()) {}
 
 HybridExecutor::Answer HybridExecutor::Execute(const QueryInstance& q) const {
   Answer out;

@@ -87,7 +87,7 @@ HybridExecutor::Answer SketchCatalog::Execute(const QueryFunctionSpec& spec,
                                               const QueryInstance& q) const {
   HybridExecutor::Answer out;
   auto it = sketches_.find(QueryFunctionKey::From(spec));
-  const size_t data_dim = engine_->table().num_columns();
+  const size_t data_dim = engine_->num_columns();
   if (it != sketches_.end() && advisor_.ShouldUseSketch(q, data_dim)) {
     out.value = it->second->Answer(q);
     out.used_sketch = true;

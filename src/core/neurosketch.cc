@@ -571,6 +571,23 @@ size_t NeuroSketch::ReleaseTier(PlanPrecision precision) {
   return freed;
 }
 
+Status NeuroSketch::RescaleInt8Calibration(double factor) {
+  if (!int8_available_ || int8_absmax_.empty()) {
+    return Status::InvalidArgument(
+        "sketch does not carry the int8 tier: nothing to rescale");
+  }
+  if (!(factor > 0.0)) {
+    return Status::InvalidArgument("rescale factor must be positive");
+  }
+  for (std::vector<double>& leaf : int8_absmax_) {
+    for (double& a : leaf) a *= factor;
+  }
+  // Swap-drop (ReleaseTier refuses the active tier) and re-quantize so
+  // serving actually reflects the perturbed record.
+  std::vector<nn::CompiledMlpI8>().swap(plans_i8_);
+  return EnsureTier(PlanPrecision::kInt8);
+}
+
 void NeuroSketch::EnsureTrainer() const {
   if (trainer_ready_.load()) return;
   std::lock_guard<std::mutex> lock(g_trainer_rebuild_mu);

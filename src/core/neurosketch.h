@@ -289,6 +289,17 @@ class NeuroSketch {
     return int8_absmax_;
   }
 
+  /// \brief Multiply every int8 calibration absmax by `factor` and
+  /// re-quantize the int8 plans from the perturbed record. A fault
+  /// hook for drift tests: a large factor models calibration scales that
+  /// no longer match the served data distribution (the quantization grid
+  /// coarsens by `factor`), which the refresh validation gate must catch
+  /// and answer with a tier demotion. InvalidArgument when the sketch
+  /// does not carry the int8 tier or `factor` is not positive. Same
+  /// thread-safety contract as EnsureTier: must happen-before concurrent
+  /// Answer calls.
+  Status RescaleInt8Calibration(double factor);
+
   /// \brief Resident bytes of a tier's compiled flat buffers (0 when that
   /// tier is not materialized). The f32 tier is half the f64 tier.
   size_t PlanBytes(PlanPrecision precision) const;

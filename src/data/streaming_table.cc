@@ -1,0 +1,41 @@
+#include "data/streaming_table.h"
+
+#include <utility>
+
+namespace neurosketch {
+
+StreamingTable::StreamingTable(Table base)
+    : num_columns_(base.num_columns()) {
+  auto v = std::make_shared<Version>();
+  v->table = std::move(base);
+  v->folded = 0;
+  current_ = std::move(v);
+}
+
+std::shared_ptr<const StreamingTable::Version> StreamingTable::Pin() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t StreamingTable::folded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_->folded;
+}
+
+Status StreamingTable::Swap(Table table, uint64_t folded) {
+  if (table.num_columns() != num_columns_) {
+    return Status::InvalidArgument("streaming table swap changes column count");
+  }
+  auto next = std::make_shared<Version>();
+  next->table = std::move(table);
+  next->folded = folded;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (folded < current_->folded) {
+    return Status::InvalidArgument(
+        "streaming table fold watermark moved backwards");
+  }
+  current_ = std::move(next);
+  return Status::OK();
+}
+
+}  // namespace neurosketch

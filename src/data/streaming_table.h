@@ -1,0 +1,79 @@
+// StreamingTable: a compactable base table for streaming datasets. The
+// serving contract keeps the table an ExactEngine scans immutable, which
+// is why appended rows live in a per-dataset DeltaBuffer — but without a
+// way to move trimmed delta rows *into* the base, nothing can ever call
+// DeltaBuffer::Trim and the delta grows without bound. StreamingTable
+// closes that gap: it holds an immutable Version (the table plus a fold
+// watermark recording how many delta rows are baked into it) behind a
+// shared_ptr, so SketchStore::Compact can build the next version off to
+// the side (base copy + folded delta rows, in logical append order) and
+// swap it in atomically. Readers pin a version for the duration of one
+// batch; a pinned version stays alive across any number of swaps.
+//
+// Invariants:
+// - `folded` is monotone non-decreasing across versions: delta logical
+//   rows [0, folded) are appended to the original base rows in order, so
+//   version N's table is always a prefix-extension of the same logical
+//   history.
+// - The column count never changes (it must match the delta buffer's).
+// - Readers must take their delta snapshot BEFORE pinning: the snapshot's
+//   begin can only be <= the pinned version's folded watermark, so
+//   base(version) + delta[max(snapshot.begin, folded), end) covers the
+//   logical history exactly once. Pinning first races a concurrent
+//   compaction into losing rows from both views.
+#ifndef NEUROSKETCH_DATA_STREAMING_TABLE_H_
+#define NEUROSKETCH_DATA_STREAMING_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace neurosketch {
+
+/// \brief Atomically swappable (table, fold watermark) pair for streaming
+/// datasets. All methods are thread-safe; versions are immutable.
+class StreamingTable {
+ public:
+  /// \brief One published state of the base table. Immutable once
+  /// published; shared_ptr ownership keeps it alive for in-flight readers
+  /// after a swap.
+  struct Version {
+    Table table;
+    /// Delta logical rows [0, folded) are baked into `table` (appended
+    /// after the original base rows, in logical order). Rows at logical
+    /// index r < folded live at table row (original_rows + r).
+    uint64_t folded = 0;
+  };
+
+  /// \brief Starts at version (base, folded = 0).
+  explicit StreamingTable(Table base);
+
+  /// \brief The current version: one shared_ptr copy under a short lock.
+  /// Hold the result for the duration of one consistent unit of work (a
+  /// serve batch, a refresh pass, a fold) — never re-Pin mid-unit.
+  std::shared_ptr<const Version> Pin() const;
+
+  /// \brief Current fold watermark (== Pin()->folded, without the copy).
+  uint64_t folded() const;
+
+  /// \brief Column count; invariant across versions.
+  size_t num_columns() const { return num_columns_; }
+
+  /// \brief Publish a new version. InvalidArgument when `folded` would
+  /// move backwards or the column count changes — both would break the
+  /// prefix-extension invariant readers rely on. In-flight pins keep the
+  /// old version alive.
+  Status Swap(Table table, uint64_t folded);
+
+ private:
+  const size_t num_columns_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const Version> current_;
+};
+
+}  // namespace neurosketch
+
+#endif  // NEUROSKETCH_DATA_STREAMING_TABLE_H_

@@ -17,6 +17,26 @@ std::vector<const double*> ColumnPointers(const Table& t) {
 
 ExactEngine::ExactEngine(const Table* table) : table_(table) {}
 
+ExactEngine::ExactEngine(const StreamingTable* streaming)
+    : streaming_(streaming) {}
+
+ExactEngine::PinnedBase ExactEngine::Pin() const {
+  PinnedBase pinned;
+  if (streaming_ != nullptr) {
+    pinned.version = streaming_->Pin();
+    pinned.table = &pinned.version->table;
+    pinned.folded = pinned.version->folded;
+  } else {
+    pinned.table = table_;
+  }
+  return pinned;
+}
+
+size_t ExactEngine::num_columns() const {
+  if (streaming_ != nullptr) return streaming_->num_columns();
+  return table_->num_columns();
+}
+
 double ExactEngine::Answer(const QueryFunctionSpec& spec,
                            const QueryInstance& q) const {
   AggregateAccumulator acc(spec.agg);
@@ -24,12 +44,13 @@ double ExactEngine::Answer(const QueryFunctionSpec& spec,
   return acc.Finalize();
 }
 
-void ExactEngine::Accumulate(const QueryFunctionSpec& spec,
-                             const QueryInstance& q,
-                             AggregateAccumulator* acc) const {
-  const size_t dim = table_->num_columns();
-  const size_t n = table_->num_rows();
-  const auto cols = ColumnPointers(*table_);
+void ExactEngine::AccumulateOver(const Table& table,
+                                 const QueryFunctionSpec& spec,
+                                 const QueryInstance& q,
+                                 AggregateAccumulator* acc) {
+  const size_t dim = table.num_columns();
+  const size_t n = table.num_rows();
+  const auto cols = ColumnPointers(table);
   const double* measure = cols[spec.measure_col];
   std::vector<double> row(dim);
   for (size_t i = 0; i < n; ++i) {
@@ -38,11 +59,20 @@ void ExactEngine::Accumulate(const QueryFunctionSpec& spec,
   }
 }
 
+void ExactEngine::Accumulate(const QueryFunctionSpec& spec,
+                             const QueryInstance& q,
+                             AggregateAccumulator* acc) const {
+  const PinnedBase pinned = Pin();
+  AccumulateOver(*pinned.table, spec, q, acc);
+}
+
 size_t ExactEngine::CountMatches(const QueryFunctionSpec& spec,
                                  const QueryInstance& q) const {
-  const size_t dim = table_->num_columns();
-  const size_t n = table_->num_rows();
-  const auto cols = ColumnPointers(*table_);
+  const PinnedBase pinned = Pin();
+  const Table& t = *pinned.table;
+  const size_t dim = t.num_columns();
+  const size_t n = t.num_rows();
+  const auto cols = ColumnPointers(t);
   size_t matches = 0;
   std::vector<double> row(dim);
   for (size_t i = 0; i < n; ++i) {
@@ -55,18 +85,27 @@ size_t ExactEngine::CountMatches(const QueryFunctionSpec& spec,
 std::vector<double> ExactEngine::AnswerBatch(
     const QueryFunctionSpec& spec, const std::vector<QueryInstance>& queries,
     size_t num_threads) const {
+  // One pin for the whole batch: a concurrent compaction swap must never
+  // split a batch across two base versions.
+  const PinnedBase pinned = Pin();
+  const Table& t = *pinned.table;
+  auto answer_one = [&](const QueryInstance& q) {
+    AggregateAccumulator acc(spec.agg);
+    AccumulateOver(t, spec, q, &acc);
+    return acc.Finalize();
+  };
   std::vector<double> out(queries.size());
   ThreadPool& pool = ThreadPool::Shared();
   const size_t parallelism =
       num_threads == 0 ? pool.num_threads() + 1 : num_threads;
   if (parallelism <= 1 || queries.size() < 2 * parallelism) {
     for (size_t i = 0; i < queries.size(); ++i) {
-      out[i] = Answer(spec, queries[i]);
+      out[i] = answer_one(queries[i]);
     }
     return out;
   }
   pool.ParallelFor(queries.size(), parallelism,
-                   [&](size_t i) { out[i] = Answer(spec, queries[i]); });
+                   [&](size_t i) { out[i] = answer_one(queries[i]); });
   return out;
 }
 

@@ -22,6 +22,7 @@ size_t DeltaBuffer::Append(const std::vector<double>& row) {
     dst[c] = c < row.size() ? row[c] : 0.0;
   }
   ++appends_;
+  ++rows_appended_;
   // Publish after the row data is fully written: a reader that observes
   // the new size (acquire) also observes the row's bytes.
   size_.store(n + 1, std::memory_order_release);
@@ -45,7 +46,10 @@ size_t DeltaBuffer::AppendRows(const std::vector<std::vector<double>>& rows) {
     }
     ++n;
   }
-  appends_ += rows.empty() ? 0 : 1;
+  // One call, one append — batch size lands in rows_appended. (Append and
+  // AppendRows used to disagree here: per-row vs per-batch.)
+  ++appends_;
+  rows_appended_ += rows.size();
   size_.store(n, std::memory_order_release);
   return n;
 }
@@ -61,6 +65,7 @@ DeltaBufferStats DeltaBuffer::Stats() const {
   s.rows = size_.load(std::memory_order_relaxed) - trimmed_;
   s.bytes = chunks_.size() * chunk_rows_ * num_columns_ * sizeof(double);
   s.appends = appends_;
+  s.rows_appended = rows_appended_;
   s.trimmed_rows = trimmed_;
   return s;
 }
@@ -85,12 +90,12 @@ DeltaBuffer::Snapshot DeltaBuffer::Snap() const {
   return snap;
 }
 
-size_t DeltaBuffer::Trim(size_t min_keep) {
+size_t DeltaBuffer::Trim(size_t upto) {
   std::lock_guard<std::mutex> lock(mu_);
   const size_t published = size_.load(std::memory_order_relaxed);
-  if (min_keep > published) min_keep = published;
+  if (upto > published) upto = published;
   size_t dropped = 0;
-  while (!chunks_.empty() && chunk_base_ + chunk_rows_ <= min_keep) {
+  while (!chunks_.empty() && chunk_base_ + chunk_rows_ <= upto) {
     chunks_.erase(chunks_.begin());
     chunk_base_ += chunk_rows_;
     dropped += chunk_rows_;

@@ -31,10 +31,12 @@ namespace serve {
 
 /// \brief Counters for the delta metric series (nsketch_serve_delta_*).
 struct DeltaBufferStats {
-  size_t rows = 0;            ///< live (untrimmed) rows
-  size_t bytes = 0;           ///< bytes of live chunk storage
-  uint64_t appends = 0;       ///< Append/AppendRows calls accepted
-  uint64_t trimmed_rows = 0;  ///< rows dropped by Trim (compaction)
+  size_t rows = 0;             ///< live (untrimmed) rows
+  size_t bytes = 0;            ///< bytes of live chunk storage
+  uint64_t appends = 0;        ///< writer calls accepted (Append OR AppendRows
+                               ///< — one per call, regardless of batch size)
+  uint64_t rows_appended = 0;  ///< rows accepted across all writer calls
+  uint64_t trimmed_rows = 0;   ///< rows dropped by Trim (compaction)
 };
 
 /// \brief Append-only, chunked row buffer for one streaming dataset.
@@ -106,16 +108,20 @@ class DeltaBuffer {
   /// \brief Take a read view covering [trimmed(), size()).
   Snapshot Snap() const;
 
-  /// \brief Compaction: drop whole chunks that lie entirely below
-  /// `min_keep` (logical indices stay stable; trimmed() advances by
-  /// whole chunks, so it may land short of min_keep). ONLY safe once the
-  /// trimmed rows are reflected in the dataset's registered base table —
-  /// exact composition reads the delta from trimmed(), so trimming rows
-  /// the base does not hold silently drops them from answers. The
-  /// refresh controller never trims on its own (model folding does not
-  /// move rows into the base table); see docs/SERVING.md. Returns rows
-  /// dropped.
-  size_t Trim(size_t min_keep);
+  /// \brief Compaction: `upto` is a logical watermark — every row below
+  /// logical index `upto` is no longer needed from the delta. Drops whole
+  /// chunks that lie entirely below it (logical indices stay stable;
+  /// trimmed() advances by whole chunks, so it may land short of `upto`).
+  /// ONLY safe once the rows below `upto` are reflected in the dataset's
+  /// registered base table: serving reads the delta from
+  /// max(snapshot begin, base fold watermark, leaf watermark), so
+  /// trimming rows the base does not hold silently drops them from
+  /// answers. SketchStore::Compact is the production caller — it folds
+  /// rows [folded, safe) into the StreamingTable, swaps the new version
+  /// in, then trims at the safe fold watermark (see docs/SERVING.md,
+  /// "Base-table compaction"). In-flight Snapshots own their chunks and
+  /// stay valid across the trim. Returns rows dropped.
+  size_t Trim(size_t upto);
 
  private:
   const size_t num_columns_;
@@ -127,6 +133,7 @@ class DeltaBuffer {
   size_t chunk_base_ = 0;  // logical index of chunks_[0]'s first slot
   size_t trimmed_ = 0;
   uint64_t appends_ = 0;
+  uint64_t rows_appended_ = 0;
 };
 
 }  // namespace serve

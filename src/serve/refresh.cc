@@ -61,15 +61,24 @@ RefreshOutcome RefreshController::RefreshTargetLocked(RefreshTarget& target) {
   }
 
   // Ground truth reflects the appended table: the base rows plus every
-  // live delta row, in append order. The snapshot taken here is also the
-  // fold watermark a successful swap publishes — rows appended after this
-  // instant stay unfolded and keep being corrected by the serve path.
+  // delta row the base does not already hold, in append order. The
+  // snapshot taken here is also the fold watermark a successful swap
+  // publishes — rows appended after this instant stay unfolded and keep
+  // being corrected by the serve path. Snapshot-before-pin (see
+  // data/streaming_table.h): the base version pinned afterwards has
+  // folded >= the snapshot's begin, so base + delta[folded, end) covers
+  // the logical history exactly once even when a compaction swaps the
+  // table mid-pass.
   DeltaBuffer::Snapshot dsnap;
   if (view.delta != nullptr) dsnap = view.delta->Snap();
-  Table merged = base->table();
+  const ExactEngine::PinnedBase pinned = base->Pin();
+  Table merged = *pinned.table;
   if (!dsnap.empty()) {
+    const size_t from = dsnap.begin() < pinned.folded
+                            ? static_cast<size_t>(pinned.folded)
+                            : dsnap.begin();
     std::vector<double> row(dsnap.num_columns());
-    dsnap.ForEachRow(dsnap.begin(), dsnap.end(), [&](const double* r) {
+    dsnap.ForEachRow(from, dsnap.end(), [&](const double* r) {
       row.assign(r, r + dsnap.num_columns());
       // Column counts match by EnableStreaming's contract; a mismatch
       // surfaces as missing rows in the (validated) post-retrain probe.
@@ -158,9 +167,30 @@ RefreshOutcome RefreshController::RefreshTargetLocked(RefreshTarget& target) {
     // Validation gate: the retrained sketch must answer the probe set
     // within the drift policy bound on the SAME merged truth, or it never
     // reaches the store (the out-of-bound fault-injection path).
-    const DriftReport post = target.monitor.CheckAgainst(fresh, truth);
+    DriftReport post = target.monitor.CheckAgainst(fresh, truth);
     out.post_mae = post.normalized_mae;
     out.retrained = true;
+    // Tier re-validation: RetrainLeaves fixes the f64 parameters, but a
+    // surviving narrow tier (int8 especially) still serves through
+    // calibration scales captured on the PRE-drift distribution. If the
+    // narrow tier is what pushed the probe out of bound, demote it —
+    // int8 -> f32 -> f64 — re-validating at each step, rather than
+    // discarding a refresh whose f64 reference is fine.
+    while (post.normalized_mae > target.monitor.policy().max_normalized_mae &&
+           fresh.plan_precision() != PlanPrecision::kF64) {
+      const PlanPrecision was = fresh.plan_precision();
+      const PlanPrecision next =
+          (was == PlanPrecision::kInt8 && fresh.has_f32_plans())
+              ? PlanPrecision::kF32
+              : PlanPrecision::kF64;
+      Status demote = fresh.EnsureTier(next);
+      if (demote.ok()) demote = fresh.SelectPrecision(next);
+      if (!demote.ok()) break;  // can't demote further; gate decides below
+      fresh.ReleaseTier(was);   // stale-calibrated plans must not linger
+      ++out.tier_fallbacks;
+      post = target.monitor.CheckAgainst(fresh, truth);
+      out.post_mae = post.normalized_mae;
+    }
     if (post.normalized_mae > target.monitor.policy().max_normalized_mae) {
       ok = false;
       fail_msg = "retrained sketch out of bound (normalized_mae " +
@@ -199,6 +229,7 @@ RefreshOutcome RefreshController::RefreshTargetLocked(RefreshTarget& target) {
 
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.runs;
+  stats_.tier_fallbacks += out.tier_fallbacks;
   if (ok) {
     ++stats_.swaps;
     stats_.retrained_leaves += out.retrained_leaves;
@@ -223,6 +254,30 @@ RefreshOutcome RefreshController::RefreshTargetLocked(RefreshTarget& target) {
   return out;
 }
 
+void RefreshController::MaybeCompactLocked(const std::string& dataset) {
+  if (options_.compact_min_rows == 0 && options_.compact_min_bytes == 0) {
+    return;  // compaction disabled
+  }
+  const std::shared_ptr<const DeltaBuffer> delta = store_->Delta(dataset);
+  if (delta == nullptr) return;
+  if (store_->StreamingTableFor(dataset) == nullptr) {
+    return;  // nowhere to fold: dataset serves a plain static base
+  }
+  const DeltaBufferStats s = delta->Stats();
+  const bool rows_hit =
+      options_.compact_min_rows > 0 && s.rows >= options_.compact_min_rows;
+  const bool bytes_hit =
+      options_.compact_min_bytes > 0 && s.bytes >= options_.compact_min_bytes;
+  if (!rows_hit && !bytes_hit) return;
+  const Result<CompactionOutcome> res = store_->Compact(dataset);
+  // Below-watermark passes (compacted=false) are normal when leaves have
+  // not been refreshed past the resident rows yet; the next pass retries.
+  if (!res.ok() || !res.value().compacted) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.compactions;
+  stats_.compaction_folded_rows += res.value().folded_rows;
+}
+
 Result<RefreshOutcome> RefreshController::RefreshNow(
     const std::string& dataset, const QueryFunctionSpec& spec) {
   const ServeKey want = ServeKey::From(dataset, spec);
@@ -242,6 +297,7 @@ Result<RefreshOutcome> RefreshController::RefreshNow(
   }
   std::lock_guard<std::mutex> run(run_mu_);
   RefreshOutcome out = RefreshTargetLocked(*target);
+  MaybeCompactLocked(target->dataset);
   if (!out.probed) return Status::FailedPrecondition(out.message);
   return out;
 }
@@ -257,6 +313,13 @@ std::vector<RefreshOutcome> RefreshController::RefreshAll() {
   std::lock_guard<std::mutex> run(run_mu_);
   for (RefreshTarget& t : targets) {
     outcomes.push_back(RefreshTargetLocked(t));
+  }
+  // Refresh swaps just advanced fold watermarks; sweep every streaming
+  // dataset (targeted or not — exact-only datasets compact too) so delta
+  // residency stays bounded under sustained ingest.
+  for (const auto& [dataset, stats] : store_->DeltaStats()) {
+    (void)stats;
+    MaybeCompactLocked(dataset);
   }
   return outcomes;
 }
@@ -319,6 +382,16 @@ void RefreshController::ExportMetrics(metrics::MetricsRegistry* registry,
                        "Stores demoted after a refresh-failure streak");
   registry->SetCounter(prefix + "refresh_skipped_total", s.skipped,
                        "Passes where the drift probe was within bound");
+  registry->SetCounter(
+      prefix + "refresh_tier_fallbacks_total", s.tier_fallbacks,
+      "Validation-driven serving-tier demotions (stale narrow calibration)");
+  registry->SetCounter(
+      prefix + "refresh_compactions_total", s.compactions,
+      "Threshold-triggered delta compactions that folded rows into base");
+  registry->SetCounter(
+      prefix + "refresh_compaction_folded_rows_total",
+      s.compaction_folded_rows,
+      "Delta rows folded into base tables by controller compactions");
   if (metrics::LogHistogram* h = registry->GetHistogram(
           prefix + "refresh_duration_us",
           "Wall time of one refresh pass, microseconds")) {

@@ -43,6 +43,14 @@ struct RefreshOptions {
   /// Consecutive failed refreshes of one target before the store is
   /// demoted to exact serving (0 disables demotion).
   size_t max_failures_before_demote = 3;
+  /// Compaction trigger: after each pass, any streaming dataset whose
+  /// delta holds at least this many resident rows / bytes is compacted
+  /// through SketchStore::Compact (0 disables that threshold; both 0 =
+  /// the controller never compacts). A successful refresh swap advances
+  /// the fold watermarks, so triggering right after a pass is what keeps
+  /// delta residency bounded under sustained ingest.
+  size_t compact_min_rows = 0;
+  size_t compact_min_bytes = 0;
 };
 
 /// \brief One (dataset, query function) under refresh management.
@@ -67,6 +75,10 @@ struct RefreshOutcome {
   bool failed = false;       ///< retrain threw or validated out of bound
   bool demoted = false;      ///< this failure crossed the demotion streak
   size_t retrained_leaves = 0;
+  /// Times the post-retrain validation demoted the serving tier
+  /// (int8 -> f32 -> f64) because the surviving narrow tier was out of
+  /// bound on the drifted data (stale calibration).
+  size_t tier_fallbacks = 0;
   std::vector<int> stale_leaves;  ///< what the probe flagged
   double pre_mae = 0.0;      ///< probe normalized MAE before retrain
   double post_mae = 0.0;     ///< after retrain (== pre when not retrained)
@@ -81,6 +93,10 @@ struct RefreshStats {
   uint64_t failures = 0;          ///< refreshes discarded (throw / bound)
   uint64_t demotions = 0;         ///< stores demoted by failure streaks
   uint64_t skipped = 0;           ///< passes where drift was in bound
+  uint64_t tier_fallbacks = 0;    ///< validation-driven tier demotions
+  uint64_t compactions = 0;       ///< threshold-triggered Compact calls that
+                                  ///< folded rows
+  uint64_t compaction_folded_rows = 0;  ///< rows those folds moved into base
 };
 
 /// \brief Drift-driven background refresher over a SketchStore.
@@ -133,6 +149,9 @@ class RefreshController {
 
  private:
   RefreshOutcome RefreshTargetLocked(RefreshTarget& target);
+  /// Threshold-policy compaction for one dataset (no-op below threshold
+  /// or when the options disable compaction). Caller holds run_mu_.
+  void MaybeCompactLocked(const std::string& dataset);
 
   SketchStore* store_;
   ServeEngine* engine_;  // may be nullptr

@@ -70,17 +70,25 @@ bool Decomposable(Aggregate agg) {
   }
 }
 
-/// The streaming exact path: one accumulation fed the base table first,
-/// then every live delta row in append order — bit-identical to a
-/// from-scratch scan of the appended table for every aggregate
-/// (including Welford STD and MEDIAN's order-sensitive buffer).
-double ExactWithDelta(const ExactEngine& engine, const QueryFunctionSpec& spec,
-                      const QueryInstance& q,
+/// The streaming exact path: one accumulation fed the pinned base table
+/// first, then every delta row the base does not already hold, in append
+/// order — bit-identical to a from-scratch scan of the appended table for
+/// every aggregate (including Welford STD and MEDIAN's order-sensitive
+/// buffer). The delta scan starts at the pinned version's fold watermark:
+/// rows below it were compacted into the base and counting them from the
+/// delta too would double them. The caller took the snapshot BEFORE
+/// pinning, so snap.begin() <= base.folded always holds and the pair
+/// covers the logical history exactly once.
+double ExactWithDelta(const ExactEngine::PinnedBase& base,
+                      const QueryFunctionSpec& spec, const QueryInstance& q,
                       const DeltaBuffer::Snapshot& snap) {
   AggregateAccumulator acc(spec.agg);
-  engine.Accumulate(spec, q, &acc);
+  ExactEngine::AccumulateOver(*base.table, spec, q, &acc);
   const size_t dim = snap.num_columns();
-  snap.ForEachRow(snap.begin(), snap.end(), [&](const double* row) {
+  const size_t from = snap.begin() < base.folded
+                          ? static_cast<size_t>(base.folded)
+                          : snap.begin();
+  snap.ForEachRow(from, snap.end(), [&](const double* row) {
     if (spec.predicate->Matches(q, row, dim)) acc.Add(row[spec.measure_col]);
   });
   return acc.Finalize();
@@ -351,27 +359,34 @@ void ServeEngine::ExecuteBatch(Shard* shard, const ServeKey& key,
                                StoreCounters* sc) {
   shard->batches.fetch_add(1, std::memory_order_relaxed);
   const bool tracing = options_.stage_tracing;
-  // One consistent read of (sketch, fold watermarks, delta buffer): the
-  // refresh path swaps sketch + watermarks atomically in the store, so a
-  // batch either corrects against the old version's watermarks or the
-  // new version's — never a mix. A demoted key skips the sketch but
-  // still needs the delta for exact composition.
-  ServedView view;
-  if (allow_sketch) {
-    view = store_->LookupServed(key);
-  } else {
-    view.delta = store_->Delta(key.dataset);
-  }
-  const std::shared_ptr<const NeuroSketch>& sketch = view.sketch;
-  const ExactEngine* engine = store_->Engine(key.dataset);
-  // The delta snapshot is taken once per batch: every query in the batch
+  // Acquisition order matters for compaction safety: the delta SNAPSHOT
+  // comes first, then the (sketch, watermarks) view, then the pinned base
+  // version. Watermarks and the base fold watermark only ever advance, so
+  // anything observed after the snapshot is >= the snapshot's begin —
+  // rows can never fall between the snapshot and the base. Pinning first
+  // would race a concurrent compact (swap + trim) into dropping rows from
+  // both views. The snapshot is taken once per batch: every query
   // composes against the same appended-row prefix.
+  std::shared_ptr<const DeltaBuffer> delta = store_->Delta(key.dataset);
   DeltaBuffer::Snapshot dsnap;
   bool has_delta = false;
-  if (view.delta != nullptr) {
-    dsnap = view.delta->Snap();
+  if (delta != nullptr) {
+    dsnap = delta->Snap();
     has_delta = !dsnap.empty();
   }
+  // One consistent read of (sketch, fold watermarks): the refresh path
+  // swaps sketch + watermarks atomically in the store, so a batch either
+  // corrects against the old version's watermarks or the new version's —
+  // never a mix. A demoted key skips the sketch but still needs the delta
+  // for exact composition.
+  ServedView view;
+  if (allow_sketch) view = store_->LookupServed(key);
+  const std::shared_ptr<const NeuroSketch>& sketch = view.sketch;
+  const ExactEngine* engine = store_->Engine(key.dataset);
+  // Pinned AFTER the snapshot: one base version for the whole batch, kept
+  // alive across any concurrent compaction swap.
+  const ExactEngine::PinnedBase pinned =
+      engine != nullptr ? engine->Pin() : ExactEngine::PinnedBase{};
 
   // Requests own their queries and never read them again; steal the
   // buffers instead of cloning one heap allocation per query.
@@ -486,7 +501,7 @@ void ServeEngine::ExecuteBatch(Shard* shard, const ServeKey& key,
           }
           modes[i] = 1;
         } else if (engine != nullptr) {
-          answers[i] = ExactWithDelta(*engine, spec, queries[i], dsnap);
+          answers[i] = ExactWithDelta(pinned, spec, queries[i], dsnap);
           modes[i] = 2;
         }
         // Non-decomposable with no exact engine: serve the (stale)
@@ -541,9 +556,7 @@ void ServeEngine::ExecuteBatch(Shard* shard, const ServeKey& key,
         // failed_answers when the engine is also stumped). With a live
         // delta the repair composes over base + appended rows, so the
         // repaired answer honors the same freshness contract.
-        const double repaired =
-            has_delta ? ExactWithDelta(*engine, spec, queries[i], dsnap)
-                      : engine->Answer(spec, queries[i]);
+        const double repaired = ExactWithDelta(pinned, spec, queries[i], dsnap);
         total_us = Fulfill(shard, &(*batch)[i], repaired, false,
                            PlanPrecision::kF64, sc, fulfill_now);
         served_as = "exact";
@@ -582,12 +595,13 @@ void ServeEngine::ExecuteBatch(Shard* shard, const ServeKey& key,
     std::vector<double> answers;
     if (has_delta) {
       // Exact path with a live delta (demoted key, or no sketch yet):
-      // every answer is the base accumulation continued over the full
-      // delta snapshot — bit-identical to scanning the appended table
-      // from scratch, for every aggregate.
+      // every answer is the pinned-base accumulation continued over the
+      // unfolded delta rows — bit-identical to scanning the appended
+      // table from scratch, for every aggregate, across any concurrent
+      // compaction.
       answers.resize(queries.size());
       for (size_t i = 0; i < queries.size(); ++i) {
-        answers[i] = ExactWithDelta(*engine, spec, queries[i], dsnap);
+        answers[i] = ExactWithDelta(pinned, spec, queries[i], dsnap);
       }
     } else {
       answers = engine->AnswerBatch(spec, queries, options_.exact_batch_threads);
@@ -862,10 +876,23 @@ void ServeEngine::ExportMetrics(metrics::MetricsRegistry* registry,
                        static_cast<double>(ds.bytes),
                        "Bytes held by live delta rows");
     registry->SetCounter(prefix + "delta_appends_total" + label, ds.appends,
-                         "Append calls accepted into the delta buffer");
+                         "Writer calls (Append or AppendRows) accepted into "
+                         "the delta buffer");
+    registry->SetCounter(prefix + "delta_rows_appended_total" + label,
+                         ds.rows_appended,
+                         "Rows accepted across all delta writer calls");
     registry->SetCounter(prefix + "delta_trimmed_rows_total" + label,
                          ds.trimmed_rows,
                          "Delta rows dropped by Trim after base compaction");
+  }
+  for (const auto& [dataset, cs] : store_->CompactionStats()) {
+    const std::string label = "{dataset=\"" + dataset + "\"}";
+    registry->SetCounter(prefix + "delta_compactions_total" + label,
+                         cs.compactions,
+                         "Base-table compactions (fold + swap) per dataset");
+    registry->SetCounter(prefix + "delta_folded_rows_total" + label,
+                         cs.folded_rows,
+                         "Delta rows folded into the base table per dataset");
   }
 
   auto copy_hist = [&](const std::string& name, const LatencyHistogram& h,

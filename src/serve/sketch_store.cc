@@ -1,5 +1,6 @@
 #include "serve/sketch_store.h"
 
+#include <algorithm>
 #include <mutex>
 
 #include "util/shard_router.h"
@@ -41,11 +42,30 @@ Result<uint64_t> SketchStore::Register(
   }
   const ServeKey key = ServeKey::From(dataset, spec);
   std::unique_lock<std::shared_mutex> lock(mu_);
+  if (leaf_folded == nullptr) {
+    // No watermarks means "trained on the current base table": fill with
+    // its fold watermark so already-folded rows are not corrected again.
+    // Without a streaming table the watermark is 0 and nullptr keeps its
+    // historical meaning (nothing folded).
+    auto tit = streaming_tables_.find(dataset);
+    if (tit != streaming_tables_.end()) {
+      const uint64_t folded = tit->second->folded();
+      if (folded > 0) {
+        leaf_folded = std::make_shared<const std::vector<uint64_t>>(
+            sketch->num_partitions(), folded);
+      }
+    }
+  }
   auto& versions = sketches_[key];
   if (version == 0) {
     version = versions.empty() ? 1 : versions.rbegin()->first + 1;
   }
   versions[version] = VersionEntry{std::move(sketch), std::move(leaf_folded)};
+  if (version_retention_ > 0) {
+    while (versions.size() > version_retention_) {
+      versions.erase(versions.begin());
+    }
+  }
   return version;
 }
 
@@ -69,11 +89,25 @@ size_t SketchStore::ImportFromCatalog(const std::string& dataset,
                                       const SketchCatalog& catalog) {
   size_t imported = 0;
   std::unique_lock<std::shared_mutex> lock(mu_);  // one atomic import
+  uint64_t folded = 0;
+  auto tit = streaming_tables_.find(dataset);
+  if (tit != streaming_tables_.end()) folded = tit->second->folded();
   for (auto& [fn_key, sketch] : catalog.Sketches()) {
     auto& versions = sketches_[ServeKey{dataset, fn_key}];
     const uint64_t version =
         versions.empty() ? 1 : versions.rbegin()->first + 1;
-    versions[version] = VersionEntry{sketch, nullptr};
+    // Same assumption as Register without watermarks: catalog sketches
+    // were trained on the current base table.
+    auto leaf_folded =
+        folded > 0 ? std::make_shared<const std::vector<uint64_t>>(
+                         sketch->num_partitions(), folded)
+                   : nullptr;
+    versions[version] = VersionEntry{sketch, std::move(leaf_folded)};
+    if (version_retention_ > 0) {
+      while (versions.size() > version_retention_) {
+        versions.erase(versions.begin());
+      }
+    }
     ++imported;
   }
   return imported;
@@ -246,6 +280,151 @@ std::vector<std::pair<std::string, DeltaBufferStats>> SketchStore::DeltaStats()
   out.reserve(deltas_.size());
   for (const auto& [dataset, delta] : deltas_) {
     out.emplace_back(dataset, delta->Stats());
+  }
+  return out;
+}
+
+Status SketchStore::AttachStreamingTable(const std::string& dataset,
+                                         StreamingTable* table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("null streaming table for " + dataset);
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto dit = deltas_.find(dataset);
+  if (dit == deltas_.end()) {
+    return Status::FailedPrecondition("streaming not enabled for " + dataset);
+  }
+  if (dit->second->num_columns() != table->num_columns()) {
+    return Status::InvalidArgument(
+        "streaming table column count does not match the delta buffer for " +
+        dataset);
+  }
+  auto it = streaming_tables_.find(dataset);
+  if (it != streaming_tables_.end() && it->second != table) {
+    return Status::InvalidArgument(
+        "a different streaming table is already attached for " + dataset);
+  }
+  streaming_tables_[dataset] = table;
+  return Status::OK();
+}
+
+StreamingTable* SketchStore::StreamingTableFor(
+    const std::string& dataset) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = streaming_tables_.find(dataset);
+  return it == streaming_tables_.end() ? nullptr : it->second;
+}
+
+uint64_t SketchStore::SafeWatermarkLocked(const std::string& dataset,
+                                          uint64_t delta_size) const {
+  // Minimum over every leaf watermark of every registered version of
+  // every key sharing the dataset. A version without watermarks and an
+  // unshadowed paged entry mean "nothing folded" (watermark 0); a dataset
+  // with no keys at all serves exact-only and may fold everything.
+  uint64_t safe = delta_size;
+  for (const auto& [key, versions] : sketches_) {
+    if (key.dataset != dataset) continue;
+    for (const auto& [version, entry] : versions) {
+      (void)version;
+      if (entry.leaf_folded == nullptr) {
+        safe = 0;
+        continue;
+      }
+      for (uint64_t w : *entry.leaf_folded) safe = std::min(safe, w);
+    }
+  }
+  for (const auto& [key, pe] : paged_) {
+    (void)pe;
+    if (key.dataset != dataset) continue;
+    auto sit = sketches_.find(key);
+    if (sit == sketches_.end() || sit->second.empty()) safe = 0;
+  }
+  return safe;
+}
+
+Result<CompactionOutcome> SketchStore::Compact(const std::string& dataset) {
+  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+  std::shared_ptr<DeltaBuffer> delta;
+  StreamingTable* table = nullptr;
+  uint64_t safe = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto dit = deltas_.find(dataset);
+    if (dit == deltas_.end()) {
+      return Status::FailedPrecondition("streaming not enabled for " + dataset);
+    }
+    delta = dit->second;
+    auto tit = streaming_tables_.find(dataset);
+    if (tit == streaming_tables_.end()) {
+      return Status::FailedPrecondition("no streaming table attached for " +
+                                        dataset);
+    }
+    table = tit->second;
+    safe = SafeWatermarkLocked(dataset, delta->size());
+  }
+
+  CompactionOutcome out;
+  out.safe = safe;
+  const std::shared_ptr<const StreamingTable::Version> cur = table->Pin();
+  if (safe <= cur->folded) {
+    // Nothing new to fold; a previous fold may still have chunks whose
+    // tail just crossed the watermark, so trimming is still worth a try.
+    out.trimmed_rows = delta->Trim(cur->folded);
+    out.message = "safe watermark " + std::to_string(safe) +
+                  " <= folded " + std::to_string(cur->folded);
+    return out;
+  }
+
+  // Fold [folded, safe) into a copy of the current version, off every
+  // lock: serving and appends continue untouched. The snapshot's begin is
+  // <= folded (Trim never passes the fold watermark) and its end covers
+  // `safe` (read from the same buffer before the snapshot).
+  Table next = cur->table;
+  const DeltaBuffer::Snapshot snap = delta->Snap();
+  std::vector<double> row(snap.num_columns());
+  bool rows_ok = true;
+  snap.ForEachRow(cur->folded, safe, [&](const double* r) {
+    row.assign(r, r + snap.num_columns());
+    if (!next.AppendRow(row).ok()) rows_ok = false;
+  });
+  if (!rows_ok) {
+    return Status::Unknown("column mismatch while folding rows for " +
+                           dataset);
+  }
+
+  // Swap under the store lock so it is atomic against Register's
+  // default watermark fill, then recompute the trim bound: a sketch
+  // registered between the safe computation above and this swap carries
+  // the OLD fold watermark and still needs its delta rows — trim only to
+  // what every currently registered watermark allows.
+  uint64_t trim_to = safe;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    const Status swapped = table->Swap(std::move(next), safe);
+    if (!swapped.ok()) return swapped;
+    trim_to = std::min<uint64_t>(safe, SafeWatermarkLocked(dataset, safe));
+    auto& counters = compaction_counters_[dataset];
+    ++counters.compactions;
+    counters.folded_rows += static_cast<uint64_t>(safe - cur->folded);
+  }
+  out.compacted = true;
+  out.folded_rows = static_cast<size_t>(safe - cur->folded);
+  out.trimmed_rows = delta->Trim(trim_to);
+  return out;
+}
+
+void SketchStore::SetVersionRetention(size_t keep_latest) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  version_retention_ = keep_latest;
+}
+
+std::vector<std::pair<std::string, CompactionCounters>>
+SketchStore::CompactionStats() const {
+  std::vector<std::pair<std::string, CompactionCounters>> out;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  out.reserve(compaction_counters_.size());
+  for (const auto& [dataset, counters] : compaction_counters_) {
+    out.emplace_back(dataset, counters);
   }
   return out;
 }

@@ -17,6 +17,7 @@
 
 #include "core/catalog.h"
 #include "core/neurosketch.h"
+#include "data/streaming_table.h"
 #include "query/engine.h"
 #include "query/query.h"
 #include "serve/delta_buffer.h"
@@ -89,6 +90,24 @@ struct ServedView {
   std::shared_ptr<const DeltaBuffer> delta;
 };
 
+/// \brief What one SketchStore::Compact call did.
+struct CompactionOutcome {
+  bool compacted = false;  ///< rows were folded and a new table version swapped
+  uint64_t safe = 0;       ///< the computed safe fold watermark
+  size_t folded_rows = 0;  ///< delta rows folded into the table by this call
+  size_t trimmed_rows = 0;  ///< rows dropped from the delta (chunk-granular,
+                            ///< may be 0 right after a fold and catch up on
+                            ///< the next call)
+  std::string message;      ///< why nothing was folded (informational)
+};
+
+/// \brief Per-dataset compaction counters for the metric export
+/// (nsketch_serve_delta_compactions_total / delta_folded_rows_total).
+struct CompactionCounters {
+  uint64_t compactions = 0;
+  uint64_t folded_rows = 0;
+};
+
 /// \brief Knobs for attaching a paged catalog to a store.
 struct PagedCatalogOptions {
   /// Resident-byte budget shared by every paged sketch in this store
@@ -110,7 +129,14 @@ class SketchStore {
   /// version; version 0 means "one past the current latest". Re-registering
   /// an existing version replaces it. `leaf_folded` records how many delta
   /// rows each leaf's model already reflects (see ServedView); it swaps in
-  /// atomically with the sketch. Returns the version actually used.
+  /// atomically with the sketch. When `leaf_folded` is nullptr and the
+  /// dataset has a streaming table attached, the watermarks are filled
+  /// with the table's current fold watermark — a sketch registered
+  /// without watermarks is assumed trained on the CURRENT base table
+  /// (train on a Pin() of it; registering a sketch trained on an older,
+  /// since-compacted version needs explicit watermarks and is unsafe once
+  /// the rows it would re-correct have been trimmed). Returns the version
+  /// actually used.
   Result<uint64_t> Register(
       const std::string& dataset, const QueryFunctionSpec& spec,
       std::shared_ptr<const NeuroSketch> sketch, uint64_t version = 0,
@@ -178,6 +204,45 @@ class SketchStore {
   /// \brief A dataset's delta buffer, or nullptr when streaming is off.
   std::shared_ptr<const DeltaBuffer> Delta(const std::string& dataset) const;
 
+  /// \brief Attach the swappable base table compaction folds into. The
+  /// table must be the one the dataset's registered ExactEngine scans
+  /// (construct the engine over it) and must outlive the store. Requires
+  /// EnableStreaming first with a matching column count.
+  Status AttachStreamingTable(const std::string& dataset,
+                              StreamingTable* table);
+
+  /// \brief The dataset's streaming table, or nullptr when none attached.
+  StreamingTable* StreamingTableFor(const std::string& dataset) const;
+
+  /// \brief Fold trimmed-eligible delta rows into the dataset's streaming
+  /// table and trim the delta. Computes the SAFE FOLD WATERMARK — the
+  /// minimum over every leaf watermark of every registered version of
+  /// every (dataset, fn) key sharing the dataset (a nullptr watermark
+  /// vector and an unshadowed paged entry count as 0; a dataset with no
+  /// keys at all may fold everything) — because folding past any live
+  /// watermark double-counts rows in one key's answers and drops them
+  /// from another's. Rows [folded, safe) are appended to a copy of the
+  /// current table version off-lock, the copy swaps in atomically, and
+  /// DeltaBuffer::Trim drops whole chunks below the watermark. Serving is
+  /// never blocked and answers are bit-identical across the swap:
+  /// in-flight batches keep their pinned version plus a delta snapshot
+  /// that owns its chunks. Thread-safe; concurrent Compact calls
+  /// serialize. Status errors only for infrastructure problems (streaming
+  /// off, no table attached); "nothing to fold" is an OK outcome with
+  /// compacted=false.
+  Result<CompactionOutcome> Compact(const std::string& dataset);
+
+  /// \brief Keep only the newest `keep_latest` versions per key (enforced
+  /// at Register time; 0 = keep everything, the default). Old versions
+  /// pin the safe fold watermark — a store that compacts should retain a
+  /// small window. In-flight readers of a dropped version keep their
+  /// shared_ptr.
+  void SetVersionRetention(size_t keep_latest);
+
+  /// \brief Per-dataset compaction counters, sorted by dataset name.
+  std::vector<std::pair<std::string, CompactionCounters>> CompactionStats()
+      const;
+
   /// \brief Per-dataset delta counters for the metric export, sorted by
   /// dataset name. Empty when no dataset streams.
   std::vector<std::pair<std::string, DeltaBufferStats>> DeltaStats() const;
@@ -226,12 +291,24 @@ class SketchStore {
   std::shared_ptr<const NeuroSketch> FaultIn(const ServeKey& key,
                                              const PagedEntry& pe) const;
 
+  /// Safe fold watermark for a dataset whose delta currently publishes
+  /// `delta_size` rows. Caller holds mu_ (shared or unique).
+  uint64_t SafeWatermarkLocked(const std::string& dataset,
+                               uint64_t delta_size) const;
+
   mutable std::shared_mutex mu_;
   std::map<ServeKey, std::map<uint64_t, VersionEntry>> sketches_;
   std::map<std::string, const ExactEngine*> engines_;
   /// Per-dataset streaming delta buffers (DeltaBuffer is internally
   /// thread-safe; the store lock only guards the map itself).
   std::map<std::string, std::shared_ptr<DeltaBuffer>> deltas_;
+  /// Per-dataset swappable base tables (compaction folds into these).
+  std::map<std::string, StreamingTable*> streaming_tables_;
+  std::map<std::string, CompactionCounters> compaction_counters_;
+  size_t version_retention_ = 0;  // 0 = unlimited
+  /// Serializes Compact passes (the fold copy is the expensive step;
+  /// overlapping folds of one dataset would race the swap monotonicity).
+  std::mutex compact_mu_;
   std::map<ServeKey, PagedEntry> paged_;
   // Created by the first AttachPagedCatalog, never destroyed after —
   // Lookup reads the raw pointer under mu_ then faults in without it.

@@ -15,6 +15,7 @@
 #include "data/datasets.h"
 #include "data/generators.h"
 #include "data/normalizer.h"
+#include "data/streaming_table.h"
 #include "index/kdtree.h"
 #include "query/engine.h"
 #include "query/predicate.h"
@@ -495,6 +496,127 @@ TEST_P(StreamingTrialSweep, ServeMatchesRecomputedComposition) {
 
 INSTANTIATE_TEST_SUITE_P(Trials, StreamingTrialSweep,
                          testing::Values(0, 1, 2));
+
+// ---------------------------------------------------------------------
+// Randomized compaction trial: seeded random interleavings of appends,
+// refresh-sweep passes (which trigger threshold compaction), explicit
+// Compact calls, and serving — against an oracle that rebuilds the full
+// logical history from scratch each round. Two invariants: (1) every
+// served answer over the exact-only streaming dataset is bit-identical to
+// the oracle for every aggregate, at every point in the interleaving;
+// (2) delta residency is bounded — right after a sweep, resident rows
+// never exceed the compaction threshold plus one chunk.
+class CompactionTrialSweep : public testing::TestWithParam<int> {};
+
+TEST_P(CompactionTrialSweep, ServeBitIdenticalAndDeltaBounded) {
+  const int trial = GetParam();
+  Rng rng(5000 + trial);
+  Dataset ds = MakeGmmDataset(700 + rng.Index(500), 3, 3, 5100 + trial);
+  Table base = Normalizer::Fit(ds.table).Transform(ds.table);
+  const size_t d = base.num_columns();
+  StreamingTable table(base);
+  ExactEngine engine(&table);
+
+  constexpr size_t kChunkRows = 32;
+  constexpr size_t kCompactMinRows = 96;
+  serve::SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("hot", &engine).ok());
+  ASSERT_TRUE(store.EnableStreaming("hot", d, kChunkRows).ok());
+  ASSERT_TRUE(store.AttachStreamingTable("hot", &table).ok());
+
+  serve::ServeOptions so;
+  so.num_shards = 2;
+  so.batch_window_us = 0.0;
+  serve::ServeEngine serve(&store, so);
+
+  serve::RefreshOptions ro;
+  ro.compact_min_rows = kCompactMinRows;
+  serve::RefreshController ctrl(&store, nullptr, ro);
+
+  const std::vector<Aggregate> aggs = {
+      Aggregate::kCount, Aggregate::kSum, Aggregate::kAvg, Aggregate::kStd,
+      Aggregate::kMedian, Aggregate::kMin, Aggregate::kMax};
+
+  // Full logical history, in order — rebuilt into an oracle each round.
+  Table merged = base;
+  size_t compactions_seen = 0;
+  for (int round = 0; round < 12; ++round) {
+    const size_t batch = 10 + rng.Index(70);
+    std::vector<std::vector<double>> rows;
+    for (size_t i = 0; i < batch; ++i) {
+      std::vector<double> row(d);
+      if (rng.Bernoulli(0.5)) {
+        for (auto& v : row) v = rng.Uniform();
+      } else {
+        const size_t src = rng.Index(base.num_rows());
+        for (size_t c = 0; c < d; ++c) {
+          row[c] = std::min(
+              1.0, std::max(0.0, base.at(src, c) + rng.Uniform(-0.1, 0.1)));
+        }
+      }
+      ASSERT_TRUE(merged.AppendRow(row).ok());
+      rows.push_back(std::move(row));
+    }
+    if (rng.Bernoulli(0.5)) {
+      ASSERT_TRUE(store.AppendRows("hot", rows).ok());
+    } else {
+      for (const auto& r : rows) ASSERT_TRUE(store.Append("hot", r).ok());
+    }
+
+    // Random maintenance point: a refresh sweep (threshold compaction), an
+    // explicit fold, or nothing this round.
+    const uint64_t action = rng.Index(3);
+    if (action == 0) {
+      ctrl.RefreshAll();
+      // The bound the trial exists to pin: a sweep leaves at most
+      // (threshold - 1) untriggered rows, or a fold's sub-chunk remainder.
+      const auto stats = store.Delta("hot")->Stats();
+      EXPECT_LE(stats.rows, kCompactMinRows + kChunkRows)
+          << "trial " << trial << " round " << round;
+    } else if (action == 1) {
+      auto res = store.Compact("hot");
+      ASSERT_TRUE(res.ok()) << res.status().ToString();
+      if (res.value().compacted) ++compactions_seen;
+    }
+
+    ExactEngine oracle(&merged);
+    for (Aggregate agg : aggs) {
+      const QueryFunctionSpec spec = AxisSpec(agg, ds.measure_col);
+      WorkloadConfig qc;
+      qc.num_active = 2;
+      qc.range_frac_lo = 0.15;
+      qc.range_frac_hi = 0.5;
+      qc.seed = 5200 + trial * 100 + round;
+      WorkloadGenerator qgen(d, qc);
+      for (const auto& q : qgen.GenerateMany(4, &oracle, &spec)) {
+        const serve::ServeResult got = serve.Answer("hot", spec, q);
+        const double want = oracle.Answer(spec, q);
+        EXPECT_FALSE(got.used_sketch);
+        if (std::isnan(want)) {
+          EXPECT_TRUE(std::isnan(got.value)) << AggregateName(agg);
+        } else {
+          EXPECT_EQ(got.value, want)
+              << AggregateName(agg) << " trial " << trial << " round "
+              << round;
+        }
+      }
+    }
+  }
+  compactions_seen += ctrl.Stats().compactions;
+  EXPECT_GT(compactions_seen, 0u) << "trial " << trial
+                                  << ": interleaving never compacted";
+  // Accounting closes: trim never passes the fold watermark, the fold
+  // never passes the logical history, and every untrimmed row is resident.
+  const size_t appended_total = merged.num_rows() - base.num_rows();
+  const auto final_stats = store.Delta("hot")->Stats();
+  EXPECT_LE(store.Delta("hot")->trimmed(), table.folded());
+  EXPECT_LE(table.folded(), appended_total);
+  EXPECT_EQ(final_stats.rows,
+            appended_total - store.Delta("hot")->trimmed());
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, CompactionTrialSweep,
+                         testing::Values(0, 1, 2, 3));
 
 // COUNT of a range equals the sum of COUNTs of a partition of that range.
 TEST(RangeAdditivityTest, CountIsAdditiveOverSplits) {

@@ -3,9 +3,12 @@
 // delta composition against a from-scratch scan for every aggregate, the
 // RetrainLeaves bit-identity contract, leaf-granular drift attribution,
 // fault-injected refreshes (exception and out-of-bound validation), the
-// int8->f32->f64 tier chain during retrain, NaN-probe accounting in
-// DriftMonitor, and an 8-thread serve+append+refresh race (run under TSan
-// in CI next to shard_test/paging_test).
+// int8->f32->f64 tier chain during retrain, stale-calibration tier
+// demotion in the refresh validation gate, NaN-probe accounting in
+// DriftMonitor, base-table compaction (StreamingTable swap atomicity, the
+// safe fold watermark, controller-triggered folds, bit-identity across a
+// compaction), and multi-thread serve+append+refresh+compact races (run
+// under TSan in CI next to shard_test/paging_test).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -27,6 +30,8 @@
 #include "query/engine.h"
 #include "query/predicate.h"
 #include "query/workload.h"
+#include "data/streaming_table.h"
+#include "data/table.h"
 #include "serve/delta_buffer.h"
 #include "serve/refresh.h"
 #include "serve/serve_engine.h"
@@ -110,8 +115,8 @@ TEST(DeltaBufferTest, AppendSnapshotTrimKeepLogicalIndicesStable) {
   });
   EXPECT_EQ(seen, 10u);
 
-  // Trim drops whole chunks only (chunk_rows=4): asking for min_keep=6
-  // drops exactly rows [0,4).
+  // Trim drops whole chunks strictly below the watermark (chunk_rows=4):
+  // upto=6 drops exactly rows [0,4).
   EXPECT_EQ(buf.Trim(6), 4u);
   EXPECT_EQ(buf.trimmed(), 4u);
   EXPECT_EQ(buf.size(), 10u);  // logical count is monotone
@@ -1046,6 +1051,546 @@ TEST(StreamingRaceTest, ServeAppendRefreshSnapshotConcurrently) {
   ASSERT_EQ(dstats.size(), 1u);
   EXPECT_EQ(dstats[0].second.rows, 800u);
   EXPECT_GE(ctrl.Stats().runs, 1u);
+}
+
+// ---------------------------------------------------------------------
+// DeltaBuffer counter semantics: `appends` counts writer CALLS (one per
+// Append and one per AppendRows regardless of batch size) and
+// `rows_appended` counts rows accepted across all calls. The two used to
+// disagree (Append bumped per row, AppendRows per batch); this pins the
+// contract.
+
+TEST(DeltaBufferTest, AppendCountersCountCallsAndRowsSeparately) {
+  DeltaBuffer buf(2, /*chunk_rows=*/4);
+  for (int i = 0; i < 3; ++i) buf.Append({1.0 * i, 2.0 * i});
+  auto stats = buf.Stats();
+  EXPECT_EQ(stats.appends, 3u);
+  EXPECT_EQ(stats.rows_appended, 3u);
+
+  buf.AppendRows({{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}});
+  stats = buf.Stats();
+  EXPECT_EQ(stats.appends, 4u);  // one call, five rows
+  EXPECT_EQ(stats.rows_appended, 8u);
+  EXPECT_EQ(stats.rows, 8u);
+
+  buf.AppendRows({});  // an empty batch is still one call
+  stats = buf.Stats();
+  EXPECT_EQ(stats.appends, 5u);
+  EXPECT_EQ(stats.rows_appended, 8u);
+  EXPECT_EQ(buf.size(), 8u);
+}
+
+// Trim(upto) is a logical watermark, not a keep-count: whole chunks
+// strictly below it drop, anything it lands inside survives. Boundary
+// cases: exactly ON a chunk edge drops the chunk; one PAST the edge does
+// not touch the next chunk.
+TEST(DeltaBufferTest, TrimBoundariesAreChunkGranular) {
+  DeltaBuffer buf(1, /*chunk_rows=*/4);
+  for (int i = 0; i < 8; ++i) buf.Append({static_cast<double>(i)});
+
+  EXPECT_EQ(buf.Trim(3), 0u);  // watermark inside chunk [0,4): keep it
+  EXPECT_EQ(buf.trimmed(), 0u);
+  EXPECT_EQ(buf.Trim(4), 4u);  // exactly on the edge: [0,4) drops
+  EXPECT_EQ(buf.trimmed(), 4u);
+  EXPECT_EQ(buf.Trim(5), 0u);  // one past the edge: [4,8) survives whole
+  EXPECT_EQ(buf.trimmed(), 4u);
+
+  DeltaBuffer::Snapshot snap = buf.Snap();
+  EXPECT_EQ(snap.begin(), 4u);
+  EXPECT_EQ(snap.end(), 8u);
+  size_t idx = 4;
+  snap.ForEachRow(snap.begin(), snap.end(), [&](const double* row) {
+    EXPECT_DOUBLE_EQ(row[0], static_cast<double>(idx));
+    ++idx;
+  });
+  EXPECT_EQ(idx, 8u);
+
+  EXPECT_EQ(buf.Trim(100), 4u);  // clamped to the published size
+  EXPECT_EQ(buf.trimmed(), 8u);
+  EXPECT_EQ(buf.Stats().rows, 0u);
+}
+
+// ---------------------------------------------------------------------
+// StreamingTable: the swappable (table, fold watermark) pair compaction
+// publishes through.
+
+TEST(StreamingTableTest, PinSwapEnforcesPrefixExtension) {
+  Schema schema;
+  schema.columns = {"a", "b"};
+  Table base(schema);
+  ASSERT_TRUE(base.AppendRow({1, 2}).ok());
+  ASSERT_TRUE(base.AppendRow({3, 4}).ok());
+  StreamingTable table(base);
+  EXPECT_EQ(table.num_columns(), 2u);
+  EXPECT_EQ(table.folded(), 0u);
+
+  const auto v0 = table.Pin();
+  EXPECT_EQ(v0->table.num_rows(), 2u);
+  EXPECT_EQ(v0->folded, 0u);
+
+  Table next = v0->table;
+  ASSERT_TRUE(next.AppendRow({5, 6}).ok());
+  ASSERT_TRUE(table.Swap(next, 1).ok());
+  EXPECT_EQ(table.folded(), 1u);
+  const auto v1 = table.Pin();
+  EXPECT_EQ(v1->table.num_rows(), 3u);
+  EXPECT_EQ(v1->folded, 1u);
+  // The pre-swap pin stays alive and untouched across the swap.
+  EXPECT_EQ(v0->table.num_rows(), 2u);
+  EXPECT_EQ(v0->folded, 0u);
+
+  // The fold watermark can never move backwards...
+  EXPECT_FALSE(table.Swap(v1->table, 0).ok());
+  // ...the column count can never change...
+  Schema narrow;
+  narrow.columns = {"a"};
+  EXPECT_FALSE(table.Swap(Table(narrow), 2).ok());
+  // ...but republishing at the same watermark is legal.
+  EXPECT_TRUE(table.Swap(v1->table, 1).ok());
+  EXPECT_EQ(table.folded(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Compaction, exact path: with no sketches registered the safe watermark
+// is the whole delta, so Compact folds every row into the table and trims.
+// Every served answer must be bit-identical to a from-scratch scan of the
+// full logical table before, across, and after the compaction — for every
+// aggregate, including the order-dependent ones.
+
+class CompactionExactSweep : public testing::TestWithParam<Aggregate> {};
+
+TEST_P(CompactionExactSweep, AnswersBitIdenticalAcrossCompaction) {
+  const Aggregate agg = GetParam();
+  Dataset ds = MakeGmmDataset(1000, 3, 3, /*seed=*/43);
+  Table base = Normalizer::Fit(ds.table).Transform(ds.table);
+  const QueryFunctionSpec spec = AxisSpec(agg, ds.measure_col);
+  StreamingTable table(base);
+  ExactEngine engine(&table);
+
+  WorkloadConfig wc;
+  wc.num_active = 2;
+  wc.range_frac_lo = 0.1;
+  wc.range_frac_hi = 0.4;
+  wc.seed = 711 + static_cast<uint64_t>(agg);
+  WorkloadGenerator gen(base.num_columns(), wc);
+  const auto queries = gen.GenerateMany(25, &engine, &spec);
+
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", &engine).ok());
+  ASSERT_TRUE(
+      store.EnableStreaming("gmm", base.num_columns(), /*chunk_rows=*/64)
+          .ok());
+  ASSERT_TRUE(store.AttachStreamingTable("gmm", &table).ok());
+
+  Rng rng(78);
+  auto jittered_row = [&] {
+    std::vector<double> row(base.num_columns());
+    const size_t src = rng.Index(base.num_rows());
+    for (size_t c = 0; c < base.num_columns(); ++c) {
+      row[c] = std::clamp(base.at(src, c) + rng.Uniform(-0.05, 0.05), 0.0, 1.0);
+    }
+    return row;
+  };
+  std::vector<std::vector<double>> first_batch;
+  for (int i = 0; i < 256; ++i) first_batch.push_back(jittered_row());
+  ASSERT_TRUE(store.AppendRows("gmm", first_batch).ok());
+
+  Table merged = base;
+  for (const auto& r : first_batch) ASSERT_TRUE(merged.AppendRow(r).ok());
+  ExactEngine merged_engine(&merged);
+
+  ServeOptions so;
+  so.num_shards = 2;
+  so.batch_window_us = 0.0;
+  ServeEngine serve(&store, so);
+
+  std::vector<double> before;
+  for (const auto& q : queries) {
+    const ServeResult got = serve.Answer("gmm", spec, q);
+    EXPECT_FALSE(got.used_sketch);
+    before.push_back(got.value);
+  }
+
+  // Exact-only dataset: everything folds, and 256 is chunk-aligned so
+  // everything trims too.
+  auto res = store.Compact("gmm");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(res.value().compacted);
+  EXPECT_EQ(res.value().safe, first_batch.size());
+  EXPECT_EQ(res.value().folded_rows, first_batch.size());
+  EXPECT_EQ(res.value().trimmed_rows, first_batch.size());
+  EXPECT_EQ(table.folded(), first_batch.size());
+  EXPECT_EQ(store.Delta("gmm")->Stats().rows, 0u);
+  EXPECT_EQ(table.Pin()->table.num_rows(),
+            base.num_rows() + first_batch.size());
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const ServeResult got = serve.Answer("gmm", spec, queries[i]);
+    const double want = merged_engine.Answer(spec, queries[i]);
+    if (std::isnan(want)) {
+      EXPECT_TRUE(std::isnan(before[i]));
+      EXPECT_TRUE(std::isnan(got.value));
+    } else {
+      EXPECT_EQ(got.value, before[i]) << AggregateName(agg) << " query " << i;
+      EXPECT_EQ(got.value, want) << AggregateName(agg) << " query " << i;
+    }
+  }
+
+  // A second, non-chunk-aligned wave: rows appended after the fold are
+  // served from the delta on top of the new base, still bit-identically.
+  std::vector<std::vector<double>> second_batch;
+  for (int i = 0; i < 100; ++i) second_batch.push_back(jittered_row());
+  ASSERT_TRUE(store.AppendRows("gmm", second_batch).ok());
+  for (const auto& r : second_batch) ASSERT_TRUE(merged.AppendRow(r).ok());
+  ExactEngine merged2(&merged);
+  for (const auto& q : queries) {
+    const ServeResult got = serve.Answer("gmm", spec, q);
+    const double want = merged2.Answer(spec, q);
+    if (std::isnan(want)) {
+      EXPECT_TRUE(std::isnan(got.value));
+    } else {
+      EXPECT_EQ(got.value, want) << AggregateName(agg);
+    }
+  }
+  auto res2 = store.Compact("gmm");
+  ASSERT_TRUE(res2.ok());
+  EXPECT_TRUE(res2.value().compacted);
+  EXPECT_EQ(res2.value().folded_rows, second_batch.size());
+  EXPECT_EQ(res2.value().trimmed_rows, 64u);  // 100 rows: one whole chunk
+  EXPECT_EQ(store.Delta("gmm")->Stats().rows, 36u);
+  for (const auto& q : queries) {
+    const ServeResult got = serve.Answer("gmm", spec, q);
+    const double want = merged2.Answer(spec, q);
+    if (!std::isnan(want)) EXPECT_EQ(got.value, want) << AggregateName(agg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAggregates, CompactionExactSweep,
+    testing::Values(Aggregate::kCount, Aggregate::kSum, Aggregate::kAvg,
+                    Aggregate::kStd, Aggregate::kMedian, Aggregate::kMin,
+                    Aggregate::kMax),
+    [](const testing::TestParamInfo<Aggregate>& info) {
+      return AggregateName(info.param);
+    });
+
+// ---------------------------------------------------------------------
+// The safe fold watermark: Compact may never fold past the minimum leaf
+// watermark of ANY registered version of ANY key sharing the dataset. A
+// nullptr watermark vector counts as 0 and pins compaction entirely;
+// version retention unpins it; Register's default fill adopts the table's
+// current fold watermark so a freshly trained sketch doesn't reset it.
+
+TEST(CompactionTest, SafeWatermarkHonorsEveryRegisteredVersion) {
+  const DriftScenario* s = &DriftScenario::Shared();
+  StreamingTable table(s->base);
+  ExactEngine engine(&table);
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", &engine).ok());
+  ASSERT_TRUE(store.Register("gmm", s->spec, s->sketch).ok());
+  ASSERT_TRUE(
+      store.EnableStreaming("gmm", s->base.num_columns(), /*chunk_rows=*/4)
+          .ok());
+  ASSERT_TRUE(store.AttachStreamingTable("gmm", &table).ok());
+
+  Rng rng(79);
+  std::vector<std::vector<double>> appended;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> row(s->base.num_columns());
+    for (auto& v : row) v = rng.Uniform();
+    appended.push_back(std::move(row));
+  }
+  ASSERT_TRUE(store.AppendRows("gmm", appended).ok());
+  const size_t parts = s->sketch->num_partitions();
+
+  // v1 carries nullptr watermarks (registered before any fold): safe = 0.
+  auto r0 = store.Compact("gmm");
+  ASSERT_TRUE(r0.ok()) << r0.status().ToString();
+  EXPECT_FALSE(r0.value().compacted);
+  EXPECT_EQ(r0.value().safe, 0u);
+  EXPECT_EQ(table.folded(), 0u);
+
+  // Retention 1 + v2 with explicit watermarks (min 6): v1 is pruned, so
+  // the safe watermark is 6 — Compact folds [0,6) and trims the one whole
+  // chunk below it.
+  store.SetVersionRetention(1);
+  auto wm = std::make_shared<std::vector<uint64_t>>(parts, appended.size());
+  (*wm)[0] = 6;
+  ASSERT_TRUE(store.Register("gmm", s->spec, s->sketch, 0, wm).ok());
+  auto r1 = store.Compact("gmm");
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_TRUE(r1.value().compacted);
+  EXPECT_EQ(r1.value().safe, 6u);
+  EXPECT_EQ(r1.value().folded_rows, 6u);
+  EXPECT_EQ(r1.value().trimmed_rows, 4u);  // chunk granularity
+  EXPECT_EQ(table.folded(), 6u);
+  // The folded rows are the logical delta prefix, appended in order.
+  const auto v = table.Pin();
+  ASSERT_EQ(v->table.num_rows(), s->base.num_rows() + 6);
+  for (size_t r = 0; r < 6; ++r) {
+    for (size_t c = 0; c < s->base.num_columns(); ++c) {
+      EXPECT_EQ(v->table.at(s->base.num_rows() + r, c), appended[r][c]);
+    }
+  }
+
+  // Register with nullptr watermarks now default-fills to the table's
+  // fold watermark (6) — it must not drag the safe watermark back to 0.
+  ASSERT_TRUE(store.Register("gmm", s->spec, s->sketch).ok());
+  const auto view = store.LookupServed(ServeKey::From("gmm", s->spec));
+  ASSERT_NE(view.leaf_folded, nullptr);
+  ASSERT_EQ(view.leaf_folded->size(), parts);
+  for (uint64_t w : *view.leaf_folded) EXPECT_EQ(w, 6u);
+  auto r2 = store.Compact("gmm");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2.value().compacted);  // safe == folded: nothing new
+  EXPECT_EQ(r2.value().safe, 6u);
+
+  // A version whose watermarks cover the whole delta releases the rest.
+  auto full = std::make_shared<std::vector<uint64_t>>(parts, appended.size());
+  ASSERT_TRUE(store.Register("gmm", s->spec, s->sketch, 0, full).ok());
+  auto r3 = store.Compact("gmm");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(r3.value().compacted);
+  EXPECT_EQ(r3.value().safe, appended.size());
+  EXPECT_EQ(r3.value().folded_rows, appended.size() - 6);
+  EXPECT_EQ(table.folded(), appended.size());
+  EXPECT_EQ(store.Delta("gmm")->Stats().rows, 0u);
+
+  const auto cstats = store.CompactionStats();
+  ASSERT_EQ(cstats.size(), 1u);
+  EXPECT_EQ(cstats[0].first, "gmm");
+  EXPECT_EQ(cstats[0].second.compactions, 2u);
+  EXPECT_EQ(cstats[0].second.folded_rows, appended.size());
+}
+
+// ---------------------------------------------------------------------
+// The RefreshController's compaction trigger: after each pass, every
+// streaming dataset at or above the byte/row threshold is compacted.
+
+TEST(CompactionTest, RefreshControllerSweepsAndCompactsByThreshold) {
+  Dataset ds = MakeGmmDataset(600, 3, 3, /*seed=*/44);
+  Table base = Normalizer::Fit(ds.table).Transform(ds.table);
+  StreamingTable table(base);
+  ExactEngine engine(&table);
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", &engine).ok());
+  ASSERT_TRUE(
+      store.EnableStreaming("gmm", base.num_columns(), /*chunk_rows=*/32)
+          .ok());
+  ASSERT_TRUE(store.AttachStreamingTable("gmm", &table).ok());
+
+  RefreshOptions ro;
+  ro.compact_min_rows = 64;
+  RefreshController ctrl(&store, nullptr, ro);
+
+  Rng rng(80);
+  auto append_n = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      std::vector<double> row(base.num_columns());
+      for (auto& v : row) v = rng.Uniform();
+      ASSERT_TRUE(store.Append("gmm", row).ok());
+    }
+  };
+
+  append_n(50);  // below threshold: the sweep must not compact
+  ctrl.RefreshAll();
+  EXPECT_EQ(ctrl.Stats().compactions, 0u);
+  EXPECT_EQ(table.folded(), 0u);
+
+  append_n(50);  // 100 resident rows >= 64: the sweep compacts
+  ctrl.RefreshAll();
+  const auto stats = ctrl.Stats();
+  EXPECT_EQ(stats.compactions, 1u);
+  EXPECT_EQ(stats.compaction_folded_rows, 100u);
+  EXPECT_EQ(table.folded(), 100u);
+  EXPECT_EQ(store.Delta("gmm")->Stats().rows, 4u);  // 100 mod 32
+
+  metrics::MetricsRegistry registry;
+  ctrl.ExportMetrics(&registry);  // new counters export without crashing
+}
+
+// ---------------------------------------------------------------------
+// Satellite of the validation-gate fix: a refresh whose f64 retrain is
+// fine but whose surviving int8 tier serves through STALE calibration
+// must demote the tier (int8 -> f32 -> f64) inside the gate and swap,
+// not discard the refresh.
+
+TEST(RefreshTest, StaleInt8CalibrationDemotesTierInsteadOfFailing) {
+  const DriftScenario* s = &DriftScenario::Shared();
+  ASSERT_FALSE(s->drift_rows.empty());
+
+  NeuroSketchConfig cfg = s->cfg;
+  cfg.plan_precision = PlanPrecision::kInt8;
+  auto trained = NeuroSketch::Train(
+      s->train_q, s->engine->AnswerBatch(s->spec, s->train_q), cfg);
+  ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+  if (trained.value().plan_precision() != PlanPrecision::kInt8) {
+    GTEST_SKIP() << "int8 tier not active (forced-tier build or validation "
+                    "dropped it)";
+  }
+  auto sp = std::make_shared<const NeuroSketch>(std::move(trained).value());
+
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", s->engine.get()).ok());
+  ASSERT_TRUE(store.Register("gmm", s->spec, sp).ok());
+  ASSERT_TRUE(store.EnableStreaming("gmm", s->base.num_columns()).ok());
+  ASSERT_TRUE(store.AppendRows("gmm", s->drift_rows).ok());
+
+  RefreshOptions ro;
+  ro.probe_threads = 0;
+  RefreshController ctrl(&store, nullptr, ro);
+  RefreshTarget target = s->Target();
+  target.config.plan_precision = PlanPrecision::kInt8;
+  ctrl.AddTarget(std::move(target));
+  // The hook models drifted-away calibration: scales captured on the old
+  // distribution, wildly wrong for the data the tier now serves. The f64
+  // parameters underneath are freshly retrained and in bound.
+  std::atomic<bool> rescaled{false};
+  ctrl.SetFaultHook([&rescaled](NeuroSketch* sk) {
+    rescaled.store(sk->RescaleInt8Calibration(1e4).ok());
+  });
+
+  auto res = ctrl.RefreshNow("gmm", s->spec);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  if (!rescaled.load()) {
+    GTEST_SKIP() << "retrain re-validation dropped the int8 tier before the "
+                    "hook could stale it";
+  }
+  EXPECT_TRUE(res.value().swapped) << res.value().message;
+  EXPECT_FALSE(res.value().failed);
+  EXPECT_GE(res.value().tier_fallbacks, 1u);
+  EXPECT_LE(res.value().post_mae, s->policy.max_normalized_mae);
+  EXPECT_GE(ctrl.Stats().tier_fallbacks, 1u);
+
+  const auto view = store.LookupServed(ServeKey::From("gmm", s->spec));
+  ASSERT_NE(view.sketch, nullptr);
+  EXPECT_NE(view.sketch->plan_precision(), PlanPrecision::kInt8);
+}
+
+// ---------------------------------------------------------------------
+// The compaction race: appenders, exact servers, a dedicated compactor,
+// and the controller's threshold sweep all running together. During the
+// race the full-domain COUNT must be monotone (a lost row across a table
+// swap would break it); after quiescing, every aggregate must be
+// bit-identical to a from-scratch scan of the full logical history.
+
+TEST(CompactionRaceTest, AppendServeCompactRefreshStayExact) {
+  Dataset ds = MakeGmmDataset(800, 3, 3, /*seed=*/47);
+  Table base = Normalizer::Fit(ds.table).Transform(ds.table);
+  const size_t d = base.num_columns();
+  StreamingTable table(base);
+  ExactEngine engine(&table);
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterDataset("gmm", &engine).ok());
+  ASSERT_TRUE(store.EnableStreaming("gmm", d, /*chunk_rows=*/64).ok());
+  ASSERT_TRUE(store.AttachStreamingTable("gmm", &table).ok());
+
+  ServeOptions so;
+  so.num_shards = 2;
+  so.batch_window_us = 20.0;
+  ServeEngine serve(&store, so);
+
+  RefreshOptions ro;
+  ro.interval_ms = 2;
+  ro.compact_min_rows = 128;
+  RefreshController ctrl(&store, &serve, ro);  // no targets: pure sweeps
+  ctrl.Start();
+
+  const QueryFunctionSpec count = AxisSpec(Aggregate::kCount, ds.measure_col);
+  const QueryInstance everything =
+      QueryInstance::AxisRange({0.0, 0.0, 0.0}, {1.0, 1.0, 1.0});
+  constexpr int kRowsPerAppender = 300;
+  constexpr int kAppenders = 2;
+
+  // The mirror records the exact logical append order (one mutex orders
+  // Append + record atomically); the oracle below scans it from scratch.
+  std::mutex order_mu;
+  std::vector<std::vector<double>> mirror;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kAppenders; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(700 + t);
+      for (int i = 0; i < kRowsPerAppender; ++i) {
+        std::vector<double> row(d);
+        for (auto& v : row) v = rng.Uniform();
+        std::lock_guard<std::mutex> lock(order_mu);
+        ASSERT_TRUE(store.Append("gmm", row).ok());
+        mirror.push_back(std::move(row));
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      double last = 0.0;
+      while (!done.load(std::memory_order_acquire)) {
+        const ServeResult r = serve.Answer("gmm", count, everything);
+        ASSERT_FALSE(r.used_sketch);
+        // Monotone and bounded: a compaction swap that lost or doubled
+        // rows would show up here immediately.
+        ASSERT_GE(r.value, last);
+        ASSERT_GE(r.value, static_cast<double>(base.num_rows()));
+        ASSERT_LE(r.value, static_cast<double>(
+                               base.num_rows() +
+                               kAppenders * kRowsPerAppender));
+        last = r.value;
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      auto res = store.Compact("gmm");
+      ASSERT_TRUE(res.ok()) << res.status().ToString();
+      std::this_thread::yield();
+    }
+  });
+
+  for (int t = 0; t < kAppenders; ++t) threads[t].join();
+  done.store(true, std::memory_order_release);
+  for (size_t t = kAppenders; t < threads.size(); ++t) threads[t].join();
+  ctrl.Stop();
+
+  // Quiesce: one final fold, then the from-scratch oracle.
+  auto fin = store.Compact("gmm");
+  ASSERT_TRUE(fin.ok()) << fin.status().ToString();
+  EXPECT_EQ(table.folded(), mirror.size());
+
+  const auto cstats = store.CompactionStats();
+  ASSERT_EQ(cstats.size(), 1u);
+  EXPECT_GE(cstats[0].second.compactions, 1u);
+  EXPECT_EQ(cstats[0].second.folded_rows, mirror.size());
+  const auto dstats = store.DeltaStats();
+  ASSERT_EQ(dstats.size(), 1u);
+  EXPECT_GT(dstats[0].second.trimmed_rows, 0u);
+  // Everything folded; at most one partial chunk stays resident (600 rows
+  // are not 64-aligned).
+  EXPECT_LT(dstats[0].second.rows, 64u);
+
+  Table merged = base;
+  for (const auto& r : mirror) ASSERT_TRUE(merged.AppendRow(r).ok());
+  ExactEngine merged_engine(&merged);
+  WorkloadConfig qc;
+  qc.num_active = 2;
+  qc.range_frac_lo = 0.1;
+  qc.range_frac_hi = 0.5;
+  qc.seed = 4711;
+  WorkloadGenerator qgen(d, qc);
+  for (Aggregate agg :
+       {Aggregate::kCount, Aggregate::kSum, Aggregate::kAvg, Aggregate::kStd,
+        Aggregate::kMedian, Aggregate::kMin, Aggregate::kMax}) {
+    const QueryFunctionSpec spec = AxisSpec(agg, ds.measure_col);
+    for (const auto& q : qgen.GenerateMany(10, &merged_engine, &spec)) {
+      const ServeResult got = serve.Answer("gmm", spec, q);
+      const double want = merged_engine.Answer(spec, q);
+      if (std::isnan(want)) {
+        EXPECT_TRUE(std::isnan(got.value)) << AggregateName(agg);
+      } else {
+        EXPECT_EQ(got.value, want) << AggregateName(agg);
+      }
+    }
+  }
+  EXPECT_EQ(serve.Answer("gmm", count, everything).value,
+            static_cast<double>(base.num_rows() + mirror.size()));
 }
 
 }  // namespace

@@ -11,6 +11,14 @@
 # or if no swap happened at all (the arm is then vacuous: the injected
 # drift never crossed the bound).
 #
+# It also gates the "compaction" section's sustained-append arm: both
+# modes (explicit Compact calls, refresh-controller sweep) must have
+# compacted at least once, trimmed rows out of the delta, kept the
+# resident delta bounded by the policy threshold (delta_bounded — the
+# buffer must not grow with the append history), and served every
+# mid-run sampled answer bit-identical to a from-scratch scan
+# (answers_match) across the base-table swaps.
+#
 # Usage: tools/check_streaming_freshness.sh [path/to/BENCH_serving.json]
 set -euo pipefail
 
@@ -98,3 +106,67 @@ if [[ "$ok" != "1" ]]; then
 fi
 echo "OK (stale ${drifted} -> post-refresh ${post} <= ${bound}," \
   "partial retrain ${retrained}/${total})"
+
+# ---------------------------------------------------------------------------
+# Sustained-append compaction leg.
+csection=$(sed -n '/"compaction": {/,/^  }/p' "$json")
+if [[ -z "$csection" ]]; then
+  echo "error: no compaction section in $json" >&2
+  exit 1
+fi
+
+cfield() {
+  echo "$csection" | grep -o "\"$1\": *[0-9.truefalse-]*" | head -1 |
+    sed 's/.*: *//'
+}
+threshold=$(cfield compact_min_rows)
+appended=$(cfield append_rows)
+echo "compaction: ${appended} rows appended against a" \
+  "${threshold}-row fold threshold"
+
+crows=$(echo "$csection" | grep -o '{"mode"[^}]*}')
+ncrows=0
+while IFS= read -r row; do
+  ncrows=$((ncrows + 1))
+  rfield() {
+    echo "$row" | grep -o "\"$1\": *[0-9.truefalse\"_a-z-]*" | head -1 |
+      sed 's/.*: *//; s/"//g'
+  }
+  mode=$(rfield mode)
+  compactions=$(rfield compactions)
+  trimmed=$(rfield trimmed_rows)
+  peak=$(rfield peak_delta_rows)
+  final=$(rfield final_delta_rows)
+  bounded=$(rfield delta_bounded)
+  match=$(rfield answers_match)
+  echo "mode ${mode}: ${compactions} compaction(s), ${trimmed} rows" \
+    "trimmed, delta peak ${peak} / final ${final} rows, bounded" \
+    "${bounded}, answers_match ${match}"
+  if [[ -z "$compactions" || "$compactions" -lt 1 ]]; then
+    echo "error: mode ${mode} never compacted — the delta grows without" \
+      "bound under sustained appends" >&2
+    exit 1
+  fi
+  if [[ -z "$trimmed" || "$trimmed" -lt 1 ]]; then
+    echo "error: mode ${mode} folded rows but trimmed none — compaction" \
+      "is not reclaiming delta storage" >&2
+    exit 1
+  fi
+  if [[ "$bounded" != "true" ]]; then
+    echo "error: mode ${mode} resident delta is not bounded by the fold" \
+      "threshold (peak ${peak}, final ${final} vs threshold" \
+      "${threshold})" >&2
+    exit 1
+  fi
+  if [[ "$match" != "true" ]]; then
+    echo "error: mode ${mode} served an answer that diverged from the" \
+      "from-scratch scan across a base-table swap" >&2
+    exit 1
+  fi
+done <<< "$crows"
+if [[ "$ncrows" -lt 2 ]]; then
+  echo "error: only ${ncrows} compaction mode row(s) ran (need 2)" >&2
+  exit 1
+fi
+echo "OK (compaction bounded the delta in both modes with bit-identical" \
+  "answers)"
